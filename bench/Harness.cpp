@@ -1,0 +1,62 @@
+//===- bench/Harness.cpp - Shared experiment harness ----------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Error.h"
+
+using namespace bench;
+using namespace vea;
+
+const std::vector<double> bench::ThetaSweep = {0.0,  1e-5, 1e-4, 1e-3,
+                                               1e-2, 0.1,  1.0};
+const double bench::ThetaLow = 1e-3;
+const double bench::ThetaMid = 1e-2;
+
+std::vector<Prepared> bench::prepareSuite(double Scale) {
+  std::vector<Prepared> Out;
+  for (auto &W : workloads::buildAllWorkloads(Scale)) {
+    Prepared P;
+    P.W = std::move(W);
+    P.Compact = compactProgram(P.W.Prog);
+    P.Baseline = layoutProgram(P.W.Prog);
+    P.Prof = squash::profileImage(P.Baseline, P.W.ProfilingInput);
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+RunResult bench::runBaseline(const Prepared &P,
+                             const std::vector<uint8_t> &Input) {
+  Machine M(P.Baseline);
+  M.setInput(Input);
+  RunResult R = M.run();
+  if (R.Status != RunStatus::Halted)
+    reportFatalError("bench: baseline run of " + P.W.Name +
+                     " did not halt: " + R.FaultMessage);
+  return R;
+}
+
+double bench::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+std::string bench::thetaLabel(double Theta) {
+  char Buf[32];
+  if (Theta == 0.0)
+    return "0";
+  if (Theta >= 0.01)
+    std::snprintf(Buf, sizeof(Buf), "%.2g", Theta);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0e", Theta);
+  return Buf;
+}

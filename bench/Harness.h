@@ -1,0 +1,66 @@
+//===- bench/Harness.h - Shared experiment harness -------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the experiment binaries (one per table/figure of
+/// the paper): builds the 11-workload suite, compacts each program (the
+/// squeeze baseline), lays it out, and collects its guiding profile, so
+/// each bench only varies squash parameters.
+///
+/// Threshold note (see EXPERIMENTS.md): the paper's profiles run billions
+/// of instructions on real hardware, ours run millions under simulation,
+/// so the interesting θ range shifts upward by roughly the profile-length
+/// ratio. ThetaSweep / ThetaLow / ThetaMid are this repository's
+/// equivalents of the paper's {0 .. 1.0} sweep and {0, 1e-5, 5e-5}
+/// focus points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_BENCH_HARNESS_H
+#define SQUASH_BENCH_HARNESS_H
+
+#include "compact/Compact.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+struct Prepared {
+  vea::workloads::Workload W;
+  vea::CompactStats Compact;
+  vea::Image Baseline;
+  vea::Profile Prof;
+};
+
+/// Builds, compacts, lays out, and profiles every workload.
+std::vector<Prepared> prepareSuite(double Scale = 1.0);
+
+/// Runs \p P's baseline on an input; fatal if it does not halt.
+vea::RunResult runBaseline(const Prepared &P,
+                           const std::vector<uint8_t> &Input);
+
+/// Geometric mean of a vector of positive values.
+double geomean(const std::vector<double> &Values);
+
+/// The cold-code thresholds used across the figure benches.
+extern const std::vector<double> ThetaSweep; ///< Figure 4 / 6 sweep.
+extern const double ThetaLow;  ///< This repo's analog of θ = 0.00001.
+extern const double ThetaMid;  ///< This repo's analog of θ = 0.00005.
+
+/// Formats a θ for table headers.
+std::string thetaLabel(double Theta);
+
+} // namespace bench
+
+#endif // SQUASH_BENCH_HARNESS_H

@@ -1,0 +1,44 @@
+//===- bench/fig4_cold_code.cpp - Figure 4 reproduction -------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Figure 4: "Amount of Cold and Compressible Code (Normalized)" — the
+// geometric mean, over the suite, of the fraction of static code that is
+// cold and the fraction that actually lands in compressible regions, per
+// threshold. Paper: cold 73% at θ=0 rising to ~94% at 1e-2 and 100% at 1;
+// compressible 65% at θ=0 rising to ~96% at 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace bench;
+using namespace squash;
+
+int main() {
+  std::printf("== Figure 4: amount of cold and compressible code ==\n\n");
+  auto Suite = prepareSuite();
+
+  std::printf("%-12s %10s %14s\n", "theta", "cold", "compressible");
+  for (double Theta : ThetaSweep) {
+    std::vector<double> Cold, Compressible;
+    for (auto &P : Suite) {
+      Options Opts;
+      Opts.Theta = Theta;
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      Cold.push_back(SR.Cold.coldFraction());
+      Compressible.push_back(
+          static_cast<double>(SR.Regions.CompressibleInstructions) /
+          static_cast<double>(SR.Cold.TotalInstructions));
+    }
+    std::printf("%-12s %9.1f%% %13.1f%%\n", thetaLabel(Theta).c_str(),
+                100.0 * geomean(Cold), 100.0 * geomean(Compressible));
+  }
+
+  std::printf("\npaper: cold 73%% (theta=0) -> 94%% (1e-2) -> 100%% (1); "
+              "compressible 65%% -> ~96%%.\nNot all cold code is "
+              "compressible: small regions whose entry stubs would cost "
+              "more than compression saves are left alone (Section 4).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- bench/fig6_size_reduction.cpp - Figure 6 reproduction --------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Figure 6: "Code Size Reduction due to Profile-Guided Code Compression at
+// Different Thresholds" — per benchmark and mean, across the θ sweep.
+// Paper anchors: mean 13.7% at θ=0, 16.8% at θ=1e-5, 26.5% at θ=1.0;
+// pgp best (22.1% at θ=0), adpcm/g721_enc worst.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace bench;
+using namespace squash;
+
+int main() {
+  std::printf("== Figure 6: code size reduction vs cold-code threshold "
+              "==\n\n");
+  auto Suite = prepareSuite();
+
+  std::printf("%-10s", "benchmark");
+  for (double Theta : ThetaSweep)
+    std::printf(" %9s", thetaLabel(Theta).c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> Ratios(ThetaSweep.size());
+  for (auto &P : Suite) {
+    std::printf("%-10s", P.W.Name.c_str());
+    for (size_t TI = 0; TI != ThetaSweep.size(); ++TI) {
+      Options Opts;
+      Opts.Theta = ThetaSweep[TI];
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      double Reduction = SR.SP.Footprint.reduction();
+      Ratios[TI].push_back(1.0 - Reduction);
+      std::printf(" %8.1f%%", 100.0 * Reduction);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-10s", "mean");
+  for (size_t TI = 0; TI != ThetaSweep.size(); ++TI)
+    std::printf(" %8.1f%%", 100.0 * (1.0 - geomean(Ratios[TI])));
+  std::printf("\n");
+
+  std::printf("\npaper (Alpha/MediaBench): mean 13.7%% at theta=0, 16.8%% "
+              "at 1e-5, 26.5%% at 1.0;\nreduction grows slowly with theta "
+              "(five orders of magnitude buy ~10 points).\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===- bench/micro_codec.cpp - Codec microbenchmarks ----------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// google-benchmark timings for the pieces on squash's runtime-critical
+// path: canonical Huffman encode/decode, splitting-streams region
+// encode/decode, and the simulator's interpreter loop. These are host-side
+// costs; the *simulated* decompression cost is governed by the CostModel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "huff/StreamCodec.h"
+#include "ir/Builder.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace squash;
+using namespace vea;
+
+namespace {
+
+std::vector<std::pair<uint32_t, uint64_t>> skewedAlphabet(size_t N) {
+  std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+  for (size_t I = 0; I != N; ++I)
+    Pairs.push_back({static_cast<uint32_t>(I), 1 + 10000 / (I + 1)});
+  return Pairs;
+}
+
+std::vector<MInst> syntheticRegion(size_t Len, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<MInst> Region;
+  for (size_t I = 0; I != Len; ++I) {
+    switch (R.nextBelow(4)) {
+    case 0:
+      Region.push_back(makeRRR(Opcode::Add, R.nextBelow(31), R.nextBelow(31),
+                               R.nextBelow(31)));
+      break;
+    case 1:
+      Region.push_back(makeMem(Opcode::Ldw, R.nextBelow(31), 30,
+                               static_cast<int32_t>(R.nextBelow(64)) * 4));
+      break;
+    case 2:
+      Region.push_back(makeRRI(Opcode::Addi, R.nextBelow(31),
+                               R.nextBelow(31), R.nextBelow(256)));
+      break;
+    default:
+      Region.push_back(
+          makeBranch(Opcode::Beq, R.nextBelow(31),
+                     static_cast<int32_t>(R.nextBelow(64)) - 32));
+      break;
+    }
+  }
+  return Region;
+}
+
+} // namespace
+
+static void BM_HuffmanEncode(benchmark::State &State) {
+  CanonicalCode C = CanonicalCode::build(skewedAlphabet(256));
+  Rng R(1);
+  std::vector<uint32_t> Message(4096);
+  for (auto &S : Message)
+    S = static_cast<uint32_t>(R.nextBelow(256));
+  for (auto _ : State) {
+    BitWriter W;
+    for (uint32_t S : Message)
+      C.encode(S, W);
+    benchmark::DoNotOptimize(W.byteSize());
+  }
+  State.SetItemsProcessed(State.iterations() * Message.size());
+}
+BENCHMARK(BM_HuffmanEncode);
+
+static void BM_HuffmanDecode(benchmark::State &State) {
+  CanonicalCode C = CanonicalCode::build(skewedAlphabet(256));
+  Rng R(1);
+  BitWriter W;
+  const size_t N = 4096;
+  for (size_t I = 0; I != N; ++I)
+    C.encode(static_cast<uint32_t>(R.nextBelow(256)), W);
+  std::vector<uint8_t> Blob = W.takeBytes();
+  for (auto _ : State) {
+    BitReader Rd(Blob);
+    uint64_t Sum = 0;
+    for (size_t I = 0; I != N; ++I)
+      Sum += C.decode(Rd);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_HuffmanDecode);
+
+static void BM_RegionEncode(benchmark::State &State) {
+  auto Region = syntheticRegion(static_cast<size_t>(State.range(0)), 7);
+  StreamCodecs SC = StreamCodecs::build({Region}, StreamCodecs::Options());
+  for (auto _ : State) {
+    BitWriter W;
+    SC.encodeRegion(Region, W);
+    benchmark::DoNotOptimize(W.byteSize());
+  }
+  State.SetItemsProcessed(State.iterations() * Region.size());
+}
+BENCHMARK(BM_RegionEncode)->Arg(32)->Arg(128)->Arg(512);
+
+static void BM_RegionDecode(benchmark::State &State) {
+  auto Region = syntheticRegion(static_cast<size_t>(State.range(0)), 7);
+  StreamCodecs SC = StreamCodecs::build({Region}, StreamCodecs::Options());
+  BitWriter W;
+  SC.encodeRegion(Region, W);
+  std::vector<uint8_t> Blob = W.takeBytes();
+  for (auto _ : State) {
+    BitReader Rd(Blob);
+    StreamCodecs::RegionDecoder Dec(SC, Rd);
+    MInst I;
+    uint64_t Count = 0;
+    while (Dec.next(I))
+      ++Count;
+    benchmark::DoNotOptimize(Count);
+  }
+  State.SetItemsProcessed(State.iterations() * Region.size());
+}
+BENCHMARK(BM_RegionDecode)->Arg(32)->Arg(128)->Arg(512);
+
+static void BM_InterpreterLoop(benchmark::State &State) {
+  ProgramBuilder PB("bench");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(1, 10000);
+    F.li(2, 0);
+    F.label("loop");
+    F.add(2, 2, 1);
+    F.xori(3, 2, 0x55);
+    F.srli(4, 3, 3);
+    F.subi(1, 1, 1);
+    F.bne(1, "loop");
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Image Img = layoutProgram(PB.build());
+  for (auto _ : State) {
+    Machine M(Img);
+    RunResult R = M.run();
+    benchmark::DoNotOptimize(R.Instructions);
+  }
+  State.SetItemsProcessed(State.iterations() * 50003);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+BENCHMARK_MAIN();

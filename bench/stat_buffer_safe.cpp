@@ -1,0 +1,42 @@
+//===- bench/stat_buffer_safe.cpp - Section 6.1 statistics ----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Section 6.1: the buffer-safety analysis lets ~12.5% of the calls issued
+// from compressible regions skip restore-stub treatment on average, with
+// gsm and g721_enc the best cases (>20% / 19%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace bench;
+using namespace squash;
+
+int main() {
+  std::printf("== Section 6.1 statistic: buffer-safe call sites ==\n\n");
+  auto Suite = prepareSuite();
+  std::printf("%-10s %12s %16s %12s %14s\n", "program", "functions",
+              "safe functions", "calls", "safe calls");
+  std::vector<double> Fractions;
+  for (auto &P : Suite) {
+    Options Opts;
+    Opts.Theta = 0.0;
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+    const BufferSafeStats &S = SR.BufferSafe;
+    double Frac = S.CallSitesFromRegions
+                      ? static_cast<double>(S.SafeCallSitesFromRegions) /
+                            S.CallSitesFromRegions
+                      : 0.0;
+    Fractions.push_back(1.0 + Frac);
+    std::printf("%-10s %12u %15u %12u %9u (%4.1f%%)\n", P.W.Name.c_str(),
+                S.Functions, S.SafeFunctions, S.CallSitesFromRegions,
+                S.SafeCallSitesFromRegions, 100.0 * Frac);
+  }
+  std::printf("%-10s %57.1f%%\n", "mean",
+              100.0 * (geomean(Fractions) - 1.0));
+  std::printf("\npaper: ~12.5%% of compressible regions' calls benefit on "
+              "average; gsm > 20%%, g721_enc ~19%%.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- examples/quickstart.cpp - End-to-end squash walkthrough ------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Builds one workload, compacts it (the squeeze baseline), profiles it,
+// squashes it at a cold-code threshold, and runs the squashed binary on
+// both inputs, verifying output equivalence and printing the footprint
+// breakdown — the whole pipeline in one file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/Compact.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace vea;
+using namespace squash;
+
+static bool runAndCompare(const char *Label, const Image &Baseline,
+                          const SquashedProgram &SP,
+                          const std::vector<uint8_t> &Input) {
+  Machine M(Baseline);
+  M.setInput(Input);
+  RunResult Orig = M.run();
+
+  Machine M2(SP.Img);
+  RuntimeSystem RT(SP);
+  RT.attach(M2);
+  M2.setInput(Input);
+  RunResult R2 = M2.run();
+  bool Ok = Orig.Status == RunStatus::Halted &&
+            R2.Status == RunStatus::Halted &&
+            Orig.ExitCode == R2.ExitCode && M.output() == M2.output();
+
+  std::printf("  %-10s original: %llu instrs, %llu cycles | squashed: %llu "
+              "instrs, %llu cycles | decompressions: %llu | %s\n",
+              Label, (unsigned long long)Orig.Instructions,
+              (unsigned long long)Orig.Cycles,
+              (unsigned long long)R2.Instructions,
+              (unsigned long long)R2.Cycles,
+              (unsigned long long)RT.stats().Decompressions,
+              Ok ? "outputs MATCH" : "OUTPUT MISMATCH");
+  if (!Ok) {
+    std::printf("    original: status=%d exit=%u fault=%s out=%zu bytes\n",
+                (int)Orig.Status, Orig.ExitCode, Orig.FaultMessage.c_str(),
+                M.output().size());
+    std::printf("    squashed: status=%d exit=%u fault=%s out=%zu bytes\n",
+                (int)R2.Status, R2.ExitCode, R2.FaultMessage.c_str(),
+                M2.output().size());
+  }
+  return Ok;
+}
+
+int main() {
+  std::printf("== squash quickstart: profile-guided code compression ==\n\n");
+
+  // 1. Build a workload (a miniature IMA ADPCM codec).
+  workloads::Workload W = workloads::buildAdpcm(0.25);
+  std::printf("workload %s: %llu instructions as built\n", W.Name.c_str(),
+              (unsigned long long)W.Prog.instructionCount());
+
+  // 2. Compact it (the squeeze baseline of the paper).
+  CompactStats CS = compactProgram(W.Prog);
+  std::printf("after compaction: %llu instructions "
+              "(%llu unreachable blocks removed)\n",
+              (unsigned long long)CS.OutputInstructions,
+              (unsigned long long)CS.UnreachableBlocksRemoved);
+
+  // 3. Lay it out and collect the execution profile on the profiling
+  //    input.
+  Image Baseline = layoutProgram(W.Prog);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  std::printf("profile: %llu instructions executed\n\n",
+              (unsigned long long)Prof.TotalInstructions);
+
+  // 4. Squash at a low cold-code threshold.
+  Options Opts;
+  Opts.Theta = 0.0;
+  SquashResult SR = squashProgram(W.Prog, Prof, Opts);
+  const FootprintBreakdown &FB = SR.SP.Footprint;
+  std::printf("squash @ theta=0: cold %.1f%% of code, %llu regions\n",
+              100.0 * SR.Cold.coldFraction(),
+              (unsigned long long)SR.Regions.PackedRegions);
+  std::printf("footprint: never-compressed %u w | stubs %u w | decomp %u w "
+              "| table %u w | stub area %u w | buffer %u w | compressed %u "
+              "B\n",
+              FB.NeverCompressedWords, FB.EntryStubWords,
+              FB.DecompressorWords, FB.OffsetTableWords, FB.StubAreaWords,
+              FB.BufferWords, FB.CompressedBytes);
+  std::printf("code size: %u -> %u bytes (%.1f%% reduction)\n\n",
+              FB.OriginalCodeBytes, FB.totalCodeBytes(),
+              100.0 * FB.reduction());
+
+  // 5. Execute and verify on both inputs.
+  bool Ok = runAndCompare("profiling", Baseline, SR.SP, W.ProfilingInput);
+  Ok &= runAndCompare("timing", Baseline, SR.SP, W.TimingInput);
+
+  std::printf("\n%s\n", Ok ? "quickstart PASSED" : "quickstart FAILED");
+  return Ok ? 0 : 1;
+}

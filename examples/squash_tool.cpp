@@ -1,0 +1,203 @@
+//===- examples/squash_tool.cpp - Assemble, squash, and inspect -----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// A command-line front end over the whole pipeline, driven by VEA-32
+// assembly source:
+//
+//   squash_tool [file.s] [--theta X] [--k BYTES] [--mtf] [--delta]
+//               [--input BYTES...]
+//
+// Assembles the program (or a built-in demo), compacts it, profiles it on
+// the given input bytes, squashes it, prints the objdump-style inspection
+// reports, and verifies that original and squashed runs agree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "compact/Compact.h"
+#include "link/ImageDisasm.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+#include "squash/Inspect.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+/// A demo program with an obvious hot/cold split: a checksum loop over the
+/// input plus an error handler and a rarely used transform.
+const char *DemoSource = R"(
+.program demo
+.entry main
+
+.func main
+  li r9, 0              ; checksum
+  li r10, 0             ; byte count
+loop:
+  sys getchar
+  li r1, -1
+  cmpeq r1, r0, r1
+  bne r1, eof
+  or r16, r0, r31
+  bsr r26, mix
+  add r9, r9, r0
+  addi r10, r10, 1
+  br loop
+eof:
+  li r1, 200
+  cmpult r1, r10, r1
+  bne r1, small
+  bsr r26, rare_report  ; only for long inputs: cold under the profile
+small:
+  or r16, r9, r31
+  sys putword
+  andi r16, r9, 255
+  sys halt
+
+.func mix
+  muli r0, r16, 31
+  xori r0, r0, 0x5a
+  andi r0, r0, 255
+  ret
+
+.func rare_report
+  la r1, banner
+  li r2, 4
+rloop:
+  ldb r16, 0(r1)
+  sys putchar
+  addi r1, r1, 1
+  subi r2, r2, 1
+  bne r2, rloop
+  ret
+
+.data banner
+  .ascii "big!"
+)";
+
+struct Args {
+  std::string SourcePath;
+  double Theta = 0.0;
+  uint32_t K = 512;
+  bool Mtf = false;
+  bool Delta = false;
+  bool Disasm = false;
+  std::vector<uint8_t> Input;
+};
+
+bool parseArgs(int Argc, char **Argv, Args &A) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string S = Argv[I];
+    if (S == "--theta" && I + 1 < Argc) {
+      A.Theta = std::atof(Argv[++I]);
+    } else if (S == "--k" && I + 1 < Argc) {
+      A.K = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (S == "--mtf") {
+      A.Mtf = true;
+    } else if (S == "--delta") {
+      A.Delta = true;
+    } else if (S == "--disasm") {
+      A.Disasm = true;
+    } else if (S == "--input") {
+      while (I + 1 < Argc && std::isdigit(Argv[I + 1][0]))
+        A.Input.push_back(static_cast<uint8_t>(std::atoi(Argv[++I])));
+    } else if (S[0] != '-') {
+      A.SourcePath = S;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", S.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Args A;
+  if (!parseArgs(Argc, Argv, A))
+    return 2;
+
+  std::string Source = DemoSource;
+  if (!A.SourcePath.empty()) {
+    std::ifstream In(A.SourcePath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", A.SourcePath.c_str());
+      return 2;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+  if (A.Input.empty())
+    for (int I = 0; I != 64; ++I)
+      A.Input.push_back(static_cast<uint8_t>('a' + I % 13));
+
+  ErrorOr<Program> ProgOr = assembleProgram(Source);
+  if (!ProgOr) {
+    std::fprintf(stderr, "assembly failed: %s\n", ProgOr.message().c_str());
+    return 1;
+  }
+  Program Prog = ProgOr.take();
+
+  CompactStats CS = compactProgram(Prog);
+  std::printf("assembled %llu instructions (%llu after compaction)\n",
+              (unsigned long long)CS.InputInstructions,
+              (unsigned long long)CS.OutputInstructions);
+
+  Image Baseline = layoutProgram(Prog);
+  if (A.Disasm) {
+    std::printf("baseline listing:\n%s\n",
+                disassembleImage(Baseline).c_str());
+  }
+  Profile Prof = profileImage(Baseline, A.Input);
+  std::printf("profile: %llu instructions on a %zu-byte input\n\n",
+              (unsigned long long)Prof.TotalInstructions, A.Input.size());
+
+  Options Opts;
+  Opts.Theta = A.Theta;
+  Opts.BufferBoundBytes = A.K;
+  Opts.MoveToFront = A.Mtf;
+  Opts.DeltaDisplacements = A.Delta;
+  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  if (SR.Identity) {
+    std::printf("nothing profitable to compress at theta=%g\n", A.Theta);
+    return 0;
+  }
+
+  std::fputs(formatSegmentMap(SR.SP).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(formatRegionTable(SR.SP).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(formatEntryStubs(SR.SP).c_str(), stdout);
+  std::printf("\nregion 0 stored code:\n");
+  std::fputs(formatRegion(SR.SP, 0).c_str(), stdout);
+
+  // Verify equivalence on a *longer* input, which exercises the cold path.
+  std::vector<uint8_t> LongInput;
+  for (int I = 0; I != 400; ++I)
+    LongInput.push_back(static_cast<uint8_t>('A' + I % 23));
+  Machine M1(Baseline);
+  M1.setInput(LongInput);
+  RunResult R1 = M1.run();
+  SquashedRun R2 = runSquashed(SR.SP, LongInput);
+  bool Ok = R1.Status == RunStatus::Halted &&
+            R2.Run.Status == RunStatus::Halted &&
+            R1.ExitCode == R2.Run.ExitCode;
+  std::printf("\nverification on a 400-byte input: original exit %u, "
+              "squashed exit %u, %llu decompressions -> %s\n",
+              R1.ExitCode, R2.Run.ExitCode,
+              (unsigned long long)R2.Runtime.Decompressions,
+              Ok ? "OK" : "MISMATCH");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,577 @@
+//===- asm/Assembler.cpp - VEA-32 textual assembler -----------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace vea;
+
+namespace {
+
+/// Splits one source line into tokens. Parentheses and commas are
+/// separators; a parenthesized register is tagged so memory operands parse
+/// unambiguously.
+struct Token {
+  std::string Text;
+  bool Paren = false; ///< Token appeared inside ( ).
+};
+
+class Assembler {
+public:
+  ErrorOr<Program> run(const std::string &Source);
+
+private:
+  bool tokenize(const std::string &Line, std::vector<Token> &Toks,
+                std::string &Err);
+  bool handleLine(const std::vector<Token> &Toks, std::string &Err);
+  bool handleDirective(const std::vector<Token> &Toks, std::string &Err);
+  bool handleInst(const std::vector<Token> &Toks, std::string &Err);
+
+  bool parseReg(const Token &T, unsigned &Reg, std::string &Err);
+  bool parseInt(const std::string &S, int64_t &Value, std::string &Err);
+
+  BasicBlock *curBlock() {
+    if (!CurFunc || CurFunc->Blocks.empty())
+      return nullptr;
+    return &CurFunc->Blocks.back();
+  }
+
+  Program P;
+  Function *CurFunc = nullptr;
+  DataObject *CurData = nullptr;
+};
+
+} // namespace
+
+bool Assembler::tokenize(const std::string &Line, std::vector<Token> &Toks,
+                         std::string &Err) {
+  size_t I = 0, N = Line.size();
+  bool InParen = false;
+  while (I < N) {
+    char C = Line[I];
+    if (C == ';' || C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C)) || C == ',') {
+      ++I;
+      continue;
+    }
+    if (C == '(') {
+      InParen = true;
+      ++I;
+      continue;
+    }
+    if (C == ')') {
+      InParen = false;
+      ++I;
+      continue;
+    }
+    if (C == '"') {
+      std::string S;
+      ++I;
+      while (I < N && Line[I] != '"')
+        S.push_back(Line[I++]);
+      if (I == N) {
+        Err = "unterminated string literal";
+        return false;
+      }
+      ++I;
+      Toks.push_back({"\"" + S, false});
+      continue;
+    }
+    std::string T;
+    while (I < N && !std::isspace(static_cast<unsigned char>(Line[I])) &&
+           Line[I] != ',' && Line[I] != '(' && Line[I] != ')' &&
+           Line[I] != ';' && Line[I] != '#')
+      T.push_back(Line[I++]);
+    Toks.push_back({T, InParen});
+  }
+  return true;
+}
+
+bool Assembler::parseReg(const Token &T, unsigned &Reg, std::string &Err) {
+  const std::string &S = T.Text;
+  if (S.size() < 2 || (S[0] != 'r' && S[0] != 'R')) {
+    Err = "expected register, got '" + S + "'";
+    return false;
+  }
+  char *End = nullptr;
+  long V = std::strtol(S.c_str() + 1, &End, 10);
+  if (*End != '\0' || V < 0 || V >= static_cast<long>(NumRegs)) {
+    Err = "bad register '" + S + "'";
+    return false;
+  }
+  Reg = static_cast<unsigned>(V);
+  return true;
+}
+
+bool Assembler::parseInt(const std::string &S, int64_t &Value,
+                         std::string &Err) {
+  if (S.empty()) {
+    Err = "expected integer";
+    return false;
+  }
+  char *End = nullptr;
+  Value = std::strtoll(S.c_str(), &End, 0);
+  if (*End != '\0') {
+    Err = "bad integer '" + S + "'";
+    return false;
+  }
+  return true;
+}
+
+bool Assembler::handleDirective(const std::vector<Token> &Toks,
+                                std::string &Err) {
+  const std::string &D = Toks[0].Text;
+  auto Need = [&](size_t N) {
+    if (Toks.size() < N + 1) {
+      Err = "directive " + D + " needs " + std::to_string(N) + " operand(s)";
+      return false;
+    }
+    return true;
+  };
+
+  if (D == ".program") {
+    if (!Need(1))
+      return false;
+    P.Name = Toks[1].Text;
+    return true;
+  }
+  if (D == ".entry") {
+    if (!Need(1))
+      return false;
+    P.EntryFunction = Toks[1].Text;
+    return true;
+  }
+  if (D == ".func") {
+    if (!Need(1))
+      return false;
+    Function F;
+    F.Name = Toks[1].Text;
+    BasicBlock Entry;
+    Entry.Label = F.Name;
+    F.Blocks.push_back(std::move(Entry));
+    P.Functions.push_back(std::move(F));
+    CurFunc = &P.Functions.back();
+    CurData = nullptr;
+    return true;
+  }
+  if (D == ".data") {
+    if (!Need(1))
+      return false;
+    DataObject Obj;
+    Obj.Name = Toks[1].Text;
+    if (Toks.size() > 2) {
+      int64_t A;
+      if (!parseInt(Toks[2].Text, A, Err))
+        return false;
+      Obj.Align = static_cast<uint32_t>(A);
+    }
+    P.Data.push_back(std::move(Obj));
+    CurData = &P.Data.back();
+    CurFunc = nullptr;
+    return true;
+  }
+  if (D == ".word" || D == ".byte" || D == ".zero" || D == ".addr" ||
+      D == ".ascii") {
+    if (!CurData) {
+      Err = D + " outside a .data object";
+      return false;
+    }
+    if (D == ".ascii") {
+      if (!Need(1))
+        return false;
+      const std::string &S = Toks[1].Text;
+      if (S.empty() || S[0] != '"') {
+        Err = ".ascii needs a string literal";
+        return false;
+      }
+      for (size_t I = 1; I != S.size(); ++I)
+        CurData->Bytes.push_back(static_cast<uint8_t>(S[I]));
+      return true;
+    }
+    if (D == ".zero") {
+      if (!Need(1))
+        return false;
+      int64_t N;
+      if (!parseInt(Toks[1].Text, N, Err))
+        return false;
+      CurData->Bytes.insert(CurData->Bytes.end(), static_cast<size_t>(N), 0);
+      return true;
+    }
+    if (D == ".addr") {
+      if (!Need(1))
+        return false;
+      int64_t Addend = 0;
+      if (Toks.size() > 2 && !parseInt(Toks[2].Text, Addend, Err))
+        return false;
+      // Pad to word alignment, then record the patch site.
+      while (CurData->Bytes.size() % 4 != 0)
+        CurData->Bytes.push_back(0);
+      CurData->SymWords.push_back(
+          {static_cast<uint32_t>(CurData->Bytes.size()), Toks[1].Text,
+           static_cast<int32_t>(Addend)});
+      CurData->Bytes.insert(CurData->Bytes.end(), 4, 0);
+      return true;
+    }
+    // .word / .byte value lists.
+    for (size_t I = 1; I != Toks.size(); ++I) {
+      int64_t V;
+      if (!parseInt(Toks[I].Text, V, Err))
+        return false;
+      if (D == ".byte") {
+        CurData->Bytes.push_back(static_cast<uint8_t>(V));
+      } else {
+        uint32_t W = static_cast<uint32_t>(V);
+        CurData->Bytes.push_back(static_cast<uint8_t>(W));
+        CurData->Bytes.push_back(static_cast<uint8_t>(W >> 8));
+        CurData->Bytes.push_back(static_cast<uint8_t>(W >> 16));
+        CurData->Bytes.push_back(static_cast<uint8_t>(W >> 24));
+      }
+    }
+    return true;
+  }
+  if (D == ".switch") {
+    if (!CurFunc || !curBlock()) {
+      Err = ".switch outside a function";
+      return false;
+    }
+    if (!Need(4))
+      return false;
+    unsigned IdxReg, ScratchReg;
+    if (!parseReg(Toks[1], IdxReg, Err) || !parseReg(Toks[2], ScratchReg, Err))
+      return false;
+    const std::string &TableSym = Toks[3].Text;
+    std::vector<std::string> Targets;
+    for (size_t I = 4; I != Toks.size(); ++I)
+      Targets.push_back(Toks[I].Text);
+    if (Targets.empty()) {
+      Err = ".switch needs at least one target";
+      return false;
+    }
+
+    // Create the table object.
+    DataObject Tab;
+    Tab.Name = TableSym;
+    Tab.Bytes.assign(Targets.size() * 4, 0);
+    for (uint32_t I = 0; I != Targets.size(); ++I)
+      Tab.SymWords.push_back({I * 4, Targets[I], 0});
+    P.Data.push_back(std::move(Tab));
+
+    // Emit the 6-instruction idiom (see FunctionBuilder::switchJump).
+    BasicBlock *B = curBlock();
+    auto RRI = [&](Opcode Op, unsigned Rc, unsigned Ra, int32_t Lit) {
+      Inst I;
+      I.Op = Op;
+      I.Rc = static_cast<uint8_t>(Rc);
+      I.Ra = static_cast<uint8_t>(Ra);
+      I.Imm = Lit;
+      B->Insts.push_back(I);
+    };
+    RRI(Opcode::Slli, IdxReg, IdxReg, 2);
+    Inst Hi;
+    Hi.Op = Opcode::Ldah;
+    Hi.Ra = static_cast<uint8_t>(ScratchReg);
+    Hi.Rb = RegZero;
+    Hi.Symbol = TableSym;
+    Hi.Reloc = RelocKind::Hi16;
+    B->Insts.push_back(Hi);
+    Inst Lo = Hi;
+    Lo.Op = Opcode::Lda;
+    Lo.Rb = static_cast<uint8_t>(ScratchReg);
+    Lo.Reloc = RelocKind::Lo16;
+    B->Insts.push_back(Lo);
+    Inst Add;
+    Add.Op = Opcode::Add;
+    Add.Rc = static_cast<uint8_t>(ScratchReg);
+    Add.Ra = static_cast<uint8_t>(ScratchReg);
+    Add.Rb = static_cast<uint8_t>(IdxReg);
+    B->Insts.push_back(Add);
+    Inst Ld;
+    Ld.Op = Opcode::Ldw;
+    Ld.Ra = static_cast<uint8_t>(ScratchReg);
+    Ld.Rb = static_cast<uint8_t>(ScratchReg);
+    B->Insts.push_back(Ld);
+    Inst J;
+    J.Op = Opcode::Jmp;
+    J.Ra = RegZero;
+    J.Rb = static_cast<uint8_t>(ScratchReg);
+    B->Insts.push_back(J);
+
+    SwitchInfo SI;
+    SI.TableSymbol = TableSym;
+    SI.Targets = std::move(Targets);
+    SI.IndexReg = static_cast<uint8_t>(IdxReg);
+    SI.ScratchReg = static_cast<uint8_t>(ScratchReg);
+    SI.SeqLen = 6;
+    B->Switch = SI;
+    return true;
+  }
+  Err = "unknown directive '" + D + "'";
+  return false;
+}
+
+bool Assembler::handleInst(const std::vector<Token> &Toks, std::string &Err) {
+  if (!CurFunc) {
+    Err = "instruction outside a function";
+    return false;
+  }
+  BasicBlock *B = curBlock();
+  const std::string &Mnemonic = Toks[0].Text;
+
+  // Pseudo-instructions.
+  if (Mnemonic == "la" || Mnemonic == "li") {
+    if (Toks.size() < 3) {
+      Err = Mnemonic + " needs two operands";
+      return false;
+    }
+    unsigned Rd;
+    if (!parseReg(Toks[1], Rd, Err))
+      return false;
+    if (Mnemonic == "li") {
+      int64_t V;
+      if (!parseInt(Toks[2].Text, V, Err))
+        return false;
+      int32_t Value = static_cast<int32_t>(V);
+      if (Value >= -32768 && Value <= 32767) {
+        Inst I;
+        I.Op = Opcode::Lda;
+        I.Ra = static_cast<uint8_t>(Rd);
+        I.Rb = RegZero;
+        I.Imm = Value;
+        B->Insts.push_back(I);
+      } else {
+        int32_t Lo = static_cast<int16_t>(Value & 0xFFFF);
+        Inst I;
+        I.Op = Opcode::Ldah;
+        I.Ra = static_cast<uint8_t>(Rd);
+        I.Rb = RegZero;
+        I.Imm = static_cast<int32_t>(
+            (static_cast<int64_t>(Value) - Lo) >> 16);
+        B->Insts.push_back(I);
+        if (Lo != 0) {
+          I.Op = Opcode::Lda;
+          I.Rb = static_cast<uint8_t>(Rd);
+          I.Imm = Lo;
+          B->Insts.push_back(I);
+        }
+      }
+      return true;
+    }
+    // la rd, symbol [addend]
+    int64_t Addend = 0;
+    if (Toks.size() > 3 && !parseInt(Toks[3].Text, Addend, Err))
+      return false;
+    Inst Hi;
+    Hi.Op = Opcode::Ldah;
+    Hi.Ra = static_cast<uint8_t>(Rd);
+    Hi.Rb = RegZero;
+    Hi.Symbol = Toks[2].Text;
+    Hi.Imm = static_cast<int32_t>(Addend);
+    Hi.Reloc = RelocKind::Hi16;
+    B->Insts.push_back(Hi);
+    Inst Lo = Hi;
+    Lo.Op = Opcode::Lda;
+    Lo.Rb = static_cast<uint8_t>(Rd);
+    Lo.Reloc = RelocKind::Lo16;
+    B->Insts.push_back(Lo);
+    return true;
+  }
+
+  Opcode Op = opcodeByName(Mnemonic);
+  if (Op == Opcode::Sentinel) {
+    Err = "unknown mnemonic '" + Mnemonic + "'";
+    return false;
+  }
+  if (!opcodeInfo(Op).IsLegal) {
+    Err = "mnemonic '" + Mnemonic + "' is not assemblable";
+    return false;
+  }
+
+  Inst I;
+  I.Op = Op;
+  switch (formatOf(Op)) {
+  case Format::Mem: {
+    // op ra, disp(rb)  — or with a symbol: handled only via `la`.
+    if (Toks.size() < 3) {
+      Err = "memory instruction needs operands";
+      return false;
+    }
+    unsigned Ra;
+    if (!parseReg(Toks[1], Ra, Err))
+      return false;
+    I.Ra = static_cast<uint8_t>(Ra);
+    int64_t Disp;
+    if (!parseInt(Toks[2].Text, Disp, Err))
+      return false;
+    I.Imm = static_cast<int32_t>(Disp);
+    unsigned Rb = RegZero;
+    if (Toks.size() > 3) {
+      if (!parseReg(Toks[3], Rb, Err))
+        return false;
+    }
+    I.Rb = static_cast<uint8_t>(Rb);
+    break;
+  }
+  case Format::Branch: {
+    if (Op == Opcode::Br && Toks.size() == 2) {
+      I.Ra = RegZero;
+      I.Symbol = Toks[1].Text;
+      I.Reloc = RelocKind::BranchDisp;
+      break;
+    }
+    if (Toks.size() < 3) {
+      Err = "branch needs a register and a target";
+      return false;
+    }
+    unsigned Ra;
+    if (!parseReg(Toks[1], Ra, Err))
+      return false;
+    I.Ra = static_cast<uint8_t>(Ra);
+    I.Symbol = Toks[2].Text;
+    I.Reloc = RelocKind::BranchDisp;
+    break;
+  }
+  case Format::Jump: {
+    if (Op == Opcode::Ret && Toks.size() == 1) {
+      I.Ra = RegZero;
+      I.Rb = RegRA;
+      break;
+    }
+    unsigned Pos = 1;
+    unsigned Ra = RegZero;
+    if (Toks.size() > 2) {
+      if (!parseReg(Toks[Pos++], Ra, Err))
+        return false;
+    }
+    I.Ra = static_cast<uint8_t>(Ra);
+    if (Pos >= Toks.size()) {
+      Err = "jump needs a target register";
+      return false;
+    }
+    unsigned Rb;
+    if (!parseReg(Toks[Pos], Rb, Err))
+      return false;
+    I.Rb = static_cast<uint8_t>(Rb);
+    break;
+  }
+  case Format::OpRRR: {
+    if (Toks.size() < 4) {
+      Err = "operate instruction needs three registers";
+      return false;
+    }
+    unsigned Rc, Ra, Rb;
+    if (!parseReg(Toks[1], Rc, Err) || !parseReg(Toks[2], Ra, Err) ||
+        !parseReg(Toks[3], Rb, Err))
+      return false;
+    I.Rc = static_cast<uint8_t>(Rc);
+    I.Ra = static_cast<uint8_t>(Ra);
+    I.Rb = static_cast<uint8_t>(Rb);
+    break;
+  }
+  case Format::OpRRI: {
+    if (Toks.size() < 4) {
+      Err = "operate-immediate instruction needs rc, ra, lit";
+      return false;
+    }
+    unsigned Rc, Ra;
+    if (!parseReg(Toks[1], Rc, Err) || !parseReg(Toks[2], Ra, Err))
+      return false;
+    int64_t Lit;
+    if (!parseInt(Toks[3].Text, Lit, Err))
+      return false;
+    if (Lit < 0 || Lit > 255) {
+      Err = "8-bit literal out of range";
+      return false;
+    }
+    I.Rc = static_cast<uint8_t>(Rc);
+    I.Ra = static_cast<uint8_t>(Ra);
+    I.Imm = static_cast<int32_t>(Lit);
+    break;
+  }
+  case Format::Sys: {
+    if (Toks.size() < 2) {
+      Err = "sys needs a function id";
+      return false;
+    }
+    const std::string &F = Toks[1].Text;
+    static const struct {
+      const char *Name;
+      SysFunc Func;
+    } Names[] = {
+        {"halt", SysFunc::Halt},       {"putchar", SysFunc::PutChar},
+        {"getchar", SysFunc::GetChar}, {"putint", SysFunc::PutInt},
+        {"putword", SysFunc::PutWord}, {"getword", SysFunc::GetWord},
+        {"setjmp", SysFunc::Setjmp},   {"longjmp", SysFunc::Longjmp},
+    };
+    bool Found = false;
+    for (const auto &N : Names)
+      if (F == N.Name) {
+        I.Imm = static_cast<int32_t>(N.Func);
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      int64_t V;
+      if (!parseInt(F, V, Err))
+        return false;
+      I.Imm = static_cast<int32_t>(V);
+    }
+    break;
+  }
+  }
+  B->Insts.push_back(std::move(I));
+  return true;
+}
+
+bool Assembler::handleLine(const std::vector<Token> &Toks, std::string &Err) {
+  if (Toks.empty())
+    return true;
+  const std::string &First = Toks[0].Text;
+  if (!First.empty() && First[0] == '.')
+    return handleDirective(Toks, Err);
+  if (First.size() > 1 && First.back() == ':') {
+    if (!CurFunc) {
+      Err = "label outside a function";
+      return false;
+    }
+    BasicBlock B;
+    B.Label = First.substr(0, First.size() - 1);
+    CurFunc->Blocks.push_back(std::move(B));
+    // Allow an instruction on the same line after the label.
+    if (Toks.size() > 1)
+      return handleInst({Toks.begin() + 1, Toks.end()}, Err);
+    return true;
+  }
+  return handleInst(Toks, Err);
+}
+
+ErrorOr<Program> Assembler::run(const std::string &Source) {
+  std::istringstream Stream(Source);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    std::vector<Token> Toks;
+    std::string Err;
+    if (!tokenize(Line, Toks, Err) || !handleLine(Toks, Err))
+      return ErrorOr<Program>::failure("line " + std::to_string(LineNo) +
+                                       ": " + Err);
+  }
+  std::string VerifyErr = P.verify();
+  if (!VerifyErr.empty())
+    return ErrorOr<Program>::failure("verification failed: " + VerifyErr);
+  return std::move(P);
+}
+
+ErrorOr<Program> vea::assembleProgram(const std::string &Source) {
+  Assembler A;
+  return A.run(Source);
+}

@@ -1,0 +1,56 @@
+//===- asm/Assembler.h - VEA-32 textual assembler --------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass textual assembler producing the symbolic Program IR. Used by
+/// the `squash_tool` example so that hand-written .s files can be compacted,
+/// profiled, and squashed like builder-constructed workloads.
+///
+/// Syntax (line oriented; ';' or '#' starts a comment):
+///
+///   .program NAME
+///   .entry FUNC
+///   .func NAME            ; begins a function; its entry block is NAME
+///   LABEL:                ; begins a new basic block within the function
+///   ldw r1, 8(r2)         ; memory:  op ra, disp(rb)
+///   lda r1, -4(r30)
+///   add r1, r2, r3        ; operate: op rc, ra, rb
+///   addi r1, r2, 200      ; operate: op rc, ra, lit8
+///   beq r1, LABEL         ; branch:  op ra, label
+///   br LABEL              ; unconditional (ra = r31)
+///   bsr r26, FUNC         ; call
+///   jmp (r2) / jsr r26, (r2) / ret
+///   sys halt              ; or a numeric syscall id
+///   la r1, SYMBOL         ; pseudo: ldah/lda pair
+///   li r1, 123456         ; pseudo: materialize constant
+///   .switch rIDX, rSCRATCH, TABLE, L0, L1, ...   ; table-jump idiom
+///   .data NAME [ALIGN]    ; begins a data object
+///   .word 1, 2, 3
+///   .byte 65, 66
+///   .ascii "text"
+///   .addr LABEL [+ADDEND]
+///   .zero N
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_ASM_ASSEMBLER_H
+#define SQUASH_ASM_ASSEMBLER_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace vea {
+
+/// Assembles \p Source into a verified Program. On failure the ErrorOr
+/// carries "line N: message".
+ErrorOr<Program> assembleProgram(const std::string &Source);
+
+} // namespace vea
+
+#endif // SQUASH_ASM_ASSEMBLER_H

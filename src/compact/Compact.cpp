@@ -1,0 +1,275 @@
+//===- compact/Compact.cpp - squeeze-like code compaction -----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/Compact.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace vea;
+
+namespace {
+
+/// True for operate instructions that write r31 without side effects.
+static bool isIrNop(const Inst &I) {
+  Format Form = formatOf(I.Op);
+  if (Form != Format::OpRRR && Form != Format::OpRRI)
+    return false;
+  if (I.Op == Opcode::Udiv || I.Op == Opcode::Urem)
+    return false;
+  return I.Rc == RegZero;
+}
+
+/// True for moves with no effect (rd = rd).
+static bool isIdentityMove(const Inst &I) {
+  if (I.Op == Opcode::Or && I.Rc == I.Ra && I.Rb == RegZero)
+    return true;
+  if (I.Op == Opcode::Add && I.Rc == I.Ra && I.Rb == RegZero)
+    return true;
+  if (I.Op == Opcode::Lda && I.Reloc == RelocKind::None && I.Imm == 0 &&
+      I.Ra == I.Rb)
+    return true;
+  return false;
+}
+
+class Compactor {
+public:
+  Compactor(Program &Prog, const CompactOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  CompactStats run();
+
+private:
+  void removeNopsAndDeadMoves();
+  void threadBranches();
+  void removeFallthroughBranches();
+  void removeUnreachable();
+
+  Program &Prog;
+  const CompactOptions &Opts;
+  CompactStats Stats;
+};
+
+} // namespace
+
+void Compactor::removeNopsAndDeadMoves() {
+  for (auto &F : Prog.Functions) {
+    for (auto &B : F.Blocks) {
+      std::vector<Inst> Kept;
+      Kept.reserve(B.Insts.size());
+      for (auto &I : B.Insts) {
+        if (Opts.RemoveNops && isIrNop(I)) {
+          ++Stats.NopsRemoved;
+          continue;
+        }
+        if (Opts.RemoveDeadMoves && isIdentityMove(I)) {
+          ++Stats.DeadMovesRemoved;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      if (Kept.empty()) {
+        // Keep the block non-empty; a lone nop preserves fallthrough.
+        Inst Nop;
+        Nop.Op = Opcode::Or;
+        Nop.Rc = Nop.Ra = Nop.Rb = RegZero;
+        Kept.push_back(Nop);
+        --Stats.NopsRemoved;
+      }
+      B.Insts = std::move(Kept);
+    }
+  }
+}
+
+void Compactor::threadBranches() {
+  // Find trampolines: non-entry blocks whose body is exactly `br TARGET`.
+  std::unordered_map<std::string, std::string> Tramp;
+  for (const auto &F : Prog.Functions) {
+    for (size_t BI = 1; BI < F.Blocks.size(); ++BI) {
+      const BasicBlock &B = F.Blocks[BI];
+      if (B.Insts.size() == 1 && B.Insts[0].Op == Opcode::Br &&
+          B.Insts[0].Reloc == RelocKind::BranchDisp)
+        Tramp[B.Label] = B.Insts[0].Symbol;
+    }
+  }
+  if (Tramp.empty())
+    return;
+
+  auto Resolve = [&](const std::string &Label) {
+    std::string Cur = Label;
+    std::unordered_set<std::string> Seen;
+    while (Tramp.count(Cur) && Seen.insert(Cur).second)
+      Cur = Tramp[Cur];
+    return Cur;
+  };
+
+  for (auto &F : Prog.Functions) {
+    for (auto &B : F.Blocks) {
+      for (auto &I : B.Insts) {
+        // Calls are never threaded: their targets must stay function
+        // entries.
+        if (I.Reloc == RelocKind::BranchDisp && I.Op != Opcode::Bsr) {
+          std::string To = Resolve(I.Symbol);
+          if (To != I.Symbol) {
+            I.Symbol = To;
+            ++Stats.BranchesThreaded;
+          }
+        }
+      }
+      if (B.Switch) {
+        for (auto &T : B.Switch->Targets)
+          T = Resolve(T);
+        if (DataObject *Tab = Prog.findData(B.Switch->TableSymbol))
+          for (auto &SW : Tab->SymWords)
+            SW.Symbol = Resolve(SW.Symbol);
+      }
+    }
+  }
+  // Note: data-object references to blocks (function-pointer tables) are
+  // left alone; only entries of functions can appear there and entries are
+  // never trampoline candidates.
+}
+
+void Compactor::removeFallthroughBranches() {
+  for (auto &F : Prog.Functions) {
+    for (size_t BI = 0; BI + 1 < F.Blocks.size(); ++BI) {
+      BasicBlock &B = F.Blocks[BI];
+      if (B.Insts.empty())
+        continue;
+      Inst &Last = B.Insts.back();
+      if (Last.Op == Opcode::Br &&
+          Last.Symbol == F.Blocks[BI + 1].Label) {
+        B.Insts.pop_back();
+        ++Stats.RedundantBranchesRemoved;
+        if (B.Insts.empty()) {
+          Inst Nop;
+          Nop.Op = Opcode::Or;
+          Nop.Rc = Nop.Ra = Nop.Rb = RegZero;
+          B.Insts.push_back(Nop);
+        }
+      }
+    }
+  }
+}
+
+void Compactor::removeUnreachable() {
+  // Joint reachability over blocks and data objects, seeded at the entry
+  // function. A reference from live code or live data keeps its target
+  // live; everything else is removed.
+  Cfg G(Prog);
+  std::unordered_set<unsigned> LiveBlocks;
+  std::unordered_set<std::string> LiveData;
+  std::vector<unsigned> BlockWork;
+  std::vector<std::string> DataWork;
+
+  std::unordered_map<std::string, const DataObject *> DataByName;
+  for (const auto &D : Prog.Data)
+    DataByName[D.Name] = &D;
+
+  auto MarkBlock = [&](unsigned Id) {
+    if (LiveBlocks.insert(Id).second)
+      BlockWork.push_back(Id);
+  };
+  auto MarkSymbol = [&](const std::string &Sym) {
+    if (G.hasLabel(Sym)) {
+      MarkBlock(G.idOf(Sym));
+    } else if (DataByName.count(Sym) && LiveData.insert(Sym).second) {
+      DataWork.push_back(Sym);
+    }
+  };
+
+  MarkBlock(G.idOf(Prog.EntryFunction));
+  while (!BlockWork.empty() || !DataWork.empty()) {
+    if (!BlockWork.empty()) {
+      unsigned Id = BlockWork.back();
+      BlockWork.pop_back();
+      for (unsigned S : G.succs(Id))
+        MarkBlock(S);
+      for (unsigned C : G.callees(Id))
+        MarkBlock(C);
+      for (const auto &I : G.block(Id).Insts)
+        if (I.Reloc == RelocKind::Lo16 || I.Reloc == RelocKind::Hi16)
+          MarkSymbol(I.Symbol);
+      continue;
+    }
+    std::string Name = DataWork.back();
+    DataWork.pop_back();
+    for (const auto &SW : DataByName[Name]->SymWords)
+      MarkSymbol(SW.Symbol);
+  }
+
+  // If any block of a function is live, its entry must survive too (the
+  // Function invariant requires the entry block first).
+  for (unsigned FI = 0; FI != G.numFunctions(); ++FI) {
+    unsigned Entry = G.entryBlock(FI);
+    unsigned End = FI + 1 == G.numFunctions()
+                       ? G.numBlocks()
+                       : G.entryBlock(FI + 1);
+    for (unsigned Id = Entry; Id != End; ++Id)
+      if (LiveBlocks.count(Id)) {
+        MarkBlock(Entry);
+        break;
+      }
+  }
+
+  // Rebuild the program.
+  std::vector<Function> NewFuncs;
+  unsigned Id = 0;
+  for (auto &F : Prog.Functions) {
+    Function NF;
+    NF.Name = F.Name;
+    for (auto &B : F.Blocks) {
+      if (LiveBlocks.count(Id))
+        NF.Blocks.push_back(std::move(B));
+      else
+        ++Stats.UnreachableBlocksRemoved;
+      ++Id;
+    }
+    if (NF.Blocks.empty())
+      ++Stats.UnreachableFunctionsRemoved;
+    else
+      NewFuncs.push_back(std::move(NF));
+  }
+  Prog.Functions = std::move(NewFuncs);
+
+  std::vector<DataObject> NewData;
+  for (auto &D : Prog.Data)
+    if (LiveData.count(D.Name))
+      NewData.push_back(std::move(D));
+  Prog.Data = std::move(NewData);
+}
+
+CompactStats Compactor::run() {
+  Stats.InputInstructions = Prog.instructionCount();
+  if (Opts.RemoveNops || Opts.RemoveDeadMoves)
+    removeNopsAndDeadMoves();
+  if (Opts.ThreadBranches) {
+    threadBranches();
+    removeFallthroughBranches();
+  }
+  if (Opts.RemoveUnreachable)
+    removeUnreachable();
+  Stats.OutputInstructions = Prog.instructionCount();
+
+  std::string Err = Prog.verify();
+  if (!Err.empty())
+    reportFatalError("compact: produced invalid program: " + Err);
+  return Stats;
+}
+
+CompactStats vea::compactProgram(Program &Prog, const CompactOptions &Opts) {
+  Compactor C(Prog, Opts);
+  return C.run();
+}
+
+CompactStats vea::compactProgram(Program &Prog) {
+  CompactOptions Opts;
+  return compactProgram(Prog, Opts);
+}

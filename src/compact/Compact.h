@@ -1,0 +1,53 @@
+//===- compact/Compact.h - squeeze-like code compaction --------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A light-weight stand-in for the authors' prior code compactor *squeeze*
+/// [Debray et al., TOPLAS 2000]. The paper's inputs are binaries that have
+/// already been squeezed; squash's reductions are measured relative to that
+/// baseline. This module provides the same role: it removes unreachable
+/// functions and blocks, strips no-ops (scheduling padding), threads
+/// branch chains, and drops trivially dead moves, producing the "Squeeze"
+/// column of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_COMPACT_COMPACT_H
+#define SQUASH_COMPACT_COMPACT_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace vea {
+
+struct CompactStats {
+  uint64_t InputInstructions = 0;
+  uint64_t OutputInstructions = 0;
+  uint64_t UnreachableBlocksRemoved = 0;
+  uint64_t UnreachableFunctionsRemoved = 0;
+  uint64_t NopsRemoved = 0;
+  uint64_t BranchesThreaded = 0;
+  uint64_t RedundantBranchesRemoved = 0;
+  uint64_t DeadMovesRemoved = 0;
+};
+
+struct CompactOptions {
+  bool RemoveUnreachable = true;
+  bool RemoveNops = true;
+  bool ThreadBranches = true;
+  bool RemoveDeadMoves = true;
+};
+
+/// Compacts \p Prog in place and returns what was done. The result still
+/// verifies and is behaviour-preserving.
+CompactStats compactProgram(Program &Prog, const CompactOptions &Opts);
+CompactStats compactProgram(Program &Prog);
+
+} // namespace vea
+
+#endif // SQUASH_COMPACT_COMPACT_H

@@ -1,0 +1,199 @@
+//===- huff/Huffman.cpp - Canonical Huffman coding ------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "huff/Huffman.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <queue>
+
+using namespace squash;
+
+std::vector<unsigned> squash::huffmanLengths(const std::vector<uint64_t> &Freqs) {
+  size_t N = Freqs.size();
+  if (N == 0)
+    return {};
+  if (N == 1)
+    return {1}; // A lone symbol still needs one bit per occurrence.
+
+  // Standard two-queue-free approach: a priority queue over tree nodes.
+  // Ties are broken by node id so the construction is deterministic.
+  struct Node {
+    uint64_t Freq;
+    uint32_t Id;
+    int32_t Left, Right; // -1 for leaves.
+  };
+  std::vector<Node> Nodes;
+  Nodes.reserve(2 * N);
+  using QItem = std::pair<uint64_t, uint32_t>; // (freq, node id)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> Q;
+  for (size_t I = 0; I != N; ++I) {
+    Nodes.push_back({Freqs[I], static_cast<uint32_t>(I), -1, -1});
+    Q.push({Freqs[I], static_cast<uint32_t>(I)});
+  }
+  while (Q.size() > 1) {
+    QItem A = Q.top();
+    Q.pop();
+    QItem B = Q.top();
+    Q.pop();
+    uint32_t Id = static_cast<uint32_t>(Nodes.size());
+    Nodes.push_back({A.first + B.first, Id, static_cast<int32_t>(A.second),
+                     static_cast<int32_t>(B.second)});
+    Q.push({A.first + B.first, Id});
+  }
+
+  // Depth-first traversal assigning depths.
+  std::vector<unsigned> Lengths(N, 0);
+  std::vector<std::pair<uint32_t, unsigned>> Stack;
+  Stack.push_back({Q.top().second, 0});
+  while (!Stack.empty()) {
+    auto [Id, Depth] = Stack.back();
+    Stack.pop_back();
+    const Node &Nd = Nodes[Id];
+    if (Nd.Left < 0) {
+      Lengths[Id] = Depth == 0 ? 1 : Depth;
+      continue;
+    }
+    Stack.push_back({static_cast<uint32_t>(Nd.Left), Depth + 1});
+    Stack.push_back({static_cast<uint32_t>(Nd.Right), Depth + 1});
+  }
+  return Lengths;
+}
+
+CanonicalCode
+CanonicalCode::build(std::vector<std::pair<uint32_t, uint64_t>> Freqs) {
+  // Drop zero-frequency symbols; keep construction order deterministic.
+  Freqs.erase(std::remove_if(Freqs.begin(), Freqs.end(),
+                             [](const auto &P) { return P.second == 0; }),
+              Freqs.end());
+
+  CanonicalCode Code;
+  if (Freqs.empty())
+    return Code;
+
+  std::vector<uint64_t> F;
+  F.reserve(Freqs.size());
+  for (const auto &P : Freqs)
+    F.push_back(P.second);
+  std::vector<unsigned> Lengths = huffmanLengths(F);
+
+  unsigned MaxLen = 0;
+  for (unsigned L : Lengths)
+    MaxLen = std::max(MaxLen, L);
+
+  // Order symbols by (length, value): this fixes the canonical assignment.
+  std::vector<std::pair<unsigned, uint32_t>> Order; // (length, symbol)
+  Order.reserve(Freqs.size());
+  for (size_t I = 0; I != Freqs.size(); ++I)
+    Order.push_back({Lengths[I], Freqs[I].first});
+  std::sort(Order.begin(), Order.end());
+
+  Code.N.assign(MaxLen + 1, 0);
+  Code.D.reserve(Order.size());
+  for (const auto &[Len, Sym] : Order) {
+    ++Code.N[Len];
+    Code.D.push_back(Sym);
+  }
+  Code.finalize();
+  return Code;
+}
+
+void CanonicalCode::finalize() {
+  Enc.clear();
+  // Codewords of length i are b_i, b_i + 1, ..., b_i + N[i] - 1 with
+  // b_1 = 0 and b_i = 2 (b_{i-1} + N[i-1])  (paper Section 3).
+  uint64_t B = 0;
+  size_t J = 0;
+  for (unsigned Len = 1; Len < N.size(); ++Len) {
+    if (Len > 1)
+      B = 2 * (B + N[Len - 1]);
+    for (uint32_t K = 0; K != N[Len]; ++K) {
+      uint32_t Sym = D[J + K];
+      Enc[Sym] = {Len, static_cast<uint32_t>(B + K)};
+    }
+    J += N[Len];
+  }
+}
+
+unsigned CanonicalCode::lengthOf(uint32_t Symbol) const {
+  auto It = Enc.find(Symbol);
+  return It == Enc.end() ? 0 : It->second.first;
+}
+
+void CanonicalCode::encode(uint32_t Symbol, vea::BitWriter &W) const {
+  auto It = Enc.find(Symbol);
+  if (It == Enc.end())
+    vea::reportFatalError("huffman: encoding symbol outside alphabet");
+  W.writeBits(It->second.second, It->second.first);
+}
+
+uint32_t CanonicalCode::decode(vea::BitReader &R) const {
+  if (D.empty())
+    return Invalid;
+  // DECODE() from the paper, with a bound check for corrupt streams.
+  uint64_t V = 0, B = 0;
+  size_t J = 0;
+  unsigned I = 0;
+  unsigned MaxLen = maxLength();
+  do {
+    if (I >= MaxLen)
+      return Invalid; // Ran past the longest codeword: corrupt stream.
+    V = 2 * V + R.readBit();
+    B = 2 * (B + N[I]);
+    J += N[I];
+    ++I;
+  } while (V >= B + N[I]);
+  return D[J + (V - B)];
+}
+
+size_t CanonicalCode::representationBits(unsigned ValueBits) const {
+  // 8 bits for MaxLen, 32 bits per N[i] (i = 1..MaxLen), 32 bits for the
+  // value count, then the value list.
+  return 8 + 32ull * maxLength() + 32 + ValueBits * D.size();
+}
+
+void CanonicalCode::serialize(vea::BitWriter &W, unsigned ValueBits) const {
+  W.writeBits(maxLength(), 8);
+  for (unsigned Len = 1; Len < N.size(); ++Len)
+    W.writeBits(N[Len], 32);
+  W.writeBits(D.size(), 32);
+  for (uint32_t Sym : D)
+    W.writeBits(Sym, ValueBits);
+}
+
+CanonicalCode CanonicalCode::deserialize(vea::BitReader &R,
+                                         unsigned ValueBits) {
+  CanonicalCode Code;
+  unsigned MaxLen = static_cast<unsigned>(R.readBits(8));
+  if (MaxLen == 0)
+    return Code;
+  Code.N.assign(MaxLen + 1, 0);
+  uint64_t Total = 0;
+  for (unsigned Len = 1; Len <= MaxLen; ++Len) {
+    Code.N[Len] = static_cast<uint32_t>(R.readBits(32));
+    Total += Code.N[Len];
+  }
+  uint64_t Count = R.readBits(32);
+  if (Count != Total || R.overran())
+    return CanonicalCode();
+  Code.D.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I)
+    Code.D.push_back(static_cast<uint32_t>(R.readBits(ValueBits)));
+  if (R.overran())
+    return CanonicalCode();
+  Code.finalize();
+  return Code;
+}
+
+uint64_t CanonicalCode::encodedBits(
+    const std::vector<std::pair<uint32_t, uint64_t>> &Freqs) const {
+  uint64_t Bits = 0;
+  for (const auto &[Sym, Freq] : Freqs)
+    Bits += static_cast<uint64_t>(lengthOf(Sym)) * Freq;
+  return Bits;
+}

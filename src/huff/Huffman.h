@@ -1,0 +1,101 @@
+//===- huff/Huffman.h - Canonical Huffman coding ---------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical Huffman coding as described in Section 3 of the paper: an
+/// optimal character-based code whose codewords of length i are the N[i]
+/// consecutive i-bit numbers starting at b_i, where b_1 = 0 and
+/// b_i = 2 (b_{i-1} + N[i-1]). The decoder is the paper's DECODE() loop,
+/// driven by the length-count array N and the value array D (characters
+/// ordered by codeword value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_HUFF_HUFFMAN_H
+#define SQUASH_HUFF_HUFFMAN_H
+
+#include "support/BitStream.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace squash {
+
+/// A canonical Huffman code over arbitrary 32-bit symbol values.
+class CanonicalCode {
+public:
+  /// Sentinel returned by decode() on a corrupt bit stream.
+  static constexpr uint32_t Invalid = 0xFFFFFFFFu;
+
+  CanonicalCode() = default;
+
+  /// Builds an optimal code from (symbol, frequency) pairs. Zero-frequency
+  /// pairs are ignored; a single-symbol alphabet gets a 1-bit code. The
+  /// construction is deterministic: ties in the Huffman tree are broken by
+  /// insertion order, and symbols of equal codeword length are ordered by
+  /// value.
+  static CanonicalCode build(std::vector<std::pair<uint32_t, uint64_t>> Freqs);
+
+  bool empty() const { return D.empty(); }
+  size_t numSymbols() const { return D.size(); }
+  unsigned maxLength() const {
+    return static_cast<unsigned>(N.empty() ? 0 : N.size() - 1);
+  }
+
+  /// Codeword length of \p Symbol; 0 if the symbol is not in the alphabet.
+  unsigned lengthOf(uint32_t Symbol) const;
+
+  /// Writes the codeword for \p Symbol. The symbol must be in the alphabet.
+  void encode(uint32_t Symbol, vea::BitWriter &W) const;
+
+  /// The paper's DECODE(): reads one codeword and returns its symbol, or
+  /// Invalid if the bit stream does not contain a valid codeword.
+  uint32_t decode(vea::BitReader &R) const;
+
+  /// The N[i] array (index = codeword length; N[0] == 0).
+  const std::vector<uint32_t> &lengthCounts() const { return N; }
+  /// The D[j] array: symbol values ordered by codeword value.
+  const std::vector<uint32_t> &values() const { return D; }
+
+  /// Size in bits of the stored code representation (the N and D arrays)
+  /// when each value is stored in \p ValueBits bits. This is the
+  /// "code representation" + "value list" cost the paper counts against the
+  /// compressed program.
+  size_t representationBits(unsigned ValueBits) const;
+
+  /// Serializes the representation (MaxLen, N, D) for storage.
+  void serialize(vea::BitWriter &W, unsigned ValueBits) const;
+  /// Reconstructs a code from serialize()'s output. Returns an empty code
+  /// on malformed input.
+  static CanonicalCode deserialize(vea::BitReader &R, unsigned ValueBits);
+
+  /// Expected encoded size, in bits, of a stream with the given frequencies
+  /// under this code (used by compression-ratio accounting).
+  uint64_t
+  encodedBits(const std::vector<std::pair<uint32_t, uint64_t>> &Freqs) const;
+
+private:
+  /// Rebuilds the encode map and first-codeword table from N and D.
+  void finalize();
+
+  std::vector<uint32_t> N; ///< N[i] = number of codewords of length i.
+  std::vector<uint32_t> D; ///< Values ordered by codeword value.
+  /// Symbol -> (length, codeword).
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> Enc;
+};
+
+/// Computes optimal Huffman codeword lengths for \p Freqs (frequency > 0).
+/// Exposed for tests that check the canonical code preserves optimal
+/// lengths.
+std::vector<unsigned>
+huffmanLengths(const std::vector<uint64_t> &Freqs);
+
+} // namespace squash
+
+#endif // SQUASH_HUFF_HUFFMAN_H

@@ -1,0 +1,255 @@
+//===- huff/StreamCodec.cpp - Splitting-streams instruction codec ---------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "huff/StreamCodec.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace squash;
+using vea::FieldKind;
+using vea::Format;
+using vea::MInst;
+using vea::Opcode;
+
+static unsigned idx(FieldKind Kind) { return static_cast<unsigned>(Kind); }
+
+namespace {
+/// Per-stream value histogram collected over the corpus.
+struct Histograms {
+  std::array<std::unordered_map<uint32_t, uint64_t>, vea::NumFieldKinds> Freq;
+
+  void addValue(FieldKind Kind, uint32_t Value) { ++Freq[idx(Kind)][Value]; }
+
+  void addInst(const MInst &I) {
+    const vea::FormatLayout &Layout = vea::formatLayout(vea::formatOf(I.Op));
+    for (unsigned S = 0; S != Layout.Count; ++S)
+      addValue(Layout.Slots[S].Kind, I.get(Layout.Slots[S].Kind));
+  }
+};
+} // namespace
+
+/// Applies one MTF step to \p State's list for stream \p Kind: returns the
+/// recency index of \p Value and moves it to the front.
+static uint32_t mtfStep(std::vector<uint32_t> &List, uint32_t Value) {
+  for (size_t I = 0; I != List.size(); ++I) {
+    if (List[I] == Value) {
+      List.erase(List.begin() + static_cast<ptrdiff_t>(I));
+      List.insert(List.begin(), Value);
+      return static_cast<uint32_t>(I);
+    }
+  }
+  vea::reportFatalError("mtf: value not in dictionary");
+}
+
+uint32_t StreamCodecs::mtfEncode(
+    unsigned Kind, uint32_t Value,
+    std::array<std::vector<uint32_t>, vea::NumFieldKinds> &State) const {
+  return mtfStep(State[Kind], Value);
+}
+
+/// True for the streams the delta transform applies to.
+static bool isDeltaKind(FieldKind Kind) {
+  return Kind == FieldKind::Disp16 || Kind == FieldKind::Disp21;
+}
+
+/// Forward delta step: returns (Value - Prev) within the field's width and
+/// updates Prev.
+static uint32_t deltaStep(FieldKind Kind, uint32_t Value, uint32_t &Prev) {
+  uint32_t Mask = (1u << vea::fieldWidth(Kind)) - 1;
+  uint32_t Out = (Value - Prev) & Mask;
+  Prev = Value;
+  return Out;
+}
+
+/// Inverse delta step.
+static uint32_t undeltaStep(FieldKind Kind, uint32_t Coded, uint32_t &Prev) {
+  uint32_t Mask = (1u << vea::fieldWidth(Kind)) - 1;
+  uint32_t Value = (Prev + Coded) & Mask;
+  Prev = Value;
+  return Value;
+}
+
+StreamCodecs
+StreamCodecs::build(const std::vector<std::vector<MInst>> &Corpus,
+                    Options Opts) {
+  StreamCodecs SC;
+  SC.Opts = Opts;
+
+  Histograms H;
+  for (const auto &Region : Corpus) {
+    std::array<uint32_t, vea::NumFieldKinds> Prev = {};
+    for (const auto &I : Region) {
+      const vea::FormatLayout &Layout =
+          vea::formatLayout(vea::formatOf(I.Op));
+      for (unsigned S = 0; S != Layout.Count; ++S) {
+        FieldKind Kind = Layout.Slots[S].Kind;
+        uint32_t V = I.get(Kind);
+        if (Opts.DeltaDisplacements && isDeltaKind(Kind))
+          V = deltaStep(Kind, V, Prev[idx(Kind)]);
+        H.addValue(Kind, V);
+      }
+    }
+    // One sentinel terminates each region.
+    H.addValue(FieldKind::Opcode, static_cast<uint32_t>(Opcode::Sentinel));
+  }
+
+  if (Opts.MoveToFront) {
+    // Initial dictionaries: distinct values, most frequent first (ties by
+    // value). Then re-histogram the corpus as MTF indices.
+    for (unsigned K = 0; K != vea::NumFieldKinds; ++K) {
+      std::vector<std::pair<uint32_t, uint64_t>> Pairs(H.Freq[K].begin(),
+                                                       H.Freq[K].end());
+      std::sort(Pairs.begin(), Pairs.end(), [](const auto &A, const auto &B) {
+        if (A.second != B.second)
+          return A.second > B.second;
+        return A.first < B.first;
+      });
+      for (const auto &P : Pairs)
+        SC.MtfInit[K].push_back(P.first);
+    }
+    Histograms HIdx;
+    auto State = SC.MtfInit;
+    for (const auto &Region : Corpus) {
+      State = SC.MtfInit; // MTF resets at region boundaries.
+      std::array<uint32_t, vea::NumFieldKinds> Prev = {};
+      for (const auto &I : Region) {
+        const vea::FormatLayout &Layout =
+            vea::formatLayout(vea::formatOf(I.Op));
+        for (unsigned S = 0; S != Layout.Count; ++S) {
+          FieldKind Kind = Layout.Slots[S].Kind;
+          uint32_t V = I.get(Kind);
+          if (Opts.DeltaDisplacements && isDeltaKind(Kind))
+            V = deltaStep(Kind, V, Prev[idx(Kind)]);
+          HIdx.addValue(Kind, mtfStep(State[idx(Kind)], V));
+        }
+      }
+      HIdx.addValue(FieldKind::Opcode,
+                    mtfStep(State[idx(FieldKind::Opcode)],
+                            static_cast<uint32_t>(Opcode::Sentinel)));
+    }
+    H = std::move(HIdx);
+  }
+
+  for (unsigned K = 0; K != vea::NumFieldKinds; ++K) {
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs(H.Freq[K].begin(),
+                                                     H.Freq[K].end());
+    std::sort(Pairs.begin(), Pairs.end()); // Deterministic construction.
+    SC.Codes[K] = CanonicalCode::build(Pairs);
+
+    StreamStats St;
+    St.Kind = static_cast<FieldKind>(K);
+    for (const auto &P : Pairs) {
+      St.Symbols += P.second;
+      ++St.Distinct;
+    }
+    St.PayloadBits = SC.Codes[K].encodedBits(Pairs);
+    unsigned Width = vea::fieldWidth(static_cast<FieldKind>(K));
+    St.TableBits = SC.Codes[K].representationBits(Width);
+    if (Opts.MoveToFront)
+      St.TableBits += static_cast<uint64_t>(Width) * SC.MtfInit[K].size();
+    SC.Stats.push_back(St);
+  }
+  return SC;
+}
+
+void StreamCodecs::encodeRegion(const std::vector<MInst> &Insts,
+                                vea::BitWriter &W) const {
+  auto State = MtfInit; // Fresh recency lists for this region.
+  std::array<uint32_t, vea::NumFieldKinds> Prev = {};
+  auto EncodeValue = [&](FieldKind Kind, uint32_t Value) {
+    if (Opts.DeltaDisplacements && isDeltaKind(Kind))
+      Value = deltaStep(Kind, Value, Prev[idx(Kind)]);
+    if (Opts.MoveToFront)
+      Value = mtfStep(State[idx(Kind)], Value);
+    Codes[idx(Kind)].encode(Value, W);
+  };
+  for (const auto &I : Insts) {
+    const vea::FormatLayout &Layout = vea::formatLayout(vea::formatOf(I.Op));
+    for (unsigned S = 0; S != Layout.Count; ++S)
+      EncodeValue(Layout.Slots[S].Kind, I.get(Layout.Slots[S].Kind));
+  }
+  EncodeValue(FieldKind::Opcode, static_cast<uint32_t>(Opcode::Sentinel));
+}
+
+uint64_t StreamCodecs::tableBits() const {
+  uint64_t Bits = 0;
+  for (const auto &St : Stats)
+    Bits += St.TableBits;
+  return Bits;
+}
+
+void StreamCodecs::serializeTables(vea::BitWriter &W) const {
+  for (unsigned K = 0; K != vea::NumFieldKinds; ++K) {
+    unsigned Width = vea::fieldWidth(static_cast<FieldKind>(K));
+    Codes[K].serialize(W, Width);
+    if (Opts.MoveToFront)
+      for (uint32_t V : MtfInit[K])
+        W.writeBits(V, Width);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RegionDecoder
+//===----------------------------------------------------------------------===//
+
+StreamCodecs::RegionDecoder::RegionDecoder(const StreamCodecs &Codecs,
+                                           vea::BitReader Reader)
+    : Codecs(Codecs), Reader(Reader) {
+  if (Codecs.Opts.MoveToFront)
+    Mtf = Codecs.MtfInit;
+}
+
+bool StreamCodecs::RegionDecoder::next(MInst &Inst) {
+  if (Corrupt)
+    return false;
+  auto DecodeValue = [&](FieldKind Kind, uint32_t &Value) {
+    uint32_t Sym = Codecs.Codes[idx(Kind)].decode(Reader);
+    if (Sym == CanonicalCode::Invalid || Reader.overran()) {
+      Corrupt = true;
+      return false;
+    }
+    if (Codecs.Opts.MoveToFront) {
+      auto &List = Mtf[idx(Kind)];
+      if (Sym >= List.size()) {
+        Corrupt = true;
+        return false;
+      }
+      uint32_t V = List[Sym];
+      List.erase(List.begin() + Sym);
+      List.insert(List.begin(), V);
+      Value = V;
+    } else {
+      Value = Sym;
+    }
+    if (Codecs.Opts.DeltaDisplacements && isDeltaKind(Kind))
+      Value = undeltaStep(Kind, Value, DeltaPrev[idx(Kind)]);
+    return true;
+  };
+
+  uint32_t Op;
+  if (!DecodeValue(FieldKind::Opcode, Op))
+    return false;
+  if (Op == static_cast<uint32_t>(Opcode::Sentinel))
+    return false; // Clean end of region.
+  if (Op >= vea::NumOpcodes) {
+    Corrupt = true;
+    return false;
+  }
+  Inst = MInst(static_cast<Opcode>(Op));
+  const vea::FormatLayout &Layout =
+      vea::formatLayout(vea::formatOf(static_cast<Opcode>(Op)));
+  for (unsigned S = 1; S != Layout.Count; ++S) {
+    uint32_t Value;
+    if (!DecodeValue(Layout.Slots[S].Kind, Value))
+      return false;
+    Inst.set(Layout.Slots[S].Kind, Value);
+  }
+  return true;
+}

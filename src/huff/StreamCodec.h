@@ -1,0 +1,122 @@
+//===- huff/StreamCodec.h - Splitting-streams instruction codec -*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's simplified "splitting streams" compressor (Section 3):
+/// instructions are split into one stream of values per field type; each
+/// stream gets its own canonical Huffman code; the codeword sequences of all
+/// streams are merged into a single bit sequence driven by the opcode
+/// stream (an opcode fully determines which field codes follow). A region's
+/// encoding ends with the sentinel opcode.
+///
+/// Optionally each stream is move-to-front transformed before coding
+/// (Section 3 notes this helps some streams at the cost of a bigger, slower
+/// decompressor); MTF state resets at every region boundary so regions stay
+/// independently decompressible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_HUFF_STREAMCODEC_H
+#define SQUASH_HUFF_STREAMCODEC_H
+
+#include "huff/Huffman.h"
+#include "isa/Isa.h"
+#include "support/BitStream.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace squash {
+
+/// Per-stream accounting surfaced by the compression-ratio benchmark.
+struct StreamStats {
+  vea::FieldKind Kind;
+  uint64_t Symbols = 0;       ///< Field occurrences in the corpus.
+  uint64_t Distinct = 0;      ///< Distinct values.
+  uint64_t PayloadBits = 0;   ///< Encoded codeword bits.
+  uint64_t TableBits = 0;     ///< N + D representation bits.
+};
+
+/// The per-field-kind canonical Huffman codes, built over the whole corpus
+/// of compressed regions (the paper stores one code representation and
+/// value list per stream for the whole compressed program).
+class StreamCodecs {
+public:
+  struct Options {
+    bool MoveToFront = false;
+    /// Delta-encode the displacement streams (disp16/disp21) before
+    /// entropy coding; state resets at region boundaries. Applied before
+    /// MTF when both are enabled.
+    bool DeltaDisplacements = false;
+  };
+
+  StreamCodecs() = default;
+
+  /// Builds codes from the corpus: one instruction sequence per region.
+  static StreamCodecs build(const std::vector<std::vector<vea::MInst>> &Corpus,
+                            Options Opts);
+  static StreamCodecs build(
+      const std::vector<std::vector<vea::MInst>> &Corpus) {
+    return build(Corpus, Options());
+  }
+
+  /// Encodes one region (terminated by the sentinel opcode codeword).
+  void encodeRegion(const std::vector<vea::MInst> &Insts,
+                    vea::BitWriter &W) const;
+
+  /// Streaming decoder for one region; instantiated by the runtime
+  /// decompressor at the region's bit offset.
+  class RegionDecoder {
+  public:
+    RegionDecoder(const StreamCodecs &Codecs, vea::BitReader Reader);
+
+    /// Decodes the next instruction into \p Inst. Returns false at the
+    /// sentinel or on a corrupt stream (check ok()).
+    bool next(vea::MInst &Inst);
+    bool ok() const { return !Corrupt; }
+    size_t bitPosition() const { return Reader.bitPosition(); }
+
+  private:
+    const StreamCodecs &Codecs;
+    vea::BitReader Reader;
+    bool Corrupt = false;
+    /// Per-stream MTF recency lists (only used when MTF is enabled).
+    std::array<std::vector<uint32_t>, vea::NumFieldKinds> Mtf;
+    /// Per-stream previous values for delta decoding.
+    std::array<uint32_t, vea::NumFieldKinds> DeltaPrev = {};
+  };
+
+  /// Total bits of all stream code representations (counted against the
+  /// compressed program's footprint).
+  uint64_t tableBits() const;
+
+  /// Writes every stream's code representation (and MTF dictionaries, when
+  /// enabled) into \p W — the "code representation and value list for each
+  /// stream" that the paper stores with the compressed program.
+  void serializeTables(vea::BitWriter &W) const;
+
+  /// Per-stream statistics over the corpus the codes were built from.
+  const std::vector<StreamStats> &stats() const { return Stats; }
+
+  bool moveToFront() const { return Opts.MoveToFront; }
+
+private:
+  uint32_t mtfEncode(unsigned Kind, uint32_t Value,
+                     std::array<std::vector<uint32_t>,
+                                vea::NumFieldKinds> &State) const;
+
+  Options Opts;
+  std::array<CanonicalCode, vea::NumFieldKinds> Codes;
+  /// Initial MTF dictionaries (distinct values, most frequent first).
+  std::array<std::vector<uint32_t>, vea::NumFieldKinds> MtfInit;
+  std::vector<StreamStats> Stats;
+};
+
+} // namespace squash
+
+#endif // SQUASH_HUFF_STREAMCODEC_H

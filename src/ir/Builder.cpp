@@ -1,0 +1,344 @@
+//===- ir/Builder.cpp - Fluent program construction API -------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+
+using namespace vea;
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder(std::string Name) { P.Name = std::move(Name); }
+
+FunctionBuilder ProgramBuilder::beginFunction(const std::string &Name) {
+  Function F;
+  F.Name = Name;
+  BasicBlock Entry;
+  Entry.Label = Name;
+  F.Blocks.push_back(std::move(Entry));
+  P.Functions.push_back(std::move(F));
+  FunctionBuilder FB(*this, P.Functions.size() - 1);
+  FB.FuncName = Name;
+  return FB;
+}
+
+void ProgramBuilder::addData(const std::string &Name,
+                             std::vector<uint8_t> Bytes, uint32_t Align) {
+  DataObject D;
+  D.Name = Name;
+  D.Align = Align;
+  D.Bytes = std::move(Bytes);
+  P.Data.push_back(std::move(D));
+}
+
+void ProgramBuilder::addDataWords(const std::string &Name,
+                                  const std::vector<uint32_t> &Words) {
+  std::vector<uint8_t> Bytes;
+  Bytes.reserve(Words.size() * 4);
+  for (uint32_t W : Words) {
+    Bytes.push_back(static_cast<uint8_t>(W));
+    Bytes.push_back(static_cast<uint8_t>(W >> 8));
+    Bytes.push_back(static_cast<uint8_t>(W >> 16));
+    Bytes.push_back(static_cast<uint8_t>(W >> 24));
+  }
+  addData(Name, std::move(Bytes));
+}
+
+void ProgramBuilder::addSymbolTable(const std::string &Name,
+                                    const std::vector<std::string> &Symbols) {
+  DataObject D;
+  D.Name = Name;
+  D.Bytes.assign(Symbols.size() * 4, 0);
+  for (uint32_t I = 0; I != Symbols.size(); ++I)
+    D.SymWords.push_back({I * 4, Symbols[I], 0});
+  P.Data.push_back(std::move(D));
+}
+
+void ProgramBuilder::addBss(const std::string &Name, uint32_t Size,
+                            uint32_t Align) {
+  DataObject D;
+  D.Name = Name;
+  D.Align = Align;
+  D.Bytes.assign(Size, 0);
+  P.Data.push_back(std::move(D));
+}
+
+void ProgramBuilder::setEntry(const std::string &FunctionName) {
+  P.EntryFunction = FunctionName;
+}
+
+Program ProgramBuilder::build() {
+  std::string Err = P.verify();
+  if (!Err.empty())
+    reportFatalError("ProgramBuilder: invalid program '" + P.Name +
+                     "': " + Err);
+  return std::move(P);
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionBuilder
+//===----------------------------------------------------------------------===//
+
+Function &FunctionBuilder::func() { return PB->P.Functions[FuncIdx]; }
+
+BasicBlock &FunctionBuilder::cur() { return func().Blocks.back(); }
+
+std::string FunctionBuilder::qualify(const std::string &Name) const {
+  // The entry block is addressed by the bare function name.
+  if (Name == FuncName)
+    return Name;
+  return FuncName + "." + Name;
+}
+
+void FunctionBuilder::label(const std::string &Name) {
+  BasicBlock B;
+  B.Label = qualify(Name);
+  func().Blocks.push_back(std::move(B));
+}
+
+void FunctionBuilder::emit(Inst I) { cur().Insts.push_back(std::move(I)); }
+
+void FunctionBuilder::rrr(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb) {
+  Inst I;
+  I.Op = Op;
+  I.Rc = static_cast<uint8_t>(Rc);
+  I.Ra = static_cast<uint8_t>(Ra);
+  I.Rb = static_cast<uint8_t>(Rb);
+  emit(I);
+}
+
+void FunctionBuilder::rri(Opcode Op, unsigned Rc, unsigned Ra, uint32_t Lit) {
+  assert(Lit < 256 && "8-bit literal out of range");
+  Inst I;
+  I.Op = Op;
+  I.Rc = static_cast<uint8_t>(Rc);
+  I.Ra = static_cast<uint8_t>(Ra);
+  I.Imm = static_cast<int32_t>(Lit);
+  emit(I);
+}
+
+void FunctionBuilder::mem(Opcode Op, unsigned Ra, unsigned Rb, int32_t Disp) {
+  Inst I;
+  I.Op = Op;
+  I.Ra = static_cast<uint8_t>(Ra);
+  I.Rb = static_cast<uint8_t>(Rb);
+  I.Imm = Disp;
+  emit(I);
+}
+
+void FunctionBuilder::branch(Opcode Op, unsigned Ra,
+                             const std::string &Local) {
+  Inst I;
+  I.Op = Op;
+  I.Ra = static_cast<uint8_t>(Ra);
+  I.Symbol = qualify(Local);
+  I.Reloc = RelocKind::BranchDisp;
+  emit(I);
+}
+
+#define RRR_OP(NAME, OPC)                                                     \
+  void FunctionBuilder::NAME(unsigned Rc, unsigned Ra, unsigned Rb) {         \
+    rrr(Opcode::OPC, Rc, Ra, Rb);                                             \
+  }
+RRR_OP(add, Add)
+RRR_OP(sub, Sub)
+RRR_OP(mul, Mul)
+RRR_OP(umulh, Umulh)
+RRR_OP(udiv, Udiv)
+RRR_OP(urem, Urem)
+RRR_OP(and_, And)
+RRR_OP(or_, Or)
+RRR_OP(xor_, Xor)
+RRR_OP(bic, Bic)
+RRR_OP(sll, Sll)
+RRR_OP(srl, Srl)
+RRR_OP(sra, Sra)
+RRR_OP(cmpeq, Cmpeq)
+RRR_OP(cmplt, Cmplt)
+RRR_OP(cmple, Cmple)
+RRR_OP(cmpult, Cmpult)
+RRR_OP(cmpule, Cmpule)
+#undef RRR_OP
+
+#define RRI_OP(NAME, OPC)                                                     \
+  void FunctionBuilder::NAME(unsigned Rc, unsigned Ra, uint32_t Lit) {        \
+    rri(Opcode::OPC, Rc, Ra, Lit);                                            \
+  }
+RRI_OP(addi, Addi)
+RRI_OP(subi, Subi)
+RRI_OP(muli, Muli)
+RRI_OP(andi, Andi)
+RRI_OP(ori, Ori)
+RRI_OP(xori, Xori)
+RRI_OP(slli, Slli)
+RRI_OP(srli, Srli)
+RRI_OP(srai, Srai)
+RRI_OP(cmpeqi, Cmpeqi)
+RRI_OP(cmplti, Cmplti)
+RRI_OP(cmplei, Cmplei)
+RRI_OP(cmpulti, Cmpulti)
+RRI_OP(cmpulei, Cmpulei)
+#undef RRI_OP
+
+void FunctionBuilder::mov(unsigned Rd, unsigned Rs) {
+  rrr(Opcode::Or, Rd, Rs, RegZero);
+}
+
+void FunctionBuilder::li(unsigned Rd, int32_t Value) {
+  if (Value >= -32768 && Value <= 32767) {
+    lda(Rd, RegZero, Value);
+    return;
+  }
+  int32_t Lo = static_cast<int16_t>(Value & 0xFFFF);
+  int64_t HiPart = (static_cast<int64_t>(Value) - Lo) >> 16;
+  assert(HiPart >= -32768 && HiPart <= 32767 && "constant out of range");
+  ldah(Rd, RegZero, static_cast<int32_t>(HiPart));
+  if (Lo != 0)
+    lda(Rd, Rd, Lo);
+}
+
+void FunctionBuilder::la(unsigned Rd, const std::string &Symbol,
+                         int32_t Addend) {
+  Inst Hi;
+  Hi.Op = Opcode::Ldah;
+  Hi.Ra = static_cast<uint8_t>(Rd);
+  Hi.Rb = RegZero;
+  Hi.Symbol = Symbol;
+  Hi.Imm = Addend;
+  Hi.Reloc = RelocKind::Hi16;
+  emit(Hi);
+  Inst Lo;
+  Lo.Op = Opcode::Lda;
+  Lo.Ra = static_cast<uint8_t>(Rd);
+  Lo.Rb = static_cast<uint8_t>(Rd);
+  Lo.Symbol = Symbol;
+  Lo.Imm = Addend;
+  Lo.Reloc = RelocKind::Lo16;
+  emit(Lo);
+}
+
+void FunctionBuilder::nop() {
+  rrr(Opcode::Or, RegZero, RegZero, RegZero);
+}
+
+#define MEM_OP(NAME, OPC)                                                     \
+  void FunctionBuilder::NAME(unsigned Ra, unsigned Rb, int32_t Disp) {        \
+    mem(Opcode::OPC, Ra, Rb, Disp);                                           \
+  }
+MEM_OP(ldw, Ldw)
+MEM_OP(ldb, Ldb)
+MEM_OP(stw, Stw)
+MEM_OP(stb, Stb)
+MEM_OP(lda, Lda)
+MEM_OP(ldah, Ldah)
+#undef MEM_OP
+
+void FunctionBuilder::br(const std::string &Name) {
+  branch(Opcode::Br, RegZero, Name);
+}
+
+#define CBR_OP(NAME, OPC)                                                     \
+  void FunctionBuilder::NAME(unsigned Ra, const std::string &Name) {          \
+    branch(Opcode::OPC, Ra, Name);                                            \
+  }
+CBR_OP(beq, Beq)
+CBR_OP(bne, Bne)
+CBR_OP(blt, Blt)
+CBR_OP(ble, Ble)
+CBR_OP(bgt, Bgt)
+CBR_OP(bge, Bge)
+CBR_OP(blbc, Blbc)
+CBR_OP(blbs, Blbs)
+#undef CBR_OP
+
+void FunctionBuilder::call(const std::string &Callee) {
+  Inst I;
+  I.Op = Opcode::Bsr;
+  I.Ra = RegRA;
+  I.Symbol = Callee;
+  I.Reloc = RelocKind::BranchDisp;
+  emit(I);
+}
+
+void FunctionBuilder::callIndirect(unsigned Rb) {
+  Inst I;
+  I.Op = Opcode::Jsr;
+  I.Ra = RegRA;
+  I.Rb = static_cast<uint8_t>(Rb);
+  emit(I);
+}
+
+void FunctionBuilder::ret() {
+  Inst I;
+  I.Op = Opcode::Ret;
+  I.Ra = RegZero;
+  I.Rb = RegRA;
+  emit(I);
+}
+
+void FunctionBuilder::switchJump(unsigned IndexReg, unsigned ScratchReg,
+                                 const std::string &TableName,
+                                 const std::vector<std::string> &Targets,
+                                 bool SizeKnown) {
+  assert(!Targets.empty() && "switch needs at least one target");
+  assert(IndexReg != ScratchReg && IndexReg != RegZero &&
+         ScratchReg != RegZero && "bad switch registers");
+
+  std::string TableSym = qualify(TableName);
+  std::vector<std::string> Qualified;
+  Qualified.reserve(Targets.size());
+  for (const auto &T : Targets)
+    Qualified.push_back(qualify(T));
+  PB->addSymbolTable(TableSym, Qualified);
+
+  // The 6-instruction table-jump idiom (SwitchInfo::SeqLen):
+  //   slli idx, idx, 2 ; ldah s, hi(tab) ; lda s, lo(tab)(s)
+  //   add s, s, idx    ; ldw s, 0(s)     ; jmp (s)
+  slli(IndexReg, IndexReg, 2);
+  la(ScratchReg, TableSym);
+  add(ScratchReg, ScratchReg, IndexReg);
+  ldw(ScratchReg, ScratchReg, 0);
+  Inst J;
+  J.Op = Opcode::Jmp;
+  J.Ra = RegZero;
+  J.Rb = static_cast<uint8_t>(ScratchReg);
+  emit(J);
+
+  SwitchInfo SI;
+  SI.TableSymbol = TableSym;
+  SI.Targets = std::move(Qualified);
+  SI.IndexReg = static_cast<uint8_t>(IndexReg);
+  SI.ScratchReg = static_cast<uint8_t>(ScratchReg);
+  SI.SeqLen = 6;
+  SI.SizeKnown = SizeKnown;
+  cur().Switch = SI;
+}
+
+void FunctionBuilder::enter(int32_t FrameBytes) {
+  assert(FrameBytes >= 4 && FrameBytes % 4 == 0 && "bad frame size");
+  lda(RegSP, RegSP, -FrameBytes);
+  stw(RegRA, RegSP, 0);
+}
+
+void FunctionBuilder::leave(int32_t FrameBytes) {
+  assert(FrameBytes >= 4 && FrameBytes % 4 == 0 && "bad frame size");
+  ldw(RegRA, RegSP, 0);
+  lda(RegSP, RegSP, FrameBytes);
+  ret();
+}
+
+void FunctionBuilder::sys(SysFunc Func) {
+  Inst I;
+  I.Op = Opcode::Sys;
+  I.Imm = static_cast<int32_t>(Func);
+  emit(I);
+}
+
+void FunctionBuilder::halt() { sys(SysFunc::Halt); }

@@ -1,0 +1,196 @@
+//===- ir/Builder.h - Fluent program construction API ----------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder / FunctionBuilder: the construction API the workload suite
+/// (src/workloads) is written against, playing the role the C compiler plays
+/// for the paper's MediaBench binaries.
+///
+/// Register discipline baked into the builder (and relied on by squash):
+///  - r25 is the reserved stub register: generated code never touches it, so
+///    entry stubs can use `bsr r25, decompressor` without a liveness
+///    analysis (our substitution for the paper's "any free register will
+///    do" search; see DESIGN.md).
+///  - r26 is the return-address register for calls; r30 is the stack
+///    pointer; r31 reads as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_IR_BUILDER_H
+#define SQUASH_IR_BUILDER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace vea {
+
+/// The register reserved for entry stubs; builder-generated code never reads
+/// or writes it.
+inline constexpr unsigned RegStub = 25;
+
+class ProgramBuilder;
+
+/// Builds one function, block by block. Obtained from
+/// ProgramBuilder::beginFunction(); safe to copy (it only holds indices).
+class FunctionBuilder {
+public:
+  /// Starts a new basic block labeled "<function>.<Name>".
+  void label(const std::string &Name);
+
+  /// Appends a raw instruction to the current block.
+  void emit(Inst I);
+
+  // --- Arithmetic / logic (rc = ra OP rb, or rc = ra OP lit8) -------------
+  void add(unsigned Rc, unsigned Ra, unsigned Rb);
+  void sub(unsigned Rc, unsigned Ra, unsigned Rb);
+  void mul(unsigned Rc, unsigned Ra, unsigned Rb);
+  void umulh(unsigned Rc, unsigned Ra, unsigned Rb);
+  void udiv(unsigned Rc, unsigned Ra, unsigned Rb);
+  void urem(unsigned Rc, unsigned Ra, unsigned Rb);
+  void and_(unsigned Rc, unsigned Ra, unsigned Rb);
+  void or_(unsigned Rc, unsigned Ra, unsigned Rb);
+  void xor_(unsigned Rc, unsigned Ra, unsigned Rb);
+  void bic(unsigned Rc, unsigned Ra, unsigned Rb);
+  void sll(unsigned Rc, unsigned Ra, unsigned Rb);
+  void srl(unsigned Rc, unsigned Ra, unsigned Rb);
+  void sra(unsigned Rc, unsigned Ra, unsigned Rb);
+  void cmpeq(unsigned Rc, unsigned Ra, unsigned Rb);
+  void cmplt(unsigned Rc, unsigned Ra, unsigned Rb);
+  void cmple(unsigned Rc, unsigned Ra, unsigned Rb);
+  void cmpult(unsigned Rc, unsigned Ra, unsigned Rb);
+  void cmpule(unsigned Rc, unsigned Ra, unsigned Rb);
+
+  void addi(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void subi(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void muli(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void andi(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void ori(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void xori(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void slli(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void srli(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void srai(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void cmpeqi(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void cmplti(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void cmplei(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void cmpulti(unsigned Rc, unsigned Ra, uint32_t Lit);
+  void cmpulei(unsigned Rc, unsigned Ra, uint32_t Lit);
+
+  /// rd = rs (encoded as or rd, rs, r31).
+  void mov(unsigned Rd, unsigned Rs);
+  /// Materializes a 32-bit constant (1 or 2 instructions).
+  void li(unsigned Rd, int32_t Value);
+  /// Materializes the address of \p Symbol (+ Addend); always the 2-
+  /// instruction ldah/lda pair so sequences have fixed length.
+  void la(unsigned Rd, const std::string &Symbol, int32_t Addend = 0);
+  void nop();
+
+  // --- Memory --------------------------------------------------------------
+  void ldw(unsigned Ra, unsigned Rb, int32_t Disp);
+  void ldb(unsigned Ra, unsigned Rb, int32_t Disp);
+  void stw(unsigned Ra, unsigned Rb, int32_t Disp);
+  void stb(unsigned Ra, unsigned Rb, int32_t Disp);
+  void lda(unsigned Ra, unsigned Rb, int32_t Disp);
+  void ldah(unsigned Ra, unsigned Rb, int32_t Disp);
+
+  // --- Control flow ----------------------------------------------------
+  /// Unconditional branch to block "<function>.<Name>".
+  void br(const std::string &Name);
+  void beq(unsigned Ra, const std::string &Name);
+  void bne(unsigned Ra, const std::string &Name);
+  void blt(unsigned Ra, const std::string &Name);
+  void ble(unsigned Ra, const std::string &Name);
+  void bgt(unsigned Ra, const std::string &Name);
+  void bge(unsigned Ra, const std::string &Name);
+  void blbc(unsigned Ra, const std::string &Name);
+  void blbs(unsigned Ra, const std::string &Name);
+
+  /// Direct call (bsr r26, Callee). \p Callee is a function name (not
+  /// prefixed).
+  void call(const std::string &Callee);
+  /// Indirect call through \p Rb (jsr r26, (Rb)).
+  void callIndirect(unsigned Rb);
+  /// Return through r26 (ret r31, (r26)).
+  void ret();
+
+  /// Emits the table-jump idiom on \p IndexReg (clobbering IndexReg and
+  /// \p ScratchReg) and attaches SwitchInfo. Creates the jump-table data
+  /// object "<function>.<TableName>". Targets are block names local to this
+  /// function. If \p SizeKnown is false the block is treated as having an
+  /// undiscoverable table extent (excluded from compression, Section 6.2).
+  void switchJump(unsigned IndexReg, unsigned ScratchReg,
+                  const std::string &TableName,
+                  const std::vector<std::string> &Targets,
+                  bool SizeKnown = true);
+
+  // --- Frame helpers -----------------------------------------------------
+  /// Prologue: lda sp,-Frame(sp); stw r26,0(sp). \p FrameBytes >= 4.
+  void enter(int32_t FrameBytes);
+  /// Epilogue: ldw r26,0(sp); lda sp,Frame(sp); ret.
+  void leave(int32_t FrameBytes);
+
+  // --- System --------------------------------------------------------------
+  void sys(SysFunc Func);
+  /// sys Halt with exit code already in r16.
+  void halt();
+
+  const std::string &name() const { return FuncName; }
+
+private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder &PB, size_t FuncIdx)
+      : PB(&PB), FuncIdx(FuncIdx) {}
+
+  BasicBlock &cur();
+  Function &func();
+  std::string qualify(const std::string &Name) const;
+  void rrr(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb);
+  void rri(Opcode Op, unsigned Rc, unsigned Ra, uint32_t Lit);
+  void mem(Opcode Op, unsigned Ra, unsigned Rb, int32_t Disp);
+  void branch(Opcode Op, unsigned Ra, const std::string &Local);
+
+  ProgramBuilder *PB;
+  size_t FuncIdx;
+  std::string FuncName;
+};
+
+/// Builds a whole program.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name);
+
+  /// Starts a new function; its entry block is created with label \p Name.
+  FunctionBuilder beginFunction(const std::string &Name);
+
+  /// Adds a raw data object.
+  void addData(const std::string &Name, std::vector<uint8_t> Bytes,
+               uint32_t Align = 4);
+  /// Adds a data object of little-endian words.
+  void addDataWords(const std::string &Name,
+                    const std::vector<uint32_t> &Words);
+  /// Adds a word-per-entry symbol table (function-pointer table).
+  void addSymbolTable(const std::string &Name,
+                      const std::vector<std::string> &Symbols);
+  /// Adds a zero-initialized object of \p Size bytes.
+  void addBss(const std::string &Name, uint32_t Size, uint32_t Align = 4);
+
+  void setEntry(const std::string &FunctionName);
+
+  /// Verifies and returns the finished program; fatal error on invalid IR.
+  Program build();
+
+  Program &program() { return P; }
+
+private:
+  friend class FunctionBuilder;
+  Program P;
+};
+
+} // namespace vea
+
+#endif // SQUASH_IR_BUILDER_H

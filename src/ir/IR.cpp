@@ -1,0 +1,256 @@
+//===- ir/IR.cpp - Symbolic program representation ------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Error.h"
+
+#include <unordered_set>
+
+using namespace vea;
+
+Function *Program::findFunction(const std::string &Name) {
+  for (auto &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+DataObject *Program::findData(const std::string &Name) {
+  for (auto &D : Data)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+uint64_t Program::instructionCount() const {
+  uint64_t Count = 0;
+  for (const auto &F : Functions)
+    for (const auto &B : F.Blocks)
+      Count += B.Insts.size();
+  return Count;
+}
+
+/// True if \p I ends execution of the current path (halt or longjmp).
+static bool endsExecution(const Inst &I) {
+  if (I.Op != Opcode::Sys)
+    return false;
+  auto Func = static_cast<SysFunc>(I.Imm);
+  return Func == SysFunc::Halt || Func == SysFunc::Longjmp;
+}
+
+std::string Program::verify() const {
+  std::unordered_set<std::string> Labels;
+  std::unordered_set<std::string> FuncNames;
+  std::unordered_set<std::string> DataNames;
+
+  for (const auto &D : Data) {
+    if (!DataNames.insert(D.Name).second)
+      return "duplicate data object '" + D.Name + "'";
+    for (const auto &SW : D.SymWords) {
+      if (SW.Offset % 4 != 0)
+        return "misaligned symbol word in data object '" + D.Name + "'";
+      if (SW.Offset + 4 > D.Bytes.size())
+        return "symbol word out of bounds in data object '" + D.Name + "'";
+    }
+  }
+
+  for (const auto &F : Functions) {
+    if (F.Blocks.empty())
+      return "function '" + F.Name + "' has no blocks";
+    if (F.Blocks.front().Label != F.Name)
+      return "function '" + F.Name + "' entry block label mismatch";
+    if (!FuncNames.insert(F.Name).second)
+      return "duplicate function '" + F.Name + "'";
+    for (const auto &B : F.Blocks) {
+      if (!Labels.insert(B.Label).second)
+        return "duplicate label '" + B.Label + "'";
+    }
+  }
+
+  // Per-function structural checks.
+  for (const auto &F : Functions) {
+    std::unordered_set<std::string> Local;
+    for (const auto &B : F.Blocks)
+      Local.insert(B.Label);
+
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      const BasicBlock &B = F.Blocks[BI];
+      if (B.Insts.empty())
+        return "empty block '" + B.Label + "'";
+      for (size_t II = 0; II != B.Insts.size(); ++II) {
+        const Inst &I = B.Insts[II];
+        unsigned OpIdx = static_cast<unsigned>(I.Op);
+        if (OpIdx >= NumOpcodes || !opcodeInfo(I.Op).IsLegal)
+          return "illegal opcode in block '" + B.Label + "'";
+        if (I.Ra >= NumRegs || I.Rb >= NumRegs || I.Rc >= NumRegs)
+          return "register out of range in block '" + B.Label + "'";
+        bool IsLast = II + 1 == B.Insts.size();
+        // Unconditional transfers must terminate the block; conditional
+        // branches and calls may appear anywhere (superblocks).
+        bool IsUncondTransfer =
+            I.Op == Opcode::Br || I.Op == Opcode::Jmp || I.Op == Opcode::Ret;
+        if (IsUncondTransfer && !IsLast)
+          return "control transfer not at end of block '" + B.Label + "'";
+        // Symbol sanity.
+        if (I.Reloc == RelocKind::BranchDisp) {
+          if (!isBranchFormat(I.Op))
+            return "branch relocation on non-branch in '" + B.Label + "'";
+          if (I.Op == Opcode::Bsr) {
+            if (!FuncNames.count(I.Symbol))
+              return "call to unknown function '" + I.Symbol + "' in '" +
+                     B.Label + "'";
+          } else if (!Local.count(I.Symbol)) {
+            return "branch to label '" + I.Symbol +
+                   "' outside function in block '" + B.Label + "'";
+          }
+        } else if (I.Reloc == RelocKind::Lo16 || I.Reloc == RelocKind::Hi16) {
+          if (formatOf(I.Op) != Format::Mem)
+            return "lo16/hi16 relocation on non-memory-format instruction "
+                   "in '" +
+                   B.Label + "'";
+          if (!Labels.count(I.Symbol) && !DataNames.count(I.Symbol))
+            return "reference to unknown symbol '" + I.Symbol + "' in '" +
+                   B.Label + "'";
+        } else if (isBranchFormat(I.Op)) {
+          return "branch without target label in block '" + B.Label + "'";
+        }
+        if (I.Reloc == RelocKind::None && formatOf(I.Op) == Format::OpRRI &&
+            (I.Imm < 0 || I.Imm > 255))
+          return "8-bit literal out of range in block '" + B.Label + "'";
+        if (I.Reloc == RelocKind::None && formatOf(I.Op) == Format::Mem &&
+            (I.Imm < -32768 || I.Imm > 32767))
+          return "16-bit displacement out of range in block '" + B.Label +
+                 "'";
+      }
+      // Switch metadata.
+      if (B.Switch) {
+        const Inst &Last = B.Insts.back();
+        if (Last.Op != Opcode::Jmp)
+          return "switch block '" + B.Label +
+                 "' does not end in an indirect jump";
+        if (!DataNames.count(B.Switch->TableSymbol))
+          return "switch block '" + B.Label + "' references unknown table";
+        for (const auto &T : B.Switch->Targets)
+          if (!Local.count(T))
+            return "switch target '" + T + "' outside function in '" +
+                   B.Label + "'";
+      }
+      // Fallthrough off the end of the function.
+      bool Last = BI + 1 == F.Blocks.size();
+      if (Last && B.canFallThrough() && !endsExecution(B.Insts.back()))
+        return "control falls off the end of function '" + F.Name + "'";
+    }
+  }
+
+  if (EntryFunction.empty() || !FuncNames.count(EntryFunction))
+    return "missing or unknown entry function '" + EntryFunction + "'";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Cfg
+//===----------------------------------------------------------------------===//
+
+Cfg::Cfg(const Program &Prog) : Prog(Prog) {
+  for (uint32_t FI = 0; FI != Prog.Functions.size(); ++FI) {
+    FuncEntry.push_back(static_cast<unsigned>(Refs.size()));
+    const Function &F = Prog.Functions[FI];
+    for (uint32_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      LabelToId.emplace(F.Blocks[BI].Label,
+                        static_cast<unsigned>(Refs.size()));
+      Refs.push_back({FI, BI});
+    }
+  }
+  unsigned N = numBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  Callees.resize(N);
+  IndirectCall.assign(N, 0);
+  AddressTaken.assign(N, 0);
+  FuncCallsSetjmp.assign(Prog.Functions.size(), 0);
+
+  auto MarkAddressTaken = [&](const std::string &Symbol) {
+    auto It = LabelToId.find(Symbol);
+    if (It != LabelToId.end())
+      AddressTaken[It->second] = 1;
+  };
+
+  for (const auto &D : Prog.Data)
+    for (const auto &SW : D.SymWords)
+      MarkAddressTaken(SW.Symbol);
+
+  for (unsigned Id = 0; Id != N; ++Id) {
+    const BlockRef &R = Refs[Id];
+    const Function &F = Prog.Functions[R.FuncIdx];
+    const BasicBlock &B = F.Blocks[R.BlockIdx];
+
+    std::vector<uint8_t> SuccSeen(N, 0);
+    auto AddEdge = [&](unsigned To) {
+      if (SuccSeen[To])
+        return;
+      SuccSeen[To] = 1;
+      Succs[Id].push_back(To);
+      Preds[To].push_back(Id);
+    };
+
+    for (const auto &I : B.Insts) {
+      if (I.Op == Opcode::Bsr && I.Reloc == RelocKind::BranchDisp)
+        Callees[Id].push_back(idOf(I.Symbol));
+      if (I.Op == Opcode::Jsr)
+        IndirectCall[Id] = 1;
+      if (I.Reloc == RelocKind::Lo16 || I.Reloc == RelocKind::Hi16)
+        MarkAddressTaken(I.Symbol);
+      if (I.Op == Opcode::Sys &&
+          static_cast<SysFunc>(I.Imm) == SysFunc::Setjmp)
+        FuncCallsSetjmp[R.FuncIdx] = 1;
+      // Conditional branches may appear mid-block (superblocks).
+      if (isCondBranch(I.Op))
+        AddEdge(idOf(I.Symbol));
+    }
+
+    const Inst &Last = B.Insts.back();
+    bool FellOff = false;
+    if (isCondBranch(Last.Op)) {
+      FellOff = true; // Edge already added above.
+    } else if (Last.Op == Opcode::Br) {
+      AddEdge(idOf(Last.Symbol));
+    } else if (Last.Op == Opcode::Jmp) {
+      if (B.Switch) {
+        for (const auto &T : B.Switch->Targets)
+          AddEdge(idOf(T));
+      } else {
+        IndirectCall[Id] = 1; // Unknown computed jump: treat as indirect.
+      }
+    } else if (Last.Op == Opcode::Ret || endsExecution(Last)) {
+      // No intra-procedural successors.
+    } else {
+      FellOff = true; // Plain fallthrough (incl. trailing calls).
+    }
+    if (FellOff && R.BlockIdx + 1 < F.Blocks.size())
+      AddEdge(Id + 1);
+  }
+}
+
+unsigned Cfg::idOf(const std::string &Label) const {
+  auto It = LabelToId.find(Label);
+  if (It == LabelToId.end())
+    reportFatalError("Cfg: unknown label '" + Label + "'");
+  return It->second;
+}
+
+const BasicBlock &Cfg::block(unsigned BlockId) const {
+  const BlockRef &R = Refs[BlockId];
+  return Prog.Functions[R.FuncIdx].Blocks[R.BlockIdx];
+}

@@ -1,0 +1,237 @@
+//===- ir/IR.h - Symbolic program representation ---------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic program representation that squash operates on: functions of
+/// basic blocks of symbolic instructions, plus data objects. This level is
+/// the analog of what the paper's binary rewriter recovers from a statically
+/// linked Alpha executable with relocation information: instructions with
+/// symbol references still distinguishable from constants, and a control
+/// flow graph with known jump-table extents where the idiom is recognizable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_IR_IR_H
+#define SQUASH_IR_IR_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vea {
+
+/// How a symbolic operand is applied to the instruction encoding at layout
+/// time.
+enum class RelocKind : uint8_t {
+  None,       ///< Imm is the literal field value.
+  BranchDisp, ///< Disp21 = (addrOf(Symbol) - (PC + 4)) / 4.
+  Lo16,       ///< Disp16 = low half of (addrOf(Symbol) + Imm), Alpha-style
+              ///< pairing with Hi16.
+  Hi16,       ///< Disp16 = adjusted high half of (addrOf(Symbol) + Imm).
+};
+
+/// One symbolic instruction. Register fields are explicit; the immediate
+/// field (disp16 / disp21 / lit8 / sfunc26, whichever the format has) is
+/// either the literal \c Imm or a relocated reference to \c Symbol.
+struct Inst {
+  Opcode Op = Opcode::Sentinel;
+  uint8_t Ra = RegZero;
+  uint8_t Rb = RegZero;
+  uint8_t Rc = RegZero;
+  int32_t Imm = 0;
+  std::string Symbol;
+  RelocKind Reloc = RelocKind::None;
+
+  bool hasSymbol() const { return Reloc != RelocKind::None; }
+};
+
+/// Metadata attached to a basic block whose terminator is an indirect jump
+/// through a jump table (the unswitching target of paper Section 6.2).
+struct SwitchInfo {
+  std::string TableSymbol;          ///< Data object holding target addresses.
+  std::vector<std::string> Targets; ///< Case target block labels, in order.
+  uint8_t IndexReg = RegZero;       ///< Register holding the case index.
+  uint8_t ScratchReg = RegZero;     ///< Register known dead at the jump,
+                                    ///< usable by the unswitched compare
+                                    ///< chain.
+  uint8_t SeqLen = 6;               ///< Number of trailing instructions in
+                                    ///< the block forming the table-jump
+                                    ///< idiom (replaced wholesale when
+                                    ///< unswitching).
+  /// False models the binary-rewriting situation where the extent of the
+  /// jump table cannot be determined; such blocks and their targets are
+  /// excluded from compression (Section 6.2).
+  bool SizeKnown = true;
+};
+
+/// A basic block: a label plus instructions. Calls (Bsr/Jsr) and
+/// conditional branches may appear anywhere (conditional branches
+/// mid-block make the block an extended basic block / superblock — there
+/// are no labels mid-block, so control never enters the middle);
+/// unconditional transfers (Br, Jmp, Ret) may only be the final
+/// instruction. A block without a final unconditional transfer falls
+/// through to the next block of its function.
+struct BasicBlock {
+  std::string Label; ///< Globally unique.
+  std::vector<Inst> Insts;
+  std::optional<SwitchInfo> Switch;
+
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+  const Inst *terminator() const {
+    if (Insts.empty())
+      return nullptr;
+    const Inst &Last = Insts.back();
+    return isControlFlow(Last.Op) && !isDirectCall(Last.Op) &&
+                   Last.Op != Opcode::Jsr
+               ? &Last
+               : nullptr;
+  }
+  /// True if control can reach the textually next block.
+  bool canFallThrough() const {
+    const Inst *Term = terminator();
+    if (Term)
+      return isCondBranch(Term->Op);
+    if (!Insts.empty() && Insts.back().Op == Opcode::Sys) {
+      auto Func = static_cast<SysFunc>(Insts.back().Imm);
+      if (Func == SysFunc::Halt || Func == SysFunc::Longjmp)
+        return false; // Execution never continues past these.
+    }
+    return true;
+  }
+};
+
+/// A function: an entry block (first) plus any number of others. The entry
+/// block's label equals the function name.
+struct Function {
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+
+  const BasicBlock &entry() const { return Blocks.front(); }
+};
+
+/// A data object placed in the image's data segment. \c Bytes is the full
+/// payload; \c SymWords lists word-aligned offsets that are patched with
+/// absolute symbol addresses at layout time (jump tables, function-pointer
+/// tables).
+struct DataObject {
+  struct SymWord {
+    uint32_t Offset; ///< Byte offset within the object; word aligned.
+    std::string Symbol;
+    int32_t Addend = 0;
+  };
+
+  std::string Name;
+  uint32_t Align = 4;
+  std::vector<uint8_t> Bytes;
+  std::vector<SymWord> SymWords;
+};
+
+/// A whole program.
+struct Program {
+  std::string Name;
+  std::vector<Function> Functions;
+  std::vector<DataObject> Data;
+  std::string EntryFunction;
+
+  Function *findFunction(const std::string &Name);
+  const Function *findFunction(const std::string &Name) const;
+  DataObject *findData(const std::string &Name);
+
+  /// Total instruction count across all blocks.
+  uint64_t instructionCount() const;
+
+  /// Checks structural invariants; returns an empty string on success or a
+  /// description of the first problem found.
+  std::string verify() const;
+};
+
+/// Identifies a block globally: index of its function and index within it.
+struct BlockRef {
+  uint32_t FuncIdx = 0;
+  uint32_t BlockIdx = 0;
+
+  bool operator==(const BlockRef &O) const {
+    return FuncIdx == O.FuncIdx && BlockIdx == O.BlockIdx;
+  }
+};
+
+/// A whole-program control flow graph over block ids (dense indices in
+/// function-then-block order), with call-graph edges kept separate from
+/// intra-procedural edges, as squash's analyses need both.
+class Cfg {
+public:
+  explicit Cfg(const Program &Prog);
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Refs.size()); }
+  const BlockRef &ref(unsigned BlockId) const { return Refs[BlockId]; }
+  unsigned idOf(const std::string &Label) const;
+  bool hasLabel(const std::string &Label) const {
+    return LabelToId.count(Label) != 0;
+  }
+  const BasicBlock &block(unsigned BlockId) const;
+  unsigned functionOf(unsigned BlockId) const { return Refs[BlockId].FuncIdx; }
+
+  /// Intra-procedural successors (branches, fallthrough, switch targets).
+  const std::vector<unsigned> &succs(unsigned BlockId) const {
+    return Succs[BlockId];
+  }
+  const std::vector<unsigned> &preds(unsigned BlockId) const {
+    return Preds[BlockId];
+  }
+
+  /// Block ids of direct-call targets appearing in the block (entry blocks
+  /// of callees).
+  const std::vector<unsigned> &callees(unsigned BlockId) const {
+    return Callees[BlockId];
+  }
+
+  /// True if the block contains an indirect call (Jsr) or an indirect jump
+  /// with unknown targets.
+  bool hasIndirectCall(unsigned BlockId) const {
+    return IndirectCall[BlockId] != 0;
+  }
+
+  /// True if the block's address is referenced from data or address
+  /// materialization (its label escapes into a register or memory).
+  bool isAddressTaken(unsigned BlockId) const {
+    return AddressTaken[BlockId] != 0;
+  }
+
+  /// True if the containing function (transitively: the function itself)
+  /// calls setjmp. Such functions are never compressed (Section 2.2).
+  bool functionCallsSetjmp(unsigned FuncIdx) const {
+    return FuncCallsSetjmp[FuncIdx] != 0;
+  }
+
+  /// Entry block id of function \p FuncIdx.
+  unsigned entryBlock(unsigned FuncIdx) const { return FuncEntry[FuncIdx]; }
+  unsigned numFunctions() const {
+    return static_cast<unsigned>(FuncEntry.size());
+  }
+
+  const Program &program() const { return Prog; }
+
+private:
+  const Program &Prog;
+  std::vector<BlockRef> Refs;
+  std::unordered_map<std::string, unsigned> LabelToId;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+  std::vector<std::vector<unsigned>> Callees;
+  std::vector<uint8_t> IndirectCall;
+  std::vector<uint8_t> AddressTaken;
+  std::vector<uint8_t> FuncCallsSetjmp;
+  std::vector<unsigned> FuncEntry;
+};
+
+} // namespace vea
+
+#endif // SQUASH_IR_IR_H

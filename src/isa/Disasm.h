@@ -1,0 +1,34 @@
+//===- isa/Disasm.h - VEA-32 disassembler ----------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of VEA-32 instructions, for diagnostics, tests, and the
+/// example tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_ISA_DISASM_H
+#define SQUASH_ISA_DISASM_H
+
+#include "isa/Isa.h"
+
+#include <string>
+
+namespace vea {
+
+/// Renders \p Inst as assembler text, e.g. "ldw r1, 8(r30)".
+/// If \p PC is provided, branch targets are rendered as absolute addresses;
+/// otherwise as relative displacements.
+std::string disassemble(const MInst &Inst, int64_t PC = -1);
+
+/// Renders the raw word \p Word (decodes first; illegal words render as
+/// ".word 0x...").
+std::string disassembleWord(uint32_t Word, int64_t PC = -1);
+
+} // namespace vea
+
+#endif // SQUASH_ISA_DISASM_H

@@ -1,0 +1,339 @@
+//===- isa/Isa.cpp - The VEA-32 instruction set ---------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Isa.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace vea;
+
+static const OpcodeInfo OpcodeTable[] = {
+    {"sentinel", Format::Sys, false},
+    {"ldw", Format::Mem, true},
+    {"ldb", Format::Mem, true},
+    {"stw", Format::Mem, true},
+    {"stb", Format::Mem, true},
+    {"lda", Format::Mem, true},
+    {"ldah", Format::Mem, true},
+    {"br", Format::Branch, true},
+    {"bsr", Format::Branch, true},
+    {"beq", Format::Branch, true},
+    {"bne", Format::Branch, true},
+    {"blt", Format::Branch, true},
+    {"ble", Format::Branch, true},
+    {"bgt", Format::Branch, true},
+    {"bge", Format::Branch, true},
+    {"blbc", Format::Branch, true},
+    {"blbs", Format::Branch, true},
+    {"jmp", Format::Jump, true},
+    {"jsr", Format::Jump, true},
+    {"ret", Format::Jump, true},
+    {"add", Format::OpRRR, true},
+    {"sub", Format::OpRRR, true},
+    {"mul", Format::OpRRR, true},
+    {"umulh", Format::OpRRR, true},
+    {"udiv", Format::OpRRR, true},
+    {"urem", Format::OpRRR, true},
+    {"and", Format::OpRRR, true},
+    {"or", Format::OpRRR, true},
+    {"xor", Format::OpRRR, true},
+    {"bic", Format::OpRRR, true},
+    {"sll", Format::OpRRR, true},
+    {"srl", Format::OpRRR, true},
+    {"sra", Format::OpRRR, true},
+    {"cmpeq", Format::OpRRR, true},
+    {"cmplt", Format::OpRRR, true},
+    {"cmple", Format::OpRRR, true},
+    {"cmpult", Format::OpRRR, true},
+    {"cmpule", Format::OpRRR, true},
+    {"addi", Format::OpRRI, true},
+    {"subi", Format::OpRRI, true},
+    {"muli", Format::OpRRI, true},
+    {"andi", Format::OpRRI, true},
+    {"ori", Format::OpRRI, true},
+    {"xori", Format::OpRRI, true},
+    {"slli", Format::OpRRI, true},
+    {"srli", Format::OpRRI, true},
+    {"srai", Format::OpRRI, true},
+    {"cmpeqi", Format::OpRRI, true},
+    {"cmplti", Format::OpRRI, true},
+    {"cmplei", Format::OpRRI, true},
+    {"cmpulti", Format::OpRRI, true},
+    {"cmpulei", Format::OpRRI, true},
+    {"sys", Format::Sys, true},
+    {"bsrx", Format::Branch, false},
+};
+
+static_assert(sizeof(OpcodeTable) / sizeof(OpcodeTable[0]) ==
+                  vea::NumOpcodes,
+              "opcode table out of sync with Opcode enum");
+
+const OpcodeInfo &vea::opcodeInfo(Opcode Op) {
+  unsigned Index = static_cast<unsigned>(Op);
+  assert(Index < NumOpcodes && "opcode out of range");
+  return OpcodeTable[Index];
+}
+
+Opcode vea::opcodeByName(const std::string &Name) {
+  static const std::unordered_map<std::string, Opcode> Map = [] {
+    std::unordered_map<std::string, Opcode> M;
+    for (unsigned I = 0; I != NumOpcodes; ++I)
+      M.emplace(OpcodeTable[I].Name, static_cast<Opcode>(I));
+    return M;
+  }();
+  auto It = Map.find(Name);
+  return It == Map.end() ? Opcode::Sentinel : It->second;
+}
+
+unsigned vea::fieldWidth(FieldKind Kind) {
+  switch (Kind) {
+  case FieldKind::Opcode:
+    return 6;
+  case FieldKind::RA:
+  case FieldKind::RB:
+  case FieldKind::RC:
+    return 5;
+  case FieldKind::Disp16:
+    return 16;
+  case FieldKind::Disp21:
+    return 21;
+  case FieldKind::Lit8:
+    return 8;
+  case FieldKind::JFunc2:
+    return 2;
+  case FieldKind::Hint14:
+    return 14;
+  case FieldKind::SFunc26:
+    return 26;
+  case FieldKind::Pad8:
+    return 8;
+  case FieldKind::Pad11:
+    return 11;
+  }
+  reportFatalError("unknown field kind");
+}
+
+const char *vea::fieldKindName(FieldKind Kind) {
+  switch (Kind) {
+  case FieldKind::Opcode:
+    return "opcode";
+  case FieldKind::RA:
+    return "ra";
+  case FieldKind::RB:
+    return "rb";
+  case FieldKind::RC:
+    return "rc";
+  case FieldKind::Disp16:
+    return "disp16";
+  case FieldKind::Disp21:
+    return "disp21";
+  case FieldKind::Lit8:
+    return "lit8";
+  case FieldKind::JFunc2:
+    return "jfunc2";
+  case FieldKind::Hint14:
+    return "hint14";
+  case FieldKind::SFunc26:
+    return "sfunc26";
+  case FieldKind::Pad8:
+    return "pad8";
+  case FieldKind::Pad11:
+    return "pad11";
+  }
+  reportFatalError("unknown field kind");
+}
+
+// Field layouts. Slot order within each layout is the order fields are
+// emitted into compression streams; the opcode is always first so the
+// decoder can select the remaining codes (paper Section 3).
+static const FormatLayout MemLayout = {
+    {{{FieldKind::Opcode, 26, 6},
+      {FieldKind::RA, 21, 5},
+      {FieldKind::RB, 16, 5},
+      {FieldKind::Disp16, 0, 16}}},
+    4};
+static const FormatLayout BranchLayout = {
+    {{{FieldKind::Opcode, 26, 6},
+      {FieldKind::RA, 21, 5},
+      {FieldKind::Disp21, 0, 21}}},
+    3};
+static const FormatLayout JumpLayout = {
+    {{{FieldKind::Opcode, 26, 6},
+      {FieldKind::RA, 21, 5},
+      {FieldKind::RB, 16, 5},
+      {FieldKind::JFunc2, 14, 2},
+      {FieldKind::Hint14, 0, 14}}},
+    5};
+static const FormatLayout OpRRRLayout = {
+    {{{FieldKind::Opcode, 26, 6},
+      {FieldKind::RA, 21, 5},
+      {FieldKind::RB, 16, 5},
+      {FieldKind::Pad11, 5, 11},
+      {FieldKind::RC, 0, 5}}},
+    5};
+static const FormatLayout OpRRILayout = {
+    {{{FieldKind::Opcode, 26, 6},
+      {FieldKind::RA, 21, 5},
+      {FieldKind::Lit8, 13, 8},
+      {FieldKind::Pad8, 5, 8},
+      {FieldKind::RC, 0, 5}}},
+    5};
+static const FormatLayout SysLayout = {
+    {{{FieldKind::Opcode, 26, 6}, {FieldKind::SFunc26, 0, 26}}}, 2};
+
+const FormatLayout &vea::formatLayout(Format Form) {
+  switch (Form) {
+  case Format::Mem:
+    return MemLayout;
+  case Format::Branch:
+    return BranchLayout;
+  case Format::Jump:
+    return JumpLayout;
+  case Format::OpRRR:
+    return OpRRRLayout;
+  case Format::OpRRI:
+    return OpRRILayout;
+  case Format::Sys:
+    return SysLayout;
+  }
+  reportFatalError("unknown format");
+}
+
+uint32_t vea::encode(const MInst &Inst) {
+  const FormatLayout &Layout = formatLayout(formatOf(Inst.Op));
+  uint32_t Word = 0;
+  for (unsigned I = 0; I != Layout.Count; ++I) {
+    const FieldSlot &Slot = Layout.Slots[I];
+    uint32_t Mask = Slot.Width == 32 ? ~0u : ((1u << Slot.Width) - 1);
+    Word |= (Inst.get(Slot.Kind) & Mask) << Slot.Shift;
+  }
+  return Word;
+}
+
+MInst vea::decode(uint32_t Word) {
+  unsigned OpBits = Word >> 26;
+  MInst Inst;
+  Inst.set(FieldKind::Opcode, OpBits);
+  if (OpBits >= NumOpcodes)
+    return Inst; // Illegal; only the opcode field is meaningful.
+  const FormatLayout &Layout =
+      formatLayout(formatOf(static_cast<Opcode>(OpBits)));
+  for (unsigned I = 1; I != Layout.Count; ++I) {
+    const FieldSlot &Slot = Layout.Slots[I];
+    uint32_t Mask = Slot.Width == 32 ? ~0u : ((1u << Slot.Width) - 1);
+    Inst.set(Slot.Kind, (Word >> Slot.Shift) & Mask);
+  }
+  return Inst;
+}
+
+bool vea::isLegalWord(uint32_t Word) {
+  unsigned OpBits = Word >> 26;
+  return OpBits < NumOpcodes &&
+         opcodeInfo(static_cast<Opcode>(OpBits)).IsLegal;
+}
+
+MInst vea::makeMem(Opcode Op, unsigned Ra, unsigned Rb, int32_t Disp16) {
+  assert(formatOf(Op) == Format::Mem && "wrong format");
+  MInst Inst(Op);
+  Inst.set(FieldKind::RA, Ra);
+  Inst.set(FieldKind::RB, Rb);
+  Inst.setDisp16(Disp16);
+  return Inst;
+}
+
+MInst vea::makeBranch(Opcode Op, unsigned Ra, int32_t Disp21) {
+  assert(formatOf(Op) == Format::Branch && "wrong format");
+  MInst Inst(Op);
+  Inst.set(FieldKind::RA, Ra);
+  Inst.setDisp21(Disp21);
+  return Inst;
+}
+
+MInst vea::makeJump(Opcode Op, unsigned Ra, unsigned Rb, unsigned Hint) {
+  assert(formatOf(Op) == Format::Jump && "wrong format");
+  MInst Inst(Op);
+  Inst.set(FieldKind::RA, Ra);
+  Inst.set(FieldKind::RB, Rb);
+  Inst.set(FieldKind::Hint14, Hint & 0x3FFFu);
+  return Inst;
+}
+
+MInst vea::makeRRR(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb) {
+  assert(formatOf(Op) == Format::OpRRR && "wrong format");
+  MInst Inst(Op);
+  Inst.set(FieldKind::RA, Ra);
+  Inst.set(FieldKind::RB, Rb);
+  Inst.set(FieldKind::RC, Rc);
+  return Inst;
+}
+
+MInst vea::makeRRI(Opcode Op, unsigned Rc, unsigned Ra, uint32_t Lit8) {
+  assert(formatOf(Op) == Format::OpRRI && "wrong format");
+  assert(Lit8 < 256 && "literal exceeds 8 bits");
+  MInst Inst(Op);
+  Inst.set(FieldKind::RA, Ra);
+  Inst.set(FieldKind::Lit8, Lit8);
+  Inst.set(FieldKind::RC, Rc);
+  return Inst;
+}
+
+MInst vea::makeSys(SysFunc Func) {
+  MInst Inst(Opcode::Sys);
+  Inst.set(FieldKind::SFunc26, static_cast<uint32_t>(Func));
+  return Inst;
+}
+
+MInst vea::makeNop() { return makeRRR(Opcode::Or, RegZero, RegZero, RegZero); }
+
+bool vea::isNop(const MInst &Inst) {
+  Format Form = formatOf(Inst.Op);
+  if (Form != Format::OpRRR && Form != Format::OpRRI)
+    return false;
+  // Divides can fault, so they are not dead even when the result is
+  // discarded.
+  if (Inst.Op == Opcode::Udiv || Inst.Op == Opcode::Urem)
+    return false;
+  return Inst.rc() == RegZero;
+}
+
+bool vea::isCondBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::Blbc:
+  case Opcode::Blbs:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool vea::isUncondBranch(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Bsr || Op == Opcode::Bsrx;
+}
+
+bool vea::isDirectCall(Opcode Op) {
+  return Op == Opcode::Bsr || Op == Opcode::Bsrx;
+}
+
+bool vea::isIndirectJump(Opcode Op) {
+  return Op == Opcode::Jmp || Op == Opcode::Jsr || Op == Opcode::Ret;
+}
+
+bool vea::isBranchFormat(Opcode Op) {
+  return formatOf(Op) == Format::Branch;
+}
+
+bool vea::isControlFlow(Opcode Op) {
+  return isCondBranch(Op) || isUncondBranch(Op) || isIndirectJump(Op);
+}

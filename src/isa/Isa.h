@@ -1,0 +1,305 @@
+//===- isa/Isa.h - The VEA-32 instruction set ------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VEA-32: a 32-bit fixed-width RISC instruction set modeled on the Compaq
+/// Alpha encoding the paper targets. Every instruction is one 32-bit word;
+/// a 6-bit opcode fully determines the instruction's field layout, which is
+/// the property the paper's "splitting streams" compression (Section 3)
+/// relies on. The instruction word is split into typed fields; each field
+/// type becomes one compression stream.
+///
+/// Formats (bit 31 is the MSB):
+///   Mem     op[31:26] ra[25:21] rb[20:16] disp16[15:0]
+///   Branch  op[31:26] ra[25:21] disp21[20:0]
+///   Jump    op[31:26] ra[25:21] rb[20:16] jfunc2[15:14] hint14[13:0]
+///   OpRRR   op[31:26] ra[25:21] rb[20:16] pad11[15:5]   rc[4:0]
+///   OpRRI   op[31:26] ra[25:21] lit8[20:13] pad8[12:5]  rc[4:0]
+///   Sys     op[31:26] sfunc26[25:0]
+///
+/// Register conventions: r0 = return value, r16..r21 = arguments,
+/// r26 = return address ($ra), r30 = stack pointer, r31 reads as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_ISA_ISA_H
+#define SQUASH_ISA_ISA_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace vea {
+
+/// Number of architectural registers. Register 31 always reads zero.
+inline constexpr unsigned NumRegs = 32;
+inline constexpr unsigned RegRV = 0;   ///< Return value.
+inline constexpr unsigned RegA0 = 16;  ///< First argument register.
+inline constexpr unsigned RegRA = 26;  ///< Conventional return address.
+inline constexpr unsigned RegSP = 30;  ///< Stack pointer.
+inline constexpr unsigned RegZero = 31;
+
+/// Instruction word size in bytes. VEA-32 is byte-addressed; instructions
+/// must be 4-byte aligned.
+inline constexpr uint32_t WordBytes = 4;
+
+/// The instruction formats. The opcode alone selects the format.
+enum class Format : uint8_t {
+  Mem,    ///< Loads, stores, address arithmetic (lda/ldah).
+  Branch, ///< PC-relative branches and calls.
+  Jump,   ///< Register-indirect jumps (jmp/jsr/ret).
+  OpRRR,  ///< Three-register operates.
+  OpRRI,  ///< Register + 8-bit literal operates.
+  Sys,    ///< System calls / traps.
+};
+
+/// The typed instruction fields. One compression stream exists per kind
+/// (paper Section 3: "we split the instructions into 15 streams" on Alpha;
+/// VEA-32 has 12).
+enum class FieldKind : uint8_t {
+  Opcode,
+  RA,
+  RB,
+  RC,
+  Disp16,
+  Disp21,
+  Lit8,
+  JFunc2,
+  Hint14,
+  SFunc26,
+  Pad8,
+  Pad11,
+};
+inline constexpr unsigned NumFieldKinds = 12;
+
+/// Bit width of each field kind, indexed by FieldKind.
+unsigned fieldWidth(FieldKind Kind);
+
+/// Printable name of a field kind (for diagnostics and benchmarks).
+const char *fieldKindName(FieldKind Kind);
+
+/// The VEA-32 opcodes. Opcode 0 is reserved as the illegal instruction the
+/// paper uses as the decompression sentinel (Section 2.1: "Decompression
+/// stops when the decompressor encounters a sentinel (an illegal
+/// instruction)").
+enum class Opcode : uint8_t {
+  Sentinel = 0, ///< Illegal; terminates a compressed region.
+
+  // Mem format: op ra, disp16(rb)
+  Ldw,  ///< ra = mem32[rb + sext(disp16)]
+  Ldb,  ///< ra = zext(mem8[rb + sext(disp16)])
+  Stw,  ///< mem32[rb + sext(disp16)] = ra
+  Stb,  ///< mem8[rb + sext(disp16)] = low byte of ra
+  Lda,  ///< ra = rb + sext(disp16)
+  Ldah, ///< ra = rb + (sext(disp16) << 16)
+
+  // Branch format: op ra, disp21. Targets are PC + 4 + 4*sext(disp21).
+  Br,   ///< ra = PC + 4; jump (unconditional)
+  Bsr,  ///< ra = PC + 4; call (unconditional; identical semantics to Br,
+        ///< kept distinct because squash treats calls specially)
+  Beq,  ///< if (ra == 0) jump
+  Bne,  ///< if (ra != 0) jump
+  Blt,  ///< if ((int32)ra < 0) jump
+  Ble,  ///< if ((int32)ra <= 0) jump
+  Bgt,  ///< if ((int32)ra > 0) jump
+  Bge,  ///< if ((int32)ra >= 0) jump
+  Blbc, ///< if ((ra & 1) == 0) jump
+  Blbs, ///< if ((ra & 1) == 1) jump
+
+  // Jump format: op ra, (rb). ra = PC + 4; PC = rb & ~3.
+  Jmp,
+  Jsr,
+  Ret,
+
+  // OpRRR format: op rc = ra OP rb.
+  Add,
+  Sub,
+  Mul,
+  Umulh,
+  Udiv, ///< Unsigned divide; divide-by-zero is a machine fault.
+  Urem,
+  And,
+  Or,
+  Xor,
+  Bic,  ///< rc = ra & ~rb
+  Sll,
+  Srl,
+  Sra,
+  Cmpeq,
+  Cmplt,  ///< signed
+  Cmple,  ///< signed
+  Cmpult, ///< unsigned
+  Cmpule, ///< unsigned
+
+  // OpRRI format: op rc = ra OP zext(lit8).
+  Addi,
+  Subi,
+  Muli,
+  Andi,
+  Ori,
+  Xori,
+  Slli,
+  Srli,
+  Srai,
+  Cmpeqi,
+  Cmplti,
+  Cmplei,
+  Cmpulti,
+  Cmpulei,
+
+  // Sys format.
+  Sys,
+
+  /// squash-internal opcode (Branch format). Never appears in an executable
+  /// image; it exists only inside compressed regions, marking a call that
+  /// the decompressor must expand into the two-instruction
+  /// BSR-to-CreateStub + BR-to-callee sequence (paper Section 2.2, Figure 2).
+  Bsrx,
+
+  NumOpcodes
+};
+
+inline constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/// System call numbers carried in the SFunc26 field of a Sys instruction.
+enum class SysFunc : uint32_t {
+  Halt = 0,    ///< Stop execution; exit code in r16.
+  PutChar = 1, ///< Append low byte of r16 to the output channel.
+  GetChar = 2, ///< r0 = next input byte, or 0xFFFFFFFF at end of input.
+  PutInt = 3,  ///< Append decimal rendering of (int32)r16 to the output.
+  PutWord = 4, ///< Append r16 to the output as 4 little-endian bytes.
+  GetWord = 5, ///< r0 = next 4 input bytes (LE); r1 = 1, or r1 = 0 at EOF.
+  Setjmp = 6,  ///< Save machine context to mem[r16..]; r0 = 0.
+  Longjmp = 7, ///< Restore context from mem[r16..]; r0 = r17 (or 1 if 0).
+};
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  const char *Name;   ///< Assembler mnemonic.
+  Format Form;        ///< Field layout.
+  bool IsLegal;       ///< False for Sentinel and squash-internal opcodes.
+};
+
+/// Returns the descriptor for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the format of \p Op.
+inline Format formatOf(Opcode Op) { return opcodeInfo(Op).Form; }
+
+/// Returns the opcode named \p Name, or Sentinel if unknown.
+Opcode opcodeByName(const std::string &Name);
+
+/// Placement of a field within an instruction word.
+struct FieldSlot {
+  FieldKind Kind;
+  uint8_t Shift; ///< Bit position of the field's LSB.
+  uint8_t Width;
+};
+
+/// The field layout of a format: up to 6 slots, terminated by Count.
+struct FormatLayout {
+  std::array<FieldSlot, 6> Slots;
+  unsigned Count;
+};
+
+/// Returns the field layout for \p Form. Slots are listed from the opcode
+/// downwards; the widths of all slots always sum to 32.
+const FormatLayout &formatLayout(Format Form);
+
+/// A decoded instruction: the opcode plus the raw (unsigned, unshifted)
+/// value of each field present in its format. Fields not present read 0.
+struct MInst {
+  Opcode Op = Opcode::Sentinel;
+  std::array<uint32_t, NumFieldKinds> Fields = {};
+
+  MInst() = default;
+  explicit MInst(Opcode Op) : Op(Op) {
+    Fields[static_cast<unsigned>(FieldKind::Opcode)] =
+        static_cast<uint32_t>(Op);
+  }
+
+  uint32_t get(FieldKind Kind) const {
+    return Fields[static_cast<unsigned>(Kind)];
+  }
+  void set(FieldKind Kind, uint32_t Value) {
+    assert((fieldWidth(Kind) == 32 ||
+            Value < (1u << fieldWidth(Kind))) &&
+           "field value exceeds field width");
+    Fields[static_cast<unsigned>(Kind)] = Value;
+    if (Kind == FieldKind::Opcode)
+      Op = static_cast<Opcode>(Value);
+  }
+
+  unsigned ra() const { return get(FieldKind::RA); }
+  unsigned rb() const { return get(FieldKind::RB); }
+  unsigned rc() const { return get(FieldKind::RC); }
+  uint32_t lit8() const { return get(FieldKind::Lit8); }
+  uint32_t sfunc() const { return get(FieldKind::SFunc26); }
+
+  /// Sign-extended 16-bit displacement (Mem format).
+  int32_t disp16() const {
+    return static_cast<int32_t>(static_cast<int16_t>(get(FieldKind::Disp16)));
+  }
+  /// Sign-extended 21-bit displacement in words (Branch format).
+  int32_t disp21() const {
+    uint32_t Raw = get(FieldKind::Disp21);
+    if (Raw & (1u << 20))
+      Raw |= 0xFFE00000u;
+    return static_cast<int32_t>(Raw);
+  }
+  void setDisp16(int32_t Disp) {
+    assert(Disp >= -32768 && Disp <= 32767 && "disp16 out of range");
+    set(FieldKind::Disp16, static_cast<uint16_t>(Disp));
+  }
+  void setDisp21(int32_t Disp) {
+    assert(Disp >= -(1 << 20) && Disp < (1 << 20) && "disp21 out of range");
+    set(FieldKind::Disp21, static_cast<uint32_t>(Disp) & 0x1FFFFFu);
+  }
+};
+
+/// Encodes \p Inst into a 32-bit instruction word.
+uint32_t encode(const MInst &Inst);
+
+/// Decodes a 32-bit instruction word. Unknown opcodes decode with
+/// Op == Sentinel semantics (opcode field preserved) so the simulator can
+/// fault on them.
+MInst decode(uint32_t Word);
+
+/// True if \p Word decodes to a legal executable instruction.
+bool isLegalWord(uint32_t Word);
+
+// Convenience constructors -------------------------------------------------
+
+MInst makeMem(Opcode Op, unsigned Ra, unsigned Rb, int32_t Disp16);
+MInst makeBranch(Opcode Op, unsigned Ra, int32_t Disp21);
+MInst makeJump(Opcode Op, unsigned Ra, unsigned Rb, unsigned Hint = 0);
+MInst makeRRR(Opcode Op, unsigned Rc, unsigned Ra, unsigned Rb);
+MInst makeRRI(Opcode Op, unsigned Rc, unsigned Ra, uint32_t Lit8);
+MInst makeSys(SysFunc Func);
+
+/// The canonical no-op: Or rc=r31, ra=r31, rb=r31.
+MInst makeNop();
+
+/// True if \p Inst has no architectural effect (writes only r31 and has no
+/// memory/control/system side effects).
+bool isNop(const MInst &Inst);
+
+/// Branch-classification helpers used throughout the pipeline.
+bool isCondBranch(Opcode Op);
+bool isUncondBranch(Opcode Op); ///< Br or Bsr (or Bsrx).
+bool isDirectCall(Opcode Op);   ///< Bsr or Bsrx.
+bool isIndirectJump(Opcode Op); ///< Jmp, Jsr or Ret.
+bool isBranchFormat(Opcode Op);
+/// True if the instruction can transfer control somewhere other than the
+/// next instruction.
+bool isControlFlow(Opcode Op);
+
+} // namespace vea
+
+#endif // SQUASH_ISA_ISA_H

@@ -1,0 +1,53 @@
+//===- link/ImageDisasm.cpp - Whole-image disassembly ---------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/ImageDisasm.h"
+
+#include "isa/Disasm.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace vea;
+
+std::string vea::disassembleImage(const Image &Img) {
+  // Invert the symbol table so addresses print their labels; prefer the
+  // shortest name on collisions (functions over their entry block alias).
+  std::map<uint32_t, std::string> LabelAt;
+  for (const auto &[Name, Addr] : Img.Symbols) {
+    auto It = LabelAt.find(Addr);
+    if (It == LabelAt.end() || Name.size() < It->second.size())
+      LabelAt[Addr] = Name;
+  }
+
+  std::string Out;
+  for (uint32_t PC = Img.Base; PC + 4 <= Img.Base + Img.CodeBytes;
+       PC += 4) {
+    auto Label = LabelAt.find(PC);
+    if (Label != LabelAt.end())
+      Out += Label->second + ":\n";
+    uint32_t Word = Img.word(PC);
+    char Head[40];
+    std::snprintf(Head, sizeof(Head), "  %06x:  %08x  ", PC, Word);
+    Out += Head;
+    Out += disassembleWord(Word, PC);
+    // Annotate direct branch targets that land exactly on a symbol.
+    if (isLegalWord(Word)) {
+      MInst I = decode(Word);
+      if (formatOf(I.Op) == Format::Branch) {
+        uint32_t Target = static_cast<uint32_t>(
+            static_cast<int64_t>(PC) + 4 + 4 * int64_t(I.disp21()));
+        auto T = LabelAt.find(Target);
+        if (T != LabelAt.end())
+          Out += "  <" + T->second + ">";
+      }
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+

@@ -1,0 +1,31 @@
+//===- link/ImageDisasm.h - Whole-image disassembly -------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// objdump-style listings over laid-out images: one line per code word
+/// with address, raw encoding, mnemonic, symbol labels, and annotated
+/// branch targets. Used by `squash_tool --disasm` and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_LINK_IMAGEDISASM_H
+#define SQUASH_LINK_IMAGEDISASM_H
+
+#include "link/Layout.h"
+
+#include <string>
+
+namespace vea {
+
+/// Produces a listing of \p Img's code segment. Labels come from the
+/// image's symbol table; direct branch targets landing exactly on a symbol
+/// are annotated with it.
+std::string disassembleImage(const Image &Img);
+
+} // namespace vea
+
+#endif // SQUASH_LINK_IMAGEDISASM_H

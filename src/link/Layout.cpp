@@ -1,0 +1,148 @@
+//===- link/Layout.cpp - Program layout and image format ------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Layout.h"
+
+#include "support/Error.h"
+
+using namespace vea;
+
+uint32_t Image::symbol(const std::string &Name) const {
+  auto It = Symbols.find(Name);
+  if (It == Symbols.end())
+    reportFatalError("image: unknown symbol '" + Name + "'");
+  return It->second;
+}
+
+void vea::splitHiLo(uint32_t Value, uint16_t &Hi, uint16_t &Lo) {
+  Lo = static_cast<uint16_t>(Value & 0xFFFF);
+  // If the low half is negative as a signed 16-bit value, the lda will
+  // subtract 0x10000; compensate in the high half.
+  uint32_t Carry = (Lo & 0x8000) ? 1 : 0;
+  Hi = static_cast<uint16_t>(((Value >> 16) + Carry) & 0xFFFF);
+}
+
+static uint32_t resolve(const std::string &Symbol,
+                        const std::unordered_map<std::string, uint32_t> &Syms) {
+  auto It = Syms.find(Symbol);
+  if (It == Syms.end())
+    reportFatalError("layout: unresolved symbol '" + Symbol + "'");
+  return It->second;
+}
+
+uint32_t vea::encodeInst(
+    const Inst &I, uint32_t PC,
+    const std::unordered_map<std::string, uint32_t> &Syms) {
+  MInst M(I.Op);
+  switch (formatOf(I.Op)) {
+  case Format::Mem: {
+    M.set(FieldKind::RA, I.Ra);
+    M.set(FieldKind::RB, I.Rb);
+    int32_t Disp = I.Imm;
+    if (I.Reloc == RelocKind::Lo16 || I.Reloc == RelocKind::Hi16) {
+      uint32_t Value = resolve(I.Symbol, Syms) + static_cast<uint32_t>(I.Imm);
+      uint16_t Hi, Lo;
+      splitHiLo(Value, Hi, Lo);
+      Disp = static_cast<int16_t>(I.Reloc == RelocKind::Hi16 ? Hi : Lo);
+    }
+    if (Disp < -32768 || Disp > 32767)
+      reportFatalError("layout: disp16 out of range");
+    M.setDisp16(Disp);
+    break;
+  }
+  case Format::Branch: {
+    M.set(FieldKind::RA, I.Ra);
+    int64_t Disp = I.Imm;
+    if (I.Reloc == RelocKind::BranchDisp) {
+      int64_t Target = resolve(I.Symbol, Syms);
+      Disp = (Target - (static_cast<int64_t>(PC) + 4)) / 4;
+      if ((Target - (static_cast<int64_t>(PC) + 4)) % 4 != 0)
+        reportFatalError("layout: misaligned branch target '" + I.Symbol +
+                         "'");
+    }
+    if (Disp < -(1 << 20) || Disp >= (1 << 20))
+      reportFatalError("layout: disp21 out of range");
+    M.setDisp21(static_cast<int32_t>(Disp));
+    break;
+  }
+  case Format::Jump:
+    M.set(FieldKind::RA, I.Ra);
+    M.set(FieldKind::RB, I.Rb);
+    break;
+  case Format::OpRRR:
+    M.set(FieldKind::RA, I.Ra);
+    M.set(FieldKind::RB, I.Rb);
+    M.set(FieldKind::RC, I.Rc);
+    break;
+  case Format::OpRRI:
+    M.set(FieldKind::RA, I.Ra);
+    M.set(FieldKind::RC, I.Rc);
+    if (I.Imm < 0 || I.Imm > 255)
+      reportFatalError("layout: lit8 out of range");
+    M.set(FieldKind::Lit8, static_cast<uint32_t>(I.Imm));
+    break;
+  case Format::Sys:
+    if (I.Imm < 0 || static_cast<uint32_t>(I.Imm) >= (1u << 26))
+      reportFatalError("layout: sfunc out of range");
+    M.set(FieldKind::SFunc26, static_cast<uint32_t>(I.Imm));
+    break;
+  }
+  return encode(M);
+}
+
+Image vea::layoutProgram(const Program &Prog, uint32_t Base) {
+  Image Img;
+  Img.Base = Base;
+
+  // Pass 1: assign code addresses, block by block.
+  uint32_t Cursor = Base;
+  for (const auto &F : Prog.Functions) {
+    for (const auto &B : F.Blocks) {
+      Img.Symbols[B.Label] = Cursor;
+      Img.Blocks.push_back(
+          {Cursor, static_cast<uint32_t>(B.Insts.size())});
+      Cursor += static_cast<uint32_t>(B.Insts.size()) * WordBytes;
+    }
+  }
+  Img.CodeBytes = Cursor - Base;
+
+  // Data addresses.
+  for (const auto &D : Prog.Data) {
+    uint32_t Align = D.Align ? D.Align : 4;
+    Cursor = (Cursor + Align - 1) / Align * Align;
+    Img.Symbols[D.Name] = Cursor;
+    Cursor += static_cast<uint32_t>(D.Bytes.size());
+  }
+
+  Img.Bytes.assign(Cursor - Base, 0);
+
+  // Pass 2: encode instructions.
+  uint32_t PC = Base;
+  for (const auto &F : Prog.Functions) {
+    for (const auto &B : F.Blocks) {
+      for (const auto &I : B.Insts) {
+        Img.setWord(PC, encodeInst(I, PC, Img.Symbols));
+        PC += WordBytes;
+      }
+    }
+  }
+
+  // Emit data with symbol-word patches.
+  for (const auto &D : Prog.Data) {
+    uint32_t Addr = Img.Symbols.at(D.Name);
+    std::copy(D.Bytes.begin(), D.Bytes.end(),
+              Img.Bytes.begin() + (Addr - Base));
+    for (const auto &SW : D.SymWords) {
+      uint32_t Value = resolve(SW.Symbol, Img.Symbols) +
+                       static_cast<uint32_t>(SW.Addend);
+      Img.setWord(Addr + SW.Offset, Value);
+    }
+  }
+
+  Img.EntryPC = resolve(Prog.EntryFunction, Img.Symbols);
+  return Img;
+}

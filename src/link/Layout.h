@@ -1,0 +1,89 @@
+//===- link/Layout.h - Program layout and image format ---------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a symbolic Program into a flat, executable binary Image: code
+/// first (functions in order, blocks in order), then data objects. The Image
+/// retains the symbol table and per-basic-block address ranges, which stand
+/// in for the relocation information the paper's binary rewriter requires
+/// from the Tru64 linker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_LINK_LAYOUT_H
+#define SQUASH_LINK_LAYOUT_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vea {
+
+/// Address range of one basic block within an image. Entries are ordered
+/// function-then-block, matching Cfg block ids.
+struct BlockLayout {
+  uint32_t Addr = 0;      ///< Byte address of the first instruction.
+  uint32_t SizeWords = 0; ///< Number of instructions.
+};
+
+/// A loaded program: a flat byte array based at \c Base, plus metadata.
+struct Image {
+  uint32_t Base = 0;          ///< Load address of Bytes[0].
+  std::vector<uint8_t> Bytes; ///< Code followed by data.
+  uint32_t EntryPC = 0;
+  uint32_t CodeBytes = 0; ///< Length of the executable prefix of Bytes.
+  std::unordered_map<std::string, uint32_t> Symbols;
+  std::vector<BlockLayout> Blocks; ///< Per-block ranges (Cfg id order).
+
+  uint32_t limit() const {
+    return Base + static_cast<uint32_t>(Bytes.size());
+  }
+  bool contains(uint32_t Addr, uint32_t Len = 1) const {
+    return Addr >= Base && Addr + Len <= limit();
+  }
+  uint32_t word(uint32_t Addr) const {
+    uint32_t Off = Addr - Base;
+    return static_cast<uint32_t>(Bytes[Off]) |
+           (static_cast<uint32_t>(Bytes[Off + 1]) << 8) |
+           (static_cast<uint32_t>(Bytes[Off + 2]) << 16) |
+           (static_cast<uint32_t>(Bytes[Off + 3]) << 24);
+  }
+  void setWord(uint32_t Addr, uint32_t Value) {
+    uint32_t Off = Addr - Base;
+    Bytes[Off] = static_cast<uint8_t>(Value);
+    Bytes[Off + 1] = static_cast<uint8_t>(Value >> 8);
+    Bytes[Off + 2] = static_cast<uint8_t>(Value >> 16);
+    Bytes[Off + 3] = static_cast<uint8_t>(Value >> 24);
+  }
+  uint32_t symbol(const std::string &Name) const;
+};
+
+/// Default load address; the page below it is left unmapped so stray null
+/// dereferences fault.
+inline constexpr uint32_t DefaultBase = 0x1000;
+
+/// Lays out \p Prog into an image. Fatal error on unresolved symbols or
+/// out-of-range displacements (these indicate builder bugs, not user input).
+Image layoutProgram(const Program &Prog, uint32_t Base = DefaultBase);
+
+/// Encodes one symbolic instruction at address \p PC, resolving any symbol
+/// through \p Syms. Shared by the linker and by squash's rewriter (which
+/// uses it with a symbol map whose entries for compressed code point at
+/// entry stubs).
+uint32_t encodeInst(const Inst &I, uint32_t PC,
+                    const std::unordered_map<std::string, uint32_t> &Syms);
+
+/// Computes the Alpha-style hi/lo split of \p Value such that
+/// (sext(Hi) << 16) + sext(Lo) == Value.
+void splitHiLo(uint32_t Value, uint16_t &Hi, uint16_t &Lo);
+
+} // namespace vea
+
+#endif // SQUASH_LINK_LAYOUT_H

@@ -1,0 +1,157 @@
+//===- sim/Machine.h - VEA-32 interpreter ----------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A byte-addressed VEA-32 machine: executes an Image, provides the I/O
+/// syscalls workloads use, collects the per-basic-block execution profile
+/// squash consumes (the paper's "execution counts for the program's basic
+/// blocks"), and accounts cycles. The squash runtime plugs in through the
+/// TrapHandler interface: when the PC enters a registered address range the
+/// handler (the decompressor) takes over, exactly as the trap would land in
+/// the native decompressor's code on the paper's Alpha.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SIM_MACHINE_H
+#define SQUASH_SIM_MACHINE_H
+
+#include "isa/Isa.h"
+#include "link/Layout.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vea {
+
+class Machine;
+
+/// Hook invoked when execution reaches a registered address range. The
+/// squash runtime (entry stubs' decompressor target) implements this.
+class TrapHandler {
+public:
+  virtual ~TrapHandler();
+
+  /// Called instead of fetching at \p PC. Must update machine state
+  /// (registers, memory, PC) and return true, or call Machine::fault() and
+  /// return false.
+  virtual bool handleTrap(Machine &M, uint32_t PC) = 0;
+};
+
+enum class RunStatus : uint8_t {
+  Halted,    ///< Program executed sys Halt.
+  Fault,     ///< Illegal instruction, bad memory access, etc.
+  InstLimit, ///< Instruction budget exhausted (runaway guard).
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Fault;
+  uint32_t ExitCode = 0;
+  std::string FaultMessage;
+  uint64_t Instructions = 0; ///< Program instructions retired.
+  uint64_t Cycles = 0;       ///< Instructions + charged runtime-service work.
+};
+
+/// The per-basic-block execution profile squash consumes.
+struct Profile {
+  std::vector<uint64_t> BlockCounts; ///< Indexed by Cfg block id.
+  uint64_t TotalInstructions = 0;    ///< The paper's tot_instr_ct.
+};
+
+class Machine {
+public:
+  struct Config {
+    uint32_t MemBytes = 8u << 20;
+    uint64_t MaxInstructions = 2'000'000'000ull;
+    bool CollectBlockProfile = false;
+  };
+
+  explicit Machine(const Image &Img, Config Cfg);
+  explicit Machine(const Image &Img);
+
+  void setInput(std::vector<uint8_t> Input);
+  const std::vector<uint8_t> &output() const { return Out; }
+
+  /// Registers \p Handler for PCs in [Begin, End).
+  void registerTrapRange(uint32_t Begin, uint32_t End, TrapHandler *Handler);
+
+  /// Runs until halt, fault, or the instruction limit.
+  RunResult run();
+
+  /// Returns the collected block profile (requires CollectBlockProfile).
+  Profile takeProfile();
+
+  // --- State access for trap handlers and tests --------------------------
+  uint32_t reg(unsigned R) const {
+    return R == RegZero ? 0 : Regs[R];
+  }
+  void setReg(unsigned R, uint32_t Value) {
+    if (R != RegZero)
+      Regs[R] = Value;
+  }
+  uint32_t pc() const { return PC; }
+  void setPC(uint32_t NewPC) { PC = NewPC; }
+
+  /// Checked loads/stores; on failure record a fault and return false.
+  bool loadWord(uint32_t Addr, uint32_t &Value);
+  bool storeWord(uint32_t Addr, uint32_t Value);
+  bool loadByte(uint32_t Addr, uint8_t &Value);
+  bool storeByte(uint32_t Addr, uint8_t Value);
+
+  /// Charges extra cycles (runtime-service work such as decompression).
+  void addCycles(uint64_t N) { Cycles += N; }
+  uint64_t cycles() const { return Cycles; }
+  uint64_t instructions() const { return Insts; }
+
+  /// Records a fault; the run loop stops after the current step.
+  void fault(const std::string &Message);
+  bool faulted() const { return Faulted; }
+
+  uint32_t memBytes() const { return static_cast<uint32_t>(Mem.size()); }
+
+  /// Raw memory access for privileged runtime services (the decompressor
+  /// reads the compressed blob directly, as native code would).
+  const uint8_t *memData() const { return Mem.data(); }
+
+private:
+  bool step(); ///< Returns false when the run should stop.
+  void execSys(uint32_t Func);
+
+  std::vector<uint8_t> Mem;
+  std::array<uint32_t, NumRegs> Regs = {};
+  uint32_t PC = 0;
+  uint32_t Base = 0; ///< Lowest mapped address (null page below faults).
+
+  std::vector<uint8_t> In;
+  size_t InPos = 0;
+  std::vector<uint8_t> Out;
+
+  uint64_t Insts = 0;
+  uint64_t Cycles = 0;
+  uint64_t MaxInsts;
+
+  bool Halted = false;
+  uint32_t ExitCode = 0;
+  bool Faulted = false;
+  bool PCOverridden = false; ///< Set by longjmp; suppresses PC += 4.
+  std::string FaultMessage;
+
+  // Trap dispatch.
+  uint32_t TrapBegin = 0, TrapEnd = 0;
+  TrapHandler *Trap = nullptr;
+
+  // Profiling.
+  bool ProfileOn = false;
+  uint32_t CodeBase = 0, CodeLimit = 0;
+  std::vector<int32_t> BlockOfWord; ///< -1 if not a block start.
+  std::vector<uint64_t> BlockCounts;
+};
+
+} // namespace vea
+
+#endif // SQUASH_SIM_MACHINE_H

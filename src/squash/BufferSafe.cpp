@@ -1,0 +1,74 @@
+//===- squash/BufferSafe.cpp - Buffer-safety analysis ---------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/BufferSafe.h"
+
+using namespace squash;
+using vea::Cfg;
+
+std::vector<uint8_t> squash::analyzeBufferSafe(const Cfg &G,
+                                               const Partition &Part,
+                                               BufferSafeStats *Stats) {
+  unsigned NumFuncs = G.numFunctions();
+  std::vector<uint8_t> Unsafe(NumFuncs, 0);
+
+  // Seed: functions containing a compressed block invoke the decompressor
+  // when entered; functions with indirect calls may reach anything.
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    unsigned F = G.functionOf(Id);
+    if (Part.RegionOf[Id] >= 0)
+      Unsafe[F] = 1;
+    if (G.hasIndirectCall(Id))
+      Unsafe[F] = 1;
+  }
+
+  // Propagate backwards over the call graph: a caller of an unsafe callee
+  // is unsafe. Iterate to a fixpoint (the graph is small).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+      unsigned F = G.functionOf(Id);
+      if (Unsafe[F])
+        continue;
+      for (unsigned Callee : G.callees(Id)) {
+        if (Unsafe[G.functionOf(Callee)]) {
+          Unsafe[F] = 1;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<uint8_t> Safe(NumFuncs);
+  for (unsigned F = 0; F != NumFuncs; ++F)
+    Safe[F] = !Unsafe[F];
+
+  if (Stats) {
+    Stats->Functions = NumFuncs;
+    Stats->SafeFunctions = 0;
+    for (unsigned F = 0; F != NumFuncs; ++F)
+      if (Safe[F])
+        ++Stats->SafeFunctions;
+    Stats->CallSitesFromRegions = 0;
+    Stats->SafeCallSitesFromRegions = 0;
+    for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+      if (Part.RegionOf[Id] < 0)
+        continue;
+      for (unsigned Callee : G.callees(Id)) {
+        // Intra-region calls need no stub regardless.
+        if (Part.sameRegion(Id, Callee))
+          continue;
+        ++Stats->CallSitesFromRegions;
+        if (Safe[G.functionOf(Callee)])
+          ++Stats->SafeCallSitesFromRegions;
+      }
+    }
+  }
+  return Safe;
+}

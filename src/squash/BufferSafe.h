@@ -1,0 +1,42 @@
+//===- squash/BufferSafe.h - Buffer-safety analysis ------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.1: a callee is buffer-safe if neither it nor anything it can
+/// call will invoke the decompressor. Calls from compressed code to
+/// buffer-safe functions need no restore stub and no caller
+/// re-decompression. The analysis seeds non-safety at functions containing
+/// compressed blocks or indirect calls (whose targets may be unsafe) and
+/// propagates backwards over the call graph to a fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_BUFFERSAFE_H
+#define SQUASH_SQUASH_BUFFERSAFE_H
+
+#include "ir/IR.h"
+#include "squash/Regions.h"
+
+#include <vector>
+
+namespace squash {
+
+struct BufferSafeStats {
+  unsigned Functions = 0;
+  unsigned SafeFunctions = 0;
+  unsigned CallSitesFromRegions = 0;     ///< Static calls in compressed code.
+  unsigned SafeCallSitesFromRegions = 0; ///< ... whose callee is buffer-safe.
+};
+
+/// Returns one flag per function (Cfg function index): 1 = buffer-safe.
+std::vector<uint8_t> analyzeBufferSafe(const vea::Cfg &G,
+                                       const Partition &Part,
+                                       BufferSafeStats *Stats = nullptr);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_BUFFERSAFE_H

@@ -1,0 +1,66 @@
+//===- squash/ColdCode.cpp - Profile-based cold code identification -------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/ColdCode.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace squash;
+
+ColdCodeResult squash::identifyColdCode(const vea::Cfg &G,
+                                        const vea::Profile &Prof,
+                                        double Theta) {
+  if (Prof.BlockCounts.size() != G.numBlocks())
+    vea::reportFatalError("cold-code: profile does not match program");
+
+  ColdCodeResult R;
+  R.IsCold.assign(G.numBlocks(), 0);
+
+  // Consider blocks in increasing order of execution frequency and find the
+  // largest frequency N whose cumulative weight stays within
+  // θ * tot_instr_ct. weight(b) = |b| * freq(b).
+  std::vector<unsigned> Order(G.numBlocks());
+  for (unsigned I = 0; I != G.numBlocks(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return Prof.BlockCounts[A] < Prof.BlockCounts[B];
+  });
+
+  const double Budget = Theta * static_cast<double>(Prof.TotalInstructions);
+  double Cum = 0.0;
+  uint64_t Cutoff = 0;
+  size_t I = 0;
+  while (I < Order.size()) {
+    // Frequency classes are admitted whole: every block with freq <= N is
+    // cold, so a class that does not fit entirely ends the scan.
+    uint64_t Freq = Prof.BlockCounts[Order[I]];
+    double ClassWeight = 0.0;
+    size_t J = I;
+    while (J < Order.size() && Prof.BlockCounts[Order[J]] == Freq) {
+      ClassWeight += static_cast<double>(G.block(Order[J]).size()) *
+                     static_cast<double>(Freq);
+      ++J;
+    }
+    if (Cum + ClassWeight > Budget && Freq > 0)
+      break;
+    Cum += ClassWeight;
+    Cutoff = Freq;
+    I = J;
+  }
+
+  R.FrequencyCutoff = Cutoff;
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    R.TotalInstructions += G.block(Id).size();
+    if (Prof.BlockCounts[Id] <= Cutoff) {
+      R.IsCold[Id] = 1;
+      R.ColdInstructions += G.block(Id).size();
+    }
+  }
+  return R;
+}

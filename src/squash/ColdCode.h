@@ -1,0 +1,46 @@
+//===- squash/ColdCode.h - Profile-based cold code identification -*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5 of the paper: given a threshold θ, find the largest execution
+/// frequency N such that the total weight (size × frequency) of all blocks
+/// with frequency ≤ N stays within θ of the total dynamic instruction
+/// count; every block with frequency ≤ N is cold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_COLDCODE_H
+#define SQUASH_SQUASH_COLDCODE_H
+
+#include "ir/IR.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace squash {
+
+struct ColdCodeResult {
+  std::vector<uint8_t> IsCold; ///< Indexed by Cfg block id.
+  uint64_t FrequencyCutoff = 0; ///< The paper's N.
+  uint64_t ColdInstructions = 0;  ///< Static instructions in cold blocks.
+  uint64_t TotalInstructions = 0; ///< Static instructions in the program.
+
+  double coldFraction() const {
+    return TotalInstructions
+               ? static_cast<double>(ColdInstructions) / TotalInstructions
+               : 0.0;
+  }
+};
+
+/// Identifies cold blocks per Section 5. \p Theta in [0, 1].
+ColdCodeResult identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof,
+                                double Theta);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_COLDCODE_H

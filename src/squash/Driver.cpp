@@ -1,0 +1,110 @@
+//===- squash/Driver.cpp - The squash pipeline ----------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Driver.h"
+
+#include "link/Layout.h"
+#include "support/Error.h"
+
+using namespace squash;
+using namespace vea;
+
+SquashResult squash::squashProgram(Program Prog, const Profile &Prof,
+                                   const Options &Opts) {
+  SquashResult R;
+  const uint32_t OriginalCodeBytes =
+      static_cast<uint32_t>(4 * Prog.instructionCount());
+
+  // Section 5: cold code.
+  {
+    Cfg G0(Prog);
+    R.Cold = identifyColdCode(G0, Prof, Opts.Theta);
+  }
+
+  // Section 6.2: unswitch cold jump tables (block ids are stable across
+  // this pass, so the cold flags remain valid).
+  std::vector<uint8_t> Candidate = R.Cold.IsCold;
+  R.Unswitch = unswitchJumpTables(Prog, Candidate, Opts.Unswitch);
+
+  Cfg G(Prog);
+
+  // Remaining candidacy filters (Section 2.2 and conservatism around
+  // indirect control flow).
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    if (!Candidate[Id])
+      continue;
+    if (G.functionCallsSetjmp(G.functionOf(Id))) {
+      Candidate[Id] = 0; // setjmp callers are never compressed.
+      continue;
+    }
+    if (G.hasIndirectCall(Id)) {
+      // Indirect calls from the buffer would need Jsr expansion; squash
+      // conservatively leaves such blocks uncompressed (see DESIGN.md).
+      Candidate[Id] = 0;
+      continue;
+    }
+  }
+  // A computed jump with unknown targets poisons its whole function.
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    const BasicBlock &B = G.block(Id);
+    if (B.Insts.back().Op == Opcode::Jmp && !B.Switch) {
+      unsigned F = G.functionOf(Id);
+      for (unsigned J = 0; J != G.numBlocks(); ++J)
+        if (G.functionOf(J) == F)
+          Candidate[J] = 0;
+    }
+  }
+
+  // Section 4: regions.
+  Partition Part = formRegions(G, Candidate, Opts, &R.Regions);
+
+  if (Part.Regions.empty()) {
+    // Nothing profitable to compress: emit the program unchanged.
+    R.Identity = true;
+    R.SP.Img = layoutProgram(Prog);
+    R.SP.Opts = Opts;
+    R.SP.Footprint.NeverCompressedWords =
+        static_cast<uint32_t>(Prog.instructionCount());
+    R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+    return R;
+  }
+
+  // Section 6.1: buffer safety.
+  std::vector<uint8_t> Safe = analyzeBufferSafe(G, Part, &R.BufferSafe);
+
+  // Section 2: rewrite.
+  R.SP = rewriteProgram(Prog, G, Part, Safe, Opts);
+  R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+  return R;
+}
+
+SquashedRun squash::runSquashed(const SquashedProgram &SP,
+                                std::vector<uint8_t> Input,
+                                uint64_t MaxInstructions) {
+  Machine::Config Cfg;
+  Cfg.MaxInstructions = MaxInstructions;
+  Machine M(SP.Img, Cfg);
+  RuntimeSystem RT(SP);
+  RT.attach(M);
+  M.setInput(std::move(Input));
+  SquashedRun Out;
+  Out.Run = M.run();
+  Out.Runtime = RT.stats();
+  return Out;
+}
+
+Profile squash::profileImage(const Image &Img, std::vector<uint8_t> Input) {
+  Machine::Config Cfg;
+  Cfg.CollectBlockProfile = true;
+  Machine M(Img, Cfg);
+  M.setInput(std::move(Input));
+  RunResult RR = M.run();
+  if (RR.Status != RunStatus::Halted)
+    reportFatalError("profileImage: program did not halt cleanly: " +
+                     RR.FaultMessage);
+  return M.takeProfile();
+}

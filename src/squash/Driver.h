@@ -1,0 +1,69 @@
+//===- squash/Driver.h - The squash pipeline -------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level squash pipeline, mirroring the paper's tool flow:
+/// a (compacted) program plus an execution profile goes in; a runnable
+/// squashed image with full footprint accounting comes out.
+///
+///   identify cold code (Sec. 5) -> unswitch cold jump tables (Sec. 6.2)
+///   -> filter candidates (setjmp callers, indirect-call blocks)
+///   -> form + pack regions (Sec. 4) -> buffer-safety analysis (Sec. 6.1)
+///   -> rewrite (Sec. 2) -> attach the decompressor runtime and run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_DRIVER_H
+#define SQUASH_SQUASH_DRIVER_H
+
+#include "squash/BufferSafe.h"
+#include "squash/ColdCode.h"
+#include "squash/Options.h"
+#include "squash/Regions.h"
+#include "squash/Rewriter.h"
+#include "squash/Runtime.h"
+#include "squash/Unswitch.h"
+
+#include <memory>
+
+namespace squash {
+
+/// Everything squashProgram produces: the runnable image plus the stats
+/// every experiment in the paper reports.
+struct SquashResult {
+  SquashedProgram SP;
+  ColdCodeResult Cold;
+  RegionStats Regions;
+  BufferSafeStats BufferSafe;
+  UnswitchStats Unswitch;
+  /// True when no region was profitable: the "squashed" image is simply
+  /// the original layout (no machinery added, footprint unchanged).
+  bool Identity = false;
+};
+
+/// Runs the full squash pipeline on \p Prog (typically post-compaction)
+/// with profile \p Prof. \p Prog is taken by value because unswitching
+/// rewrites it.
+SquashResult squashProgram(vea::Program Prog, const vea::Profile &Prof,
+                           const Options &Opts);
+
+/// Result of executing a squashed program.
+struct SquashedRun {
+  vea::RunResult Run;
+  RuntimeSystem::Stats Runtime;
+};
+
+/// Executes a squashed image on \p Input with the decompressor attached.
+SquashedRun runSquashed(const SquashedProgram &SP, std::vector<uint8_t> Input,
+                        uint64_t MaxInstructions = 2'000'000'000ull);
+
+/// Profiles \p Img (an original / compacted image) on \p Input.
+vea::Profile profileImage(const vea::Image &Img, std::vector<uint8_t> Input);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_DRIVER_H

@@ -1,0 +1,113 @@
+//===- squash/Inspect.cpp - Squashed-image inspection ---------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Inspect.h"
+
+#include "isa/Disasm.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace squash;
+using namespace vea;
+
+static std::string line(const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return Buf;
+}
+
+std::string squash::formatSegmentMap(const SquashedProgram &SP) {
+  const RuntimeLayout &L = SP.Layout;
+  const FootprintBreakdown &F = SP.Footprint;
+  std::string Out = "segment map (Figure 1(b) organization):\n";
+  auto Row = [&](const char *Name, uint32_t Begin, uint32_t Bytes) {
+    Out += line("  %-22s 0x%06x..0x%06x  %6u bytes\n", Name, Begin,
+                Begin + Bytes, Bytes);
+  };
+  uint32_t Base = SP.Img.Base;
+  Row("never-compressed code", Base, 4 * F.NeverCompressedWords);
+  Row("entry stubs", Base + 4 * F.NeverCompressedWords,
+      4 * F.EntryStubWords);
+  Row("decompressor", L.DecompBase, L.DecompEnd - L.DecompBase);
+  Row("function offset table", L.OffsetTableBase, 4 * F.OffsetTableWords);
+  Row("restore-stub area", L.StubAreaBase, 16 * L.StubSlots);
+  Row("runtime buffer", L.BufferBase, 4 * L.BufferWords);
+  Row("compressed blob", L.BlobBase, L.BlobBytes);
+  Out += line("  total code footprint: %u bytes (original %u, reduction "
+              "%.1f%%)\n",
+              F.totalCodeBytes(), F.OriginalCodeBytes,
+              100.0 * F.reduction());
+  return Out;
+}
+
+std::string squash::formatEntryStubs(const SquashedProgram &SP) {
+  std::string Out = "entry stubs (2 words each: bsr r25,Decompress ; "
+                    "tag):\n";
+  std::vector<std::pair<uint32_t, std::string>> Stubs;
+  for (const auto &[Label, Addr] : SP.StubOf)
+    Stubs.push_back({Addr, Label});
+  std::sort(Stubs.begin(), Stubs.end());
+  for (const auto &[Addr, Label] : Stubs) {
+    uint32_t Tag = SP.Img.word(Addr + 4);
+    Out += line("  0x%06x  region %-4u offset %-5u  %s\n", Addr, Tag >> 16,
+                Tag & 0xFFFF, Label.c_str());
+  }
+  return Out;
+}
+
+std::string squash::formatRegion(const SquashedProgram &SP, unsigned Index) {
+  if (Index >= SP.Regions.size())
+    return "no such region\n";
+  const RegionImageInfo &RI = SP.Regions[Index];
+  std::string Out = line("region %u: %u stored instructions, expands to %u "
+                         "buffer words (bit offset %u)\n",
+                         Index, RI.StoredInstructions, RI.ExpandedWords,
+                         RI.BitOffset);
+
+  // Decode straight from the in-image blob, as the runtime does.
+  const uint8_t *Blob =
+      SP.Img.Bytes.data() + (SP.Layout.BlobBase - SP.Img.Base);
+  BitReader Reader(Blob, SP.Layout.BlobBytes);
+  Reader.seekBit(RI.BitOffset);
+  StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+
+  uint32_t BufAddr = SP.Layout.BufferBase + 4;
+  MInst I;
+  while (Dec.next(I)) {
+    if (I.Op == Opcode::Bsrx) {
+      Out += line("  [buf+%4u] bsrx r%u, %+d   ; expands to: bsr "
+                  "r%u,CreateStub ; br <callee>\n",
+                  (BufAddr - SP.Layout.BufferBase) / 4, I.ra(), I.disp21(),
+                  I.ra());
+      BufAddr += 8;
+      continue;
+    }
+    Out += line("  [buf+%4u] %s\n", (BufAddr - SP.Layout.BufferBase) / 4,
+                disassemble(I, BufAddr).c_str());
+    BufAddr += 4;
+  }
+  if (!Dec.ok())
+    Out += "  <corrupt stream>\n";
+  return Out;
+}
+
+std::string squash::formatRegionTable(const SquashedProgram &SP) {
+  std::string Out = line("%-8s %8s %9s %7s %7s %10s\n", "region", "stored",
+                         "expanded", "stubs", "calls", "bit offset");
+  for (unsigned R = 0; R != SP.Regions.size(); ++R) {
+    const RegionImageInfo &RI = SP.Regions[R];
+    Out += line("%-8u %8u %9u %7u %7u %10u\n", R, RI.StoredInstructions,
+                RI.ExpandedWords, RI.NumEntryStubs, RI.ExternalCalls,
+                RI.BitOffset);
+  }
+  return Out;
+}

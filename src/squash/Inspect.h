@@ -1,0 +1,45 @@
+//===- squash/Inspect.h - Squashed-image inspection ------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// objdump-style textual reports over squashed programs: the segment map
+/// (Figure 1(b)'s code organization), entry-stub listings with decoded
+/// tags, and per-region disassembly of the *stored* (compressed)
+/// instruction sequences including the Bsrx pseudo-instructions the
+/// decompressor expands. Used by the `squash_tool` example and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_INSPECT_H
+#define SQUASH_SQUASH_INSPECT_H
+
+#include "squash/Rewriter.h"
+
+#include <string>
+
+namespace squash {
+
+/// Renders the segment map: address ranges and sizes of each part of the
+/// squashed image, with the footprint accounting.
+std::string formatSegmentMap(const SquashedProgram &SP);
+
+/// Renders every entry stub: address, target region, buffer offset, and
+/// the label it stands for.
+std::string formatEntryStubs(const SquashedProgram &SP);
+
+/// Disassembles the stored instruction sequence of region \p Index by
+/// decoding it from the image's compressed blob (exactly what the runtime
+/// decompressor reads). Bsrx rows are annotated with their expansion.
+std::string formatRegion(const SquashedProgram &SP, unsigned Index);
+
+/// Renders per-region summary rows: stored/expanded sizes, entry stubs,
+/// call counts, bit offsets.
+std::string formatRegionTable(const SquashedProgram &SP);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_INSPECT_H

@@ -1,0 +1,90 @@
+//===- squash/Options.h - squash configuration -----------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration knobs for the squash pipeline. Defaults follow the paper:
+/// cold-code threshold θ, runtime-buffer size bound K = 512 bytes, assumed
+/// compression factor γ = 0.66 (Section 3 reports compressed size ≈ 66% of
+/// the original), and the optimizations of Sections 4 and 6 enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_OPTIONS_H
+#define SQUASH_SQUASH_OPTIONS_H
+
+#include <cstdint>
+
+namespace squash {
+
+/// Cycle charges for the simulated runtime services (see DESIGN.md §6).
+struct CostModel {
+  uint64_t DecompSetupCycles = 64;    ///< Register save/restore + dispatch.
+  uint64_t CyclesPerDecodedInstr = 24; ///< Canonical Huffman decode work.
+  uint64_t IcacheFlushCycles = 32;    ///< Post-decompression flush.
+  uint64_t CreateStubCycles = 16;     ///< Restore-stub create/reuse.
+};
+
+struct Options {
+  /// The paper's θ: cold code may account for at most this fraction of the
+  /// dynamic instruction count (Section 5).
+  double Theta = 0.0;
+
+  /// The paper's K: upper bound, in bytes, on the runtime buffer used to
+  /// guide region formation (Section 4; default 512, chosen empirically in
+  /// Figure 3).
+  uint32_t BufferBoundBytes = 512;
+
+  /// Assumed fixed compression factor γ used by the region profitability
+  /// test E < (1-γ)I (Section 4).
+  double Gamma = 0.66;
+
+  /// Enables the region-packing post-pass (Section 4).
+  bool PackRegions = true;
+
+  /// Uses whole program-specified functions as the unit of compression
+  /// instead of Section 4's sub-function regions. This is the strawman the
+  /// paper argues against: a function is compressible only if *all* its
+  /// blocks are cold, and the runtime buffer must hold the largest
+  /// compressed function. Provided for the ablation benchmark; the paper's
+  /// region scheme is the default.
+  bool WholeFunctionRegions = false;
+
+  /// Enables the buffer-safe call optimization (Section 6.1).
+  bool BufferSafeCalls = true;
+
+  /// Enables unswitching of cold jump tables (Section 6.2); when false,
+  /// switch blocks and their targets are simply excluded from compression.
+  bool Unswitch = true;
+
+  /// Move-to-front transform ahead of the Huffman coder (Section 3 notes
+  /// it helps some streams but grows the decompressor).
+  bool MoveToFront = false;
+
+  /// Delta-encodes the displacement streams (disp16/disp21) before entropy
+  /// coding — one of the "other algorithms for compression" the paper's
+  /// future work contemplates. Resets at region boundaries.
+  bool DeltaDisplacements = false;
+
+  /// If true, a decompression request for the region already in the buffer
+  /// is satisfied without re-decoding. The paper's decompressor always
+  /// re-decodes; this knob exists for the ablation benchmark.
+  bool ReuseBufferedRegion = false;
+
+  /// Capacity of the restore-stub area (the paper observed at most 9 live
+  /// stubs even at θ = 0.01).
+  uint32_t MaxRestoreStubs = 32;
+
+  /// Size of the reserved decompressor code region, in words (the paper's
+  /// decompressor is a small native routine; 256 words = 1 KB).
+  uint32_t DecompressorCodeWords = 256;
+
+  CostModel Costs;
+};
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_OPTIONS_H

@@ -1,0 +1,347 @@
+//===- squash/Regions.cpp - Compressible region formation -----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Regions.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+using namespace squash;
+using vea::Cfg;
+
+namespace {
+
+/// Precomputed call-graph reverse edges and entry-ness inputs shared by the
+/// formation and packing phases.
+struct EntryContext {
+  explicit EntryContext(const Cfg &G) : G(G) {
+    CallersOf.resize(G.numBlocks());
+    for (unsigned Id = 0; Id != G.numBlocks(); ++Id)
+      for (unsigned Callee : G.callees(Id))
+        CallersOf[Callee].push_back(Id);
+    ProgramEntry = G.idOf(G.program().EntryFunction);
+  }
+
+  /// True if block \p B must have an entry stub when compressed into region
+  /// \p Self under the assignment \p RegionOf: some entry source lies
+  /// outside the region. Any caller at all forces a stub, because calls
+  /// from compressed code always route through the callee's entry stub
+  /// (only buffer-safe callees are called directly, and those are never
+  /// compressed).
+  bool isEntry(unsigned B, const std::vector<int32_t> &RegionOf,
+               int32_t Self) const {
+    if (B == ProgramEntry || G.isAddressTaken(B))
+      return true;
+    if (!CallersOf[B].empty())
+      return true;
+    for (unsigned P : G.preds(B))
+      if (RegionOf[P] != Self)
+        return true;
+    return false;
+  }
+
+  /// Region ids (with -1 for never-compressed) of all entry sources of
+  /// block \p B outside region \p Self. Address-taken blocks and the
+  /// program entry report the pseudo-source -2, which no merge can absorb.
+  void externalSources(unsigned B, const std::vector<int32_t> &RegionOf,
+                       int32_t Self, std::unordered_set<int32_t> &Out) const {
+    if (B == ProgramEntry || G.isAddressTaken(B) || !CallersOf[B].empty())
+      Out.insert(-2); // Sources no merge can absorb.
+    for (unsigned P : G.preds(B))
+      if (RegionOf[P] != Self)
+        Out.insert(RegionOf[P]);
+  }
+
+  const Cfg &G;
+  std::vector<std::vector<unsigned>> CallersOf;
+  unsigned ProgramEntry = 0;
+};
+
+} // namespace
+
+std::vector<unsigned>
+squash::regionEntryPoints(const Cfg &G, const std::vector<unsigned> &Blocks,
+                          const std::vector<int32_t> &RegionOf,
+                          int32_t SelfRegion) {
+  EntryContext Ctx(G);
+  std::vector<unsigned> Entries;
+  for (unsigned B : Blocks)
+    if (Ctx.isEntry(B, RegionOf, SelfRegion))
+      Entries.push_back(B);
+  return Entries;
+}
+
+/// True if \p A's terminator permits falling through to the next block.
+static bool fallsThrough(const Cfg &G, unsigned A) {
+  return G.block(A).canFallThrough();
+}
+
+//===----------------------------------------------------------------------===//
+// Initial DFS regions
+//===----------------------------------------------------------------------===//
+
+static void formInitialRegions(const Cfg &G, const EntryContext &Ctx,
+                               const std::vector<uint8_t> &Compressible,
+                               const Options &Opts, Partition &Part,
+                               RegionStats &Stats) {
+  const uint32_t KWords = std::max<uint32_t>(1, Opts.BufferBoundBytes / 4);
+  std::vector<uint8_t> FailedRoot(G.numBlocks(), 0);
+
+  for (unsigned Root = 0; Root != G.numBlocks(); ++Root) {
+    if (!Compressible[Root] || Part.RegionOf[Root] >= 0 || FailedRoot[Root])
+      continue;
+    unsigned Func = G.functionOf(Root);
+
+    // Depth-first search bounded to K instructions, compressible blocks,
+    // a single function (Section 4).
+    std::vector<unsigned> Tree;
+    std::unordered_set<unsigned> InTree;
+    uint32_t TreeWords = 0;
+    std::vector<unsigned> Stack = {Root};
+    while (!Stack.empty()) {
+      unsigned B = Stack.back();
+      Stack.pop_back();
+      if (InTree.count(B) || !Compressible[B] || Part.RegionOf[B] >= 0 ||
+          G.functionOf(B) != Func)
+        continue;
+      uint32_t Size = G.block(B).size();
+      if (TreeWords + Size > KWords)
+        continue;
+      InTree.insert(B);
+      Tree.push_back(B);
+      TreeWords += Size;
+      for (unsigned S : G.succs(B))
+        Stack.push_back(S);
+    }
+    if (Tree.empty())
+      continue;
+
+    // Profitability: entry stubs cost E instructions; compression saves
+    // (1 - γ) I.
+    std::sort(Tree.begin(), Tree.end());
+    int32_t Self = static_cast<int32_t>(Part.Regions.size());
+    auto Trial = Part.RegionOf;
+    for (unsigned B : Tree)
+      Trial[B] = Self;
+    unsigned NumEntries = 0;
+    for (unsigned B : Tree)
+      if (Ctx.isEntry(B, Trial, Self))
+        ++NumEntries;
+    double SavedWords = (1.0 - Opts.Gamma) * TreeWords;
+    double StubWords = 2.0 * NumEntries;
+    if (StubWords >= SavedWords) {
+      FailedRoot[Root] = 1;
+      ++Stats.RejectedRoots;
+      continue;
+    }
+
+    Region R;
+    R.Blocks = std::move(Tree);
+    for (unsigned B : R.Blocks)
+      Part.RegionOf[B] = Self;
+    Part.Regions.push_back(std::move(R));
+  }
+  Stats.InitialRegions = Part.Regions.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Packing (greedy pair merging)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Heuristic weights for the paper's packing savings: a merge saves the
+/// offset-table word, two words per removable entry stub, the extra buffer
+/// word plus restore-stub traffic per internalized call, and one word per
+/// fallthrough edge that no longer needs an explicit jump.
+constexpr uint32_t OffsetWordSaving = 1;
+constexpr uint32_t EntryStubSaving = 2;
+constexpr uint32_t FallthroughSaving = 1;
+} // namespace
+
+static void packRegions(const Cfg &G, const EntryContext &Ctx,
+                        const Options &Opts, Partition &Part,
+                        RegionStats &Stats) {
+  const uint32_t KWords = std::max<uint32_t>(1, Opts.BufferBoundBytes / 4);
+
+  std::vector<uint32_t> SizeOf(Part.Regions.size());
+  std::vector<uint8_t> Dead(Part.Regions.size(), 0);
+  for (size_t I = 0; I != Part.Regions.size(); ++I)
+    SizeOf[I] = Part.Regions[I].sizeWords(G);
+
+  auto Merge = [&](int32_t A, int32_t B) {
+    // Merge B into A.
+    auto &RA = Part.Regions[A].Blocks;
+    auto &RB = Part.Regions[B].Blocks;
+    RA.insert(RA.end(), RB.begin(), RB.end());
+    std::sort(RA.begin(), RA.end());
+    for (unsigned Blk : RB)
+      Part.RegionOf[Blk] = A;
+    SizeOf[A] += SizeOf[B];
+    RB.clear();
+    Dead[B] = 1;
+    ++Stats.Merges;
+  };
+
+  // Phase 1: merge connected pairs by exact savings.
+  for (;;) {
+    std::map<std::pair<int32_t, int32_t>, uint32_t> PairSavings;
+    auto Credit = [&](int32_t A, int32_t B, uint32_t W) {
+      if (A < 0 || B < 0 || A == B)
+        return;
+      auto Key = std::minmax(A, B);
+      PairSavings[{Key.first, Key.second}] += W;
+    };
+
+    for (unsigned Blk = 0; Blk != G.numBlocks(); ++Blk) {
+      int32_t RB = Part.RegionOf[Blk];
+      // Entry-stub removal: creditable when the block has exactly one
+      // external source region (which must itself be a region).
+      if (RB >= 0 && Ctx.isEntry(Blk, Part.RegionOf, RB)) {
+        std::unordered_set<int32_t> Sources;
+        Ctx.externalSources(Blk, Part.RegionOf, RB, Sources);
+        if (Sources.size() == 1 && *Sources.begin() >= 0)
+          Credit(RB, *Sources.begin(), EntryStubSaving);
+      }
+      // (Calls never merge away: they always route through entry stubs and
+      // restore stubs, so they earn no packing credit.)
+      // Original-order fallthrough across regions.
+      if (RB >= 0 && Blk + 1 < G.numBlocks() &&
+          G.functionOf(Blk) == G.functionOf(Blk + 1) &&
+          fallsThrough(G, Blk) && Part.RegionOf[Blk + 1] >= 0 &&
+          Part.RegionOf[Blk + 1] != RB)
+        Credit(RB, Part.RegionOf[Blk + 1], FallthroughSaving);
+    }
+
+    int32_t BestA = -1, BestB = -1;
+    uint32_t BestSavings = 0;
+    for (const auto &[Key, W] : PairSavings) {
+      uint32_t Total = W + OffsetWordSaving;
+      if (SizeOf[Key.first] + SizeOf[Key.second] > KWords)
+        continue;
+      if (Total > BestSavings) {
+        BestSavings = Total;
+        BestA = Key.first;
+        BestB = Key.second;
+      }
+    }
+    if (BestA < 0 || BestSavings <= OffsetWordSaving)
+      break;
+    Merge(BestA, BestB);
+  }
+
+  // Phase 2: bin-pack the remainder (each merge still saves the offset
+  // word). First-fit decreasing over live regions.
+  std::vector<int32_t> Live;
+  for (size_t I = 0; I != Part.Regions.size(); ++I)
+    if (!Dead[I])
+      Live.push_back(static_cast<int32_t>(I));
+  std::sort(Live.begin(), Live.end(), [&](int32_t A, int32_t B) {
+    return SizeOf[A] > SizeOf[B];
+  });
+  std::vector<int32_t> Bins;
+  for (int32_t R : Live) {
+    bool Placed = false;
+    for (int32_t Bin : Bins) {
+      if (SizeOf[Bin] + SizeOf[R] <= KWords) {
+        Merge(Bin, R);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Bins.push_back(R);
+  }
+
+  // Compact the region list and renumber.
+  std::vector<Region> NewRegions;
+  std::vector<int32_t> NewIndex(Part.Regions.size(), -1);
+  for (size_t I = 0; I != Part.Regions.size(); ++I) {
+    if (Dead[I] || Part.Regions[I].Blocks.empty())
+      continue;
+    NewIndex[I] = static_cast<int32_t>(NewRegions.size());
+    NewRegions.push_back(std::move(Part.Regions[I]));
+  }
+  for (auto &R : Part.RegionOf)
+    if (R >= 0)
+      R = NewIndex[R];
+  Part.Regions = std::move(NewRegions);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-function regions (the strawman of Section 4, kept for ablation)
+//===----------------------------------------------------------------------===//
+
+/// One region per fully-cold function; no K bound (the runtime buffer must
+/// hold the largest compressed function, which is exactly the problem the
+/// paper's sub-function regions solve).
+static void formWholeFunctionRegions(const Cfg &G, const EntryContext &Ctx,
+                                     const std::vector<uint8_t> &Compressible,
+                                     const Options &Opts, Partition &Part,
+                                     RegionStats &Stats) {
+  for (unsigned FI = 0; FI != G.numFunctions(); ++FI) {
+    unsigned Begin = G.entryBlock(FI);
+    unsigned End = FI + 1 == G.numFunctions() ? G.numBlocks()
+                                              : G.entryBlock(FI + 1);
+    bool AllCold = true;
+    uint32_t Words = 0;
+    for (unsigned B = Begin; B != End; ++B) {
+      AllCold &= Compressible[B] != 0;
+      Words += G.block(B).size();
+    }
+    if (!AllCold)
+      continue;
+
+    int32_t Self = static_cast<int32_t>(Part.Regions.size());
+    Region R;
+    for (unsigned B = Begin; B != End; ++B)
+      R.Blocks.push_back(B);
+    auto Trial = Part.RegionOf;
+    for (unsigned B : R.Blocks)
+      Trial[B] = Self;
+    unsigned NumEntries = 0;
+    for (unsigned B : R.Blocks)
+      if (Ctx.isEntry(B, Trial, Self))
+        ++NumEntries;
+    if (2.0 * NumEntries >= (1.0 - Opts.Gamma) * Words) {
+      ++Stats.RejectedRoots;
+      continue;
+    }
+    for (unsigned B : R.Blocks)
+      Part.RegionOf[B] = Self;
+    Part.Regions.push_back(std::move(R));
+  }
+  Stats.InitialRegions = Part.Regions.size();
+}
+
+Partition squash::formRegions(const Cfg &G,
+                              const std::vector<uint8_t> &Compressible,
+                              const Options &Opts, RegionStats *StatsOut) {
+  if (Compressible.size() != G.numBlocks())
+    vea::reportFatalError("regions: candidate set does not match program");
+
+  Partition Part;
+  Part.RegionOf.assign(G.numBlocks(), -1);
+  RegionStats Stats;
+  EntryContext Ctx(G);
+
+  if (Opts.WholeFunctionRegions) {
+    formWholeFunctionRegions(G, Ctx, Compressible, Opts, Part, Stats);
+  } else {
+    formInitialRegions(G, Ctx, Compressible, Opts, Part, Stats);
+    if (Opts.PackRegions)
+      packRegions(G, Ctx, Opts, Part, Stats);
+  }
+
+  Stats.PackedRegions = Part.Regions.size();
+  Stats.CompressibleInstructions = Part.compressedInstructions(G);
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Part;
+}

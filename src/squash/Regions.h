@@ -1,0 +1,84 @@
+//===- squash/Regions.h - Compressible region formation --------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4 of the paper: partition a subset of the compressible blocks
+/// into regions. Exact optimization is NP-hard (PARTITION reduces to it), so
+/// squash uses the paper's heuristic: depth-first-search trees of
+/// compressible blocks from a single function, bounded by K instructions,
+/// kept when the entry-stub cost E is below the estimated savings (1-γ)I;
+/// followed by a greedy packing pass that merges the pair of regions with
+/// the highest savings until no profitable merge remains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_REGIONS_H
+#define SQUASH_SQUASH_REGIONS_H
+
+#include "ir/IR.h"
+#include "squash/Options.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace squash {
+
+/// A compressible region: an ordered set of block ids (original program
+/// order, which maximizes preserved fallthroughs when the region is laid
+/// out in the runtime buffer).
+struct Region {
+  std::vector<unsigned> Blocks;
+  uint32_t sizeWords(const vea::Cfg &G) const {
+    uint32_t N = 0;
+    for (unsigned B : Blocks)
+      N += G.block(B).size();
+    return N;
+  }
+};
+
+/// The partition: region list plus a per-block region index (-1 = never
+/// compressed).
+struct Partition {
+  std::vector<Region> Regions;
+  std::vector<int32_t> RegionOf; ///< Indexed by block id; -1 if none.
+
+  bool sameRegion(unsigned A, unsigned B) const {
+    return RegionOf[A] >= 0 && RegionOf[A] == RegionOf[B];
+  }
+  uint64_t compressedInstructions(const vea::Cfg &G) const {
+    uint64_t N = 0;
+    for (const auto &R : Regions)
+      N += R.sizeWords(G);
+    return N;
+  }
+};
+
+struct RegionStats {
+  uint64_t InitialRegions = 0;  ///< Accepted DFS trees before packing.
+  uint64_t PackedRegions = 0;   ///< Regions after packing.
+  uint64_t Merges = 0;
+  uint64_t RejectedRoots = 0;   ///< DFS roots whose tree was unprofitable.
+  uint64_t CompressibleInstructions = 0;
+};
+
+/// Identifies the entry points of a hypothetical region \p Blocks: blocks
+/// entered from outside the region by a branch/fallthrough edge, called
+/// from outside, address-taken, or the program entry. Exposed for the
+/// rewriter, the cost model, and tests.
+std::vector<unsigned> regionEntryPoints(const vea::Cfg &G,
+                                        const std::vector<unsigned> &Blocks,
+                                        const std::vector<int32_t> &RegionOf,
+                                        int32_t SelfRegion);
+
+/// Forms regions over the candidate blocks \p Compressible (Section 4).
+Partition formRegions(const vea::Cfg &G,
+                      const std::vector<uint8_t> &Compressible,
+                      const Options &Opts, RegionStats *Stats = nullptr);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_REGIONS_H

@@ -1,0 +1,400 @@
+//===- squash/Rewriter.cpp - Squashed image construction ------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Rewriter.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace squash;
+using namespace vea;
+
+namespace {
+
+class Rewriter {
+public:
+  Rewriter(const Program &Prog, const Cfg &G, const Partition &Part,
+           const std::vector<uint8_t> &Safe, const Options &Opts)
+      : Prog(Prog), G(G), Part(Part), Safe(Safe), Opts(Opts) {}
+
+  SquashedProgram run();
+
+private:
+  /// Block id of the fallthrough successor, or -1.
+  int32_t ftOf(unsigned B) const {
+    if (!G.block(B).canFallThrough())
+      return -1;
+    const BlockRef &R = G.ref(B);
+    if (R.BlockIdx + 1 >= Prog.Functions[R.FuncIdx].Blocks.size())
+      return -1;
+    return static_cast<int32_t>(B + 1);
+  }
+
+  /// True if a region block needs an explicit branch appended for its
+  /// fallthrough edge (target not adjacent in the region layout).
+  bool regionNeedsBr(unsigned B) const {
+    int32_t Ft = ftOf(B);
+    return Ft >= 0 && Part.RegionOf[Ft] != Part.RegionOf[B];
+  }
+  /// Same for a never-compressed block (targets that got compressed moved
+  /// away; never-compressed neighbours stay adjacent).
+  bool ncNeedsBr(unsigned B) const {
+    int32_t Ft = ftOf(B);
+    return Ft >= 0 && Part.RegionOf[Ft] >= 0;
+  }
+
+  /// True if call instruction \p I needs restore-stub treatment (becomes
+  /// Bsrx). Every call out of compressed code does, unless the callee is
+  /// buffer-safe (Section 6.1): even a callee in the *same* region may
+  /// reach other regions and return with the buffer holding someone else,
+  /// so only buffer-safety can justify a plain call.
+  bool isStubCall(const Inst &I, int32_t /*Self*/) const {
+    if (I.Op != Opcode::Bsr || I.Reloc != RelocKind::BranchDisp)
+      return false;
+    unsigned Callee = G.idOf(I.Symbol);
+    if (Opts.BufferSafeCalls && Safe[G.functionOf(Callee)])
+      return false; // Section 6.1.
+    return true;
+  }
+
+  /// Final address external code should use to reach block \p B.
+  uint32_t redirect(unsigned B) const {
+    if (Part.RegionOf[B] < 0)
+      return NCAddr[B];
+    int32_t S = StubIndexOf[B];
+    if (S < 0)
+      reportFatalError("rewriter: reference to compressed block '" +
+                       G.block(B).Label + "' without an entry stub");
+    return StubAddrs[S];
+  }
+
+  static int32_t brDisp(uint32_t From, uint32_t Target) {
+    int64_t D = (static_cast<int64_t>(Target) -
+                 (static_cast<int64_t>(From) + 4)) /
+                4;
+    if ((static_cast<int64_t>(Target) - (static_cast<int64_t>(From) + 4)) %
+            4 !=
+        0)
+      reportFatalError("rewriter: misaligned branch target");
+    if (D < -(1 << 20) || D >= (1 << 20))
+      reportFatalError("rewriter: branch displacement out of range");
+    return static_cast<int32_t>(D);
+  }
+
+  uint32_t bufAddr(uint32_t ExpOff) const {
+    return L.BufferBase + 4 + 4 * ExpOff;
+  }
+
+  void computeEntries();
+  void computeExpandedOffsets();
+  void layout();
+  void lowerRegions();
+  void emit();
+
+  const Program &Prog;
+  const Cfg &G;
+  const Partition &Part;
+  const std::vector<uint8_t> &Safe;
+  const Options &Opts;
+
+  SquashedProgram Out;
+  RuntimeLayout L;
+
+  std::vector<int32_t> ExpOffset;   ///< Per block: offset in region layout.
+  std::vector<uint32_t> NCAddr;     ///< Per block: never-compressed address.
+  std::vector<int32_t> StubIndexOf; ///< Per block: entry stub index or -1.
+  std::vector<unsigned> StubBlocks; ///< Stub index -> block id.
+  std::vector<int32_t> StubRegion;  ///< Stub index -> region.
+  std::vector<uint32_t> StubAddrs;  ///< Stub index -> address.
+  std::vector<uint32_t> ExpandedWords; ///< Per region.
+  std::vector<std::vector<MInst>> Stored; ///< Per region: stored insts.
+  std::unordered_map<std::string, uint32_t> Syms;
+  uint32_t NCWords = 0;
+  uint32_t DataBase = 0;
+};
+
+} // namespace
+
+void Rewriter::computeEntries() {
+  StubIndexOf.assign(G.numBlocks(), -1);
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    std::vector<unsigned> Entries = regionEntryPoints(
+        G, Part.Regions[R].Blocks, Part.RegionOf, static_cast<int32_t>(R));
+    for (unsigned E : Entries) {
+      StubIndexOf[E] = static_cast<int32_t>(StubBlocks.size());
+      StubBlocks.push_back(E);
+      StubRegion.push_back(static_cast<int32_t>(R));
+    }
+  }
+}
+
+void Rewriter::computeExpandedOffsets() {
+  ExpOffset.assign(G.numBlocks(), -1);
+  ExpandedWords.assign(Part.Regions.size(), 0);
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    uint32_t Cur = 0;
+    for (unsigned B : Part.Regions[R].Blocks) {
+      ExpOffset[B] = static_cast<int32_t>(Cur);
+      for (const auto &I : G.block(B).Insts)
+        Cur += isStubCall(I, static_cast<int32_t>(R)) ? 2 : 1;
+      if (regionNeedsBr(B))
+        ++Cur;
+    }
+    ExpandedWords[R] = Cur;
+    if (Cur + 1 > 0xFFFF)
+      reportFatalError("rewriter: region too large for 16-bit tag offsets");
+  }
+}
+
+void Rewriter::layout() {
+  uint32_t Cursor = DefaultBase;
+
+  // Never-compressed code, in original order.
+  NCAddr.assign(G.numBlocks(), 0);
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    if (Part.RegionOf[B] >= 0)
+      continue;
+    NCAddr[B] = Cursor;
+    uint32_t Words = G.block(B).size() + (ncNeedsBr(B) ? 1 : 0);
+    Cursor += 4 * Words;
+    NCWords += Words;
+  }
+
+  // Entry stubs (2 words each).
+  StubAddrs.resize(StubBlocks.size());
+  for (size_t S = 0; S != StubBlocks.size(); ++S) {
+    StubAddrs[S] = Cursor;
+    Cursor += 8;
+  }
+
+  // Decompressor region.
+  L.DecompBase = Cursor;
+  Cursor += 4 * Opts.DecompressorCodeWords;
+  L.DecompEnd = Cursor;
+
+  // Function offset table.
+  L.OffsetTableBase = Cursor;
+  if (Part.Regions.size() > 0xFFFF)
+    reportFatalError("rewriter: too many regions for 16-bit tags");
+  Cursor += 4 * static_cast<uint32_t>(Part.Regions.size());
+
+  // Restore-stub area (4 words per slot).
+  L.StubAreaBase = Cursor;
+  L.StubSlots = Opts.MaxRestoreStubs;
+  Cursor += 16 * L.StubSlots;
+
+  // Runtime buffer: jump slot + the largest decompressed region.
+  uint32_t MaxExpanded = 0;
+  for (uint32_t W : ExpandedWords)
+    MaxExpanded = std::max(MaxExpanded, W);
+  L.BufferBase = Cursor;
+  L.BufferWords = 1 + MaxExpanded;
+  Cursor += 4 * L.BufferWords;
+
+  // Data objects.
+  DataBase = Cursor;
+  for (const auto &D : Prog.Data) {
+    uint32_t Align = D.Align ? D.Align : 4;
+    Cursor = (Cursor + Align - 1) / Align * Align;
+    Syms[D.Name] = Cursor;
+    Cursor += static_cast<uint32_t>(D.Bytes.size());
+  }
+
+  // Compressed blob (placed last so its size does not perturb any address
+  // that the compressed instructions themselves encode).
+  Cursor = (Cursor + 3) & ~3u;
+  L.BlobBase = Cursor;
+
+  // Final symbol map for code.
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    if (Part.RegionOf[B] < 0)
+      Syms[G.block(B).Label] = NCAddr[B];
+    else if (StubIndexOf[B] >= 0)
+      Syms[G.block(B).Label] = StubAddrs[StubIndexOf[B]];
+    // Compressed blocks without stubs are unreferenced from outside; any
+    // attempted reference faults in encodeInst, catching partition bugs.
+  }
+}
+
+void Rewriter::lowerRegions() {
+  Stored.resize(Part.Regions.size());
+  Out.Regions.resize(Part.Regions.size());
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    int32_t Self = static_cast<int32_t>(R);
+    auto &Seq = Stored[R];
+    uint32_t Cur = 0;
+    for (unsigned B : Part.Regions[R].Blocks) {
+      for (const auto &I : G.block(B).Insts) {
+        uint32_t A = bufAddr(Cur);
+        if (isStubCall(I, Self)) {
+          // Stored as Bsrx; the decompressor expands it to
+          //   bsr ra, CreateStub ; br r31, <callee>
+          // with the stored displacement belonging to the BR (second
+          // word, at A + 4).
+          unsigned Callee = G.idOf(I.Symbol);
+          MInst M = makeBranch(Opcode::Bsrx, I.Ra,
+                               brDisp(A + 4, redirect(Callee)));
+          Seq.push_back(M);
+          ++Out.Regions[R].ExternalCalls;
+          Cur += 2;
+          continue;
+        }
+        if (I.Reloc == RelocKind::BranchDisp) {
+          unsigned T = G.idOf(I.Symbol);
+          uint32_t Target;
+          if (I.Op != Opcode::Bsr && Part.RegionOf[T] == Self) {
+            // Intra-region branches stay inside the buffer. (Calls never
+            // take this path: see isStubCall.)
+            Target = bufAddr(static_cast<uint32_t>(ExpOffset[T]));
+          } else {
+            Target = redirect(T);
+            if (I.Op == Opcode::Bsr)
+              ++Out.Regions[R].BufferSafeCalls;
+          }
+          Seq.push_back(makeBranch(I.Op, I.Ra, brDisp(A, Target)));
+          Cur += 1;
+          continue;
+        }
+        // Everything else (including hi16/lo16 address materialization,
+        // which resolves to absolute values) lowers position-independently.
+        Seq.push_back(decode(encodeInst(I, A, Syms)));
+        Cur += 1;
+      }
+      if (regionNeedsBr(B)) {
+        int32_t Ft = ftOf(B);
+        uint32_t A = bufAddr(Cur);
+        uint32_t Target = Part.RegionOf[Ft] == Self
+                              ? bufAddr(static_cast<uint32_t>(ExpOffset[Ft]))
+                              : redirect(static_cast<unsigned>(Ft));
+        Seq.push_back(makeBranch(Opcode::Br, RegZero, brDisp(A, Target)));
+        Cur += 1;
+      }
+    }
+    Out.Regions[R].ExpandedWords = ExpandedWords[R];
+    Out.Regions[R].StoredInstructions = static_cast<uint32_t>(Seq.size());
+  }
+}
+
+void Rewriter::emit() {
+  // Encode the regions.
+  StreamCodecs::Options CO;
+  CO.MoveToFront = Opts.MoveToFront;
+  CO.DeltaDisplacements = Opts.DeltaDisplacements;
+  Out.Codecs = StreamCodecs::build(Stored, CO);
+  vea::BitWriter W;
+  Out.Codecs.serializeTables(W);
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
+    Out.Codecs.encodeRegion(Stored[R], W);
+  }
+  std::vector<uint8_t> Blob = W.takeBytes();
+  L.BlobBytes = static_cast<uint32_t>(Blob.size());
+
+  Image &Img = Out.Img;
+  Img.Base = DefaultBase;
+  Img.Bytes.assign(L.BlobBase + L.BlobBytes - DefaultBase, 0);
+  Img.CodeBytes = DataBase - DefaultBase;
+  Img.Symbols = Syms;
+
+  // Never-compressed code.
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    if (Part.RegionOf[B] >= 0)
+      continue;
+    uint32_t PC = NCAddr[B];
+    for (const auto &I : G.block(B).Insts) {
+      Img.setWord(PC, encodeInst(I, PC, Syms));
+      PC += 4;
+    }
+    if (ncNeedsBr(B)) {
+      int32_t Ft = ftOf(B);
+      MInst Br = makeBranch(Opcode::Br, RegZero,
+                            brDisp(PC, redirect(static_cast<unsigned>(Ft))));
+      Img.setWord(PC, encode(Br));
+    }
+  }
+
+  // Entry stubs: bsr r25, Decompress(r25) ; tag.
+  for (size_t S = 0; S != StubBlocks.size(); ++S) {
+    uint32_t Addr = StubAddrs[S];
+    unsigned Block = StubBlocks[S];
+    MInst Call = makeBranch(
+        Opcode::Bsr, 25,
+        brDisp(Addr, L.decompressEntry(25)));
+    Img.setWord(Addr, encode(Call));
+    uint32_t Tag = (static_cast<uint32_t>(StubRegion[S]) << 16) |
+                   (1 + static_cast<uint32_t>(ExpOffset[Block]));
+    Img.setWord(Addr + 4, Tag);
+    Out.StubOf[G.block(Block).Label] = Addr;
+  }
+
+  // The decompressor region is reserved, never fetched (trap dispatch);
+  // fill with the illegal sentinel word so stray jumps fault loudly.
+  for (uint32_t A = L.DecompBase; A != L.DecompEnd; A += 4)
+    Img.setWord(A, 0);
+
+  // Function offset table: absolute bit offsets into the blob.
+  for (size_t R = 0; R != Part.Regions.size(); ++R)
+    Img.setWord(L.OffsetTableBase + 4 * static_cast<uint32_t>(R),
+                Out.Regions[R].BitOffset);
+
+  // Data.
+  for (const auto &D : Prog.Data) {
+    uint32_t Addr = Syms.at(D.Name);
+    std::copy(D.Bytes.begin(), D.Bytes.end(),
+              Img.Bytes.begin() + (Addr - Img.Base));
+    for (const auto &SW : D.SymWords) {
+      auto It = Syms.find(SW.Symbol);
+      if (It == Syms.end())
+        reportFatalError("rewriter: unresolved data symbol '" + SW.Symbol +
+                         "'");
+      Img.setWord(Addr + SW.Offset,
+                  It->second + static_cast<uint32_t>(SW.Addend));
+    }
+  }
+
+  // Compressed blob.
+  std::copy(Blob.begin(), Blob.end(),
+            Img.Bytes.begin() + (L.BlobBase - Img.Base));
+
+  Img.EntryPC = Syms.at(Prog.EntryFunction);
+
+  // Per-region entry-stub counts.
+  for (size_t S = 0; S != StubBlocks.size(); ++S)
+    ++Out.Regions[StubRegion[S]].NumEntryStubs;
+
+  // Footprint.
+  FootprintBreakdown &F = Out.Footprint;
+  F.NeverCompressedWords = NCWords;
+  F.EntryStubWords = 2 * static_cast<uint32_t>(StubBlocks.size());
+  F.DecompressorWords = Opts.DecompressorCodeWords;
+  F.OffsetTableWords = static_cast<uint32_t>(Part.Regions.size());
+  F.StubAreaWords = 4 * L.StubSlots;
+  F.BufferWords = L.BufferWords;
+  F.CompressedBytes = L.BlobBytes;
+}
+
+SquashedProgram Rewriter::run() {
+  computeEntries();
+  computeExpandedOffsets();
+  layout();
+  lowerRegions();
+  emit();
+  Out.Layout = L;
+  Out.Opts = Opts;
+  return std::move(Out);
+}
+
+SquashedProgram squash::rewriteProgram(const Program &Prog, const Cfg &G,
+                                       const Partition &Part,
+                                       const std::vector<uint8_t> &Safe,
+                                       const Options &Opts) {
+  if (Safe.size() != G.numFunctions())
+    reportFatalError("rewriter: buffer-safe vector does not match program");
+  Rewriter RW(Prog, G, Part, Safe, Opts);
+  return RW.run();
+}

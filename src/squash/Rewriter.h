@@ -1,0 +1,117 @@
+//===- squash/Rewriter.h - Squashed image construction ---------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the squashed executable (Figure 1(b) / Figure 2(b) of the paper)
+/// from a program, a region partition, and the buffer-safety analysis:
+///
+///   [never-compressed code] [entry stubs] [decompressor] [offset table]
+///   [restore-stub area] [runtime buffer] [data] [compressed blob]
+///
+/// Every segment is counted in the memory footprint, exactly as the paper
+/// requires ("the latter must take into account the space occupied by the
+/// stubs, the decompressor, the function offset table, the compressed code,
+/// the runtime buffer, and the never-compressed original program code").
+///
+/// Region code is stored with calls that need restore-stub treatment
+/// rewritten to the squash-internal opcode Bsrx; the decompressor expands
+/// each Bsrx into the paper's two-instruction sequence (BSR to CreateStub +
+/// BR to the callee) when filling the buffer, and all intra-region branch
+/// displacements are precomputed against that expanded layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_REWRITER_H
+#define SQUASH_SQUASH_REWRITER_H
+
+#include "huff/StreamCodec.h"
+#include "link/Layout.h"
+#include "squash/Options.h"
+#include "squash/Regions.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace squash {
+
+/// Addresses of the runtime structures inside the squashed image.
+struct RuntimeLayout {
+  uint32_t DecompBase = 0; ///< Decompress entry r is DecompBase + 4r;
+                           ///< CreateStub entry r is DecompBase + 4(32+r).
+  uint32_t DecompEnd = 0;
+  uint32_t OffsetTableBase = 0; ///< One 32-bit bit-offset per region.
+  uint32_t StubAreaBase = 0;
+  uint32_t StubSlots = 0;    ///< 4 words per slot.
+  uint32_t BufferBase = 0;   ///< Word 0 is the jump slot.
+  uint32_t BufferWords = 0;  ///< Including the jump slot.
+  uint32_t BlobBase = 0;     ///< Serialized stream tables + region payloads.
+  uint32_t BlobBytes = 0;
+
+  uint32_t decompressEntry(unsigned Reg) const { return DecompBase + 4 * Reg; }
+  uint32_t createStubEntry(unsigned Reg) const {
+    return DecompBase + 4 * (32 + Reg);
+  }
+};
+
+/// The paper's space accounting for the transformed program.
+struct FootprintBreakdown {
+  uint32_t NeverCompressedWords = 0; ///< Incl. reconnection branches.
+  uint32_t EntryStubWords = 0;
+  uint32_t DecompressorWords = 0;
+  uint32_t OffsetTableWords = 0;
+  uint32_t StubAreaWords = 0;
+  uint32_t BufferWords = 0;
+  uint32_t CompressedBytes = 0; ///< Stream tables + region payloads.
+  uint32_t OriginalCodeBytes = 0;
+
+  uint32_t totalCodeBytes() const {
+    return 4 * (NeverCompressedWords + EntryStubWords + DecompressorWords +
+                OffsetTableWords + StubAreaWords + BufferWords) +
+           CompressedBytes;
+  }
+  double reduction() const {
+    return OriginalCodeBytes
+               ? 1.0 - static_cast<double>(totalCodeBytes()) /
+                           OriginalCodeBytes
+               : 0.0;
+  }
+};
+
+/// Per-region results of lowering + encoding.
+struct RegionImageInfo {
+  uint32_t BitOffset = 0;      ///< Absolute bit offset within the blob.
+  uint32_t ExpandedWords = 0;  ///< Buffer words the region decompresses to.
+  uint32_t StoredInstructions = 0;
+  uint32_t NumEntryStubs = 0;
+  uint32_t ExternalCalls = 0;  ///< Bsrx sites (restore-stub calls).
+  uint32_t BufferSafeCalls = 0;
+};
+
+/// A runnable squashed program plus everything the runtime and the
+/// experiment harnesses need.
+struct SquashedProgram {
+  vea::Image Img;
+  RuntimeLayout Layout;
+  StreamCodecs Codecs; ///< Host mirror of the tables stored in the blob.
+  std::vector<RegionImageInfo> Regions;
+  FootprintBreakdown Footprint;
+  Options Opts;
+  /// Entry-stub address of every compressed block that has one.
+  std::unordered_map<std::string, uint32_t> StubOf;
+};
+
+/// Builds the squashed image. \p BufferSafeFuncs comes from
+/// analyzeBufferSafe (pass all-zeros to disable the optimization).
+SquashedProgram rewriteProgram(const vea::Program &Prog, const vea::Cfg &G,
+                               const Partition &Part,
+                               const std::vector<uint8_t> &BufferSafeFuncs,
+                               const Options &Opts);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_REWRITER_H

@@ -1,0 +1,240 @@
+//===- squash/Runtime.cpp - Decompressor runtime service ------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Runtime.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace squash;
+using namespace vea;
+
+RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
+  Slots.resize(SP.Layout.StubSlots);
+}
+
+void RuntimeSystem::attach(Machine &M) {
+  if (SP.Layout.DecompEnd > SP.Layout.DecompBase)
+    M.registerTrapRange(SP.Layout.DecompBase, SP.Layout.DecompEnd, this);
+}
+
+bool RuntimeSystem::handleTrap(Machine &M, uint32_t PC) {
+  uint32_t Index = (PC - SP.Layout.DecompBase) / 4;
+  if (Index < 32)
+    return decompress(M, Index);
+  if (Index < 64)
+    return createStub(M, Index - 32);
+  M.fault("jump into the middle of the decompressor");
+  return false;
+}
+
+/// Computes a branch-format displacement from instruction address \p From
+/// to \p Target.
+static int32_t dispTo(uint32_t From, uint32_t Target) {
+  return (static_cast<int32_t>(Target) - static_cast<int32_t>(From) - 4) / 4;
+}
+
+bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
+  const RuntimeLayout &L = SP.Layout;
+
+  // Fetch the region's bit offset through the in-memory function offset
+  // table, as the native decompressor would.
+  uint32_t BitOff;
+  if (!M.loadWord(L.OffsetTableBase + 4 * Region, BitOff))
+    return false;
+  if (BitOff > 8ull * L.BlobBytes) {
+    M.fault("corrupt function offset table entry");
+    return false;
+  }
+
+  BitReader Reader(M.memData() + L.BlobBase, L.BlobBytes);
+  Reader.seekBit(BitOff);
+  StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+
+  uint32_t WriteAddr = L.BufferBase + 4;
+  const uint32_t BufferEnd = L.BufferBase + 4 * L.BufferWords;
+  uint64_t Decoded = 0;
+  MInst I;
+  while (Dec.next(I)) {
+    ++Decoded;
+    if (I.Op == Opcode::Bsrx) {
+      // Expand to: bsr ra, CreateStub(ra) ; br r31, <stored disp>.
+      if (WriteAddr + 8 > BufferEnd) {
+        M.fault("runtime buffer overflow during decompression");
+        return false;
+      }
+      unsigned Ra = I.ra();
+      MInst Call = makeBranch(Opcode::Bsr, Ra,
+                              dispTo(WriteAddr, L.createStubEntry(Ra)));
+      MInst Jump = makeBranch(Opcode::Br, RegZero, I.disp21());
+      if (!M.storeWord(WriteAddr, encode(Call)) ||
+          !M.storeWord(WriteAddr + 4, encode(Jump)))
+        return false;
+      WriteAddr += 8;
+      continue;
+    }
+    if (WriteAddr + 4 > BufferEnd) {
+      M.fault("runtime buffer overflow during decompression");
+      return false;
+    }
+    if (!M.storeWord(WriteAddr, encode(I)))
+      return false;
+    WriteAddr += 4;
+  }
+  if (!Dec.ok()) {
+    M.fault("corrupt compressed region " + std::to_string(Region));
+    return false;
+  }
+
+  ++St.Decompressions;
+  St.DecodedInstructions += Decoded;
+  record(Event::Kind::Decompress, Region);
+  const CostModel &C = SP.Opts.Costs;
+  M.addCycles(C.DecompSetupCycles + C.CyclesPerDecodedInstr * Decoded +
+              C.IcacheFlushCycles);
+  CurrentRegion = static_cast<int32_t>(Region);
+  return true;
+}
+
+bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
+  const RuntimeLayout &L = SP.Layout;
+  uint32_t TagAddr = M.reg(Reg);
+  uint32_t Tag;
+  if (!M.loadWord(TagAddr, Tag))
+    return false;
+  uint32_t Region = Tag >> 16;
+  uint32_t Offset = Tag & 0xFFFFu;
+  if (Region >= SP.Regions.size() || Offset == 0 ||
+      Offset >= L.BufferWords) {
+    M.fault("corrupt decompressor tag");
+    return false;
+  }
+
+  // A return address inside the stub area means we were entered through a
+  // restore stub: drop its reference.
+  const uint32_t StubAreaEnd = L.StubAreaBase + 16 * L.StubSlots;
+  bool FromRestoreStub =
+      TagAddr >= L.StubAreaBase && TagAddr < StubAreaEnd;
+  uint32_t StubBase = 0;
+  if (FromRestoreStub) {
+    ++St.RestoreStubCalls;
+    record(Event::Kind::EnterViaRestore, Region, TagAddr);
+    StubBase = TagAddr - 4;
+    uint32_t SlotIdx = (StubBase - L.StubAreaBase) / 16;
+    StubSlot &Slot = Slots[SlotIdx];
+    if (!Slot.Live || Slot.Count == 0) {
+      M.fault("return through a dead restore stub");
+      return false;
+    }
+    --Slot.Count;
+    if (!M.storeWord(StubBase + 8, Slot.Count))
+      return false;
+    if (Slot.Count == 0) {
+      Slot.Live = false;
+      --St.LiveStubs;
+      record(Event::Kind::StubRelease, Region, StubBase, 0);
+    }
+  } else {
+    ++St.EntryStubCalls;
+    record(Event::Kind::EnterViaStub, Region, TagAddr);
+  }
+
+  if (SP.Opts.ReuseBufferedRegion &&
+      CurrentRegion == static_cast<int32_t>(Region)) {
+    ++St.BufferedHits;
+    record(Event::Kind::BufferedHit, Region);
+    M.addCycles(SP.Opts.Costs.DecompSetupCycles);
+  } else if (!fillBuffer(M, Region)) {
+    return false;
+  }
+
+  // Jump slot at the start of the buffer transfers to the tag's offset.
+  MInst Slot = makeBranch(Opcode::Br, RegZero,
+                          static_cast<int32_t>(Offset) - 1);
+  if (!M.storeWord(L.BufferBase, encode(Slot)))
+    return false;
+
+  // The paper's decompressor sets the return register to the restore
+  // stub's address before entering the buffer (Section 2.3).
+  if (FromRestoreStub)
+    M.setReg(Reg, StubBase);
+
+  M.setPC(L.BufferBase);
+  return true;
+}
+
+bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
+  const RuntimeLayout &L = SP.Layout;
+  uint32_t BrAddr = M.reg(Reg); // Address of the expansion's BR word.
+  if (BrAddr < L.BufferBase + 4 ||
+      BrAddr >= L.BufferBase + 4 * L.BufferWords) {
+    M.fault("CreateStub called from outside the runtime buffer");
+    return false;
+  }
+  if (CurrentRegion < 0) {
+    M.fault("CreateStub with no region in the buffer");
+    return false;
+  }
+
+  uint32_t CallWordOffset = (BrAddr - L.BufferBase) / 4;
+  uint32_t ReturnOffset = CallWordOffset + 1;
+  uint32_t Key =
+      (static_cast<uint32_t>(CurrentRegion) << 16) | CallWordOffset;
+
+  // One restore stub per call site: reuse if it already exists.
+  int32_t Found = -1, Free = -1;
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    if (Slots[I].Live && Slots[I].Key == Key) {
+      Found = static_cast<int32_t>(I);
+      break;
+    }
+    if (!Slots[I].Live && Free < 0)
+      Free = static_cast<int32_t>(I);
+  }
+
+  uint32_t StubAddr;
+  if (Found >= 0) {
+    ++St.StubReuses;
+    StubSlot &Slot = Slots[Found];
+    ++Slot.Count;
+    StubAddr = L.StubAreaBase + 16 * static_cast<uint32_t>(Found);
+    record(Event::Kind::StubReuse, static_cast<uint32_t>(CurrentRegion),
+           StubAddr, Slot.Count);
+    if (!M.storeWord(StubAddr + 8, Slot.Count))
+      return false;
+  } else {
+    if (Free < 0) {
+      M.fault("restore stub area exhausted");
+      return false;
+    }
+    ++St.StubCreates;
+    StubSlot &Slot = Slots[Free];
+    Slot.Live = true;
+    Slot.Key = Key;
+    Slot.Count = 1;
+    ++St.LiveStubs;
+    St.MaxLiveStubs = std::max(St.MaxLiveStubs, St.LiveStubs);
+    StubAddr = L.StubAreaBase + 16 * static_cast<uint32_t>(Free);
+    record(Event::Kind::StubCreate, static_cast<uint32_t>(CurrentRegion),
+           StubAddr, 1);
+    uint32_t Tag =
+        (static_cast<uint32_t>(CurrentRegion) << 16) | ReturnOffset;
+    MInst Call = makeBranch(Opcode::Bsr, Reg,
+                            dispTo(StubAddr, L.decompressEntry(Reg)));
+    if (!M.storeWord(StubAddr, encode(Call)) ||
+        !M.storeWord(StubAddr + 4, Tag) ||
+        !M.storeWord(StubAddr + 8, Slot.Count) ||
+        !M.storeWord(StubAddr + 12, Key))
+      return false;
+  }
+
+  M.setReg(Reg, StubAddr);
+  M.addCycles(SP.Opts.Costs.CreateStubCycles);
+  M.setPC(BrAddr);
+  return true;
+}

@@ -1,0 +1,113 @@
+//===- squash/Runtime.h - Decompressor runtime service ---------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of squash: the decompressor with its per-register entry
+/// points, and CreateStub with its reference-counted restore stubs
+/// (Sections 2.2 and 2.3). It is implemented as a simulator trap service
+/// occupying the reserved decompressor region of the squashed image; all of
+/// its *state* (restore stubs, the runtime buffer, the function offset
+/// table, the compressed blob) lives in simulated memory and is executed /
+/// read by the simulated program for real — only the decoder logic runs
+/// natively, with its work charged to the cycle counter through the cost
+/// model.
+///
+/// Entry points (mirroring "multiple entry points, one per possible return
+/// address register"):
+///   DecompBase + 4*r        : Decompress, return address in register r
+///   DecompBase + 4*(32+r)   : CreateStub, return address in register r
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_RUNTIME_H
+#define SQUASH_SQUASH_RUNTIME_H
+
+#include "sim/Machine.h"
+#include "squash/Rewriter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace squash {
+
+class RuntimeSystem : public vea::TrapHandler {
+public:
+  struct Stats {
+    uint64_t Decompressions = 0;       ///< Region fills.
+    uint64_t DecodedInstructions = 0;  ///< Instructions decoded into buffer.
+    uint64_t EntryStubCalls = 0;       ///< Decompress from an entry stub.
+    uint64_t RestoreStubCalls = 0;     ///< Decompress from a restore stub.
+    uint64_t StubCreates = 0;
+    uint64_t StubReuses = 0;
+    uint64_t BufferedHits = 0; ///< Fills skipped (ReuseBufferedRegion).
+    uint32_t MaxLiveStubs = 0;
+    uint32_t LiveStubs = 0;
+  };
+
+  /// One runtime event, recorded when tracing is enabled: the observable
+  /// protocol of Sections 2.2/2.3 (used by tests and the inspector).
+  struct Event {
+    enum class Kind : uint8_t {
+      Decompress,   ///< Region filled into the buffer.
+      BufferedHit,  ///< Fill skipped: region already resident.
+      EnterViaStub, ///< Decompress entered from an entry stub.
+      EnterViaRestore, ///< ... from a restore stub (refcount dropped).
+      StubCreate,   ///< New restore stub allocated.
+      StubReuse,    ///< Existing restore stub's count incremented.
+      StubRelease,  ///< Count reached zero; slot freed.
+    };
+    Kind K;
+    uint32_t Region = 0; ///< Region involved (Decompress/Enter kinds).
+    uint32_t Addr = 0;   ///< Stub or tag address, when applicable.
+    uint32_t Count = 0;  ///< Refcount after the operation (Stub kinds).
+  };
+
+  explicit RuntimeSystem(const SquashedProgram &SP);
+
+  /// Starts recording events (unbounded; intended for tests and tools).
+  void enableTrace() { Tracing = true; }
+  const std::vector<Event> &events() const { return Trace; }
+
+  /// Registers this service's trap range with \p M. Call before running.
+  void attach(vea::Machine &M);
+
+  bool handleTrap(vea::Machine &M, uint32_t PC) override;
+
+  const Stats &stats() const { return St; }
+
+  /// Region currently held by the runtime buffer (-1 before the first
+  /// decompression).
+  int32_t currentRegion() const { return CurrentRegion; }
+
+private:
+  bool decompress(vea::Machine &M, unsigned Reg);
+  bool createStub(vea::Machine &M, unsigned Reg);
+  bool fillBuffer(vea::Machine &M, uint32_t Region);
+
+  const SquashedProgram &SP;
+  Stats St;
+  int32_t CurrentRegion = -1;
+
+  struct StubSlot {
+    bool Live = false;
+    uint32_t Key = 0;   ///< (region << 16) | call-site buffer word offset.
+    uint32_t Count = 0; ///< Reference count (mirrored in memory word 2).
+  };
+  std::vector<StubSlot> Slots;
+
+  void record(Event::Kind K, uint32_t Region, uint32_t Addr = 0,
+              uint32_t Count = 0) {
+    if (Tracing)
+      Trace.push_back({K, Region, Addr, Count});
+  }
+  bool Tracing = false;
+  std::vector<Event> Trace;
+};
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_RUNTIME_H

@@ -1,0 +1,108 @@
+//===- squash/Unswitch.cpp - Jump-table unswitching -----------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Unswitch.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace squash;
+using namespace vea;
+
+UnswitchStats squash::unswitchJumpTables(Program &Prog,
+                                         std::vector<uint8_t> &Candidate,
+                                         bool EnableUnswitch) {
+  UnswitchStats Stats;
+
+  // Block label -> id map consistent with Cfg ordering.
+  std::unordered_map<std::string, unsigned> IdOf;
+  unsigned NumBlocks = 0;
+  for (const auto &F : Prog.Functions)
+    for (const auto &B : F.Blocks)
+      IdOf[B.Label] = NumBlocks++;
+  if (Candidate.size() != NumBlocks)
+    reportFatalError("unswitch: candidate set does not match program");
+
+  std::unordered_set<std::string> TablesToRemove;
+
+  unsigned Id = 0;
+  for (auto &F : Prog.Functions) {
+    for (auto &B : F.Blocks) {
+      unsigned Self = Id++;
+      if (!B.Switch)
+        continue;
+      // A switch block that is not under consideration keeps its table;
+      // the table entries are symbolic and are relocated to entry stubs if
+      // targets get compressed.
+      if (!Candidate[Self])
+        continue;
+
+      const SwitchInfo &SI = *B.Switch;
+      bool CanUnswitch = EnableUnswitch && SI.SizeKnown &&
+                         SI.Targets.size() <= 256 &&
+                         SI.SeqLen <= B.Insts.size();
+      if (!CanUnswitch) {
+        // Exclude the block and all possible targets (Section 6.2).
+        Candidate[Self] = 0;
+        ++Stats.BlocksExcluded;
+        for (const auto &T : SI.Targets) {
+          auto It = IdOf.find(T);
+          if (It != IdOf.end() && Candidate[It->second]) {
+            Candidate[It->second] = 0;
+            ++Stats.BlocksExcluded;
+          }
+        }
+        continue;
+      }
+
+      // Replace the trailing table-jump idiom with a compare-and-branch
+      // chain on the (still unclobbered) index register.
+      B.Insts.resize(B.Insts.size() - SI.SeqLen);
+      for (size_t C = 0; C + 1 < SI.Targets.size(); ++C) {
+        Inst Cmp;
+        Cmp.Op = Opcode::Cmpeqi;
+        Cmp.Rc = SI.ScratchReg;
+        Cmp.Ra = SI.IndexReg;
+        Cmp.Imm = static_cast<int32_t>(C);
+        B.Insts.push_back(Cmp);
+        Inst Bne;
+        Bne.Op = Opcode::Bne;
+        Bne.Ra = SI.ScratchReg;
+        Bne.Symbol = SI.Targets[C];
+        Bne.Reloc = RelocKind::BranchDisp;
+        B.Insts.push_back(Bne);
+      }
+      Inst Last;
+      Last.Op = Opcode::Br;
+      Last.Ra = RegZero;
+      Last.Symbol = SI.Targets.back();
+      Last.Reloc = RelocKind::BranchDisp;
+      B.Insts.push_back(Last);
+
+      TablesToRemove.insert(SI.TableSymbol);
+      B.Switch.reset();
+      ++Stats.Unswitched;
+    }
+  }
+
+  if (!TablesToRemove.empty()) {
+    std::vector<DataObject> Kept;
+    Kept.reserve(Prog.Data.size());
+    for (auto &D : Prog.Data) {
+      if (TablesToRemove.count(D.Name)) {
+        ++Stats.TablesReclaimed;
+        Stats.TableBytesReclaimed += static_cast<unsigned>(D.Bytes.size());
+      } else {
+        Kept.push_back(std::move(D));
+      }
+    }
+    Prog.Data = std::move(Kept);
+  }
+  return Stats;
+}

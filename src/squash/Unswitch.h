@@ -1,0 +1,49 @@
+//===- squash/Unswitch.h - Jump-table unswitching --------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.2: indirect jumps through jump tables inside code considered
+/// for compression must be handled so that control transfers from the
+/// runtime buffer are correct. Like the paper's implementation, squash
+/// "unswitches" the table jump into a chain of conditional branches, after
+/// which the jump-table data can be reclaimed. If the extent of a table is
+/// unknown (SwitchInfo::SizeKnown == false), the block and the possible
+/// targets of the jump are excluded from compression instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_UNSWITCH_H
+#define SQUASH_SQUASH_UNSWITCH_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace squash {
+
+struct UnswitchStats {
+  unsigned Unswitched = 0;       ///< Switch blocks converted to chains.
+  unsigned TablesReclaimed = 0;  ///< Jump-table data objects removed.
+  unsigned TableBytesReclaimed = 0;
+  unsigned BlocksExcluded = 0;   ///< Candidacy removed (unknown extent or
+                                 ///< chain too long).
+};
+
+/// Transforms \p Prog in place. \p Candidate flags (by Cfg block id of the
+/// *pre-pass* program; block ids are stable because the pass neither adds
+/// nor removes blocks) say which blocks are being considered for
+/// compression; only those switches are touched. Candidacy is cleared for
+/// blocks that could not be unswitched (and for the jump's targets).
+/// If \p EnableUnswitch is false, every candidate switch block is excluded
+/// instead of transformed.
+UnswitchStats unswitchJumpTables(vea::Program &Prog,
+                                 std::vector<uint8_t> &Candidate,
+                                 bool EnableUnswitch);
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_UNSWITCH_H

@@ -1,0 +1,18 @@
+//===- support/Error.cpp - Error reporting helpers ------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vea;
+
+void vea::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "squash fatal error: %s\n", Message.c_str());
+  std::abort();
+}

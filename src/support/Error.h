@@ -1,0 +1,67 @@
+//===- support/Error.h - Error reporting helpers --------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error plumbing in the spirit of LLVM's Error/Expected, sized for
+/// this project: programmatic errors abort via reportFatalError(); recoverable
+/// errors travel as ErrorOr<T> carrying a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SUPPORT_ERROR_H
+#define SQUASH_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vea {
+
+/// Prints \p Message to stderr and aborts. For invariant violations that
+/// indicate a bug in this library, not bad user input.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// A value-or-error-message carrier for recoverable failures (parse errors,
+/// malformed images, resource exhaustion in the simulated runtime).
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+
+  static ErrorOr failure(std::string Message) {
+    ErrorOr E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  T take() {
+    assert(Value && "taking value of failed ErrorOr");
+    return std::move(*Value);
+  }
+
+  const std::string &message() const { return Message; }
+
+private:
+  ErrorOr() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace vea
+
+#endif // SQUASH_SUPPORT_ERROR_H

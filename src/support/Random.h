@@ -1,0 +1,69 @@
+//===- support/Random.h - Deterministic PRNG ------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift64*) used for synthetic workload
+/// inputs, random-program generation, and property tests. Determinism across
+/// platforms matters more here than statistical quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SUPPORT_RANDOM_H
+#define SQUASH_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vea {
+
+/// xorshift64* generator with splittable seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) : State(Seed | 1) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform value in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+  /// Derives an independent generator (for reproducible sub-streams).
+  Rng split() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+  /// Generates \p N pseudo-random bytes.
+  std::vector<uint8_t> bytes(size_t N) {
+    std::vector<uint8_t> Out(N);
+    for (auto &B : Out)
+      B = static_cast<uint8_t>(next());
+    return Out;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace vea
+
+#endif // SQUASH_SUPPORT_RANDOM_H

@@ -1,0 +1,446 @@
+//===- workloads/Adpcm.cpp - IMA ADPCM speech codec workload --------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `adpcm`: IMA ADPCM encode/decode of 16-bit PCM.
+// The profiling input encodes only; the timing input runs the full
+// encode + decode + post-filter pipeline, so the decoder (cold in the
+// profile) is decompressed at run time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t AdpcmMagic = 0xAD9C0001u;
+
+static std::vector<uint32_t> stepTable() {
+  return {7,     8,     9,     10,    11,    12,    13,    14,    16,
+          17,    19,    21,    23,    25,    28,    31,    34,    37,
+          41,    45,    50,    55,    60,    66,    73,    80,    88,
+          97,    107,   118,   130,   143,   157,   173,   190,   209,
+          230,   253,   279,   307,   337,   371,   408,   449,   494,
+          544,   598,   658,   724,   796,   876,   963,   1060,  1166,
+          1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,
+          3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894,  6484,
+          7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289,
+          16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+}
+
+/// Emits the common "reconstruct difference and update predictor/step"
+/// tail shared by the encoder and decoder. Expects: code in r5, step in
+/// r4; predictor in r19, step index in r20; clobbers r6, r7, r8.
+/// Block labels are prefixed with \p P to stay unique per caller.
+static void emitPredictorUpdate(FunctionBuilder &F, const std::string &P) {
+  // diff = step>>3 (+step if bit2) (+step>>1 if bit1) (+step>>2 if bit0)
+  F.srli(6, 4, 3);
+  F.andi(7, 5, 4);
+  F.beq(7, P + "_nb2");
+  F.add(6, 6, 4);
+  F.label(P + "_nb2");
+  F.andi(7, 5, 2);
+  F.beq(7, P + "_nb1");
+  F.srli(7, 4, 1);
+  F.add(6, 6, 7);
+  F.label(P + "_nb1");
+  F.andi(7, 5, 1);
+  F.beq(7, P + "_nb0");
+  F.srli(7, 4, 2);
+  F.add(6, 6, 7);
+  F.label(P + "_nb0");
+  // Apply sign bit (bit 3).
+  F.andi(7, 5, 8);
+  F.beq(7, P + "_plus");
+  F.sub(19, 19, 6);
+  F.br(P + "_clamp");
+  F.label(P + "_plus");
+  F.add(19, 19, 6);
+  F.label(P + "_clamp");
+  // Saturate the predictor: these paths run only on loud signal swings,
+  // giving the block-frequency spectrum squash's thresholds slice.
+  F.li(7, 32767);
+  F.cmple(6, 19, 7);
+  F.bne(6, P + "_nhi");
+  F.mov(19, 7);
+  F.label(P + "_nhi");
+  F.li(7, -32768);
+  F.cmple(6, 7, 19);
+  F.bne(6, P + "_nlo");
+  F.mov(19, 7);
+  F.label(P + "_nlo");
+  // Step index update: idx += idxtab[code & 7], clamped to [0, 88].
+  F.andi(7, 5, 7);
+  F.slli(7, 7, 2);
+  F.la(8, "adpcm_idxtab");
+  F.add(8, 8, 7);
+  F.ldw(7, 8, 0);
+  F.add(20, 20, 7);
+  F.bge(20, P + "_iok");
+  F.li(20, 0);
+  F.label(P + "_iok");
+  F.li(7, 88);
+  F.cmple(6, 20, 7);
+  F.bne(6, P + "_iok2");
+  F.mov(20, 7);
+  F.label(P + "_iok2");
+}
+
+/// Loads step_table[r20] into r4.
+static void emitLoadStep(FunctionBuilder &F) {
+  F.la(4, "adpcm_steps");
+  F.slli(5, 20, 2);
+  F.add(4, 4, 5);
+  F.ldw(4, 4, 0);
+}
+
+static void addAdpcmCodec(ProgramBuilder &PB) {
+  addTickFunction(PB, "adpcm");
+  PB.addDataWords("adpcm_steps", stepTable());
+  PB.addDataWords("adpcm_idxtab", {0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu,
+                                   0xFFFFFFFFu, 2, 4, 6, 8});
+
+  // adpcm_encode(src=r16, nsamples=r17, dst=r18) -> r0 = bytes written.
+  {
+    FunctionBuilder F = PB.beginFunction("adpcm_encode");
+    F.mov(23, 18); // dst start
+    F.li(19, 0);   // predictor
+    F.li(20, 0);   // step index
+    F.li(22, 0);   // nibble toggle
+    F.li(21, 0);   // pending nibble
+    F.beq(17, "edone");
+    F.label("eloop");
+    // Per-chunk bookkeeping (every 256 samples).
+    F.andi(6, 17, 255);
+    F.bne(6, "etickskip");
+    emitTickCall(F, "adpcm");
+    F.label("etickskip");
+    // Load a signed 16-bit little-endian sample.
+    F.ldb(1, 16, 0);
+    F.ldb(2, 16, 1);
+    F.slli(2, 2, 8);
+    F.or_(1, 1, 2);
+    F.slli(1, 1, 16);
+    F.srai(1, 1, 16);
+    F.addi(16, 16, 2);
+    // delta and sign.
+    F.sub(2, 1, 19);
+    F.li(3, 0);
+    F.bge(2, "dpos");
+    F.li(3, 8);
+    F.sub(2, 31, 2);
+    F.label("dpos");
+    emitLoadStep(F);
+    F.li(5, 0);
+    F.cmplt(6, 2, 4);
+    F.bne(6, "c2");
+    F.ori(5, 5, 4);
+    F.sub(2, 2, 4);
+    F.label("c2");
+    F.srli(7, 4, 1);
+    F.cmplt(6, 2, 7);
+    F.bne(6, "c1");
+    F.ori(5, 5, 2);
+    F.sub(2, 2, 7);
+    F.label("c1");
+    F.srli(7, 4, 2);
+    F.cmplt(6, 2, 7);
+    F.bne(6, "c0");
+    F.ori(5, 5, 1);
+    F.label("c0");
+    F.or_(5, 5, 3); // code |= sign
+    emitPredictorUpdate(F, "e");
+    // Pack two 4-bit codes per byte.
+    F.bne(22, "esecond");
+    F.mov(21, 5);
+    F.li(22, 1);
+    F.br("enext");
+    F.label("esecond");
+    F.slli(6, 5, 4);
+    F.or_(6, 6, 21);
+    F.stb(6, 18, 0);
+    F.addi(18, 18, 1);
+    F.li(22, 0);
+    F.label("enext");
+    F.subi(17, 17, 1);
+    F.bne(17, "eloop");
+    // Flush a pending nibble (odd sample counts only: rare).
+    F.beq(22, "edone");
+    F.stb(21, 18, 0);
+    F.addi(18, 18, 1);
+    F.label("edone");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+
+  // adpcm_decode(src=r16, ncodes=r17, dst=r18) -> r0 = bytes written.
+  {
+    FunctionBuilder F = PB.beginFunction("adpcm_decode");
+    F.mov(23, 18);
+    F.li(19, 0);
+    F.li(20, 0);
+    F.li(22, 0);
+    F.li(21, 0);
+    F.beq(17, "ddone");
+    F.label("dloop");
+    F.andi(6, 17, 255);
+    F.bne(6, "dtickskip");
+    emitTickCall(F, "adpcm");
+    F.label("dtickskip");
+    F.bne(22, "dsecond");
+    F.ldb(21, 16, 0);
+    F.addi(16, 16, 1);
+    F.andi(5, 21, 15);
+    F.li(22, 1);
+    F.br("ddec");
+    F.label("dsecond");
+    F.srli(5, 21, 4);
+    F.li(22, 0);
+    F.label("ddec");
+    emitLoadStep(F);
+    emitPredictorUpdate(F, "d");
+    // Store the reconstructed sample (LE16).
+    F.stb(19, 18, 0);
+    F.srai(6, 19, 8);
+    F.stb(6, 18, 1);
+    F.addi(18, 18, 2);
+    F.subi(17, 17, 1);
+    F.bne(17, "dloop");
+    F.label("ddone");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+}
+
+/// A simplified mu-law companding codec: the alternate speech format the
+/// real adpcm tools interoperate with. Linked into the binary but selected
+/// by neither experiment input (pure cold real code).
+static void addUlawCodec(ProgramBuilder &PB) {
+  // ulaw_encode(src=r16, nsamples=r17, dst=r18) -> r0 = bytes.
+  {
+    FunctionBuilder F = PB.beginFunction("ulaw_encode");
+    F.mov(23, 18);
+    F.beq(17, "done");
+    F.label("loop");
+    // Load a signed 16-bit sample.
+    F.ldb(1, 16, 0);
+    F.ldb(2, 16, 1);
+    F.slli(2, 2, 8);
+    F.or_(1, 1, 2);
+    F.slli(1, 1, 16);
+    F.srai(1, 1, 16);
+    F.addi(16, 16, 2);
+    // Sign and magnitude, with the mu-law bias.
+    F.li(3, 0);
+    F.bge(1, "pos");
+    F.li(3, 0x80);
+    F.sub(1, 31, 1);
+    F.label("pos");
+    F.addi(1, 1, 132);
+    F.li(4, 32767);
+    F.cmple(5, 1, 4);
+    F.bne(5, "noclip");
+    F.mov(1, 4); // Saturation: rare.
+    F.label("noclip");
+    // Exponent: e = position of the leading bit above bit 7, capped at 7.
+    F.li(4, 0); // e
+    F.srli(5, 1, 8);
+    F.label("eloop");
+    F.beq(5, "edone");
+    F.cmpulti(6, 4, 7);
+    F.beq(6, "edone");
+    F.addi(4, 4, 1);
+    F.srli(5, 5, 1);
+    F.br("eloop");
+    F.label("edone");
+    // Mantissa: the 4 bits below the leading bit.
+    F.addi(6, 4, 3);
+    F.srl(5, 1, 6);
+    F.andi(5, 5, 15);
+    // Byte = ~(sign | e<<4 | mantissa), as in G.711.
+    F.slli(6, 4, 4);
+    F.or_(5, 5, 6);
+    F.or_(5, 5, 3);
+    F.xori(5, 5, 0xFF);
+    F.stb(5, 18, 0);
+    F.addi(18, 18, 1);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+  // ulaw_decode(src=r16, nbytes=r17, dst=r18) -> r0 = bytes (2/sample).
+  {
+    FunctionBuilder F = PB.beginFunction("ulaw_decode");
+    F.mov(23, 18);
+    F.beq(17, "done");
+    F.label("loop");
+    F.ldb(1, 16, 0);
+    F.addi(16, 16, 1);
+    F.xori(1, 1, 0xFF);
+    F.andi(3, 1, 0x80); // sign
+    F.srli(4, 1, 4);
+    F.andi(4, 4, 7); // exponent
+    F.andi(5, 1, 15); // mantissa
+    // Reconstruct: s = ((mantissa | 16) << (e + 3)) - 132.
+    F.ori(5, 5, 16);
+    F.addi(6, 4, 3);
+    F.sll(5, 5, 6);
+    F.subi(5, 5, 132);
+    F.beq(3, "store");
+    F.sub(5, 31, 5);
+    F.label("store");
+    F.stb(5, 18, 0);
+    F.srai(6, 5, 8);
+    F.stb(6, 18, 1);
+    F.addi(18, 18, 2);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+}
+
+Workload vea::workloads::buildAdpcm(double Scale) {
+  ProgramBuilder PB("adpcm");
+  addRuntimeLibrary(PB);
+  addAdpcmCodec(PB);
+  addUlawCodec(PB);
+  addFilterFarm(PB, "adpcm", 70, 0xAD9C);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 131072);
+  PB.addBss("outbuf", 131072);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, AdpcmMagic, "inbuf", 131072);
+    // r10 = mode, r11 = payload bytes.
+    F.cmpulti(2, 10, 5);
+    F.beq(2, "badmode");
+    emitCalibration(F, "adpcm", 70, 22, "inbuf");
+    F.mov(1, 10);
+    F.switchJump(1, 2, "modes",
+                 {"m_encode", "m_decode", "m_both", "m_stats", "m_ulaw"});
+
+    // Mode 0: encode only (the profiling path).
+    F.label("m_encode");
+    F.srli(12, 11, 1); // samples = bytes / 2
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.la(18, "workbuf");
+    F.call("adpcm_encode");
+    F.mov(11, 0);
+    F.br("finish");
+
+    // Mode 1: decode a raw code stream (cold under the profiling input).
+    F.label("m_decode");
+    F.la(16, "inbuf");
+    F.mov(17, 11); // every input byte carries two codes; use n codes
+    F.la(18, "workbuf");
+    F.call("adpcm_decode");
+    F.mov(11, 0);
+    F.br("finish");
+
+    // Mode 2: encode, decode, then post-filter — the timing path.
+    F.label("m_both");
+    F.srli(12, 11, 1);
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.la(18, "workbuf");
+    F.call("adpcm_encode");
+    F.mov(13, 0); // code bytes
+    F.slli(14, 13, 1);
+    F.la(16, "workbuf");
+    F.mov(17, 14); // 2 codes per byte
+    F.la(18, "outbuf");
+    F.call("adpcm_decode");
+    F.mov(13, 0); // decoded bytes
+    // Post-filter a slice through the farm (a cold filter under the
+    // profile).
+    F.andi(16, 11, 7);
+    F.addi(16, 16, 40);
+    F.la(17, "outbuf");
+    F.li(18, 2048);
+    F.call("adpcm_apply");
+    F.la(16, "workbuf");
+    F.la(17, "outbuf");
+    F.mov(18, 13);
+    F.call("memcpy");
+    F.mov(11, 13);
+    F.br("finish");
+
+    // Mode 3: signal statistics (never exercised by either input).
+    F.label("m_stats");
+    F.la(1, "inbuf");
+    F.li(2, 0);  // sum
+    F.li(3, 0);  // max
+    F.mov(4, 11);
+    F.beq(4, "stats_out");
+    F.label("stats_loop");
+    F.ldb(5, 1, 0);
+    F.add(2, 2, 5);
+    F.cmple(6, 5, 3);
+    F.bne(6, "stats_nmax");
+    F.mov(3, 5);
+    F.label("stats_nmax");
+    F.addi(1, 1, 1);
+    F.subi(4, 4, 1);
+    F.bne(4, "stats_loop");
+    F.label("stats_out");
+    F.mov(16, 2);
+    F.sys(SysFunc::PutInt);
+    F.mov(16, 3);
+    F.sys(SysFunc::PutInt);
+    F.li(16, 0);
+    F.halt();
+
+    // Mode 4: companded (mu-law style) round trip — real alternate-codec
+    // code that neither input selects; the kind of linked-in-but-unused
+    // feature real firmware carries.
+    F.label("m_ulaw");
+    F.srli(12, 11, 1);
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.la(18, "workbuf");
+    F.call("ulaw_encode");
+    F.mov(13, 0);
+    F.la(16, "workbuf");
+    F.mov(17, 13);
+    F.la(18, "outbuf");
+    F.call("ulaw_decode");
+    F.la(16, "workbuf");
+    F.la(17, "outbuf");
+    F.mov(18, 0);
+    F.mov(11, 0);
+    F.call("memcpy");
+    F.br("finish");
+
+    F.label("badmode");
+    F.li(16, 21);
+    F.call("panic");
+    F.halt();
+
+    F.label("finish");
+    emitChecksumAndHalt(F, "workbuf");
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "adpcm";
+  W.Prog = PB.build();
+  size_t ProfSamples = static_cast<size_t>(40000 * Scale);
+  size_t TimeSamples = static_cast<size_t>(56000 * Scale);
+  W.ProfilingInput =
+      frameInput(AdpcmMagic, 0, makeAudioPayload(ProfSamples, 0xC11A701));
+  W.TimingInput =
+      frameInput(AdpcmMagic, 2, makeAudioPayload(TimeSamples, 0x31A5EED));
+  W.ProfilingInputName = "clinton.pcm (synthetic, encode)";
+  W.TimingInputName = "mlk_speech.pcm (synthetic, encode+decode+filter)";
+  return W;
+}

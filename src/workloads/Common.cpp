@@ -1,0 +1,422 @@
+//===- workloads/Common.cpp - Shared workload scaffolding -----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+
+#include <cmath>
+
+using namespace vea;
+using namespace vea::workloads;
+
+/// Emits one generated operation from the recipe RNG, transforming r1.
+/// \p LabelCounter disambiguates the labels of generated rare-path blocks.
+static void emitRecipeOp(FunctionBuilder &F, Rng &R, unsigned StateReg,
+                         unsigned &LabelCounter) {
+  uint32_t Lit = static_cast<uint32_t>(R.nextBelow(255) + 1);
+  switch (R.nextBelow(9)) {
+  case 0:
+    F.addi(1, 1, Lit);
+    break;
+  case 1:
+    F.xori(1, 1, Lit);
+    break;
+  case 2:
+    F.muli(1, 1, static_cast<uint32_t>(R.nextBelow(7) + 3));
+    break;
+  case 3:
+    F.add(1, 1, StateReg); // Mix in the running state.
+    break;
+  case 4:
+    F.slli(5, 1, static_cast<uint32_t>(R.nextBelow(3) + 1));
+    F.xor_(1, 1, 5);
+    break;
+  case 5:
+    F.srli(5, 1, static_cast<uint32_t>(R.nextBelow(3) + 1));
+    F.add(1, 1, 5);
+    break;
+  case 6:
+    F.subi(1, 1, Lit);
+    break;
+  case 7: {
+    // Rare saturation: clip the value if it crossed a threshold. The clip
+    // executes only for large intermediates, adding low-frequency blocks
+    // to the profile spectrum.
+    std::string Skip = "clip" + std::to_string(LabelCounter++);
+    F.cmpulti(5, 1, 200);
+    F.bne(5, Skip);
+    F.andi(1, 1, 0x7F);
+    F.label(Skip);
+    break;
+  }
+  default:
+    F.ori(1, 1, static_cast<uint32_t>(R.nextBelow(15) + 1));
+    break;
+  }
+}
+
+void vea::workloads::addFilterFarm(ProgramBuilder &PB,
+                                   const std::string &Prefix, unsigned Count,
+                                   uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::string> Names;
+  Names.reserve(Count);
+
+  for (unsigned I = 0; I != Count; ++I) {
+    std::string Name = Prefix + "_f" + std::to_string(I);
+    Names.push_back(Name);
+
+    // Each filter owns a generated coefficient table, like the per-mode
+    // tables of real codec option handlers.
+    std::vector<uint32_t> Coeffs;
+    unsigned NCoeff = 8 + static_cast<unsigned>(R.nextBelow(9));
+    for (unsigned C = 0; C != NCoeff; ++C)
+      Coeffs.push_back(static_cast<uint32_t>(R.nextBelow(251) + 1));
+    PB.addDataWords(Name + "_coef", Coeffs);
+
+    // A third of the filters post-process each byte through a helper
+    // call. Most use a dedicated per-filter helper (cold whenever the
+    // filter is cold — the common case in real programs); some use the
+    // shared library leaves abs32/clamp, which stay warm and showcase the
+    // buffer-safe optimization (Section 6.1).
+    bool CallsHelper = R.chance(1, 3);
+    bool SharedHelper = CallsHelper && R.chance(1, 3);
+    bool ClampHelper = R.chance(1, 2);
+    if (CallsHelper && !SharedHelper) {
+      // Dedicated saturating-quantize helper: leaf, called only from this
+      // filter.
+      FunctionBuilder H = PB.beginFunction(Name + "_hlp");
+      H.mov(0, 16);
+      H.bge(0, "pos");
+      H.sub(0, 31, 0);
+      H.label("pos");
+      H.cmplei(1, 0, static_cast<uint32_t>(150 + R.nextBelow(100)));
+      H.bne(1, "ok");
+      H.srli(0, 0, 1);
+      H.label("ok");
+      H.srli(1, 0, static_cast<uint32_t>(3 + R.nextBelow(3)));
+      H.xor_(0, 0, 1);
+      H.ret();
+    }
+
+    FunctionBuilder F = PB.beginFunction(Name);
+    unsigned LabelCounter = 0;
+    // filter(buf=r16, n=r17): a forward transform pass followed by a
+    // backward mixing pass, each with its own generated recipe.
+    if (CallsHelper) {
+      F.enter(16);
+      F.stw(16, RegSP, 4);
+      F.stw(17, RegSP, 8);
+    }
+    F.beq(17, "done");
+    F.mov(2, 16);
+    F.mov(3, 17);
+    F.la(7, Name + "_coef");
+    F.li(4, static_cast<int32_t>(R.nextBelow(251) + 1)); // running state
+    F.li(8, 0);                                          // coeff index
+    F.label("fwd");
+    // Scheduling padding the squeeze baseline strips, as a real compiler's
+    // output would carry.
+    if (R.chance(2, 5))
+      F.nop();
+    F.ldb(1, 2, 0);
+    // Fold in the current coefficient.
+    F.slli(6, 8, 2);
+    F.add(6, 7, 6);
+    F.ldw(6, 6, 0);
+    F.add(1, 1, 6);
+    unsigned Ops = 4 + static_cast<unsigned>(R.nextBelow(8));
+    for (unsigned Op = 0; Op != Ops; ++Op)
+      emitRecipeOp(F, R, 4, LabelCounter);
+    if (CallsHelper) {
+      // Helper post-processing every 32nd byte (keeping the call cost —
+      // and the decompressor round trips it causes when cold — at the
+      // once-per-chunk granularity real codecs show).
+      F.andi(5, 3, 31);
+      F.bne(5, "hskip");
+      F.mov(16, 1);
+      if (!SharedHelper) {
+        F.call(Name + "_hlp");
+      } else if (ClampHelper) {
+        F.li(17, 0);
+        F.li(18, 200);
+        F.call("clamp");
+      } else {
+        F.call("abs32");
+      }
+      F.mov(1, 0);
+      F.label("hskip");
+    }
+    F.addi(4, 4, 3); // Advance the running state.
+    F.andi(1, 1, 0xFF);
+    F.stb(1, 2, 0);
+    // Cycle the coefficient index.
+    F.addi(8, 8, 1);
+    F.cmpulti(6, 8, NCoeff);
+    F.bne(6, "fnext");
+    F.li(8, 0);
+    F.label("fnext");
+    F.addi(2, 2, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "fwd");
+    // Backward mixing pass: buf[i] ^= transformed buf[i+1].
+    if (CallsHelper) {
+      F.ldw(16, RegSP, 4); // The helper calls clobbered the arguments.
+      F.ldw(17, RegSP, 8);
+    }
+    F.mov(3, 17);
+    F.subi(3, 3, 1);
+    F.beq(3, "done");
+    F.add(2, 16, 3);
+    F.label("bwd");
+    F.ldb(1, 2, 0);
+    unsigned Ops2 = 2 + static_cast<unsigned>(R.nextBelow(5));
+    for (unsigned Op = 0; Op != Ops2; ++Op)
+      emitRecipeOp(F, R, 4, LabelCounter);
+    F.ldb(5, 2, -1);
+    F.xor_(1, 1, 5);
+    F.andi(1, 1, 0xFF);
+    F.stb(1, 2, -1);
+    F.subi(2, 2, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "bwd");
+    F.label("done");
+    if (CallsHelper)
+      F.leave(16);
+    else
+      F.ret();
+
+    // Every few filters drag in an unreferenced diagnostic twin — dead
+    // code a real linker would pull from the library archive, and exactly
+    // what the squeeze baseline exists to remove.
+    if (R.chance(1, 3)) {
+      FunctionBuilder D = PB.beginFunction(Name + "_dbg");
+      D.li(1, static_cast<int32_t>(R.nextBelow(1000)));
+      unsigned DbgOps = 10 + static_cast<unsigned>(R.nextBelow(20));
+      for (unsigned Op = 0; Op != DbgOps; ++Op) {
+        if (R.chance(1, 4))
+          D.nop();
+        else
+          D.addi(1, 1, static_cast<uint32_t>(R.nextBelow(200)));
+      }
+      D.mov(0, 1);
+      D.ret();
+    }
+  }
+
+  PB.addSymbolTable(Prefix + "_table", Names);
+
+  // apply(idx=r16, buf=r17, n=r18): bounds-checked indirect dispatch.
+  {
+    FunctionBuilder F = PB.beginFunction(Prefix + "_apply");
+    F.enter(8);
+    F.cmpulti(1, 16, Count);
+    F.beq(1, "bad");
+    F.slli(1, 16, 2);
+    F.la(2, Prefix + "_table");
+    F.add(2, 2, 1);
+    F.ldw(2, 2, 0);
+    F.mov(16, 17);
+    F.mov(17, 18);
+    F.callIndirect(2);
+    F.leave(8);
+    F.label("bad"); // Cold error path.
+    F.li(16, 77);
+    F.call("panic");
+    F.halt(); // Unreachable; panic never returns.
+  }
+}
+
+std::vector<uint8_t> vea::workloads::frameInput(
+    uint32_t Magic, uint32_t Mode, const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> In;
+  auto PushWord = [&](uint32_t W) {
+    In.push_back(static_cast<uint8_t>(W));
+    In.push_back(static_cast<uint8_t>(W >> 8));
+    In.push_back(static_cast<uint8_t>(W >> 16));
+    In.push_back(static_cast<uint8_t>(W >> 24));
+  };
+  PushWord(Magic);
+  PushWord(Mode);
+  PushWord(static_cast<uint32_t>(Payload.size()));
+  In.insert(In.end(), Payload.begin(), Payload.end());
+  return In;
+}
+
+std::vector<uint8_t> vea::workloads::makeAudioPayload(size_t Samples,
+                                                      uint64_t Seed,
+                                                      bool WithSilence) {
+  Rng R(Seed);
+  std::vector<uint8_t> Out;
+  Out.reserve(Samples * 2);
+  double Phase = 0.0, Freq = 0.02;
+  for (size_t I = 0; I != Samples; ++I) {
+    int32_t S;
+    if (WithSilence && (I / 512) % 4 == 3) {
+      S = 0; // Quarter of the frames are silent.
+    } else {
+      Phase += Freq;
+      if (I % 1024 == 0)
+        Freq = 0.005 + 0.001 * static_cast<double>(R.nextBelow(50));
+      S = static_cast<int32_t>(9000.0 * std::sin(Phase)) +
+          static_cast<int32_t>(R.nextBelow(600)) - 300;
+    }
+    uint16_t U = static_cast<uint16_t>(S);
+    Out.push_back(static_cast<uint8_t>(U));
+    Out.push_back(static_cast<uint8_t>(U >> 8));
+  }
+  return Out;
+}
+
+std::vector<uint8_t> vea::workloads::makeImagePayload(unsigned Width,
+                                                      unsigned Height,
+                                                      uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<uint8_t> Out;
+  Out.reserve(static_cast<size_t>(Width) * Height);
+  for (unsigned Y = 0; Y != Height; ++Y)
+    for (unsigned X = 0; X != Width; ++X) {
+      unsigned V = (X * 2 + Y * 3) / 4 + static_cast<unsigned>(R.nextBelow(24));
+      Out.push_back(static_cast<uint8_t>(V & 0xFF));
+    }
+  return Out;
+}
+
+std::vector<uint8_t> vea::workloads::makeTextPayload(size_t Bytes,
+                                                     uint64_t Seed) {
+  Rng R(Seed);
+  static const char Alphabet[] =
+      "etaoin shrdlu cmfwyp etaoin shrdlu..,;\nETAOIN";
+  std::vector<uint8_t> Out;
+  Out.reserve(Bytes);
+  for (size_t I = 0; I != Bytes; ++I)
+    Out.push_back(static_cast<uint8_t>(
+        Alphabet[R.nextBelow(sizeof(Alphabet) - 1)]));
+  return Out;
+}
+
+void vea::workloads::emitReadFrame(FunctionBuilder &F, uint32_t Magic,
+                                   const std::string &BufSym,
+                                   uint32_t BufCap) {
+  // Magic word.
+  F.sys(SysFunc::GetWord);
+  F.beq(1, "hdr_truncated");
+  F.mov(9, 0);
+  F.li(2, static_cast<int32_t>(Magic));
+  F.cmpeq(2, 9, 2);
+  F.beq(2, "bad_magic");
+  // Mode.
+  F.sys(SysFunc::GetWord);
+  F.beq(1, "hdr_truncated");
+  F.mov(10, 0);
+  // Payload size.
+  F.sys(SysFunc::GetWord);
+  F.beq(1, "hdr_truncated");
+  F.mov(11, 0);
+  F.li(2, static_cast<int32_t>(BufCap));
+  F.cmpule(2, 11, 2);
+  F.beq(2, "too_big");
+  // Payload.
+  F.la(16, BufSym);
+  F.mov(17, 11);
+  F.call("read_block");
+  F.cmpeq(2, 0, 11);
+  F.beq(2, "short_read");
+  F.br("frame_ok");
+  // Cold error paths.
+  F.label("hdr_truncated");
+  F.li(16, 11);
+  F.call("panic");
+  F.halt();
+  F.label("bad_magic");
+  F.li(16, 12);
+  F.call("panic");
+  F.halt();
+  F.label("too_big");
+  F.li(16, 13);
+  F.call("panic");
+  F.halt();
+  F.label("short_read");
+  F.li(16, 14);
+  F.call("panic");
+  F.halt();
+  F.label("frame_ok");
+}
+
+void vea::workloads::addTickFunction(ProgramBuilder &PB,
+                                     const std::string &Prefix) {
+  PB.addBss(Prefix + "_tick_state", 16);
+  FunctionBuilder F = PB.beginFunction(Prefix + "_tick");
+  // Fully register-transparent: saves everything it uses.
+  F.lda(RegSP, RegSP, -20);
+  F.stw(1, RegSP, 0);
+  F.stw(2, RegSP, 4);
+  F.stw(3, RegSP, 8);
+  F.stw(4, RegSP, 12);
+  F.la(1, Prefix + "_tick_state");
+  F.ldw(2, 1, 0);
+  F.addi(2, 2, 1);
+  F.stw(2, 1, 0); // ticks++
+  // Mix the progress counter into a rolling signature.
+  F.ldw(3, 1, 4);
+  F.li(4, 14);
+  F.label("mix");
+  F.muli(3, 3, 5);
+  F.add(3, 3, 2);
+  F.xori(3, 3, 0x6D);
+  F.srli(2, 3, 11);
+  F.xor_(3, 3, 2);
+  F.subi(4, 4, 1);
+  F.bne(4, "mix");
+  F.stw(3, 1, 4);
+  F.ldw(1, RegSP, 0);
+  F.ldw(2, RegSP, 4);
+  F.ldw(3, RegSP, 8);
+  F.ldw(4, RegSP, 12);
+  F.lda(RegSP, RegSP, 20);
+  // Linked through r24 (see emitTickCall) so hot callers keep r26 intact
+  // and need no frame; this also exercises the decompressor's per-register
+  // entry points on a register other than the conventional $ra.
+  Inst Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Ra = RegZero;
+  Ret.Rb = 24;
+  F.emit(Ret);
+}
+
+void vea::workloads::emitTickCall(FunctionBuilder &F,
+                                  const std::string &Prefix) {
+  Inst Call;
+  Call.Op = Opcode::Bsr;
+  Call.Ra = 24;
+  Call.Symbol = Prefix + "_tick";
+  Call.Reloc = RelocKind::BranchDisp;
+  F.emit(Call);
+}
+
+void vea::workloads::emitCalibration(FunctionBuilder &F,
+                                     const std::string &FarmPrefix,
+                                     unsigned FarmCount, unsigned Used,
+                                     const std::string &BufSym) {
+  for (unsigned I = 0; I != Used; ++I) {
+    unsigned Index = (I * 7 + 2) % FarmCount;
+    F.li(16, static_cast<int32_t>(Index));
+    F.la(17, BufSym);
+    F.li(18, 48);
+    F.call(FarmPrefix + "_apply");
+  }
+}
+
+void vea::workloads::emitChecksumAndHalt(FunctionBuilder &F,
+                                         const std::string &BufSym) {
+  F.la(16, BufSym);
+  F.mov(17, 11);
+  F.call("crc32");
+  F.mov(16, 0);
+  F.sys(SysFunc::PutWord);
+  F.andi(16, 16, 0xFF);
+  F.halt();
+}

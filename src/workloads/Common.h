@@ -1,0 +1,104 @@
+//===- workloads/Common.h - Shared workload scaffolding --------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the benchmark suite:
+///
+///  * The Workload record: a program plus its profiling and timing inputs
+///    (the paper's Figure 5 distinguishes the inputs used to collect the
+///    guiding profile from the larger inputs used to measure speed).
+///
+///  * The "filter farm": a bank of distinct, address-taken transformation
+///    routines dispatched through a function-pointer table. This is the
+///    synthetic stand-in for the large bodies of rarely-executed library
+///    code in real MediaBench binaries (codec option handlers, error
+///    concealment, rarely used primitives): it is reachable (so the
+///    squeeze-like compactor cannot delete it) yet almost entirely cold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_WORKLOADS_COMMON_H
+#define SQUASH_WORKLOADS_COMMON_H
+
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vea::workloads {
+
+/// A benchmark: the program plus its two inputs.
+struct Workload {
+  std::string Name;
+  Program Prog;
+  std::vector<uint8_t> ProfilingInput;
+  std::vector<uint8_t> TimingInput;
+  std::string ProfilingInputName;
+  std::string TimingInputName;
+};
+
+/// Emits \p Count distinct filter routines named "<prefix>_f0" ... plus a
+/// function-pointer table "<prefix>_table" and a dispatcher
+/// "<prefix>_apply(idx=r16, buf=r17, n=r18)" that bounds-checks the index
+/// (panicking on overflow — cold) and calls through the table. Each filter
+/// transforms the byte buffer in place with a unique generated operation
+/// recipe. Requires the runtime library (panic) to be present.
+void addFilterFarm(ProgramBuilder &PB, const std::string &Prefix,
+                   unsigned Count, uint64_t Seed);
+
+/// Standard input framing shared by the workloads:
+///   word 0: magic, word 1: mode, word 2: payload byte count, then payload.
+std::vector<uint8_t> frameInput(uint32_t Magic, uint32_t Mode,
+                                const std::vector<uint8_t> &Payload);
+
+/// Deterministic synthetic payloads.
+std::vector<uint8_t> makeAudioPayload(size_t Samples, uint64_t Seed,
+                                      bool WithSilence = false);
+std::vector<uint8_t> makeImagePayload(unsigned Width, unsigned Height,
+                                      uint64_t Seed);
+std::vector<uint8_t> makeTextPayload(size_t Bytes, uint64_t Seed);
+
+/// Emits a main() prologue that validates the frame header: reads magic /
+/// mode / size into r9 / r10 / r11, reads the payload into \p BufSym
+/// (bounded by \p BufCap), and panics on bad magic or oversized payload
+/// (cold error paths). Leaves mode in r10 and payload length in r11.
+void emitReadFrame(FunctionBuilder &F, uint32_t Magic,
+                   const std::string &BufSym, uint32_t BufCap);
+
+/// Emits the standard epilogue: crc32 of \p BufSym (length r11), written
+/// with sys PutWord, then halt with the low byte of the CRC.
+void emitChecksumAndHalt(FunctionBuilder &F, const std::string &BufSym);
+
+/// Emits "<prefix>_tick": a register-transparent bookkeeping routine
+/// (progress counter + a short mixing loop over its own state) safe to
+/// call from the middle of any hot loop — it saves and restores every
+/// register it touches. Called once per frame/chunk, it lands in the
+/// middle of the profile's frequency spectrum: hot enough to stay
+/// uncompressed at low θ, compressed — and repeatedly re-decompressed at
+/// run time — once θ admits per-frame code. This reproduces the dynamics
+/// behind the paper's execution-time curve (Figure 7(b)).
+void addTickFunction(ProgramBuilder &PB, const std::string &Prefix);
+
+/// Emits a call to "<prefix>_tick" linked through r24 (the tick routine
+/// returns through r24 and preserves all other registers).
+void emitTickCall(FunctionBuilder &F, const std::string &Prefix);
+
+/// Emits a one-shot "calibration" pass: \p Used of the farm's filters run
+/// once each over a 48-byte slice of \p BufSym. This models option/setup
+/// code that executes exactly once per run: warm enough to stay
+/// uncompressed at θ = 0, but cold — and compressed — once the threshold
+/// admits once-per-run code. Clobbers r1 and the call-clobbered registers;
+/// preserves r9..r15.
+void emitCalibration(FunctionBuilder &F, const std::string &FarmPrefix,
+                     unsigned FarmCount, unsigned Used,
+                     const std::string &BufSym);
+
+} // namespace vea::workloads
+
+#endif // SQUASH_WORKLOADS_COMMON_H

@@ -1,0 +1,290 @@
+//===- workloads/Epic.cpp - Pyramid image coder workload ------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `epic`: a Haar-style pyramid transform, quantization,
+// and run-length entropy stage over an image. The profiling input only
+// compresses; the timing input also reconstructs (exercising the inverse
+// pipeline, cold under the profile).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t EpicMagic = 0xE61C0001u;
+
+static void addEpicCore(ProgramBuilder &PB) {
+  addTickFunction(PB, "epic");
+  // epic_fwd(src=r16, n=r17, dst=r18): one 1-D Haar level; n even.
+  // dst[0..n/2) = averages, dst[n/2..n) = differences (mod 256).
+  {
+    FunctionBuilder F = PB.beginFunction("epic_fwd");
+    F.srli(1, 17, 1); // half
+    F.beq(1, "done");
+    F.mov(2, 16);     // src cursor
+    F.mov(3, 18);     // avg cursor
+    F.add(4, 18, 1);  // diff cursor = dst + half
+    F.mov(5, 1);
+    F.label("loop");
+    F.ldb(6, 2, 0);
+    F.ldb(7, 2, 1);
+    F.add(8, 6, 7);
+    F.srli(8, 8, 1);
+    F.stb(8, 3, 0);
+    F.sub(8, 6, 7);
+    F.stb(8, 4, 0);
+    F.addi(2, 2, 2);
+    F.addi(3, 3, 1);
+    F.addi(4, 4, 1);
+    F.subi(5, 5, 1);
+    F.bne(5, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // epic_inv(src=r16, n=r17, dst=r18): approximate inverse of epic_fwd.
+  {
+    FunctionBuilder F = PB.beginFunction("epic_inv");
+    F.srli(1, 17, 1);
+    F.beq(1, "done");
+    F.mov(3, 16);    // avg cursor
+    F.add(4, 16, 1); // diff cursor
+    F.mov(2, 18);
+    F.mov(5, 1);
+    F.label("loop");
+    F.ldb(6, 3, 0); // avg
+    F.ldb(7, 4, 0); // diff (mod 256)
+    F.slli(8, 7, 24); // sign-extend the difference byte
+    F.srai(8, 8, 24);
+    F.addi(7, 8, 1);
+    F.srai(7, 7, 1);
+    F.add(7, 6, 7); // a = avg + (diff + 1) / 2
+    F.stb(7, 2, 0);
+    F.sub(7, 7, 8); // b = a - diff
+    F.stb(7, 2, 1);
+    F.addi(2, 2, 2);
+    F.addi(3, 3, 1);
+    F.addi(4, 4, 1);
+    F.subi(5, 5, 1);
+    F.bne(5, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // epic_quant(buf=r16, n=r17, shift=r18): dead-zone quantizer on the
+  // difference plane. Values close to zero snap to zero (making runs for
+  // the RLE stage); others are right-shifted.
+  {
+    FunctionBuilder F = PB.beginFunction("epic_quant");
+    F.beq(17, "done");
+    F.label("loop");
+    F.ldb(1, 16, 0);
+    F.slli(2, 1, 24);
+    F.srai(2, 2, 24);
+    // |v| <= 2: dead zone.
+    F.mov(3, 2);
+    F.bge(3, "abs_ok");
+    F.sub(3, 31, 3);
+    F.label("abs_ok");
+    F.cmplei(4, 3, 2);
+    F.beq(4, "keep");
+    F.li(1, 0);
+    F.br("store");
+    F.label("keep");
+    F.sra(1, 2, 18);
+    F.andi(1, 1, 0xFF);
+    F.label("store");
+    F.stb(1, 16, 0);
+    F.addi(16, 16, 1);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // epic_rle(src=r16, n=r17, dst=r18) -> r0 = encoded bytes.
+  // Encoding: (value, runlen) byte pairs, runs capped at 255.
+  {
+    FunctionBuilder F = PB.beginFunction("epic_rle");
+    F.mov(23, 18);
+    F.beq(17, "done");
+    F.label("outer");
+    F.andi(4, 17, 255);
+    F.bne(4, "tickskip");
+    emitTickCall(F, "epic");
+    F.label("tickskip");
+    F.ldb(1, 16, 0); // run value
+    F.li(2, 0);      // run length
+    F.label("run");
+    F.ldb(3, 16, 0);
+    F.cmpeq(4, 3, 1);
+    F.beq(4, "flush");
+    F.cmpulti(4, 2, 255);
+    F.beq(4, "flush");
+    F.addi(2, 2, 1);
+    F.addi(16, 16, 1);
+    F.subi(17, 17, 1);
+    F.bne(17, "run");
+    F.label("flush");
+    F.stb(1, 18, 0);
+    F.stb(2, 18, 1);
+    F.addi(18, 18, 2);
+    F.bne(17, "outer");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+
+  // epic_unrle(src=r16, len=r17, dst=r18) -> r0 = decoded bytes.
+  {
+    FunctionBuilder F = PB.beginFunction("epic_unrle");
+    F.mov(23, 18);
+    F.cmpulei(1, 17, 1);
+    F.bne(1, "done");
+    F.label("outer");
+    F.ldb(1, 16, 0); // value
+    F.ldb(2, 16, 1); // run length
+    F.addi(16, 16, 2);
+    F.beq(2, "next");
+    F.label("run");
+    F.stb(1, 18, 0);
+    F.addi(18, 18, 1);
+    F.subi(2, 2, 1);
+    F.bne(2, "run");
+    F.label("next");
+    F.subi(17, 17, 2);
+    F.cmpulei(1, 17, 1);
+    F.beq(1, "outer");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+}
+
+Workload vea::workloads::buildEpic(double Scale) {
+  ProgramBuilder PB("epic");
+  addRuntimeLibrary(PB);
+  addEpicCore(PB);
+  addFilterFarm(PB, "epic", 80, 0xE61C);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 131072);
+  PB.addBss("outbuf", 262144);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, EpicMagic, "inbuf", 131072);
+    F.cmpulti(2, 10, 3);
+    F.beq(2, "badmode");
+    emitCalibration(F, "epic", 80, 26, "inbuf");
+    F.mov(1, 10);
+    F.switchJump(1, 2, "modes", {"m_compress", "m_roundtrip", "m_lossless"});
+
+    // Shared compression pipeline: two transform levels, quantize the
+    // difference planes, then RLE. Result length in r13, data in outbuf.
+    F.label("m_compress");
+    F.li(14, 0); // roundtrip flag
+    F.br("pipeline");
+    F.label("m_roundtrip");
+    F.li(14, 1);
+    F.br("pipeline");
+
+    F.label("pipeline");
+    // Level 1: inbuf -> workbuf.
+    F.la(16, "inbuf");
+    F.mov(17, 11);
+    F.la(18, "workbuf");
+    F.call("epic_fwd");
+    // Level 2 on the average plane: workbuf[0..n/2) -> inbuf (reused).
+    F.la(16, "workbuf");
+    F.srli(17, 11, 1);
+    F.la(18, "inbuf");
+    F.call("epic_fwd");
+    // Quantize both difference planes.
+    F.la(16, "workbuf");
+    F.srli(1, 11, 1);
+    F.add(16, 16, 1);
+    F.mov(17, 1);
+    F.li(18, 1);
+    F.call("epic_quant");
+    F.la(16, "inbuf");
+    F.srli(1, 11, 2);
+    F.add(16, 16, 1);
+    F.mov(17, 1);
+    F.li(18, 2);
+    F.call("epic_quant");
+    // RLE the level-2 plane (averages + quantized diffs).
+    F.la(16, "inbuf");
+    F.srli(17, 11, 1);
+    F.la(18, "outbuf");
+    F.call("epic_rle");
+    F.mov(13, 0);
+    F.beq(14, "emit");
+
+    // Timing-only reconstruction: un-RLE and invert one level, then pass
+    // the result through a farm filter.
+    F.la(16, "outbuf");
+    F.mov(17, 13);
+    F.la(18, "workbuf");
+    F.call("epic_unrle");
+    F.mov(12, 0);
+    F.la(16, "workbuf");
+    F.mov(17, 12);
+    F.la(18, "inbuf");
+    F.call("epic_inv");
+    F.andi(16, 11, 3);
+    F.addi(16, 16, 50);
+    F.la(17, "inbuf");
+    F.li(18, 2048);
+    F.call("epic_apply");
+
+    F.label("emit");
+    F.la(16, "workbuf");
+    F.la(17, "outbuf");
+    F.mov(18, 13);
+    F.call("memcpy");
+    F.mov(11, 13);
+    F.br("finish");
+
+    // Never exercised: lossless archival mode.
+    F.label("m_lossless");
+    F.la(16, "inbuf");
+    F.mov(17, 11);
+    F.la(18, "outbuf");
+    F.call("epic_rle");
+    F.mov(11, 0);
+    F.la(16, "workbuf");
+    F.la(17, "outbuf");
+    F.mov(18, 11);
+    F.call("memcpy");
+    F.br("finish");
+
+    F.label("badmode");
+    F.li(16, 23);
+    F.call("panic");
+    F.halt();
+
+    F.label("finish");
+    emitChecksumAndHalt(F, "workbuf");
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "epic";
+  W.Prog = PB.build();
+  W.ProfilingInput = frameInput(
+      EpicMagic, 0,
+      makeImagePayload(256, static_cast<unsigned>(400 * Scale) + 8,
+                       0xBAB001));
+  W.TimingInput = frameInput(
+      EpicMagic, 1,
+      makeImagePayload(256, static_cast<unsigned>(480 * Scale) + 8,
+                       0x1E4A001));
+  W.ProfilingInputName = "baboon.tif (synthetic, compress)";
+  W.TimingInputName = "lena.tif (synthetic, compress+reconstruct)";
+  return W;
+}

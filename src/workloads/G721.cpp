@@ -1,0 +1,306 @@
+//===- workloads/G721.cpp - G.721-style adaptive codec workloads ----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `g721_enc` / `g721_dec`: an ADPCM codec with an
+// adaptive quantizer scale and an adaptive one-pole predictor. Like the
+// Sun reference implementation, each binary links both directions; the
+// unused direction is cold code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t G721Magic = 0x60721001u;
+
+/// Emits the shared predictor/quantizer state update. Inputs: q (signed
+/// quantizer level) in r5, scale in r4. State registers: y1=r19, y2=r20,
+/// a1=r21, scale=r4 (written back to r4), last sign=r22.
+/// Clobbers r6, r7, r8. Labels prefixed by \p P.
+static void emitG721Update(FunctionBuilder &F, const std::string &P) {
+  // recon = pred(r18? no: caller) ... caller computes recon; here we adapt.
+  // |q| drives the scale adaptation.
+  F.mov(6, 5);
+  F.bge(6, P + "_qa");
+  F.sub(6, 31, 6);
+  F.label(P + "_qa");
+  // Large levels: grow the scale (scale = scale * 5 / 4, capped).
+  F.cmplei(7, 6, 5);
+  F.bne(7, P + "_nogrow");
+  F.muli(4, 4, 5);
+  F.srli(4, 4, 2);
+  F.li(7, 16384);
+  F.cmple(8, 4, 7);
+  F.bne(8, P + "_nogrow");
+  F.mov(4, 7);
+  F.label(P + "_nogrow");
+  // Small levels: shrink the scale (scale = scale * 3 / 4, floored).
+  F.cmplei(7, 6, 1);
+  F.beq(7, P + "_noshrink");
+  F.muli(4, 4, 3);
+  F.srli(4, 4, 2);
+  F.cmplei(7, 4, 3);
+  F.beq(7, P + "_noshrink");
+  F.li(4, 4);
+  F.label(P + "_noshrink");
+  // Pole adaptation: same-sign runs strengthen the predictor.
+  F.li(7, 0);
+  F.bge(5, P + "_sgn");
+  F.li(7, 1);
+  F.label(P + "_sgn");
+  F.cmpeq(8, 7, 22);
+  F.beq(8, P + "_flip");
+  F.addi(21, 21, 4);
+  F.cmplei(8, 21, 200);
+  F.bne(8, P + "_adone");
+  F.li(21, 200);
+  F.br(P + "_adone");
+  F.label(P + "_flip");
+  F.subi(21, 21, 8);
+  F.bge(21, P + "_adone");
+  F.li(21, 0);
+  F.label(P + "_adone");
+  F.mov(22, 7);
+}
+
+/// Emits pred = y1 + ((y1 - y2) * a1) >> 8 into r3. Clobbers r6.
+static void emitG721Pred(FunctionBuilder &F) {
+  F.sub(6, 19, 20);
+  F.mul(6, 6, 21);
+  F.srai(6, 6, 8);
+  F.add(3, 19, 6);
+}
+
+static void addG721Core(ProgramBuilder &PB, const std::string &Tick) {
+  // g721_encode(src=r16, nsamples=r17, dst=r18) -> r0 = bytes (1/sample).
+  {
+    FunctionBuilder F = PB.beginFunction("g721_encode");
+    F.mov(23, 18);
+    F.li(19, 0);  // y1
+    F.li(20, 0);  // y2
+    F.li(21, 64); // a1
+    F.li(22, 0);  // last sign
+    F.li(4, 16);  // scale
+    F.beq(17, "done");
+    F.label("loop");
+    F.andi(6, 17, 255);
+    F.bne(6, "tickskip");
+    emitTickCall(F, Tick);
+    F.label("tickskip");
+    F.ldb(1, 16, 0);
+    F.ldb(2, 16, 1);
+    F.slli(2, 2, 8);
+    F.or_(1, 1, 2);
+    F.slli(1, 1, 16);
+    F.srai(1, 1, 16);
+    F.addi(16, 16, 2);
+    emitG721Pred(F); // pred -> r3
+    F.sub(2, 1, 3);  // diff
+    // q = clamp(diff * 4 / scale, -8..7), computed on |diff|.
+    F.slli(5, 2, 2);
+    F.li(7, 0);
+    F.bge(5, "qpos");
+    F.li(7, 1);
+    F.sub(5, 31, 5);
+    F.label("qpos");
+    F.udiv(5, 5, 4);
+    F.cmplei(6, 5, 7);
+    F.bne(6, "qcap");
+    F.li(5, 7);
+    F.label("qcap");
+    F.beq(7, "qsigned");
+    F.sub(5, 31, 5);
+    F.label("qsigned");
+    // recon = pred + (q * scale) >> 2; update taps.
+    F.mul(6, 5, 4);
+    F.srai(6, 6, 2);
+    F.add(6, 3, 6);
+    F.mov(20, 19);
+    F.mov(19, 6);
+    emitG721Update(F, "e");
+    // Emit the level as a signed nibble in a byte.
+    F.andi(6, 5, 15);
+    F.stb(6, 18, 0);
+    F.addi(18, 18, 1);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+
+  // g721_decode(src=r16, ncodes=r17, dst=r18) -> r0 = bytes (2/code).
+  {
+    FunctionBuilder F = PB.beginFunction("g721_decode");
+    F.mov(23, 18);
+    F.li(19, 0);
+    F.li(20, 0);
+    F.li(21, 64);
+    F.li(22, 0);
+    F.li(4, 16);
+    F.beq(17, "done");
+    F.label("loop");
+    F.andi(6, 17, 255);
+    F.bne(6, "tickskip");
+    emitTickCall(F, Tick);
+    F.label("tickskip");
+    F.ldb(5, 16, 0);
+    F.addi(16, 16, 1);
+    F.slli(5, 5, 28); // sign-extend the 4-bit level
+    F.srai(5, 5, 28);
+    emitG721Pred(F);
+    F.mul(6, 5, 4);
+    F.srai(6, 6, 2);
+    F.add(6, 3, 6);
+    F.mov(20, 19);
+    F.mov(19, 6);
+    emitG721Update(F, "d");
+    F.stb(19, 18, 0);
+    F.srai(6, 19, 8);
+    F.stb(6, 18, 1);
+    F.addi(18, 18, 2);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+}
+
+/// Shared main generator: \p Encode selects which direction is the hot
+/// mode-0 path; mode 1 runs the full round trip (the timing mode); mode 2
+/// is a never-exercised diagnostics dump.
+static void addG721Main(ProgramBuilder &PB, bool Encode,
+                        const std::string &Farm) {
+  FunctionBuilder F = PB.beginFunction("main");
+  emitReadFrame(F, G721Magic, "inbuf", 131072);
+  F.cmpulti(2, 10, 3);
+  F.beq(2, "badmode");
+  emitCalibration(F, Farm, 60, 20, "inbuf");
+  F.mov(1, 10);
+  F.switchJump(1, 2, "modes", {"m_primary", "m_roundtrip", "m_dump"});
+
+  F.label("m_primary");
+  F.la(16, "inbuf");
+  if (Encode) {
+    F.srli(17, 11, 1);
+    F.la(18, "workbuf");
+    F.call("g721_encode");
+  } else {
+    F.mov(17, 11);
+    F.la(18, "workbuf");
+    F.call("g721_decode");
+  }
+  F.mov(11, 0);
+  F.br("finish");
+
+  F.label("m_roundtrip");
+  F.la(16, "inbuf");
+  if (Encode) {
+    F.srli(17, 11, 1);
+    F.la(18, "workbuf");
+    F.call("g721_encode");
+    F.mov(13, 0);
+    F.la(16, "workbuf");
+    F.mov(17, 13);
+    F.la(18, "outbuf");
+    F.call("g721_decode"); // Cold under the profiling input.
+  } else {
+    F.mov(17, 11);
+    F.la(18, "workbuf");
+    F.call("g721_decode");
+    F.mov(13, 0);
+    F.la(16, "workbuf");
+    F.srli(17, 13, 1);
+    F.la(18, "outbuf");
+    F.call("g721_encode"); // Cold under the profiling input.
+  }
+  F.mov(13, 0);
+  F.andi(16, 11, 3);
+  F.addi(16, 16, 45);
+  F.la(17, "outbuf");
+  F.li(18, 2048);
+  F.call(Farm + "_apply");
+  F.la(16, "workbuf");
+  F.la(17, "outbuf");
+  F.mov(18, 13);
+  F.call("memcpy");
+  F.mov(11, 13);
+  F.br("finish");
+
+  F.label("m_dump"); // Never exercised.
+  F.la(16, "inbuf");
+  F.mov(17, 11);
+  F.call("crc32");
+  F.mov(16, 0);
+  F.sys(SysFunc::PutInt);
+  F.la(16, "inbuf");
+  F.mov(17, 11);
+  F.call("isort_w");
+  F.li(16, 1);
+  F.halt();
+
+  F.label("badmode");
+  F.li(16, 22);
+  F.call("panic");
+  F.halt();
+
+  F.label("finish");
+  emitChecksumAndHalt(F, "workbuf");
+}
+
+static Workload buildG721(bool Encode, double Scale) {
+  std::string Name = Encode ? "g721_enc" : "g721_dec";
+  ProgramBuilder PB(Name);
+  addRuntimeLibrary(PB);
+  addTickFunction(PB, Name);
+  addG721Core(PB, Name);
+  addFilterFarm(PB, Name, 60, Encode ? 0x60721E : 0x60721D);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 131072);
+  PB.addBss("outbuf", 131072);
+  addG721Main(PB, Encode, Name);
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = Name;
+  W.Prog = PB.build();
+  if (Encode) {
+    W.ProfilingInput = frameInput(
+        G721Magic, 0,
+        makeAudioPayload(static_cast<size_t>(36000 * Scale), 0x7210E1));
+    W.TimingInput = frameInput(
+        G721Magic, 1,
+        makeAudioPayload(static_cast<size_t>(48000 * Scale), 0x7210E2));
+    W.ProfilingInputName = "clinton.pcm (synthetic, encode)";
+    W.TimingInputName = "mlk_speech.pcm (synthetic, round trip)";
+  } else {
+    // The decoder consumes a stream of 4-bit levels; synthetic level
+    // streams stand in for clinton.g721 / mlk_speech.g721.
+    Rng R(0x7210D1);
+    std::vector<uint8_t> Prof, Time;
+    for (size_t I = 0; I != static_cast<size_t>(50000 * Scale); ++I)
+      Prof.push_back(static_cast<uint8_t>(R.nextBelow(16)));
+    Rng R2(0x7210D2);
+    for (size_t I = 0; I != static_cast<size_t>(64000 * Scale); ++I)
+      Time.push_back(static_cast<uint8_t>(R2.nextBelow(16)));
+    W.ProfilingInput = frameInput(G721Magic, 0, Prof);
+    W.TimingInput = frameInput(G721Magic, 1, Time);
+    W.ProfilingInputName = "clinton.g721 (synthetic, decode)";
+    W.TimingInputName = "mlk_speech.g721 (synthetic, round trip)";
+  }
+  return W;
+}
+
+Workload vea::workloads::buildG721Enc(double Scale) {
+  return buildG721(true, Scale);
+}
+
+Workload vea::workloads::buildG721Dec(double Scale) {
+  return buildG721(false, Scale);
+}

@@ -1,0 +1,212 @@
+//===- workloads/Gsm.cpp - LPC-style speech analysis workload -------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `gsm` (GSM 06.10 full-rate transcoding): per-frame
+// autocorrelation analysis, reflection-coefficient quantization, and a
+// silence-detection path. Silent frames never occur in the profiling
+// input but do in the timing input, so the silence path is profile-cold
+// yet executed repeatedly when timed — the exact dynamics Section 7
+// discusses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t GsmMagic = 0x656D0001u;
+static const unsigned FrameSamples = 160;
+static const unsigned NumLags = 8;
+
+static void addGsmCore(ProgramBuilder &PB) {
+  addTickFunction(PB, "gsm");
+  PB.addBss("gsm_ac", NumLags * 4);
+
+  // gsm_autocorr(frame=r16, n=r17): fills gsm_ac[k] with
+  // sum(s[i] * s[i+k]) >> 6 for k = 0..7. The hot kernel.
+  {
+    FunctionBuilder F = PB.beginFunction("gsm_autocorr");
+    F.li(1, 0); // k
+    F.label("lag");
+    F.li(2, 0);      // acc
+    F.sub(3, 17, 1); // n - k iterations
+    F.mov(4, 16);    // s[i] cursor
+    F.slli(5, 1, 1);
+    F.add(5, 16, 5); // s[i+k] cursor
+    F.ble(3, "store");
+    F.label("inner");
+    // Load both samples (signed LE16).
+    F.ldb(6, 4, 0);
+    F.ldb(7, 4, 1);
+    F.slli(7, 7, 8);
+    F.or_(6, 6, 7);
+    F.slli(6, 6, 16);
+    F.srai(6, 6, 16);
+    F.ldb(7, 5, 0);
+    F.ldb(8, 5, 1);
+    F.slli(8, 8, 8);
+    F.or_(7, 7, 8);
+    F.slli(7, 7, 16);
+    F.srai(7, 7, 16);
+    F.mul(6, 6, 7);
+    F.srai(6, 6, 6);
+    F.add(2, 2, 6);
+    F.addi(4, 4, 2);
+    F.addi(5, 5, 2);
+    F.subi(3, 3, 1);
+    F.bne(3, "inner");
+    F.label("store");
+    F.la(6, "gsm_ac");
+    F.slli(7, 1, 2);
+    F.add(6, 6, 7);
+    F.stw(2, 6, 0);
+    F.addi(1, 1, 1);
+    F.cmpulti(2, 1, NumLags);
+    F.bne(2, "lag");
+    F.ret();
+  }
+
+  // gsm_reflect(out=r16): quantizes gsm_ac[1..7]/gsm_ac[0] into signed
+  // bytes at out[0..6]. Returns r0 = 1, or 0 when the frame energy is too
+  // low to analyze (the caller then takes the silence path).
+  {
+    FunctionBuilder F = PB.beginFunction("gsm_reflect");
+    F.la(1, "gsm_ac");
+    F.ldw(2, 1, 0); // ac[0] (frame energy)
+    F.cmplei(3, 2, 15);
+    F.beq(3, "live");
+    F.li(0, 0); // silence
+    F.ret();
+    F.label("live");
+    F.li(3, 1); // k
+    F.label("loop");
+    F.slli(4, 3, 2);
+    F.add(4, 1, 4);
+    F.ldw(4, 4, 0); // ac[k]
+    // r = ac[k] * 64 / ac[0], computed on magnitudes.
+    F.li(5, 0);
+    F.bge(4, "pos");
+    F.li(5, 1);
+    F.sub(4, 31, 4);
+    F.label("pos");
+    F.slli(4, 4, 6);
+    F.udiv(4, 4, 2);
+    F.cmplei(6, 4, 127);
+    F.bne(6, "cap");
+    F.li(4, 127); // saturation: rare
+    F.label("cap");
+    F.beq(5, "signed");
+    F.sub(4, 31, 4);
+    F.label("signed");
+    F.subi(6, 3, 1);
+    F.add(6, 16, 6);
+    F.stb(4, 6, 0);
+    F.addi(3, 3, 1);
+    F.cmpulti(6, 3, NumLags);
+    F.bne(6, "loop");
+    F.li(0, 1);
+    F.ret();
+  }
+
+  // gsm_silence(out=r16): emits the comfort-noise descriptor. Cold under
+  // the profiling input (which has no silent frames).
+  {
+    FunctionBuilder F = PB.beginFunction("gsm_silence");
+    F.enter(8);
+    F.call("rand_next");
+    F.andi(1, 0, 7);
+    F.li(2, 0);
+    F.label("loop");
+    F.add(3, 16, 2);
+    F.xori(4, 1, 0x5A);
+    F.stb(4, 3, 0);
+    F.addi(2, 2, 1);
+    F.cmpulti(4, 2, NumLags - 1);
+    F.bne(4, "loop");
+    F.leave(8);
+  }
+}
+
+Workload vea::workloads::buildGsm(double Scale) {
+  ProgramBuilder PB("gsm");
+  addRuntimeLibrary(PB);
+  addGsmCore(PB);
+  addFilterFarm(PB, "gsm", 85, 0x656D);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 65536);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, GsmMagic, "inbuf", 131072);
+    F.cmpulti(2, 10, 2);
+    F.beq(2, "badmode");
+    emitCalibration(F, "gsm", 85, 28, "inbuf");
+    // r12 = frame cursor, r13 = frames remaining, r14 = output cursor.
+    F.la(12, "inbuf");
+    F.srli(13, 11, 1);             // samples
+    F.li(2, FrameSamples);
+    F.udiv(13, 13, 2);             // whole frames
+    F.la(14, "workbuf");
+    F.li(15, 0);                   // silent-frame count
+    F.beq(13, "done");
+
+    F.label("frame");
+    emitTickCall(F, "gsm");
+    F.mov(16, 12);
+    F.li(17, FrameSamples);
+    F.call("gsm_autocorr");
+    F.mov(16, 14);
+    F.call("gsm_reflect");
+    F.bne(0, "voiced");
+    // Profile-cold: silence descriptor.
+    F.mov(16, 14);
+    F.call("gsm_silence");
+    F.addi(15, 15, 1);
+    F.label("voiced");
+    F.addi(14, 14, NumLags - 1);
+    F.lda(12, 12, FrameSamples * 2);
+    F.subi(13, 13, 1);
+    F.bne(13, "frame");
+
+    F.label("done");
+    // Mode 1 additionally post-processes the descriptors (timing only).
+    F.cmpeqi(2, 10, 1);
+    F.beq(2, "emit");
+    F.la(1, "workbuf");
+    F.sub(2, 14, 1);
+    F.andi(16, 15, 3);
+    F.addi(16, 16, 52);
+    F.la(17, "workbuf");
+    F.mov(18, 2);
+    F.call("gsm_apply");
+    F.label("emit");
+    F.la(1, "workbuf");
+    F.sub(11, 14, 1); // descriptor bytes
+    emitChecksumAndHalt(F, "workbuf");
+
+    F.label("badmode");
+    F.li(16, 24);
+    F.call("panic");
+    F.halt();
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "gsm";
+  W.Prog = PB.build();
+  W.ProfilingInput = frameInput(
+      GsmMagic, 0,
+      makeAudioPayload(static_cast<size_t>(22000 * Scale), 0x65E1,
+                       /*WithSilence=*/false));
+  W.TimingInput = frameInput(
+      GsmMagic, 1,
+      makeAudioPayload(static_cast<size_t>(30000 * Scale), 0x65E2,
+                       /*WithSilence=*/true));
+  W.ProfilingInputName = "clinton.pcm (synthetic, no silence)";
+  W.TimingInputName = "mlk_speech.pcm (synthetic, with silent frames)";
+  return W;
+}

@@ -1,0 +1,477 @@
+//===- workloads/Jpeg.cpp - Block-transform image codec workloads ---------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `jpeg_enc` / `jpeg_dec`: 8x8 block transform coding
+// with quantization, zigzag reordering, and run-length coding. Each binary
+// contains both directions (like libjpeg); the unused direction is cold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t JpegMagic = 0x01BE6001u;
+
+/// The classic JPEG zigzag order for an 8x8 block.
+static std::vector<uint32_t> zigzagTable() {
+  return {0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18,
+          11, 4,  5,  12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+          13, 6,  7,  14, 21, 28, 35, 42, 49, 56, 57, 50, 43,
+          36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59, 52, 45,
+          38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+}
+
+/// A luminance-like quantization table (coarser at high frequencies).
+static std::vector<uint32_t> quantTable() {
+  std::vector<uint32_t> Q(64);
+  for (unsigned I = 0; I != 64; ++I)
+    Q[I] = 2 + (I / 8) + (I % 8);
+  return Q;
+}
+
+static void addJpegCore(ProgramBuilder &PB) {
+  addTickFunction(PB, "jpeg");
+  PB.addDataWords("jpeg_zigzag", zigzagTable());
+  PB.addDataWords("jpeg_quant", quantTable());
+  PB.addBss("jpeg_tmp", 64 * 4); // one block of 32-bit coefficients
+
+  // jpeg_fwdblock(src=r16, dst=r17): transform one 8x8 byte block into 64
+  // quantized zigzagged signed bytes. A 2-stage butterfly per row, then
+  // per column, stands in for the DCT.
+  {
+    FunctionBuilder F = PB.beginFunction("jpeg_fwdblock");
+    // Rows: tmp[r*8+c] = butterfly of src bytes.
+    F.li(1, 0); // row
+    F.label("rows");
+    F.slli(2, 1, 3);
+    F.add(3, 16, 2); // src row base
+    F.la(4, "jpeg_tmp");
+    F.slli(5, 2, 2);
+    F.add(4, 4, 5); // tmp row base (words)
+    F.li(5, 0);     // pair index
+    F.label("rpair");
+    F.slli(6, 5, 1);
+    F.add(7, 3, 6);
+    F.ldb(7, 7, 0); // a
+    F.add(8, 3, 6);
+    F.ldb(8, 8, 1); // b
+    F.add(2, 7, 8); // sum
+    F.sub(7, 7, 8); // diff
+    F.slli(6, 5, 2);
+    F.add(8, 4, 6);
+    F.stw(2, 8, 0); // tmp[pair] = sum
+    F.stw(7, 8, 16); // tmp[pair+4] = diff
+    F.addi(5, 5, 1);
+    F.cmpulti(6, 5, 4);
+    F.bne(6, "rpair");
+    F.addi(1, 1, 1);
+    F.cmpulti(6, 1, 8);
+    F.bne(6, "rows");
+    // Columns: in-place butterfly over tmp (stride 8 words).
+    F.li(1, 0); // column
+    F.label("cols");
+    F.la(4, "jpeg_tmp");
+    F.slli(2, 1, 2);
+    F.add(4, 4, 2); // column base
+    F.li(5, 0);
+    F.label("cpair");
+    F.slli(6, 5, 6); // pair * 2 rows * 8 words * 4 bytes
+    F.add(7, 4, 6);
+    F.ldw(2, 7, 0);  // a = tmp[2p][c]
+    F.ldw(3, 7, 32); // b = tmp[2p+1][c]
+    F.add(8, 2, 3);
+    F.sub(2, 2, 3);
+    F.stw(8, 7, 0);
+    F.stw(2, 7, 32);
+    F.addi(5, 5, 1);
+    F.cmpulti(6, 5, 4);
+    F.bne(6, "cpair");
+    F.addi(1, 1, 1);
+    F.cmpulti(6, 1, 8);
+    F.bne(6, "cols");
+    // Quantize + zigzag into dst bytes.
+    F.li(1, 0);
+    F.la(2, "jpeg_zigzag");
+    F.la(3, "jpeg_quant");
+    F.la(4, "jpeg_tmp");
+    F.label("zq");
+    F.slli(5, 1, 2);
+    F.add(6, 2, 5);
+    F.ldw(6, 6, 0); // zz index
+    F.slli(6, 6, 2);
+    F.add(6, 4, 6);
+    F.ldw(6, 6, 0); // coefficient
+    F.add(7, 3, 5);
+    F.ldw(7, 7, 0); // quant step
+    // Signed divide by the step (magnitude form).
+    F.li(8, 0);
+    F.bge(6, "qpos");
+    F.li(8, 1);
+    F.sub(6, 31, 6);
+    F.label("qpos");
+    F.udiv(6, 6, 7);
+    F.cmplei(7, 6, 127);
+    F.bne(7, "qcap");
+    F.li(6, 127); // saturation: rare
+    F.label("qcap");
+    F.beq(8, "qstore");
+    F.sub(6, 31, 6);
+    F.label("qstore");
+    F.add(7, 17, 1);
+    F.stb(6, 7, 0);
+    F.addi(1, 1, 1);
+    F.cmpulti(7, 1, 64);
+    F.bne(7, "zq");
+    F.ret();
+  }
+
+  // jpeg_invblock(src=r16, dst=r17): approximate inverse (dequantize,
+  // un-zigzag, inverse butterflies), emitting 64 bytes.
+  {
+    FunctionBuilder F = PB.beginFunction("jpeg_invblock");
+    // Dequantize + un-zigzag into jpeg_tmp.
+    F.li(1, 0);
+    F.la(2, "jpeg_zigzag");
+    F.la(3, "jpeg_quant");
+    F.la(4, "jpeg_tmp");
+    F.label("dz");
+    F.add(5, 16, 1);
+    F.ldb(5, 5, 0);
+    F.slli(5, 5, 24);
+    F.srai(5, 5, 24); // signed level
+    F.slli(6, 1, 2);
+    F.add(7, 3, 6);
+    F.ldw(7, 7, 0);
+    F.mul(5, 5, 7); // coefficient
+    F.add(7, 2, 6);
+    F.ldw(7, 7, 0); // zz index
+    F.slli(7, 7, 2);
+    F.add(7, 4, 7);
+    F.stw(5, 7, 0);
+    F.addi(1, 1, 1);
+    F.cmpulti(7, 1, 64);
+    F.bne(7, "dz");
+    // Inverse column butterflies: a' = (a+b)/2, b' = (a-b)/2.
+    F.li(1, 0);
+    F.label("icols");
+    F.la(4, "jpeg_tmp");
+    F.slli(2, 1, 2);
+    F.add(4, 4, 2);
+    F.li(5, 0);
+    F.label("icpair");
+    F.slli(6, 5, 6);
+    F.add(7, 4, 6);
+    F.ldw(2, 7, 0);
+    F.ldw(3, 7, 32);
+    F.add(8, 2, 3);
+    F.srai(8, 8, 1);
+    F.sub(2, 2, 3);
+    F.srai(2, 2, 1);
+    F.stw(8, 7, 0);
+    F.stw(2, 7, 32);
+    F.addi(5, 5, 1);
+    F.cmpulti(6, 5, 4);
+    F.bne(6, "icpair");
+    F.addi(1, 1, 1);
+    F.cmpulti(6, 1, 8);
+    F.bne(6, "icols");
+    // Inverse rows, writing clamped bytes to dst.
+    F.li(1, 0);
+    F.label("irows");
+    F.slli(2, 1, 3);
+    F.add(3, 17, 2); // dst row base
+    F.la(4, "jpeg_tmp");
+    F.slli(5, 2, 2);
+    F.add(4, 4, 5);
+    F.li(5, 0);
+    F.label("irpair");
+    F.slli(6, 5, 2);
+    F.add(7, 4, 6);
+    F.ldw(2, 7, 0);  // sum
+    F.ldw(8, 7, 16); // diff
+    F.add(6, 2, 8);
+    F.srai(6, 6, 1); // a
+    F.sub(7, 2, 8);
+    F.srai(7, 7, 1); // b
+    F.andi(6, 6, 0xFF);
+    F.andi(7, 7, 0xFF);
+    F.slli(8, 5, 1);
+    F.add(8, 3, 8);
+    F.stb(6, 8, 0);
+    F.stb(7, 8, 1);
+    F.addi(5, 5, 1);
+    F.cmpulti(6, 5, 4);
+    F.bne(6, "irpair");
+    F.addi(1, 1, 1);
+    F.cmpulti(6, 1, 8);
+    F.bne(6, "irows");
+    F.ret();
+  }
+
+  // jpeg_encode(src=r16, nblocks=r17, dst=r18): transform every block,
+  // then RLE-pack zero runs: (0x00, runlen) pairs, literals otherwise.
+  // Returns r0 = encoded bytes.
+  {
+    FunctionBuilder F = PB.beginFunction("jpeg_encode");
+    F.enter(24);
+    F.stw(9, 30, 4);
+    F.stw(10, 30, 8);
+    F.stw(11, 30, 12);
+    F.stw(12, 30, 16);
+    F.mov(9, 16);  // src
+    F.mov(10, 17); // blocks left
+    F.mov(11, 18); // dst cursor
+    F.mov(12, 18); // dst start
+    F.beq(10, "done");
+    F.label("block");
+    F.andi(1, 10, 15);
+    F.bne(1, "tickskip");
+    emitTickCall(F, "jpeg");
+    F.label("tickskip");
+    F.mov(16, 9);
+    F.la(17, "jpeg_stage"); // transform into the staging block, then pack
+    F.call("jpeg_fwdblock");
+    // Pack the 64 staged coefficient bytes: copy non-zeros, collapse zero
+    // runs. Read cursor r1, write cursor r2, remaining r3.
+    F.la(1, "jpeg_stage");
+    F.mov(2, 11);
+    F.li(3, 64);
+    F.label("pack");
+    F.ldb(4, 1, 0);
+    F.bne(4, "lit");
+    // Zero run.
+    F.li(5, 0);
+    F.label("zrun");
+    F.ldb(4, 1, 0);
+    F.bne(4, "zend");
+    F.beq(3, "zend");
+    F.addi(5, 5, 1);
+    F.addi(1, 1, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "zrun");
+    F.label("zend");
+    F.li(4, 0);
+    F.stb(4, 2, 0);
+    F.stb(5, 2, 1);
+    F.addi(2, 2, 2);
+    F.bne(3, "pack");
+    F.br("blockdone");
+    F.label("lit");
+    F.stb(4, 2, 0);
+    F.addi(2, 2, 1);
+    F.addi(1, 1, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "pack");
+    F.label("blockdone");
+    F.mov(11, 2);
+    F.addi(9, 9, 64);
+    F.subi(10, 10, 1);
+    F.bne(10, "block");
+    F.label("done");
+    F.sub(0, 11, 12);
+    F.ldw(9, 30, 4);
+    F.ldw(10, 30, 8);
+    F.ldw(11, 30, 12);
+    F.ldw(12, 30, 16);
+    F.leave(24);
+  }
+
+  // jpeg_decode(src=r16, len=r17, dst=r18) -> r0 = emitted bytes.
+  // Unpacks the RLE stream into 64-byte coefficient blocks and inverse-
+  // transforms each.
+  {
+    FunctionBuilder F = PB.beginFunction("jpeg_decode");
+    F.enter(24);
+    F.stw(9, 30, 4);
+    F.stw(10, 30, 8);
+    F.stw(11, 30, 12);
+    F.stw(12, 30, 16);
+    F.mov(9, 16);  // src cursor
+    F.mov(10, 17); // bytes left
+    F.mov(11, 18); // dst cursor
+    F.mov(12, 18); // dst start
+    F.label("block");
+    F.beq(10, "done");
+    F.srli(1, 11, 6);
+    F.andi(1, 1, 15); // every 16 output blocks
+    F.bne(1, "tickskip");
+    emitTickCall(F, "jpeg");
+    F.label("tickskip");
+    // Unpack 64 coefficients into the byte staging area.
+    F.la(1, "jpeg_stage");
+    F.li(3, 64);
+    F.label("unpack");
+    F.beq(10, "fillz");
+    F.ldb(4, 9, 0);
+    F.addi(9, 9, 1);
+    F.subi(10, 10, 1);
+    F.bne(4, "ulit");
+    // Zero run: next byte is the length.
+    F.beq(10, "fillz");
+    F.ldb(5, 9, 0);
+    F.addi(9, 9, 1);
+    F.subi(10, 10, 1);
+    F.label("urun");
+    F.beq(5, "unext");
+    F.beq(3, "unext");
+    F.li(4, 0);
+    F.stb(4, 1, 0);
+    F.addi(1, 1, 1);
+    F.subi(3, 3, 1);
+    F.subi(5, 5, 1);
+    F.br("urun");
+    F.label("ulit");
+    F.stb(4, 1, 0);
+    F.addi(1, 1, 1);
+    F.subi(3, 3, 1);
+    F.label("unext");
+    F.bne(3, "unpack");
+    F.br("expand");
+    F.label("fillz"); // Truncated stream: pad with zeros (rare).
+    F.beq(3, "expand");
+    F.li(4, 0);
+    F.stb(4, 1, 0);
+    F.addi(1, 1, 1);
+    F.subi(3, 3, 1);
+    F.br("fillz");
+    F.label("expand");
+    F.la(16, "jpeg_stage");
+    F.mov(17, 11);
+    F.call("jpeg_invblock");
+    F.addi(11, 11, 64);
+    F.br("block");
+    F.label("done");
+    F.sub(0, 11, 12);
+    F.ldw(9, 30, 4);
+    F.ldw(10, 30, 8);
+    F.ldw(11, 30, 12);
+    F.ldw(12, 30, 16);
+    F.leave(24);
+  }
+  PB.addBss("jpeg_stage", 64);
+}
+
+static Workload buildJpeg(bool Encode, double Scale) {
+  std::string Name = Encode ? "jpeg_enc" : "jpeg_dec";
+  ProgramBuilder PB(Name);
+  addRuntimeLibrary(PB);
+  addJpegCore(PB);
+  addFilterFarm(PB, Name, 95, Encode ? 0x1BE6E : 0x1BE6D);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 524288);
+  PB.addBss("outbuf", 524288);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, JpegMagic, "inbuf", 131072);
+    F.cmpulti(2, 10, 2);
+    F.beq(2, "badmode");
+    emitCalibration(F, Name, 95, 30, "inbuf");
+
+    if (Encode) {
+      F.srli(12, 11, 6); // whole 64-byte blocks
+      F.la(16, "inbuf");
+      F.mov(17, 12);
+      F.la(18, "workbuf");
+      F.call("jpeg_encode");
+      F.mov(11, 0);
+      // Timing mode decodes what was just encoded (cold in the profile).
+      F.beq(10, "finish");
+      F.la(16, "workbuf");
+      F.mov(17, 11);
+      F.la(18, "outbuf");
+      F.call("jpeg_decode");
+      F.mov(13, 0);
+      F.andi(16, 13, 7);
+      F.addi(16, 16, 60);
+      F.la(17, "outbuf");
+      F.li(18, 2048);
+      F.call(Name + "_apply");
+      F.br("finish");
+    } else {
+      F.la(16, "inbuf");
+      F.mov(17, 11);
+      F.la(18, "workbuf");
+      F.call("jpeg_decode");
+      F.mov(11, 0);
+      // Timing mode re-encodes the decoded image (cold in the profile).
+      F.beq(10, "finish");
+      F.srli(12, 11, 6);
+      F.la(16, "workbuf");
+      F.mov(17, 12);
+      F.la(18, "outbuf");
+      F.call("jpeg_encode");
+      F.mov(13, 0);
+      F.andi(16, 13, 7);
+      F.addi(16, 16, 60);
+      F.la(17, "outbuf");
+      F.li(18, 2048);
+      F.call(Name + "_apply");
+      F.br("finish");
+    }
+
+    F.label("badmode");
+    F.li(16, 25);
+    F.call("panic");
+    F.halt();
+
+    F.label("finish");
+    emitChecksumAndHalt(F, "workbuf");
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = Name;
+  W.Prog = PB.build();
+  if (Encode) {
+    W.ProfilingInput = frameInput(
+        JpegMagic, 1,
+        makeImagePayload(256, static_cast<unsigned>(360 * Scale) + 8,
+                         0x1BE6E1));
+    W.TimingInput = frameInput(
+        JpegMagic, 1,
+        makeImagePayload(256, static_cast<unsigned>(440 * Scale) + 8,
+                         0x1BE6E2));
+    W.ProfilingInputName = "testimg.ppm (synthetic, encode)";
+    W.TimingInputName = "roses17.ppm (synthetic, encode+decode)";
+  } else {
+    // The decoder consumes an RLE coefficient stream; synthesize one by
+    // byte-wise construction (literals and zero runs).
+    auto MakeStream = [](size_t Bytes, uint64_t Seed) {
+      Rng R(Seed);
+      std::vector<uint8_t> S;
+      S.reserve(Bytes);
+      while (S.size() < Bytes) {
+        if (R.chance(2, 5)) {
+          S.push_back(0);
+          S.push_back(static_cast<uint8_t>(R.nextBelow(12) + 1));
+        } else {
+          S.push_back(static_cast<uint8_t>(R.nextBelow(39) + 1));
+        }
+      }
+      return S;
+    };
+    W.ProfilingInput = frameInput(
+        JpegMagic, 1,
+        MakeStream(static_cast<size_t>(56000 * Scale) + 256, 0x1BE6D1));
+    W.TimingInput = frameInput(
+        JpegMagic, 1,
+        MakeStream(static_cast<size_t>(72000 * Scale) + 256, 0x1BE6D2));
+    W.ProfilingInputName = "testimg.jpg (synthetic, decode)";
+    W.TimingInputName = "roses17.jpg (synthetic, decode+encode)";
+  }
+  return W;
+}
+
+Workload vea::workloads::buildJpegEnc(double Scale) {
+  return buildJpeg(true, Scale);
+}
+
+Workload vea::workloads::buildJpegDec(double Scale) {
+  return buildJpeg(false, Scale);
+}

@@ -1,0 +1,206 @@
+//===- workloads/Lib.cpp - Mini runtime library for workloads -------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+/// Precomputed CRC-32 (polynomial 0xEDB88320) table.
+static std::vector<uint32_t> crcTable() {
+  std::vector<uint32_t> T(256);
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : (C >> 1);
+    T[I] = C;
+  }
+  return T;
+}
+
+void vea::workloads::addRuntimeLibrary(ProgramBuilder &PB) {
+  PB.addDataWords("crc32_table", crcTable());
+  PB.addDataWords("rand_state", {0x12345678u});
+
+  // memcpy(dst=r16, src=r17, n=r18)
+  {
+    FunctionBuilder F = PB.beginFunction("memcpy");
+    F.beq(18, "done");
+    F.label("loop");
+    F.ldb(1, 17, 0);
+    F.stb(1, 16, 0);
+    F.addi(16, 16, 1);
+    F.addi(17, 17, 1);
+    F.subi(18, 18, 1);
+    F.bne(18, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // memset(dst=r16, val=r17, n=r18)
+  {
+    FunctionBuilder F = PB.beginFunction("memset");
+    F.beq(18, "done");
+    F.label("loop");
+    F.stb(17, 16, 0);
+    F.addi(16, 16, 1);
+    F.subi(18, 18, 1);
+    F.bne(18, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // read_block(dst=r16, n=r17) -> r0 = bytes actually read.
+  {
+    FunctionBuilder F = PB.beginFunction("read_block");
+    F.li(0, 0);
+    F.beq(17, "done");
+    F.mov(2, 16);           // cursor
+    F.mov(3, 17);           // remaining
+    F.label("loop");
+    F.mov(4, 0);            // save count across the syscall clobber of r0
+    F.sys(SysFunc::GetChar);
+    F.mov(5, 0);
+    F.mov(0, 4);
+    F.li(6, -1);
+    F.cmpeq(6, 5, 6);
+    F.bne(6, "done");       // end of input
+    F.stb(5, 2, 0);
+    F.addi(2, 2, 1);
+    F.addi(0, 0, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // write_block(src=r16, n=r17)
+  {
+    FunctionBuilder F = PB.beginFunction("write_block");
+    F.beq(17, "done");
+    F.mov(2, 16);
+    F.mov(3, 17);
+    F.label("loop");
+    F.ldb(16, 2, 0);
+    F.sys(SysFunc::PutChar);
+    F.addi(2, 2, 1);
+    F.subi(3, 3, 1);
+    F.bne(3, "loop");
+    F.label("done");
+    F.ret();
+  }
+
+  // crc32(buf=r16, n=r17) -> r0
+  {
+    FunctionBuilder F = PB.beginFunction("crc32");
+    F.li(0, -1); // crc = 0xFFFFFFFF
+    F.la(2, "crc32_table");
+    F.beq(17, "done");
+    F.label("loop");
+    F.ldb(3, 16, 0);        // byte
+    F.xor_(4, 0, 3);
+    F.andi(4, 4, 0xFF);
+    F.slli(4, 4, 2);
+    F.add(4, 2, 4);
+    F.ldw(4, 4, 0);         // table[(crc ^ b) & 0xFF]
+    F.srli(0, 0, 8);
+    F.xor_(0, 0, 4);
+    F.addi(16, 16, 1);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    F.li(2, -1);
+    F.xor_(0, 0, 2);
+    F.ret();
+  }
+
+  // rand_seed(s=r16)
+  {
+    FunctionBuilder F = PB.beginFunction("rand_seed");
+    F.la(1, "rand_state");
+    F.ori(2, 16, 1);        // Never let the state become zero.
+    F.stw(2, 1, 0);
+    F.ret();
+  }
+
+  // rand_next() -> r0 (xorshift32)
+  {
+    FunctionBuilder F = PB.beginFunction("rand_next");
+    F.la(1, "rand_state");
+    F.ldw(0, 1, 0);
+    F.slli(2, 0, 13);
+    F.xor_(0, 0, 2);
+    F.srli(2, 0, 17);
+    F.xor_(0, 0, 2);
+    F.slli(2, 0, 5);
+    F.xor_(0, 0, 2);
+    F.stw(0, 1, 0);
+    F.ret();
+  }
+
+  // isort_w(buf=r16, n=r17): insertion sort of n words.
+  {
+    FunctionBuilder F = PB.beginFunction("isort_w");
+    F.cmpulei(1, 17, 1);
+    F.bne(1, "done");
+    F.li(2, 1); // i
+    F.label("outer");
+    F.slli(3, 2, 2);
+    F.add(3, 16, 3);
+    F.ldw(4, 3, 0); // key
+    F.mov(5, 3);    // insertion cursor (byte address of slot i)
+    F.label("inner");
+    F.ldw(6, 5, -4);
+    F.cmple(7, 6, 4); // buf[j-1] <= key?
+    F.bne(7, "place");
+    F.stw(6, 5, 0);
+    F.subi(5, 5, 4);
+    F.sub(7, 5, 16);
+    F.bne(7, "inner");
+    F.label("place");
+    F.stw(4, 5, 0);
+    F.addi(2, 2, 1);
+    F.cmpult(1, 2, 17);
+    F.bne(1, "outer");
+    F.label("done");
+    F.ret();
+  }
+
+  // abs32(x=r16) -> r0
+  {
+    FunctionBuilder F = PB.beginFunction("abs32");
+    F.mov(0, 16);
+    F.bge(0, "done");
+    F.sub(0, 31, 0); // 0 - x
+    F.label("done");
+    F.ret();
+  }
+
+  // clamp(x=r16, lo=r17, hi=r18) -> r0
+  {
+    FunctionBuilder F = PB.beginFunction("clamp");
+    F.mov(0, 16);
+    F.sub(1, 0, 17);
+    F.bge(1, "not_low");
+    F.mov(0, 17);
+    F.ret();
+    F.label("not_low");
+    F.sub(1, 18, 0);
+    F.bge(1, "done");
+    F.mov(0, 18);
+    F.label("done");
+    F.ret();
+  }
+
+  // panic(code=r16): diagnostic exit. Cold in every workload.
+  {
+    FunctionBuilder F = PB.beginFunction("panic");
+    F.sys(SysFunc::PutInt);
+    F.li(16, 255);
+    F.halt();
+  }
+}

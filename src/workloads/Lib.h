@@ -1,0 +1,45 @@
+//===- workloads/Lib.h - Mini runtime library for workloads ----*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small "libc" emitted into every workload program, playing the role the
+/// statically linked C library plays in the paper's MediaBench binaries:
+/// shared leaf routines, some hot (memcpy, crc32), some cold (panic,
+/// sorting), all candidates for profile-guided compression like any other
+/// code.
+///
+/// Calling convention: arguments in r16..r21, result in r0, r1..r8 and
+/// r16..r21 are caller-saved, r9..r15 are callee-saved (library routines
+/// simply never touch them), r25 is reserved for squash stubs, r26 is the
+/// return address, r30 the stack pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_WORKLOADS_LIB_H
+#define SQUASH_WORKLOADS_LIB_H
+
+#include "ir/Builder.h"
+
+namespace vea::workloads {
+
+/// Emits the runtime library into \p PB:
+///   memcpy(dst, src, n)           byte copy
+///   memset(dst, val, n)           byte fill
+///   read_block(dst, n) -> count   consume input bytes
+///   write_block(src, n)           emit output bytes
+///   crc32(buf, n) -> crc          table-driven CRC-32
+///   rand_seed(s) / rand_next() -> r0   xorshift32
+///   isort_w(buf, n)               insertion sort of words
+///   abs32(x) -> |x|
+///   clamp(x, lo, hi) -> clamped
+///   panic(code)                   print code and halt(255); cold everywhere
+/// Also creates the data objects the routines use (CRC table, RNG state).
+void addRuntimeLibrary(ProgramBuilder &PB);
+
+} // namespace vea::workloads
+
+#endif // SQUASH_WORKLOADS_LIB_H

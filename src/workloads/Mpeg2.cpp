@@ -1,0 +1,419 @@
+//===- workloads/Mpeg2.cpp - Motion-compensated codec workloads -----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `mpeg2enc` / `mpeg2dec`: per-frame motion estimation
+// against a reference frame, residual coding, and motion-compensated
+// reconstruction. Frames are 64x32 bytes; blocks are 8x8. The encoder
+// binary carries the decoder (cold) and vice versa; timing inputs run the
+// round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t Mpeg2Magic = 0x3BE62001u;
+static const unsigned FrameW = 64;
+static const unsigned FrameH = 32;
+static const unsigned FrameBytes = FrameW * FrameH;
+
+static void addMpeg2Core(ProgramBuilder &PB) {
+  PB.addBss("mp2_ref", FrameBytes);   // reference (previous) frame
+  PB.addBss("mp2_rec", FrameBytes);   // reconstruction scratch
+
+  // mp2_sad(a=r16, b=r17, stride=r18) -> r0: sum of absolute differences
+  // over an 8x8 block. The hot inner kernel of motion estimation.
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_sad");
+    F.li(0, 0);
+    F.li(1, 8); // rows
+    F.label("row");
+    F.li(2, 8); // cols
+    F.mov(3, 16);
+    F.mov(4, 17);
+    F.label("col");
+    F.ldb(5, 3, 0);
+    F.ldb(6, 4, 0);
+    F.sub(5, 5, 6);
+    F.bge(5, "abs");
+    F.sub(5, 31, 5);
+    F.label("abs");
+    F.add(0, 0, 5);
+    F.addi(3, 3, 1);
+    F.addi(4, 4, 1);
+    F.subi(2, 2, 1);
+    F.bne(2, "col");
+    F.add(16, 16, 18);
+    F.add(17, 17, 18);
+    F.subi(1, 1, 1);
+    F.bne(1, "row");
+    F.ret();
+  }
+
+  // mp2_motion(cur=r16, refbase=r17) -> r0 = best candidate index (0..3).
+  // Candidates are offsets {0, 1, FrameW, FrameW+1} into the reference.
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_motion");
+    F.enter(24);
+    F.stw(9, 30, 4);
+    F.stw(10, 30, 8);
+    F.stw(11, 30, 12);
+    F.stw(12, 30, 16);
+    F.stw(13, 30, 20);
+    F.mov(9, 16);       // cur
+    F.mov(10, 17);      // ref base
+    F.li(11, 0);        // best index
+    F.li(12, 0x7FFFFF); // best SAD
+    F.li(13, 0);        // candidate (mp2_sad leaves r9..r15 alone)
+    F.label("cand");
+    // offset = (cand & 1) + (cand >> 1) * FrameW
+    F.andi(1, 13, 1);
+    F.srli(2, 13, 1);
+    F.muli(2, 2, FrameW);
+    F.add(1, 1, 2);
+    F.add(17, 10, 1);
+    F.mov(16, 9);
+    F.li(18, FrameW);
+    F.call("mp2_sad");
+    F.cmplt(1, 0, 12);
+    F.beq(1, "worse");
+    F.mov(12, 0);
+    F.mov(11, 13);
+    F.label("worse");
+    F.addi(13, 13, 1);
+    F.cmpulti(1, 13, 4);
+    F.bne(1, "cand");
+    F.mov(0, 11);
+    F.ldw(9, 30, 4);
+    F.ldw(10, 30, 8);
+    F.ldw(11, 30, 12);
+    F.ldw(12, 30, 16);
+    F.ldw(13, 30, 20);
+    F.leave(24);
+  }
+
+  // mp2_residual(cur=r16, pred=r17, dst=r18): dst = clamp(cur - pred)
+  // over an 8x8 block, quantized by >>1 (stride FrameW on inputs, packed
+  // 8 bytes per row on output).
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_residual");
+    F.li(1, 8);
+    F.label("row");
+    F.li(2, 8);
+    F.mov(3, 16);
+    F.mov(4, 17);
+    F.label("col");
+    F.ldb(5, 3, 0);
+    F.ldb(6, 4, 0);
+    F.sub(5, 5, 6);
+    F.srai(5, 5, 1);
+    F.andi(5, 5, 0xFF);
+    F.stb(5, 18, 0);
+    F.addi(18, 18, 1);
+    F.addi(3, 3, 1);
+    F.addi(4, 4, 1);
+    F.subi(2, 2, 1);
+    F.bne(2, "col");
+    F.addi(16, 16, FrameW);
+    F.addi(17, 17, FrameW);
+    F.subi(1, 1, 1);
+    F.bne(1, "row");
+    F.ret();
+  }
+
+  // mp2_compensate(res=r16, pred=r17, dst=r18): reconstruction
+  // dst = pred + 2 * sext(res), strides as in mp2_residual reversed.
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_compensate");
+    F.li(1, 8);
+    F.label("row");
+    F.li(2, 8);
+    F.mov(4, 17);
+    F.mov(5, 18);
+    F.label("col");
+    F.ldb(6, 16, 0);
+    F.slli(6, 6, 24);
+    F.srai(6, 6, 23); // 2 * sext(res)
+    F.ldb(7, 4, 0);
+    F.add(6, 6, 7);
+    F.andi(6, 6, 0xFF);
+    F.stb(6, 5, 0);
+    F.addi(16, 16, 1);
+    F.addi(4, 4, 1);
+    F.addi(5, 5, 1);
+    F.subi(2, 2, 1);
+    F.bne(2, "col");
+    F.addi(17, 17, FrameW - 8);
+    F.addi(18, 18, FrameW - 8);
+    F.subi(1, 1, 1);
+    F.bne(1, "row");
+    F.ret();
+  }
+}
+
+static Workload buildMpeg2(bool Encode, double Scale) {
+  std::string Name = Encode ? "mpeg2enc" : "mpeg2dec";
+  ProgramBuilder PB(Name);
+  addRuntimeLibrary(PB);
+  addTickFunction(PB, Name);
+  addMpeg2Core(PB);
+  addFilterFarm(PB, Name, 95, Encode ? 0x3BE62E : 0x3BE62D);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 262144);
+
+  // Encoder: for every frame, for every 8x8 block: motion-estimate against
+  // the reference, write [mv byte][32 packed residual bytes... actually 64]
+  // to the output, reconstruct into mp2_rec, then promote mp2_rec to
+  // mp2_ref. Decoder consumes that stream.
+  //
+  // mp2_encframe(src=r16, dst=r17) -> r0 = bytes written (65 per block).
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_encframe");
+    F.enter(32);
+    F.stw(9, 30, 4);
+    F.stw(10, 30, 8);
+    F.stw(11, 30, 12);
+    F.stw(12, 30, 16);
+    F.stw(13, 30, 20);
+    F.stw(14, 30, 24);
+    F.mov(9, 16);  // src frame
+    F.mov(10, 17); // dst cursor
+    F.mov(14, 17); // dst start
+    F.li(11, 0);   // block row
+    F.label("brow");
+    emitTickCall(F, Name);
+    F.li(12, 0); // block col
+    F.label("bcol");
+    // cur = src + brow*8*FrameW + bcol*8
+    F.slli(1, 11, 9); // * 8 * FrameW
+    F.slli(2, 12, 3);
+    F.add(1, 1, 2);
+    F.add(13, 9, 1); // cur block
+    F.mov(16, 13);
+    F.la(17, "mp2_ref");
+    F.slli(1, 11, 9); // * 8 * FrameW
+    F.slli(2, 12, 3);
+    F.add(1, 1, 2);
+    F.add(17, 17, 1);
+    F.mov(16, 13);
+    F.call("mp2_motion");
+    // Emit the motion vector byte.
+    F.stb(0, 10, 0);
+    F.addi(10, 10, 1);
+    // pred = ref block + candidate offset.
+    F.andi(1, 0, 1);
+    F.srli(2, 0, 1);
+    F.muli(2, 2, FrameW);
+    F.add(1, 1, 2);
+    F.la(17, "mp2_ref");
+    F.slli(2, 11, 9); // * 8 * FrameW
+    F.add(17, 17, 2);
+    F.slli(2, 12, 3);
+    F.add(17, 17, 2);
+    F.add(17, 17, 1);
+    F.mov(16, 13);
+    F.mov(18, 10);
+    F.mov(8, 17) /* keep pred for reconstruction */;
+    F.call("mp2_residual");
+    // Reconstruct into mp2_rec (so encoder and decoder references match).
+    F.mov(16, 10); // residual bytes just written
+    F.mov(17, 8);
+    F.la(18, "mp2_rec");
+    F.slli(1, 11, 9); // * 8 * FrameW
+    F.add(18, 18, 1);
+    F.slli(1, 12, 3);
+    F.add(18, 18, 1);
+    F.call("mp2_compensate");
+    F.addi(10, 10, 64);
+    F.addi(12, 12, 1);
+    F.cmpulti(1, 12, FrameW / 8);
+    F.bne(1, "bcol");
+    F.addi(11, 11, 1);
+    F.cmpulti(1, 11, FrameH / 8);
+    F.bne(1, "brow");
+    // Promote the reconstruction to the reference.
+    F.la(16, "mp2_ref");
+    F.la(17, "mp2_rec");
+    F.li(18, FrameBytes);
+    F.call("memcpy");
+    F.sub(0, 10, 14);
+    F.ldw(9, 30, 4);
+    F.ldw(10, 30, 8);
+    F.ldw(11, 30, 12);
+    F.ldw(12, 30, 16);
+    F.ldw(13, 30, 20);
+    F.ldw(14, 30, 24);
+    F.leave(32);
+  }
+
+  // mp2_decframe(src=r16, dst=r17) -> r0 = bytes consumed.
+  {
+    FunctionBuilder F = PB.beginFunction("mp2_decframe");
+    F.enter(32);
+    F.stw(9, 30, 4);
+    F.stw(10, 30, 8);
+    F.stw(11, 30, 12);
+    F.stw(12, 30, 16);
+    F.stw(13, 30, 20);
+    F.mov(9, 16);  // src cursor
+    F.mov(13, 16); // src start
+    F.mov(10, 17); // dst frame
+    F.li(11, 0);
+    F.label("brow");
+    emitTickCall(F, Name);
+    F.li(12, 0);
+    F.label("bcol");
+    F.ldb(1, 9, 0); // motion vector byte
+    F.addi(9, 9, 1);
+    // pred = ref + block offset + mv offset
+    F.andi(2, 1, 1);
+    F.srli(1, 1, 1);
+    F.muli(1, 1, FrameW);
+    F.add(2, 2, 1);
+    F.la(17, "mp2_ref");
+    F.slli(1, 11, 9); // * 8 * FrameW
+    F.add(17, 17, 1);
+    F.slli(1, 12, 3);
+    F.add(17, 17, 1);
+    F.add(17, 17, 2);
+    F.mov(16, 9);
+    F.mov(18, 10);
+    F.slli(1, 11, 9); // * 8 * FrameW
+    F.add(18, 18, 1);
+    F.slli(1, 12, 3);
+    F.add(18, 18, 1);
+    F.call("mp2_compensate");
+    F.addi(9, 9, 64);
+    F.addi(12, 12, 1);
+    F.cmpulti(1, 12, FrameW / 8);
+    F.bne(1, "bcol");
+    F.addi(11, 11, 1);
+    F.cmpulti(1, 11, FrameH / 8);
+    F.bne(1, "brow");
+    // The decoded frame becomes the new reference.
+    F.la(16, "mp2_ref");
+    F.mov(17, 10);
+    F.li(18, FrameBytes);
+    F.call("memcpy");
+    F.sub(0, 9, 13);
+    F.ldw(9, 30, 4);
+    F.ldw(10, 30, 8);
+    F.ldw(11, 30, 12);
+    F.ldw(12, 30, 16);
+    F.ldw(13, 30, 20);
+    F.leave(32);
+  }
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, Mpeg2Magic, "inbuf", 131072);
+    F.cmpulti(2, 10, 2);
+    F.beq(2, "badmode");
+    emitCalibration(F, Name, 95, 30, "inbuf");
+    F.li(2, FrameBytes);
+    F.udiv(13, 11, 2); // whole frames in the payload
+    F.la(12, "inbuf");
+    F.la(14, "workbuf");
+    F.li(15, 0); // total output bytes
+    F.beq(13, "done");
+
+    F.label("frame");
+    F.mov(16, 12);
+    F.mov(17, 14);
+    if (Encode)
+      F.call("mp2_encframe");
+    else
+      F.call("mp2_decframe");
+    if (Encode) {
+      F.add(14, 14, 0);
+      F.add(15, 15, 0);
+      F.lda(12, 12, FrameBytes);
+    } else {
+      // Decoder input is a 65-bytes-per-block stream per frame.
+      F.add(12, 12, 0);
+      F.lda(14, 14, FrameBytes);
+      F.lda(15, 15, FrameBytes);
+    }
+    F.subi(13, 13, 1);
+    F.bne(13, "frame");
+
+    F.label("done");
+    F.mov(11, 15);
+    // Timing mode: run the opposite direction over the result (cold).
+    F.beq(10, "finish");
+    if (Encode) {
+      F.la(16, "workbuf");
+      F.la(17, "inbuf"); // reuse as the decode target
+      F.call("mp2_decframe");
+    } else {
+      F.la(16, "workbuf");
+      F.la(17, "inbuf");
+      F.call("mp2_encframe");
+    }
+    F.andi(16, 11, 7);
+    F.addi(16, 16, 60);
+    F.la(17, "workbuf");
+    F.li(18, 2048);
+    F.call(Name + "_apply");
+
+    F.label("finish");
+    emitChecksumAndHalt(F, "workbuf");
+
+    F.label("badmode");
+    F.li(16, 26);
+    F.call("panic");
+    F.halt();
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = Name;
+  W.Prog = PB.build();
+  auto Frames = [&](double N) {
+    return makeImagePayload(FrameW,
+                            FrameH * static_cast<unsigned>(N * Scale + 1),
+                            Encode ? 0x3BE6E1 : 0x3BE6D1);
+  };
+  if (Encode) {
+    W.ProfilingInput = frameInput(Mpeg2Magic, 0, Frames(40));
+    W.TimingInput = frameInput(Mpeg2Magic, 1, Frames(52));
+    W.ProfilingInputName = "sarnoff2.m2v (synthetic, encode)";
+    W.TimingInputName = "tceh_v2.m2v (synthetic, encode+decode)";
+  } else {
+    // Decoder streams: 65 bytes per block, FrameBytes/64 blocks per frame.
+    auto Stream = [&](unsigned NFrames, uint64_t Seed) {
+      Rng R(Seed);
+      std::vector<uint8_t> S;
+      unsigned Blocks = FrameBytes / 64;
+      for (unsigned Fr = 0; Fr != NFrames; ++Fr)
+        for (unsigned B = 0; B != Blocks; ++B) {
+          S.push_back(static_cast<uint8_t>(R.nextBelow(4)));
+          for (unsigned I = 0; I != 64; ++I)
+            S.push_back(static_cast<uint8_t>(R.nextBelow(9)) - 4);
+        }
+      return S;
+    };
+    // Frame count chosen so the stream is an exact multiple of FrameBytes
+    // per the header's frame arithmetic below.
+    W.ProfilingInput = frameInput(
+        Mpeg2Magic, 0, Stream(static_cast<unsigned>(40 * Scale + 1), 0x3BD1));
+    W.TimingInput = frameInput(
+        Mpeg2Magic, 1, Stream(static_cast<unsigned>(52 * Scale + 1), 0x3BD2));
+    W.ProfilingInputName = "sarnoff2.m2v (synthetic, decode)";
+    W.TimingInputName = "tceh_v2.m2v (synthetic, decode+encode)";
+  }
+  return W;
+}
+
+Workload vea::workloads::buildMpeg2Enc(double Scale) {
+  return buildMpeg2(true, Scale);
+}
+
+Workload vea::workloads::buildMpeg2Dec(double Scale) {
+  return buildMpeg2(false, Scale);
+}

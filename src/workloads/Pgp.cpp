@@ -1,0 +1,323 @@
+//===- workloads/Pgp.cpp - Block cipher + armor workload ------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `pgp`: a 32-round XTEA-style block cipher with key
+// schedule, integrity check, and radix-64 armoring. Error recovery uses
+// setjmp/longjmp, exercising the paper's rule that functions calling
+// setjmp are never compressed (Section 2.2). The timing input runs the
+// corruption-detection mode, so the longjmp recovery path actually
+// executes under timing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t PgpMagic = 0x06106001u;
+static const unsigned Rounds = 32;
+
+static void addPgpCore(ProgramBuilder &PB) {
+  addTickFunction(PB, "pgp");
+  PB.addBss("pgp_subkeys", Rounds * 2 * 4);
+  PB.addBss("pgp_jmpbuf", 33 * 4);
+  PB.addDataWords("pgp_key", {0x2B7E1516, 0x28AED2A6, 0xABF71588,
+                              0x09CF4F3C});
+
+  // pgp_keysched(): derive 64 round subkeys from pgp_key (XTEA schedule).
+  {
+    FunctionBuilder F = PB.beginFunction("pgp_keysched");
+    F.la(1, "pgp_key");
+    F.la(2, "pgp_subkeys");
+    F.li(3, 0);          // sum
+    F.li(4, 0x9E3779B9); // delta
+    F.li(5, Rounds);
+    F.label("round");
+    // k0 = key[sum & 3]
+    F.andi(6, 3, 3);
+    F.slli(6, 6, 2);
+    F.add(6, 1, 6);
+    F.ldw(6, 6, 0);
+    F.add(6, 6, 3);
+    F.stw(6, 2, 0);
+    F.add(3, 3, 4); // sum += delta
+    // k1 = key[(sum >> 11) & 3]
+    F.srli(6, 3, 11);
+    F.andi(6, 6, 3);
+    F.slli(6, 6, 2);
+    F.add(6, 1, 6);
+    F.ldw(6, 6, 0);
+    F.add(6, 6, 3);
+    F.stw(6, 2, 4);
+    F.addi(2, 2, 8);
+    F.subi(5, 5, 1);
+    F.bne(5, "round");
+    F.ret();
+  }
+
+  // One XTEA half-round: v0 += (((v1<<4) ^ (v1>>5)) + v1) ^ k.
+  // v0 = rN0, v1 = rN1, k = rK; clobbers r6, r7.
+  auto HalfRound = [](FunctionBuilder &F, unsigned V0, unsigned V1,
+                      unsigned K) {
+    F.slli(6, V1, 4);
+    F.srli(7, V1, 5);
+    F.xor_(6, 6, 7);
+    F.add(6, 6, V1);
+    F.xor_(6, 6, K);
+    F.add(V0, V0, 6);
+  };
+
+  // pgp_encrypt(buf=r16, nblocks=r17): in-place, 8 bytes per block.
+  {
+    FunctionBuilder F = PB.beginFunction("pgp_encrypt");
+    F.beq(17, "done");
+    F.label("blk");
+    F.andi(6, 17, 63);
+    F.bne(6, "tickskip");
+    emitTickCall(F, "pgp");
+    F.label("tickskip");
+    F.ldw(1, 16, 0); // v0
+    F.ldw(2, 16, 4); // v1
+    F.la(3, "pgp_subkeys");
+    F.li(4, Rounds);
+    F.label("round");
+    F.ldw(5, 3, 0);
+    HalfRound(F, 1, 2, 5);
+    F.ldw(5, 3, 4);
+    HalfRound(F, 2, 1, 5);
+    F.addi(3, 3, 8);
+    F.subi(4, 4, 1);
+    F.bne(4, "round");
+    F.stw(1, 16, 0);
+    F.stw(2, 16, 4);
+    F.addi(16, 16, 8);
+    F.subi(17, 17, 1);
+    F.bne(17, "blk");
+    F.label("done");
+    F.ret();
+  }
+
+  // pgp_decrypt(buf=r16, nblocks=r17): inverse, applying subkeys in
+  // reverse with subtraction.
+  {
+    FunctionBuilder F = PB.beginFunction("pgp_decrypt");
+    F.beq(17, "done");
+    F.label("blk");
+    F.andi(6, 17, 63);
+    F.bne(6, "tickskip");
+    emitTickCall(F, "pgp");
+    F.label("tickskip");
+    F.ldw(1, 16, 0);
+    F.ldw(2, 16, 4);
+    F.la(3, "pgp_subkeys");
+    F.addi(3, 3, (Rounds - 1) * 8);
+    F.li(4, Rounds);
+    F.label("round");
+    F.ldw(5, 3, 4);
+    // v1 -= (((v0<<4) ^ (v0>>5)) + v0) ^ k1
+    F.slli(6, 1, 4);
+    F.srli(7, 1, 5);
+    F.xor_(6, 6, 7);
+    F.add(6, 6, 1);
+    F.xor_(6, 6, 5);
+    F.sub(2, 2, 6);
+    F.ldw(5, 3, 0);
+    F.slli(6, 2, 4);
+    F.srli(7, 2, 5);
+    F.xor_(6, 6, 7);
+    F.add(6, 6, 2);
+    F.xor_(6, 6, 5);
+    F.sub(1, 1, 6);
+    F.subi(3, 3, 8);
+    F.subi(4, 4, 1);
+    F.bne(4, "round");
+    F.stw(1, 16, 0);
+    F.stw(2, 16, 4);
+    F.addi(16, 16, 8);
+    F.subi(17, 17, 1);
+    F.bne(17, "blk");
+    F.label("done");
+    F.ret();
+  }
+
+  // pgp_armor(src=r16, n=r17, dst=r18) -> r0 = armored length: expands
+  // every 3 bytes into 4 radix-64 characters.
+  {
+    PB.addData("pgp_radix64",
+               []() {
+                 std::string A = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                 "abcdefghijklmnopqrstuvwxyz0123456789+/";
+                 return std::vector<uint8_t>(A.begin(), A.end());
+               }());
+    FunctionBuilder F = PB.beginFunction("pgp_armor");
+    F.mov(23, 18);
+    F.la(22, "pgp_radix64");
+    F.label("grp");
+    F.cmpulti(1, 17, 3);
+    F.bne(1, "done"); // partial tail groups are dropped
+    F.ldb(1, 16, 0);
+    F.ldb(2, 16, 1);
+    F.ldb(3, 16, 2);
+    F.slli(1, 1, 16);
+    F.slli(2, 2, 8);
+    F.or_(1, 1, 2);
+    F.or_(1, 1, 3);
+    F.li(4, 18); // shift
+    F.label("emit");
+    F.srl(5, 1, 4);
+    F.andi(5, 5, 63);
+    F.add(5, 22, 5);
+    F.ldb(5, 5, 0);
+    F.stb(5, 18, 0);
+    F.addi(18, 18, 1);
+    F.subi(4, 4, 6);
+    F.bge(4, "emit");
+    F.addi(16, 16, 3);
+    F.subi(17, 17, 3);
+    F.br("grp");
+    F.label("done");
+    F.sub(0, 18, 23);
+    F.ret();
+  }
+
+  // pgp_verify(a=r16, b=r17, n=r18) -> r0 = 1 if equal.
+  {
+    FunctionBuilder F = PB.beginFunction("pgp_verify");
+    F.li(0, 1);
+    F.beq(18, "done");
+    F.label("loop");
+    F.ldb(1, 16, 0);
+    F.ldb(2, 17, 0);
+    F.cmpeq(3, 1, 2);
+    F.beq(3, "fail");
+    F.addi(16, 16, 1);
+    F.addi(17, 17, 1);
+    F.subi(18, 18, 1);
+    F.bne(18, "loop");
+    F.label("done");
+    F.ret();
+    F.label("fail");
+    F.li(0, 0);
+    F.ret();
+  }
+}
+
+Workload vea::workloads::buildPgp(double Scale) {
+  ProgramBuilder PB("pgp");
+  addRuntimeLibrary(PB);
+  addPgpCore(PB);
+  addFilterFarm(PB, "pgp", 130, 0x610);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 262144);
+  PB.addBss("armorbuf", 262144);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, PgpMagic, "inbuf", 131072);
+    F.cmpulti(2, 10, 3);
+    F.beq(2, "badmode");
+    emitCalibration(F, "pgp", 130, 42, "inbuf");
+    F.call("pgp_keysched");
+
+    // Error recovery point: corrupted archives longjmp back here.
+    F.la(16, "pgp_jmpbuf");
+    F.sys(SysFunc::Setjmp);
+    F.bne(0, "recover");
+
+    // Keep a pristine copy for verification, then encrypt in place.
+    F.la(16, "workbuf");
+    F.la(17, "inbuf");
+    F.mov(18, 11);
+    F.call("memcpy");
+    F.srli(12, 11, 3); // whole 8-byte blocks
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.call("pgp_encrypt");
+
+    // Mode 0 stops at armoring (the profiling path).
+    F.beq(10, "armor");
+
+    // Mode 2 corrupts the ciphertext first (timing path; detection below
+    // raises the longjmp).
+    F.cmpeqi(2, 10, 2);
+    F.beq(2, "decrypt");
+    F.la(1, "inbuf");
+    F.ldb(2, 1, 16);
+    F.xori(2, 2, 0xFF);
+    F.stb(2, 1, 16);
+
+    F.label("decrypt"); // Cold under the profiling input.
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.call("pgp_decrypt");
+    F.la(16, "inbuf");
+    F.la(17, "workbuf");
+    F.slli(18, 12, 3);
+    F.call("pgp_verify");
+    F.bne(0, "verified");
+    // Integrity failure: raise the recovery path.
+    F.la(16, "pgp_jmpbuf");
+    F.li(17, 9);
+    F.sys(SysFunc::Longjmp);
+    F.label("verified");
+    // Re-encrypt so every mode armors ciphertext.
+    F.la(16, "inbuf");
+    F.mov(17, 12);
+    F.call("pgp_encrypt");
+
+    F.label("armor");
+    F.la(16, "inbuf");
+    F.slli(17, 12, 3);
+    F.la(18, "armorbuf");
+    F.call("pgp_armor");
+    F.mov(11, 0);
+    F.la(16, "workbuf");
+    F.la(17, "armorbuf");
+    F.mov(18, 11);
+    F.call("memcpy");
+    F.br("finish");
+
+    // Longjmp landing: report and checksum whatever survives. Cold, and
+    // only ever reached in mode 2.
+    F.label("recover");
+    F.mov(16, 0);
+    F.sys(SysFunc::PutInt);
+    F.andi(16, 11, 7);
+    F.addi(16, 16, 90);
+    F.la(17, "inbuf");
+    F.li(18, 2048);
+    F.call("pgp_apply");
+    F.la(16, "workbuf");
+    F.la(17, "inbuf");
+    F.mov(18, 11);
+    F.call("memcpy");
+    F.br("finish");
+
+    F.label("badmode");
+    F.li(16, 27);
+    F.call("panic");
+    F.halt();
+
+    F.label("finish");
+    emitChecksumAndHalt(F, "workbuf");
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "pgp";
+  W.Prog = PB.build();
+  W.ProfilingInput = frameInput(
+      PgpMagic, 0,
+      makeTextPayload(static_cast<size_t>(48000 * Scale) + 64, 0x610F1));
+  W.TimingInput = frameInput(
+      PgpMagic, 2,
+      makeTextPayload(static_cast<size_t>(64000 * Scale) + 64, 0x610F2));
+  W.ProfilingInputName = "compression.ps (synthetic, encrypt+armor)";
+  W.TimingInputName = "TI-320-manual.ps (synthetic, corrupt-detect path)";
+  return W;
+}

@@ -1,0 +1,221 @@
+//===- workloads/Rasta.cpp - IIR filterbank analysis workload -------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Mirrors MediaBench `rasta`: a bank of second-order IIR filters over an
+// audio stream, per-frame band energies companded through a lookup table.
+// The timing input enables the "high-resolution" band set, which is cold
+// under the profiling input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Lib.h"
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+static const uint32_t RastaMagic = 0x4A57A001u;
+static const unsigned BaseBands = 6;
+static const unsigned HiResBands = 4; // Extra bands in mode 1.
+static const unsigned FrameLen = 256; // Samples per analysis frame.
+
+/// Fixed-point (Q8) biquad coefficients per band: b0, b1, b2, a1, a2.
+static std::vector<uint32_t> bandCoeffs() {
+  std::vector<uint32_t> C;
+  for (unsigned B = 0; B != BaseBands + HiResBands; ++B) {
+    C.push_back(40 + 9 * B);                          // b0
+    C.push_back(256 - 13 * B);                        // b1
+    C.push_back(static_cast<uint32_t>(-24 - 5 * (int)B)); // b2
+    C.push_back(static_cast<uint32_t>(-70 + 11 * (int)B)); // a1
+    C.push_back(30 + 4 * B);                          // a2
+  }
+  return C;
+}
+
+/// Logarithm-like companding table.
+static std::vector<uint32_t> compandTable() {
+  std::vector<uint32_t> T(256);
+  for (unsigned I = 0; I != 256; ++I) {
+    unsigned V = 0, X = I;
+    while (X > 1) {
+      X >>= 1;
+      V += 23;
+    }
+    T[I] = V + I / 5;
+  }
+  return T;
+}
+
+static void addRastaCore(ProgramBuilder &PB) {
+  addTickFunction(PB, "rasta");
+  PB.addDataWords("rasta_coeffs", bandCoeffs());
+  PB.addDataWords("rasta_compand", compandTable());
+  PB.addBss("rasta_state", (BaseBands + HiResBands) * 4 * 4); // x1,x2,y1,y2
+
+  // rasta_reset(): zero all filter state. Called once per run (cold at
+  // higher thresholds).
+  {
+    FunctionBuilder F = PB.beginFunction("rasta_reset");
+    F.la(1, "rasta_state");
+    F.li(2, (BaseBands + HiResBands) * 4);
+    F.label("loop");
+    F.stw(31, 1, 0);
+    F.addi(1, 1, 4);
+    F.subi(2, 2, 1);
+    F.bne(2, "loop");
+    F.ret();
+  }
+
+  // rasta_band(frame=r16, n=r17, band=r18) -> r0 = frame band energy.
+  // Runs one biquad over the frame, accumulating |y|.
+  {
+    FunctionBuilder F = PB.beginFunction("rasta_band");
+    // Load coefficients (r19..r23 = b0,b1,b2,a1,a2) and state.
+    F.muli(1, 18, 20);
+    F.la(2, "rasta_coeffs");
+    F.add(2, 2, 1);
+    F.ldw(19, 2, 0);
+    F.ldw(20, 2, 4);
+    F.ldw(21, 2, 8);
+    F.ldw(22, 2, 12);
+    F.ldw(23, 2, 16);
+    F.slli(1, 18, 4);
+    F.la(24, "rasta_state");
+    F.add(24, 24, 1);
+    F.ldw(2, 24, 0);  // x1
+    F.ldw(3, 24, 4);  // x2
+    F.ldw(4, 24, 8);  // y1
+    F.ldw(5, 24, 12); // y2
+    F.li(0, 0);       // energy
+    F.beq(17, "done");
+    F.label("loop");
+    // x = sext16(frame[i])
+    F.ldb(6, 16, 0);
+    F.ldb(7, 16, 1);
+    F.slli(7, 7, 8);
+    F.or_(6, 6, 7);
+    F.slli(6, 6, 16);
+    F.srai(6, 6, 16);
+    // y = (b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2) >> 8
+    F.mul(7, 19, 6);
+    F.mul(8, 20, 2);
+    F.add(7, 7, 8);
+    F.mul(8, 21, 3);
+    F.add(7, 7, 8);
+    F.mul(8, 22, 4);
+    F.sub(7, 7, 8);
+    F.mul(8, 23, 5);
+    F.sub(7, 7, 8);
+    F.srai(7, 7, 8);
+    // Shift state.
+    F.mov(3, 2);
+    F.mov(2, 6);
+    F.mov(5, 4);
+    F.mov(4, 7);
+    // energy += |y| (clamped into a byte for companding).
+    F.bge(7, "pos");
+    F.sub(7, 31, 7);
+    F.label("pos");
+    F.add(0, 0, 7);
+    F.addi(16, 16, 2);
+    F.subi(17, 17, 1);
+    F.bne(17, "loop");
+    F.label("done");
+    // Persist the state.
+    F.stw(2, 24, 0);
+    F.stw(3, 24, 4);
+    F.stw(4, 24, 8);
+    F.stw(5, 24, 12);
+    F.ret();
+  }
+
+  // rasta_compand_energy(e=r16) -> r0: table compand of the scaled energy.
+  {
+    FunctionBuilder F = PB.beginFunction("rasta_compand_energy");
+    F.srli(1, 16, 10);
+    F.cmplei(2, 1, 255);
+    F.bne(2, "ok");
+    F.li(1, 255); // saturation: rare
+    F.label("ok");
+    F.la(2, "rasta_compand");
+    F.slli(1, 1, 2);
+    F.add(2, 2, 1);
+    F.ldw(0, 2, 0);
+    F.ret();
+  }
+}
+
+Workload vea::workloads::buildRasta(double Scale) {
+  ProgramBuilder PB("rasta");
+  addRuntimeLibrary(PB);
+  addRastaCore(PB);
+  addFilterFarm(PB, "rasta", 65, 0x4A57A);
+  PB.addBss("inbuf", 131072);
+  PB.addBss("workbuf", 65536);
+
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    emitReadFrame(F, RastaMagic, "inbuf", 131072);
+    F.cmpulti(2, 10, 2);
+    F.beq(2, "badmode");
+    emitCalibration(F, "rasta", 65, 20, "inbuf");
+    F.call("rasta_reset");
+    // Bands to analyze: 6, or 10 in high-resolution mode (timing).
+    F.li(15, BaseBands);
+    F.beq(10, "bands_set");
+    F.li(15, BaseBands + HiResBands);
+    F.label("bands_set");
+    F.la(12, "inbuf");
+    F.srli(13, 11, 1);
+    F.li(2, FrameLen);
+    F.udiv(13, 13, 2); // whole frames
+    F.la(14, "workbuf");
+    F.beq(13, "done");
+
+    F.label("frame");
+    emitTickCall(F, "rasta");
+    F.li(9, 0); // band index
+    F.label("band");
+    F.mov(16, 12);
+    F.li(17, FrameLen);
+    F.mov(18, 9);
+    F.call("rasta_band");
+    F.mov(16, 0);
+    F.call("rasta_compand_energy");
+    F.stb(0, 14, 0);
+    F.addi(14, 14, 1);
+    F.addi(9, 9, 1);
+    F.cmpult(1, 9, 15);
+    F.bne(1, "band");
+    F.lda(12, 12, FrameLen * 2);
+    F.subi(13, 13, 1);
+    F.bne(13, "frame");
+
+    F.label("done");
+    F.la(1, "workbuf");
+    F.sub(11, 14, 1); // descriptor bytes
+    emitChecksumAndHalt(F, "workbuf");
+
+    F.label("badmode");
+    F.li(16, 28);
+    F.call("panic");
+    F.halt();
+  }
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "rasta";
+  W.Prog = PB.build();
+  W.ProfilingInput = frameInput(
+      RastaMagic, 0,
+      makeAudioPayload(static_cast<size_t>(24000 * Scale) + 512, 0x4A5F1));
+  W.TimingInput = frameInput(
+      RastaMagic, 1,
+      makeAudioPayload(static_cast<size_t>(32000 * Scale) + 512, 0x4A5F2,
+                       /*WithSilence=*/true));
+  W.ProfilingInputName = "ex5_c1.wav (synthetic, 6 bands)";
+  W.TimingInputName = "phone.pcmle.wav (synthetic, 10 bands)";
+  return W;
+}

@@ -1,0 +1,27 @@
+//===- workloads/Workloads.cpp - The MediaBench-analog suite --------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace vea;
+using namespace vea::workloads;
+
+std::vector<Workload> vea::workloads::buildAllWorkloads(double Scale) {
+  std::vector<Workload> All;
+  All.push_back(buildAdpcm(Scale));
+  All.push_back(buildEpic(Scale));
+  All.push_back(buildG721Dec(Scale));
+  All.push_back(buildG721Enc(Scale));
+  All.push_back(buildGsm(Scale));
+  All.push_back(buildJpegDec(Scale));
+  All.push_back(buildJpegEnc(Scale));
+  All.push_back(buildMpeg2Dec(Scale));
+  All.push_back(buildMpeg2Enc(Scale));
+  All.push_back(buildPgp(Scale));
+  All.push_back(buildRasta(Scale));
+  return All;
+}

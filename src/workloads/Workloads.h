@@ -1,0 +1,51 @@
+//===- workloads/Workloads.h - The MediaBench-analog suite -----*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eleven-benchmark suite mirroring the paper's MediaBench selection
+/// (Section 7 / Figure 5 / Table 1). Each is a genuine miniature
+/// implementation of the same algorithm family, built for the VEA-32
+/// machine, with a distinct profiling input (used to collect the guiding
+/// profile) and a larger timing input (used to measure the effect of
+/// runtime decompression). Timing inputs deliberately exercise some code
+/// that is cold or absent in the profile — alternate codec modes, rare
+/// per-frame paths — reproducing the dynamics the paper describes for
+/// SPECint's `li` (profile-cold code executed many times when timed).
+///
+/// Every program additionally carries a "filter farm" of address-taken,
+/// rarely-called routines standing in for the large rarely-executed
+/// library bodies of real MediaBench binaries (see Common.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_WORKLOADS_WORKLOADS_H
+#define SQUASH_WORKLOADS_WORKLOADS_H
+
+#include "workloads/Common.h"
+
+namespace vea::workloads {
+
+/// Input scaling: 1.0 gives the standard experiment sizes; tests use
+/// smaller factors for speed.
+Workload buildAdpcm(double Scale = 1.0);    ///< IMA ADPCM speech codec.
+Workload buildEpic(double Scale = 1.0);     ///< Pyramid image coder.
+Workload buildG721Dec(double Scale = 1.0);  ///< G.721-style decoder.
+Workload buildG721Enc(double Scale = 1.0);  ///< G.721-style encoder.
+Workload buildGsm(double Scale = 1.0);      ///< LPC-style speech analysis.
+Workload buildJpegDec(double Scale = 1.0);  ///< Block-transform decoder.
+Workload buildJpegEnc(double Scale = 1.0);  ///< Block-transform encoder.
+Workload buildMpeg2Dec(double Scale = 1.0); ///< Motion-comp decoder.
+Workload buildMpeg2Enc(double Scale = 1.0); ///< Motion-comp encoder.
+Workload buildPgp(double Scale = 1.0);      ///< Block cipher + armor.
+Workload buildRasta(double Scale = 1.0);    ///< IIR filterbank analysis.
+
+/// All eleven, in the paper's order.
+std::vector<Workload> buildAllWorkloads(double Scale = 1.0);
+
+} // namespace vea::workloads
+
+#endif // SQUASH_WORKLOADS_WORKLOADS_H

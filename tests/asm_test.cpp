@@ -1,0 +1,163 @@
+//===- tests/asm_test.cpp - Assembler tests -------------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+TEST(Assembler, MinimalProgramRuns) {
+  auto P = assembleProgram(R"(
+    .program hello
+    .entry main
+    .func main
+      li r1, 6
+      li r2, 7
+      mul r16, r1, r2
+      sys halt
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  Machine M(layoutProgram(P.get()));
+  RunResult R = M.run();
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(R.ExitCode, 42u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  auto P = assembleProgram(R"(
+    .program loops
+    .entry main
+    .func main
+      li r1, 5
+      li r2, 0
+    top:
+      add r2, r2, r1
+      subi r1, r1, 1
+      bne r1, top
+      or r16, r2, r31
+      sys halt
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  Machine M(layoutProgram(P.get()));
+  EXPECT_EQ(M.run().ExitCode, 15u); // 5+4+3+2+1
+}
+
+TEST(Assembler, CallsAndMemory) {
+  auto P = assembleProgram(R"(
+    .program callmem
+    .entry main
+    .func main
+      la r16, globals
+      bsr r26, bump
+      bsr r26, bump
+      la r1, globals
+      ldw r16, 0(r1)
+      sys halt
+    .func bump
+      ldw r1, 0(r16)
+      addi r1, r1, 10
+      stw r1, 0(r16)
+      ret
+    .data globals
+      .word 2
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  Machine M(layoutProgram(P.get()));
+  EXPECT_EQ(M.run().ExitCode, 22u);
+}
+
+TEST(Assembler, SwitchDirective) {
+  auto P = assembleProgram(R"(
+    .program sw
+    .entry main
+    .func main
+      li r1, 1
+      .switch r1, r2, jt, case0, case1, case2
+    case0:
+      li r16, 10
+      sys halt
+    case1:
+      li r16, 11
+      sys halt
+    case2:
+      li r16, 12
+      sys halt
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  const Program &Prog = P.get();
+  const BasicBlock &Entry = Prog.Functions[0].Blocks[0];
+  ASSERT_TRUE(Entry.Switch.has_value());
+  EXPECT_EQ(Entry.Switch->Targets.size(), 3u);
+  Machine M(layoutProgram(P.get()));
+  EXPECT_EQ(M.run().ExitCode, 11u);
+}
+
+TEST(Assembler, DataDirectives) {
+  auto P = assembleProgram(R"(
+    .program data
+    .entry main
+    .func main
+      la r1, stuff
+      ldb r16, 4(r1)
+      sys halt
+    .data stuff
+      .word 257
+      .byte 65, 66
+      .ascii "hi"
+      .zero 3
+      .addr main
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  Machine M(layoutProgram(P.get()));
+  EXPECT_EQ(M.run().ExitCode, 65u);
+}
+
+TEST(Assembler, ReportsLineNumbers) {
+  auto P = assembleProgram(".program x\n.func f\n  frobnicate r1\n");
+  ASSERT_FALSE(P.hasValue());
+  EXPECT_NE(P.message().find("line 3"), std::string::npos);
+  EXPECT_NE(P.message().find("frobnicate"), std::string::npos);
+}
+
+TEST(Assembler, RejectsBadRegister) {
+  auto P = assembleProgram(".program x\n.entry f\n.func f\n  add r99, r1, r2\n  sys halt\n");
+  ASSERT_FALSE(P.hasValue());
+  EXPECT_NE(P.message().find("r99"), std::string::npos);
+}
+
+TEST(Assembler, RejectsOutOfRangeLiteral) {
+  auto P = assembleProgram(".program x\n.entry f\n.func f\n  addi r1, r1, 999\n  sys halt\n");
+  ASSERT_FALSE(P.hasValue());
+}
+
+TEST(Assembler, VerifiesResult) {
+  // Branch to a label that never appears fails verification.
+  auto P = assembleProgram(R"(
+    .program x
+    .entry main
+    .func main
+      br nowhere
+  )");
+  ASSERT_FALSE(P.hasValue());
+}
+
+TEST(Assembler, PseudoLiLarge) {
+  auto P = assembleProgram(R"(
+    .program big
+    .entry main
+    .func main
+      li r1, 305419896
+      srli r16, r1, 24
+      sys halt
+  )");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  Machine M(layoutProgram(P.get()));
+  EXPECT_EQ(M.run().ExitCode, 0x12u); // 0x12345678 >> 24
+}

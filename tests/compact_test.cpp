@@ -1,0 +1,189 @@
+//===- tests/compact_test.cpp - squeeze-baseline compactor tests ----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/Compact.h"
+#include "ir/Builder.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+TEST(Compact, RemovesNops) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.nop();
+  F.li(16, 3);
+  F.nop();
+  F.nop();
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  CompactStats S = compactProgram(P);
+  EXPECT_EQ(S.NopsRemoved, 3u);
+  EXPECT_EQ(P.instructionCount(), 2u);
+  Machine M(layoutProgram(P));
+  EXPECT_EQ(M.run().ExitCode, 3u);
+}
+
+TEST(Compact, RemovesIdentityMoves) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.mov(5, 5);
+  F.lda(6, 6, 0);
+  F.li(16, 1);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  CompactStats S = compactProgram(P);
+  EXPECT_EQ(S.DeadMovesRemoved, 2u);
+}
+
+TEST(Compact, RemovesUnreachableFunctionsAndBlocks) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(16, 0);
+    F.halt();
+    F.label("dead"); // Unreachable block.
+    F.li(16, 1);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("unused"); // Never called.
+    F.ret();
+  }
+  PB.setEntry("main");
+  Program P = PB.build();
+  CompactStats S = compactProgram(P);
+  EXPECT_EQ(S.UnreachableFunctionsRemoved, 1u);
+  EXPECT_GE(S.UnreachableBlocksRemoved, 2u);
+  EXPECT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Blocks.size(), 1u);
+}
+
+TEST(Compact, AddressTakenCodeSurvives) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.la(1, "table");
+    F.ldw(2, 1, 0);
+    F.callIndirect(2);
+    F.mov(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("pointee"); // Only in the table.
+    F.li(0, 9);
+    F.ret();
+  }
+  PB.addSymbolTable("table", {"pointee"});
+  PB.setEntry("main");
+  Program P = PB.build();
+  compactProgram(P);
+  ASSERT_NE(P.findFunction("pointee"), nullptr);
+  Machine M(layoutProgram(P));
+  EXPECT_EQ(M.run().ExitCode, 9u);
+}
+
+TEST(Compact, DeadDataRemoved) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.la(1, "used");
+    F.ldw(16, 1, 0);
+    F.halt();
+  }
+  PB.addDataWords("used", {77});
+  PB.addDataWords("unused", {1, 2, 3});
+  PB.setEntry("main");
+  Program P = PB.build();
+  compactProgram(P);
+  EXPECT_NE(P.findData("used"), nullptr);
+  EXPECT_EQ(P.findData("unused"), nullptr);
+}
+
+TEST(Compact, ThreadsBranchChains) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 1);
+  F.bne(1, "hop1");
+  F.li(16, 0);
+  F.halt();
+  F.label("hop1");
+  F.br("hop2");
+  F.label("hop2");
+  F.br("end");
+  F.label("end");
+  F.li(16, 5);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  CompactStats S = compactProgram(P);
+  EXPECT_GE(S.BranchesThreaded, 1u);
+  // The trampolines become unreachable and disappear.
+  Cfg G(P);
+  EXPECT_FALSE(G.hasLabel("main.hop1"));
+  Machine M(layoutProgram(P));
+  EXPECT_EQ(M.run().ExitCode, 5u);
+}
+
+TEST(Compact, DropsBranchToNextBlock) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 0);
+  F.br("next");
+  F.label("next");
+  F.li(16, 4);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  CompactStats S = compactProgram(P);
+  EXPECT_EQ(S.RedundantBranchesRemoved, 1u);
+  Machine M(layoutProgram(P));
+  EXPECT_EQ(M.run().ExitCode, 4u);
+}
+
+TEST(Compact, PreservesBehaviourOnRealWorkload) {
+  // Same program before and after compaction must produce identical
+  // output on the same input.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(9, 0);  // checksum
+    F.label("loop");
+    F.sys(SysFunc::GetChar);
+    F.li(1, -1);
+    F.cmpeq(1, 0, 1);
+    F.bne(1, "out");
+    F.nop();
+    F.muli(9, 9, 31);
+    F.add(9, 9, 0);
+    F.nop();
+    F.br("loop");
+    F.label("out");
+    F.andi(16, 9, 0xFF);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Program P = PB.build();
+
+  std::vector<uint8_t> Input = {'s', 'q', 'u', 'a', 's', 'h'};
+  Machine M1(layoutProgram(P));
+  M1.setInput(Input);
+  RunResult R1 = M1.run();
+
+  CompactStats S = compactProgram(P);
+  EXPECT_GT(S.NopsRemoved, 0u);
+  Machine M2(layoutProgram(P));
+  M2.setInput(Input);
+  RunResult R2 = M2.run();
+
+  EXPECT_EQ(R1.ExitCode, R2.ExitCode);
+  EXPECT_LT(R2.Instructions, R1.Instructions);
+}

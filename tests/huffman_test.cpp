@@ -1,0 +1,208 @@
+//===- tests/huffman_test.cpp - Canonical Huffman tests -------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "huff/Huffman.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace squash;
+using vea::BitReader;
+using vea::BitWriter;
+using vea::Rng;
+
+/// Rebuilds the codeword of each symbol by encoding it alone.
+static std::pair<uint32_t, unsigned> codewordOf(const CanonicalCode &C,
+                                                uint32_t Sym) {
+  BitWriter W;
+  C.encode(Sym, W);
+  unsigned Len = static_cast<unsigned>(W.bitSize());
+  BitReader R(W.bytes());
+  return {static_cast<uint32_t>(R.readBits(Len)), Len};
+}
+
+TEST(Huffman, PaperExampleCodewords) {
+  // Section 3's example: N[2] = 3, N[3] = 1, N[5] = 4 gives codewords
+  // 00, 01, 10, 110, 11100, 11101, 11110, 11111.
+  // Frequencies engineered to produce those lengths.
+  std::vector<std::pair<uint32_t, uint64_t>> Freqs = {
+      {0, 20}, {1, 20}, {2, 20}, {3, 10}, {4, 2}, {5, 2}, {6, 2}, {7, 2}};
+  CanonicalCode C = CanonicalCode::build(Freqs);
+  ASSERT_EQ(C.numSymbols(), 8u);
+  const std::vector<uint32_t> &N = C.lengthCounts();
+  ASSERT_GE(N.size(), 6u);
+  EXPECT_EQ(N[2], 3u);
+  EXPECT_EQ(N[3], 1u);
+  EXPECT_EQ(N[5], 4u);
+
+  // b_1 = 0, b_i = 2 (b_{i-1} + N[i-1]).
+  EXPECT_EQ(codewordOf(C, 0), std::make_pair(0b00u, 2u));
+  EXPECT_EQ(codewordOf(C, 1), std::make_pair(0b01u, 2u));
+  EXPECT_EQ(codewordOf(C, 2), std::make_pair(0b10u, 2u));
+  EXPECT_EQ(codewordOf(C, 3), std::make_pair(0b110u, 3u));
+  EXPECT_EQ(codewordOf(C, 4), std::make_pair(0b11100u, 5u));
+  EXPECT_EQ(codewordOf(C, 7), std::make_pair(0b11111u, 5u));
+}
+
+TEST(Huffman, LengthsMatchClassicHuffman) {
+  Rng R(123);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    size_t N = 2 + R.nextBelow(40);
+    std::vector<uint64_t> F;
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+    for (size_t I = 0; I != N; ++I) {
+      uint64_t Freq = 1 + R.nextBelow(1000);
+      F.push_back(Freq);
+      Pairs.push_back({static_cast<uint32_t>(I), Freq});
+    }
+    std::vector<unsigned> Lengths = huffmanLengths(F);
+    CanonicalCode C = CanonicalCode::build(Pairs);
+    // The canonical code preserves the optimal codeword lengths.
+    std::multiset<unsigned> A(Lengths.begin(), Lengths.end()), B;
+    for (size_t I = 0; I != N; ++I)
+      B.insert(C.lengthOf(static_cast<uint32_t>(I)));
+    EXPECT_EQ(A, B);
+  }
+}
+
+TEST(Huffman, KraftEquality) {
+  // An optimal prefix code over >= 2 symbols is complete: sum 2^-len == 1.
+  Rng R(7);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+    size_t N = 2 + R.nextBelow(60);
+    for (size_t I = 0; I != N; ++I)
+      Pairs.push_back({static_cast<uint32_t>(I * 3), 1 + R.nextBelow(500)});
+    CanonicalCode C = CanonicalCode::build(Pairs);
+    double Kraft = 0;
+    for (auto &[Sym, Freq] : Pairs)
+      Kraft += std::pow(2.0, -static_cast<double>(C.lengthOf(Sym)));
+    EXPECT_NEAR(Kraft, 1.0, 1e-9);
+  }
+}
+
+TEST(Huffman, CodewordsAreConsecutivePerLength) {
+  Rng R(17);
+  std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+  for (uint32_t I = 0; I != 30; ++I)
+    Pairs.push_back({I, 1 + R.nextBelow(300)});
+  CanonicalCode C = CanonicalCode::build(Pairs);
+  std::map<unsigned, std::vector<uint32_t>> ByLen;
+  for (auto &[Sym, Freq] : Pairs) {
+    auto [Word, Len] = codewordOf(C, Sym);
+    ByLen[Len].push_back(Word);
+  }
+  for (auto &[Len, Words] : ByLen) {
+    std::sort(Words.begin(), Words.end());
+    for (size_t I = 1; I < Words.size(); ++I)
+      EXPECT_EQ(Words[I], Words[I - 1] + 1)
+          << "codewords of length " << Len << " not consecutive";
+  }
+}
+
+TEST(Huffman, RoundTripRandomStreams) {
+  Rng R(31337);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    // Skewed distribution over a random alphabet.
+    size_t N = 1 + R.nextBelow(100);
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+    for (size_t I = 0; I != N; ++I)
+      Pairs.push_back(
+          {static_cast<uint32_t>(R.nextBelow(1 << 20)), 1 + R.nextBelow(99)});
+    // Dedup symbols.
+    std::sort(Pairs.begin(), Pairs.end());
+    Pairs.erase(std::unique(Pairs.begin(), Pairs.end(),
+                            [](auto &A, auto &B) {
+                              return A.first == B.first;
+                            }),
+                Pairs.end());
+    CanonicalCode C = CanonicalCode::build(Pairs);
+
+    std::vector<uint32_t> Message;
+    for (int I = 0; I != 500; ++I)
+      Message.push_back(Pairs[R.nextBelow(Pairs.size())].first);
+    BitWriter W;
+    for (uint32_t Sym : Message)
+      C.encode(Sym, W);
+    BitReader Rd(W.bytes());
+    for (uint32_t Sym : Message)
+      ASSERT_EQ(C.decode(Rd), Sym);
+  }
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  CanonicalCode C = CanonicalCode::build({{42, 100}});
+  EXPECT_EQ(C.lengthOf(42), 1u);
+  BitWriter W;
+  C.encode(42, W);
+  C.encode(42, W);
+  BitReader R(W.bytes());
+  EXPECT_EQ(C.decode(R), 42u);
+  EXPECT_EQ(C.decode(R), 42u);
+}
+
+TEST(Huffman, EmptyCode) {
+  CanonicalCode C = CanonicalCode::build({});
+  EXPECT_TRUE(C.empty());
+  BitWriter W;
+  W.writeBits(0xFF, 8);
+  BitReader R(W.bytes());
+  EXPECT_EQ(C.decode(R), CanonicalCode::Invalid);
+}
+
+TEST(Huffman, ZeroFrequencySymbolsDropped) {
+  CanonicalCode C = CanonicalCode::build({{1, 10}, {2, 0}, {3, 10}});
+  EXPECT_EQ(C.numSymbols(), 2u);
+  EXPECT_EQ(C.lengthOf(2), 0u);
+}
+
+TEST(Huffman, SerializeDeserialize) {
+  Rng R(555);
+  std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+  for (uint32_t I = 0; I != 64; ++I)
+    Pairs.push_back({I, 1 + R.nextBelow(1000)});
+  CanonicalCode C = CanonicalCode::build(Pairs);
+
+  BitWriter W;
+  C.serialize(W, 16);
+  EXPECT_EQ(W.bitSize(), C.representationBits(16));
+
+  BitReader Rd(W.bytes());
+  CanonicalCode D = CanonicalCode::deserialize(Rd, 16);
+  ASSERT_EQ(D.numSymbols(), C.numSymbols());
+  EXPECT_EQ(D.lengthCounts(), C.lengthCounts());
+  EXPECT_EQ(D.values(), C.values());
+  for (auto &[Sym, Freq] : Pairs)
+    EXPECT_EQ(D.lengthOf(Sym), C.lengthOf(Sym));
+}
+
+TEST(Huffman, CorruptStreamDetected) {
+  // A stream of all-ones longer than the longest codeword must either
+  // decode to valid symbols or return Invalid — never crash or loop.
+  CanonicalCode C = CanonicalCode::build({{0, 1000}, {1, 1}, {2, 1}});
+  BitWriter W;
+  for (int I = 0; I != 64; ++I)
+    W.writeBit(1);
+  BitReader R(W.bytes());
+  for (int I = 0; I != 70; ++I) {
+    uint32_t Sym = C.decode(R);
+    if (Sym == CanonicalCode::Invalid)
+      SUCCEED();
+  }
+}
+
+TEST(Huffman, EncodedBitsAccounting) {
+  std::vector<std::pair<uint32_t, uint64_t>> Pairs = {{0, 8}, {1, 4},
+                                                      {2, 2}, {3, 2}};
+  CanonicalCode C = CanonicalCode::build(Pairs);
+  // Optimal lengths: 1, 2, 3, 3 -> 8*1 + 4*2 + 2*3 + 2*3 = 28 bits.
+  EXPECT_EQ(C.encodedBits(Pairs), 28u);
+}

@@ -1,0 +1,257 @@
+//===- tests/ir_test.cpp - IR, builder, verifier, CFG tests ---------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+/// A minimal two-function program used across the tests.
+static Program twoFunctionProgram() {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(16, 1);
+    F.call("helper");
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("helper");
+    F.addi(0, 16, 1);
+    F.ret();
+  }
+  PB.setEntry("main");
+  return PB.build();
+}
+
+TEST(IrVerify, AcceptsValidProgram) {
+  Program P = twoFunctionProgram();
+  EXPECT_EQ(P.verify(), "");
+  EXPECT_EQ(P.instructionCount(), 5u);
+}
+
+TEST(IrVerify, RejectsDuplicateLabels) {
+  Program P = twoFunctionProgram();
+  P.Functions[0].Blocks.push_back(P.Functions[0].Blocks[0]);
+  EXPECT_NE(P.verify().find("duplicate"), std::string::npos);
+}
+
+TEST(IrVerify, RejectsUnknownBranchTarget) {
+  Program P = twoFunctionProgram();
+  Inst Br;
+  Br.Op = Opcode::Beq;
+  Br.Ra = 1;
+  Br.Symbol = "nowhere";
+  Br.Reloc = RelocKind::BranchDisp;
+  P.Functions[1].Blocks[0].Insts.insert(
+      P.Functions[1].Blocks[0].Insts.begin(), Br);
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(IrVerify, RejectsCrossFunctionBranch) {
+  Program P = twoFunctionProgram();
+  Inst Br;
+  Br.Op = Opcode::Br;
+  Br.Symbol = "helper"; // A Br (not Bsr) into another function.
+  Br.Reloc = RelocKind::BranchDisp;
+  P.Functions[0].Blocks[0].Insts.back() = Br;
+  EXPECT_NE(P.verify().find("outside function"), std::string::npos);
+}
+
+TEST(IrVerify, RejectsMidBlockUnconditionalTransfer) {
+  Program P = twoFunctionProgram();
+  Inst Br;
+  Br.Op = Opcode::Br;
+  Br.Symbol = "main";
+  Br.Reloc = RelocKind::BranchDisp;
+  auto &Insts = P.Functions[0].Blocks[0].Insts;
+  Insts.insert(Insts.begin(), Br);
+  EXPECT_NE(P.verify().find("not at end"), std::string::npos);
+}
+
+TEST(IrVerify, AcceptsMidBlockConditionalBranch) {
+  // Superblocks: conditional branches may appear mid-block.
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 1);
+  F.beq(1, "tail");
+  F.li(1, 2);
+  F.beq(1, "tail");
+  F.li(16, 0);
+  F.halt();
+  F.label("tail");
+  F.li(16, 1);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  EXPECT_EQ(P.verify(), "");
+}
+
+TEST(IrVerify, RejectsFallOffFunctionEnd) {
+  Program P = twoFunctionProgram();
+  P.Functions[1].Blocks[0].Insts.pop_back(); // Drop the ret.
+  EXPECT_NE(P.verify().find("falls off"), std::string::npos);
+}
+
+TEST(IrVerify, RejectsOutOfRangeLiteral) {
+  Program P = twoFunctionProgram();
+  P.Functions[1].Blocks[0].Insts[0].Imm = 300;
+  EXPECT_NE(P.verify().find("literal"), std::string::npos);
+}
+
+TEST(IrVerify, RejectsMissingEntry) {
+  Program P = twoFunctionProgram();
+  P.EntryFunction = "nope";
+  EXPECT_NE(P.verify(), "");
+}
+
+TEST(Cfg, BranchAndFallthroughEdges) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 3);
+  F.label("loop");
+  F.subi(1, 1, 1);
+  F.bne(1, "loop");
+  F.label("exit");
+  F.li(16, 0);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+
+  unsigned Entry = G.idOf("main");
+  unsigned Loop = G.idOf("main.loop");
+  unsigned Exit = G.idOf("main.exit");
+  ASSERT_EQ(G.numBlocks(), 3u);
+  EXPECT_EQ(G.succs(Entry), std::vector<unsigned>{Loop});
+  std::vector<unsigned> LoopSuccs = G.succs(Loop);
+  std::sort(LoopSuccs.begin(), LoopSuccs.end());
+  EXPECT_EQ(LoopSuccs, (std::vector<unsigned>{Loop, Exit}));
+  EXPECT_TRUE(G.succs(Exit).empty()); // halt: no successors
+}
+
+TEST(Cfg, CallEdgesAndSetjmp) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.call("uses_setjmp");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("uses_setjmp");
+    F.sys(SysFunc::Setjmp);
+    F.ret();
+  }
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+  EXPECT_EQ(G.callees(G.idOf("main")),
+            std::vector<unsigned>{G.idOf("uses_setjmp")});
+  EXPECT_FALSE(G.functionCallsSetjmp(0));
+  EXPECT_TRUE(G.functionCallsSetjmp(1));
+}
+
+TEST(Cfg, AddressTakenViaDataAndLa) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.la(1, "target");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("target");
+    F.ret();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("tabled");
+    F.ret();
+  }
+  PB.addSymbolTable("fns", {"tabled"});
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+  EXPECT_TRUE(G.isAddressTaken(G.idOf("target")));
+  EXPECT_TRUE(G.isAddressTaken(G.idOf("tabled")));
+  EXPECT_FALSE(G.isAddressTaken(G.idOf("main")));
+}
+
+TEST(Cfg, SwitchTargetsAreEdges) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 0);
+  F.switchJump(1, 2, "tab", {"a", "b"});
+  F.label("a");
+  F.li(16, 0);
+  F.halt();
+  F.label("b");
+  F.li(16, 1);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+  std::vector<unsigned> S = G.succs(G.idOf("main"));
+  std::sort(S.begin(), S.end());
+  EXPECT_EQ(S, (std::vector<unsigned>{G.idOf("main.a"), G.idOf("main.b")}));
+  EXPECT_FALSE(G.hasIndirectCall(G.idOf("main")));
+}
+
+TEST(Cfg, UnknownJumpMarksIndirect) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 0x2000);
+  Inst J;
+  J.Op = Opcode::Jmp;
+  J.Rb = 1;
+  F.emit(J);
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+  EXPECT_TRUE(G.hasIndirectCall(G.idOf("main")));
+}
+
+TEST(Builder, LiExpandsLargeConstants) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 42);          // 1 instruction
+  F.li(2, 0x12345678);  // 2 instructions
+  F.li(3, -1000000);    // 2 instructions
+  F.li(16, 0);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  EXPECT_EQ(P.Functions[0].Blocks[0].Insts.size(), 1u + 2 + 2 + 1 + 1);
+}
+
+TEST(Builder, CanFallThroughSemantics) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(16, 0);
+  F.halt();
+  F.label("r");
+  F.ret();
+  F.label("b");
+  F.br("r");
+  F.label("c");
+  F.beq(1, "r");
+  F.label("d");
+  F.call("main"); // Trailing call: falls through.
+  F.label("e");
+  F.li(16, 0);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  const auto &B = P.Functions[0].Blocks;
+  EXPECT_FALSE(B[0].canFallThrough()); // halt
+  EXPECT_FALSE(B[1].canFallThrough()); // ret
+  EXPECT_FALSE(B[2].canFallThrough()); // br
+  EXPECT_TRUE(B[3].canFallThrough());  // cond branch
+  EXPECT_TRUE(B[4].canFallThrough());  // call
+}

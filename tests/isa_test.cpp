@@ -1,0 +1,127 @@
+//===- tests/isa_test.cpp - VEA-32 encoding tests -------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disasm.h"
+#include "isa/Isa.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+TEST(Isa, FormatLayoutsCover32Bits) {
+  for (Format Form : {Format::Mem, Format::Branch, Format::Jump,
+                      Format::OpRRR, Format::OpRRI, Format::Sys}) {
+    const FormatLayout &L = formatLayout(Form);
+    unsigned Total = 0;
+    uint32_t Mask = 0;
+    for (unsigned I = 0; I != L.Count; ++I) {
+      const FieldSlot &S = L.Slots[I];
+      EXPECT_EQ(S.Width, fieldWidth(S.Kind));
+      Total += S.Width;
+      uint32_t FieldMask = (S.Width == 32 ? ~0u : ((1u << S.Width) - 1))
+                           << S.Shift;
+      EXPECT_EQ(Mask & FieldMask, 0u) << "overlapping fields";
+      Mask |= FieldMask;
+    }
+    EXPECT_EQ(Total, 32u);
+    EXPECT_EQ(Mask, 0xFFFFFFFFu);
+  }
+}
+
+TEST(Isa, OpcodeTableConsistency) {
+  for (unsigned I = 0; I != NumOpcodes; ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    const OpcodeInfo &Info = opcodeInfo(Op);
+    EXPECT_EQ(opcodeByName(Info.Name), Op == Opcode::Sentinel
+                                           ? Opcode::Sentinel
+                                           : Op);
+  }
+  EXPECT_EQ(opcodeByName("no_such_op"), Opcode::Sentinel);
+}
+
+/// Round-trip every opcode with random field contents.
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeRoundTrip, AllFieldsSurvive) {
+  Opcode Op = static_cast<Opcode>(GetParam());
+  Rng R(GetParam() * 7919 + 1);
+  const FormatLayout &Layout = formatLayout(formatOf(Op));
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    MInst I(Op);
+    for (unsigned S = 1; S != Layout.Count; ++S) {
+      FieldKind Kind = Layout.Slots[S].Kind;
+      uint32_t Max = Layout.Slots[S].Width == 32
+                         ? ~0u
+                         : (1u << Layout.Slots[S].Width) - 1;
+      I.set(Kind, static_cast<uint32_t>(R.next()) & Max);
+    }
+    uint32_t Word = encode(I);
+    MInst D = decode(Word);
+    EXPECT_EQ(D.Op, Op);
+    for (unsigned S = 0; S != Layout.Count; ++S)
+      EXPECT_EQ(D.get(Layout.Slots[S].Kind), I.get(Layout.Slots[S].Kind));
+    EXPECT_EQ(encode(D), Word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::Range(1u, NumOpcodes));
+
+TEST(Isa, SignedDisplacements) {
+  MInst I = makeBranch(Opcode::Br, 5, -3);
+  EXPECT_EQ(I.disp21(), -3);
+  I = makeBranch(Opcode::Br, 5, (1 << 20) - 1);
+  EXPECT_EQ(I.disp21(), (1 << 20) - 1);
+  MInst M = makeMem(Opcode::Ldw, 1, 2, -32768);
+  EXPECT_EQ(M.disp16(), -32768);
+  M = makeMem(Opcode::Ldw, 1, 2, 32767);
+  EXPECT_EQ(decode(encode(M)).disp16(), 32767);
+}
+
+TEST(Isa, SentinelIsIllegal) {
+  EXPECT_FALSE(isLegalWord(0));
+  EXPECT_FALSE(opcodeInfo(Opcode::Sentinel).IsLegal);
+  EXPECT_FALSE(opcodeInfo(Opcode::Bsrx).IsLegal);
+  EXPECT_TRUE(isLegalWord(encode(makeNop())));
+}
+
+TEST(Isa, IllegalOpcodeBitsRejected) {
+  for (uint32_t OpBits = NumOpcodes; OpBits != 64; ++OpBits)
+    EXPECT_FALSE(isLegalWord(OpBits << 26));
+}
+
+TEST(Isa, NopClassification) {
+  EXPECT_TRUE(isNop(makeNop()));
+  EXPECT_TRUE(isNop(makeRRR(Opcode::Add, RegZero, 1, 2)));
+  EXPECT_FALSE(isNop(makeRRR(Opcode::Add, 1, 1, 2)));
+  // Divides may fault: not nops even when dead.
+  EXPECT_FALSE(isNop(makeRRR(Opcode::Udiv, RegZero, 1, 2)));
+  EXPECT_FALSE(isNop(makeBranch(Opcode::Br, RegZero, 0)));
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(isCondBranch(Opcode::Beq));
+  EXPECT_FALSE(isCondBranch(Opcode::Br));
+  EXPECT_TRUE(isUncondBranch(Opcode::Bsr));
+  EXPECT_TRUE(isDirectCall(Opcode::Bsrx));
+  EXPECT_TRUE(isIndirectJump(Opcode::Ret));
+  EXPECT_FALSE(isControlFlow(Opcode::Add));
+  EXPECT_TRUE(isControlFlow(Opcode::Jmp));
+}
+
+TEST(Disasm, RendersOperands) {
+  EXPECT_EQ(disassemble(makeMem(Opcode::Ldw, 1, 30, 8)), "ldw r1, 8(r30)");
+  EXPECT_EQ(disassemble(makeRRR(Opcode::Add, 3, 1, 2)), "add r3, r1, r2");
+  EXPECT_EQ(disassemble(makeRRI(Opcode::Addi, 3, 1, 200)),
+            "addi r3, r1, 200");
+  EXPECT_EQ(disassemble(makeJump(Opcode::Ret, 31, 26)), "ret r31, (r26)");
+  EXPECT_EQ(disassemble(makeSys(SysFunc::Halt)), "sys 0");
+  // With a PC, branch targets render absolutely.
+  EXPECT_EQ(disassemble(makeBranch(Opcode::Br, 31, 1), 0x1000),
+            "br r31, 0x1008");
+}

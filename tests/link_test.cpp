@@ -1,0 +1,163 @@
+//===- tests/link_test.cpp - Layout and encoding tests --------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "link/Layout.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+TEST(Layout, HiLoSplitReconstructs) {
+  Rng R(404);
+  auto Check = [](uint32_t Value) {
+    uint16_t Hi, Lo;
+    splitHiLo(Value, Hi, Lo);
+    uint32_t Rebuilt =
+        (static_cast<uint32_t>(static_cast<int16_t>(Hi)) << 16) +
+        static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(Lo)));
+    EXPECT_EQ(Rebuilt, Value) << "value " << Value;
+  };
+  Check(0);
+  Check(0x7FFF);
+  Check(0x8000);
+  Check(0xFFFF);
+  Check(0x10000);
+  Check(0x12348765);
+  Check(0xFFFFFFFF);
+  for (int I = 0; I != 5000; ++I)
+    Check(static_cast<uint32_t>(R.next()));
+}
+
+TEST(Layout, SymbolsAndEntry) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("second");
+    F.ret();
+  }
+  PB.addDataWords("table", {1, 2, 3});
+  PB.setEntry("main");
+  Program P = PB.build();
+  Image Img = layoutProgram(P);
+
+  EXPECT_EQ(Img.EntryPC, Img.symbol("main"));
+  EXPECT_EQ(Img.symbol("main"), DefaultBase);
+  // main = li(1) + halt(1) = 2 words.
+  EXPECT_EQ(Img.symbol("second"), DefaultBase + 8);
+  EXPECT_EQ(Img.CodeBytes, 12u);
+  // Data follows code, aligned.
+  uint32_t Table = Img.symbol("table");
+  EXPECT_EQ(Table % 4, 0u);
+  EXPECT_EQ(Img.word(Table), 1u);
+  EXPECT_EQ(Img.word(Table + 8), 3u);
+}
+
+TEST(Layout, BranchDisplacements) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 2);
+  F.label("loop");
+  F.subi(1, 1, 1);
+  F.bne(1, "loop");
+  F.li(16, 0);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  Image Img = layoutProgram(P);
+
+  // The bne sits at word 2 (after li, subi); its target is word 1.
+  uint32_t BneAddr = DefaultBase + 8;
+  MInst Bne = decode(Img.word(BneAddr));
+  EXPECT_EQ(Bne.Op, Opcode::Bne);
+  // target = pc + 4 + 4*disp  =>  disp = (target - pc - 4) / 4 = -2.
+  EXPECT_EQ(Bne.disp21(), -2);
+}
+
+TEST(Layout, CallDisplacement) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.call("callee");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("callee");
+    F.ret();
+  }
+  PB.setEntry("main");
+  Image Img = layoutProgram(PB.build());
+  MInst Call = decode(Img.word(DefaultBase));
+  EXPECT_EQ(Call.Op, Opcode::Bsr);
+  uint32_t Target = DefaultBase + 4 + 4 * Call.disp21();
+  EXPECT_EQ(Target, Img.symbol("callee"));
+}
+
+TEST(Layout, HiLoAddressMaterialization) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.la(1, "blob", 12);
+  F.li(16, 0);
+  F.halt();
+  PB.setEntry("main");
+  PB.addBss("blob", 64);
+  Image Img = layoutProgram(PB.build());
+
+  MInst Hi = decode(Img.word(DefaultBase));
+  MInst Lo = decode(Img.word(DefaultBase + 4));
+  EXPECT_EQ(Hi.Op, Opcode::Ldah);
+  EXPECT_EQ(Lo.Op, Opcode::Lda);
+  uint32_t Value =
+      (static_cast<uint32_t>(Hi.disp16()) << 16) +
+      static_cast<uint32_t>(Lo.disp16());
+  EXPECT_EQ(Value, Img.symbol("blob") + 12);
+}
+
+TEST(Layout, SymbolWordsPatched) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("fnA");
+    F.ret();
+  }
+  PB.addSymbolTable("fns", {"fnA", "main"});
+  PB.setEntry("main");
+  Image Img = layoutProgram(PB.build());
+  uint32_t Tab = Img.symbol("fns");
+  EXPECT_EQ(Img.word(Tab), Img.symbol("fnA"));
+  EXPECT_EQ(Img.word(Tab + 4), Img.symbol("main"));
+}
+
+TEST(Layout, BlockRangesMatchCfgOrder) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(1, 0);
+    F.label("x");
+    F.li(2, 0);
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Program P = PB.build();
+  Image Img = layoutProgram(P);
+  ASSERT_EQ(Img.Blocks.size(), 2u);
+  EXPECT_EQ(Img.Blocks[0].Addr, DefaultBase);
+  EXPECT_EQ(Img.Blocks[0].SizeWords, 1u);
+  EXPECT_EQ(Img.Blocks[1].Addr, DefaultBase + 4);
+  EXPECT_EQ(Img.Blocks[1].SizeWords, 3u);
+}

@@ -1,0 +1,422 @@
+//===- tests/runtime_test.cpp - Decompressor runtime tests ----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Targets the runtime machinery of Sections 2.2 / 2.3: entry stubs, the
+// CreateStub / Decompress split, reference-counted restore stubs, calls
+// from the runtime buffer, recursion through compressed regions, the
+// buffer-safe call optimization, and the failure modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Layout.h"
+#include "ir/Builder.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+/// Helper bundling the original/squashed comparison.
+struct Pipeline {
+  Program Prog;
+  Image Baseline;
+  Profile Prof;
+
+  explicit Pipeline(Program P) : Prog(std::move(P)) {
+    Baseline = layoutProgram(Prog);
+  }
+
+  void profile(std::vector<uint8_t> Input) {
+    Prof = profileImage(Baseline, std::move(Input));
+  }
+
+  /// Runs baseline and squashed on \p Input; requires identical results.
+  SquashedRun check(const Options &Opts, std::vector<uint8_t> Input,
+                    SquashResult *OutSR = nullptr) {
+    Machine M(Baseline);
+    M.setInput(Input);
+    RunResult Base = M.run();
+    EXPECT_EQ(Base.Status, RunStatus::Halted);
+
+    SquashResult SR = squashProgram(Prog, Prof, Opts);
+    Machine M2(SR.SP.Img);
+    RuntimeSystem RT(SR.SP);
+    RT.attach(M2);
+    M2.setInput(Input);
+    RunResult R = M2.run();
+    EXPECT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+    EXPECT_EQ(R.ExitCode, Base.ExitCode);
+    EXPECT_EQ(M2.output(), M.output());
+    if (OutSR)
+      *OutSR = SR;
+    SquashedRun Out;
+    Out.Run = R;
+    Out.Runtime = RT.stats();
+    return Out;
+  }
+};
+
+/// A cold function that calls another cold function (call from the runtime
+/// buffer; return needs a restore stub).
+Program callFromBufferProgram() {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.sys(SysFunc::GetChar);
+    F.beq(0, "skip"); // Input byte 0: skip the cold path.
+    F.li(16, 5);
+    F.call("coldA");
+    F.mov(16, 0);
+    F.halt();
+    F.label("skip");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("coldA");
+    F.enter(8);
+    F.addi(16, 16, 10); // 15
+    F.call("coldB");
+    F.addi(0, 0, 1); // Uses the value coldB returns: 15*2 + 1 = 31.
+    F.leave(8);
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("coldB");
+    for (int I = 0; I != 12; ++I)
+      F.addi(1, 1, 1); // Padding so both functions form real regions.
+    F.add(0, 16, 16);
+    F.ret();
+  }
+  PB.setEntry("main");
+  return PB.build();
+}
+
+} // namespace
+
+TEST(Runtime, CallFromBufferRestoresCaller) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0}); // Cold path never profiled.
+  Options Opts;
+  Opts.PackRegions = false; // Keep coldA and coldB in separate regions.
+  SquashResult SR;
+  SquashedRun R = P.check(Opts, {1}, &SR);
+  ASSERT_FALSE(SR.Identity);
+  // coldA and coldB land in regions; the call out of the buffer forces a
+  // restore stub and a re-decompression of the caller.
+  EXPECT_GE(R.Runtime.Decompressions, 2u);
+  EXPECT_GE(R.Runtime.RestoreStubCalls, 1u);
+  EXPECT_GE(R.Runtime.StubCreates, 1u);
+  EXPECT_EQ(R.Run.ExitCode, 31u);
+}
+
+TEST(Runtime, RecursionThroughCompressedRegion) {
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.sys(SysFunc::GetChar);
+    F.beq(0, "skip");
+    F.li(16, 10);
+    F.call("fact"); // 10! mod 2^32
+    F.mov(16, 0);
+    F.andi(16, 16, 0xFF);
+    F.halt();
+    F.label("skip");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("fact");
+    // Pad the entry and the recursive arm so they exceed the buffer bound
+    // together: the recursion then crosses region boundaries.
+    for (int I = 0; I != 20; ++I)
+      F.addi(2, 2, 1);
+    F.bne(16, "rec");
+    F.li(0, 1);
+    F.ret();
+    F.label("rec");
+    for (int I = 0; I != 15; ++I)
+      F.addi(2, 2, 1);
+    F.enter(12);
+    F.stw(16, 30, 4);
+    F.subi(16, 16, 1);
+    F.call("fact"); // Self-recursive call from the buffer.
+    F.ldw(1, 30, 4);
+    F.mul(0, 0, 1);
+    F.leave(12);
+  }
+  PB.setEntry("main");
+
+  Pipeline P(PB.build());
+  P.profile({0});
+  Options Opts;
+  Opts.PackRegions = false;
+  Opts.BufferBoundBytes = 128; // 32 instructions: entry and rec split.
+  SquashResult SR;
+  SquashedRun R = P.check(Opts, {1}, &SR);
+  ASSERT_FALSE(SR.Identity);
+  // One restore stub per call site, reference-counted across the whole
+  // recursion (paper: "we create only one restore stub for a particular
+  // call site and maintain a usage count").
+  EXPECT_GE(R.Runtime.StubReuses, 5u);
+  EXPECT_LE(R.Runtime.MaxLiveStubs, 4u);
+  EXPECT_GE(R.Runtime.Decompressions, 10u);
+}
+
+TEST(Runtime, TraceShowsTheProtocol) {
+  // The observable event sequence of Sections 2.2/2.3 for "cold caller
+  // calls cold callee": enter A via stub, fill A, create a restore stub at
+  // the call, enter B via stub, fill B, then B's return drives the restore
+  // path: enter via restore stub, release it, refill A.
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  Opts.PackRegions = false;
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  ASSERT_FALSE(SR.Identity);
+
+  Machine M(SR.SP.Img);
+  RuntimeSystem RT(SR.SP);
+  RT.enableTrace();
+  RT.attach(M);
+  M.setInput({1});
+  ASSERT_EQ(M.run().Status, RunStatus::Halted);
+
+  using K = RuntimeSystem::Event::Kind;
+  std::vector<K> Kinds;
+  for (const auto &E : RT.events())
+    Kinds.push_back(E.K);
+  // Expected shape (regions A and B may carry any indices):
+  std::vector<K> Want = {K::EnterViaStub,    K::Decompress, K::StubCreate,
+                         K::EnterViaStub,    K::Decompress,
+                         K::EnterViaRestore, K::StubRelease, K::Decompress};
+  ASSERT_EQ(Kinds, Want);
+  // The restore-stub events agree on the stub address.
+  uint32_t CreateAddr = 0, ReleaseAddr = 0;
+  for (const auto &E : RT.events()) {
+    if (E.K == K::StubCreate)
+      CreateAddr = E.Addr;
+    if (E.K == K::StubRelease)
+      ReleaseAddr = E.Addr;
+  }
+  EXPECT_EQ(CreateAddr, ReleaseAddr);
+  // The two fills before the restore differ; the final fill re-loads the
+  // caller's region.
+  EXPECT_EQ(RT.events()[1].Region, RT.events()[7].Region);
+  EXPECT_NE(RT.events()[1].Region, RT.events()[4].Region);
+}
+
+TEST(Runtime, RestoreStubsFullyReleased) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  Opts.PackRegions = false;
+  SquashedRun R = P.check(Opts, {1});
+  EXPECT_EQ(R.Runtime.LiveStubs, 0u) << "stub leaked after returns";
+}
+
+TEST(Runtime, BufferSafeCallSkipsStub) {
+  // A cold function calling a hot leaf: with the Section 6.1 optimization
+  // the call needs no restore stub at all.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(9, 0);
+    F.li(1, 50);
+    F.label("warm"); // Keep `leaf` hot.
+    F.li(16, 3);
+    F.call("leaf");
+    F.add(9, 9, 0);
+    F.subi(1, 1, 1);
+    F.bne(1, "warm");
+    F.sys(SysFunc::GetChar);
+    F.beq(0, "skip");
+    F.li(16, 7);
+    F.call("coldCaller");
+    F.add(9, 9, 0);
+    F.label("skip");
+    F.andi(16, 9, 0xFF);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("leaf");
+    F.add(0, 16, 16);
+    F.ret();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("coldCaller");
+    F.enter(8);
+    for (int I = 0; I != 10; ++I)
+      F.addi(1, 1, 1);
+    F.call("leaf"); // Buffer-safe callee.
+    F.addi(0, 0, 1);
+    F.leave(8);
+  }
+  PB.setEntry("main");
+
+  Pipeline P(PB.build());
+  P.profile({0});
+
+  Options WithOpt;
+  WithOpt.BufferSafeCalls = true;
+  SquashedRun R1 = P.check(WithOpt, {1});
+  EXPECT_EQ(R1.Runtime.StubCreates, 0u);
+  EXPECT_EQ(R1.Runtime.RestoreStubCalls, 0u);
+
+  Options WithoutOpt;
+  WithoutOpt.BufferSafeCalls = false;
+  SquashedRun R2 = P.check(WithoutOpt, {1});
+  EXPECT_GE(R2.Runtime.StubCreates, 1u);
+  // The optimization saves decompressions at run time.
+  EXPECT_LT(R1.Run.Cycles, R2.Run.Cycles);
+}
+
+TEST(Runtime, ReuseBufferedRegionSkipsRefill) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Reuse;
+  Reuse.ReuseBufferedRegion = true;
+  Reuse.PackRegions = false;
+  SquashedRun R1 = P.check(Reuse, {1});
+  Options NoReuse;
+  NoReuse.PackRegions = false;
+  SquashedRun R2 = P.check(NoReuse, {1});
+  EXPECT_LE(R1.Runtime.Decompressions, R2.Runtime.Decompressions);
+}
+
+TEST(Runtime, StubAreaExhaustionFaults) {
+  // Two distinct cold call sites with only one restore-stub slot: the
+  // second active stub cannot be allocated.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.sys(SysFunc::GetChar);
+    F.beq(0, "skip");
+    F.call("a");
+    F.label("skip");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("a");
+    F.enter(8);
+    for (int I = 0; I != 10; ++I)
+      F.addi(1, 1, 1);
+    F.call("b"); // Callsite 1 (stub live across b's body).
+    F.leave(8);
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("b");
+    F.enter(8);
+    for (int I = 0; I != 10; ++I)
+      F.addi(1, 1, 1);
+    F.call("c"); // Callsite 2 while callsite 1's stub is still live.
+    F.leave(8);
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("c");
+    for (int I = 0; I != 10; ++I)
+      F.addi(1, 1, 1);
+    F.ret();
+  }
+  PB.setEntry("main");
+
+  Program Prog = PB.build();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {0});
+
+  Options Opts;
+  Opts.MaxRestoreStubs = 1;
+  Opts.PackRegions = false; // Keep a, b, c in distinct regions.
+  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  ASSERT_FALSE(SR.Identity);
+  Machine M(SR.SP.Img);
+  RuntimeSystem RT(SR.SP);
+  RT.attach(M);
+  M.setInput({1});
+  RunResult R = M.run();
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_NE(R.FaultMessage.find("restore stub area exhausted"),
+            std::string::npos);
+}
+
+TEST(Runtime, CorruptBlobFaultsCleanly) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  ASSERT_FALSE(SR.Identity);
+  // Flip bytes in the middle of the compressed blob.
+  Image Broken = SR.SP.Img;
+  for (uint32_t A = SR.SP.Layout.BlobBase + SR.SP.Layout.BlobBytes / 2;
+       A < SR.SP.Layout.BlobBase + SR.SP.Layout.BlobBytes; ++A)
+    Broken.Bytes[A - Broken.Base] ^= 0x5A;
+  SquashedProgram SP2 = SR.SP;
+  SP2.Img = Broken;
+  Machine M(SP2.Img);
+  RuntimeSystem RT(SP2);
+  RT.attach(M);
+  M.setInput({1});
+  RunResult R = M.run();
+  // Either the decoder detects corruption, or the decoded garbage
+  // diverges (fault); the machine must not hang or exit 31.
+  EXPECT_NE(R.Status, RunStatus::InstLimit);
+  EXPECT_FALSE(R.Status == RunStatus::Halted && R.ExitCode == 31);
+}
+
+TEST(Runtime, IdentityWhenNothingCompressible) {
+  // An entirely hot program squashes to itself.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(1, 9);
+    F.label("loop");
+    F.subi(1, 1, 1);
+    F.bne(1, "loop");
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Program Prog = PB.build();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {});
+  Options Opts;
+  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  EXPECT_TRUE(SR.Identity);
+  EXPECT_EQ(SR.SP.Footprint.totalCodeBytes(),
+            SR.SP.Footprint.OriginalCodeBytes);
+  Machine M(SR.SP.Img);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+}
+
+TEST(Rewriter, FootprintAccountingConsistent) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  ASSERT_FALSE(SR.Identity);
+  const FootprintBreakdown &F = SR.SP.Footprint;
+  const RuntimeLayout &L = SR.SP.Layout;
+  EXPECT_EQ(F.DecompressorWords * 4, L.DecompEnd - L.DecompBase);
+  EXPECT_EQ(F.StubAreaWords, 4 * L.StubSlots);
+  EXPECT_EQ(F.BufferWords, L.BufferWords);
+  EXPECT_EQ(F.CompressedBytes, L.BlobBytes);
+  // Every compressed block with external references has a stub address.
+  for (const auto &[Label, Addr] : SR.SP.StubOf) {
+    EXPECT_GE(Addr, DefaultBase);
+    // The stub's tag word selects a valid region and offset.
+    uint32_t Tag = SR.SP.Img.word(Addr + 4);
+    EXPECT_LT(Tag >> 16, SR.SP.Regions.size());
+    EXPECT_GE(Tag & 0xFFFF, 1u);
+  }
+  // Region bit offsets are strictly increasing and inside the blob.
+  for (size_t R = 1; R < SR.SP.Regions.size(); ++R)
+    EXPECT_GT(SR.SP.Regions[R].BitOffset, SR.SP.Regions[R - 1].BitOffset);
+  for (const auto &RI : SR.SP.Regions)
+    EXPECT_LT(RI.BitOffset, 8u * L.BlobBytes);
+}

@@ -1,0 +1,108 @@
+//===- tests/support_test.cpp - Bit I/O and RNG tests ---------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitStream.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+
+TEST(BitStream, SingleBits) {
+  BitWriter W;
+  W.writeBit(1);
+  W.writeBit(0);
+  W.writeBit(1);
+  EXPECT_EQ(W.bitSize(), 3u);
+  EXPECT_EQ(W.byteSize(), 1u);
+  EXPECT_EQ(W.bytes()[0], 0xA0); // 101 in the top bits, MSB-first.
+
+  BitReader R(W.bytes());
+  EXPECT_EQ(R.readBit(), 1u);
+  EXPECT_EQ(R.readBit(), 0u);
+  EXPECT_EQ(R.readBit(), 1u);
+}
+
+TEST(BitStream, MultiBitMsbFirst) {
+  BitWriter W;
+  W.writeBits(0b1011, 4);
+  W.writeBits(0xFF, 8);
+  W.writeBits(0, 4);
+  BitReader R(W.bytes());
+  EXPECT_EQ(R.readBits(4), 0b1011u);
+  EXPECT_EQ(R.readBits(8), 0xFFu);
+  EXPECT_EQ(R.readBits(4), 0u);
+}
+
+TEST(BitStream, RoundTripRandomChunks) {
+  Rng Rand(42);
+  std::vector<std::pair<uint64_t, unsigned>> Chunks;
+  BitWriter W;
+  for (int I = 0; I != 2000; ++I) {
+    unsigned Bits = 1 + static_cast<unsigned>(Rand.nextBelow(32));
+    uint64_t Value = Rand.next() & ((Bits == 64 ? 0 : (1ull << Bits)) - 1);
+    Chunks.push_back({Value, Bits});
+    W.writeBits(Value, Bits);
+  }
+  BitReader R(W.bytes());
+  for (auto &[Value, Bits] : Chunks)
+    ASSERT_EQ(R.readBits(Bits), Value);
+  EXPECT_FALSE(R.overran());
+}
+
+TEST(BitStream, SeekBit) {
+  BitWriter W;
+  W.writeBits(0xAB, 8);
+  W.writeBits(0xCD, 8);
+  BitReader R(W.bytes());
+  R.seekBit(8);
+  EXPECT_EQ(R.readBits(8), 0xCDu);
+  R.seekBit(0);
+  EXPECT_EQ(R.readBits(8), 0xABu);
+}
+
+TEST(BitStream, OverrunReadsZeroAndFlags) {
+  BitWriter W;
+  W.writeBits(0x7, 3);
+  BitReader R(W.bytes());
+  R.readBits(8); // Byte padded with zeros.
+  EXPECT_EQ(R.readBit(), 0u);
+  EXPECT_TRUE(R.overran());
+}
+
+TEST(BitStream, ByteAlignment) {
+  BitWriter W;
+  W.writeBits(1, 1);
+  W.alignToByte();
+  W.writeBits(0xFF, 8);
+  EXPECT_EQ(W.byteSize(), 2u);
+  BitReader R(W.bytes());
+  R.seekBit(8);
+  EXPECT_EQ(R.readBits(8), 0xFFu);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng R(99);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(17), 17u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng A(7);
+  Rng B = A.split();
+  EXPECT_NE(A.next(), B.next());
+}

@@ -1,0 +1,135 @@
+//===- tests/unswitch_test.cpp - Section 6.2 unswitching tests ------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Layout.h"
+#include "ir/Builder.h"
+#include "sim/Machine.h"
+#include "squash/Unswitch.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+using namespace squash;
+
+/// A program whose exit code is the case body selected by the first input
+/// byte, via a jump table.
+static Program switchProgram(bool SizeKnown) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.sys(SysFunc::GetChar);
+  F.mov(1, 0);
+  F.cmpulti(2, 1, 4);
+  F.beq(2, "bad");
+  F.switchJump(1, 2, "jt", {"c0", "c1", "c2", "c3"}, SizeKnown);
+  F.label("c0");
+  F.li(16, 40);
+  F.halt();
+  F.label("c1");
+  F.li(16, 41);
+  F.halt();
+  F.label("c2");
+  F.li(16, 42);
+  F.halt();
+  F.label("c3");
+  F.li(16, 43);
+  F.halt();
+  F.label("bad");
+  F.li(16, 99);
+  F.halt();
+  PB.setEntry("main");
+  return PB.build();
+}
+
+static uint32_t runWithByte(const Program &P, uint8_t Byte) {
+  Machine M(layoutProgram(P));
+  M.setInput({Byte});
+  RunResult R = M.run();
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  return R.ExitCode;
+}
+
+TEST(Unswitch, ChainPreservesSemantics) {
+  Program P = switchProgram(true);
+  Cfg G(P);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 1);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  EXPECT_EQ(S.Unswitched, 1u);
+  EXPECT_EQ(S.TablesReclaimed, 1u);
+  EXPECT_EQ(S.TableBytesReclaimed, 16u);
+  EXPECT_EQ(P.verify(), "");
+  // The jump table object is gone.
+  EXPECT_EQ(P.findData("main.jt"), nullptr);
+  // No Jmp remains in the entry block.
+  for (const auto &I : P.Functions[0].Blocks[0].Insts)
+    EXPECT_NE(I.Op, Opcode::Jmp);
+
+  for (uint8_t B = 0; B != 4; ++B)
+    EXPECT_EQ(runWithByte(P, B), 40u + B);
+  EXPECT_EQ(runWithByte(P, 9), 99u);
+}
+
+TEST(Unswitch, MatchesOriginalBehaviour) {
+  Program Orig = switchProgram(true);
+  Program Transformed = switchProgram(true);
+  Cfg G(Transformed);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 1);
+  unswitchJumpTables(Transformed, Candidate, true);
+  for (uint8_t B = 0; B != 5; ++B)
+    EXPECT_EQ(runWithByte(Orig, B), runWithByte(Transformed, B));
+}
+
+TEST(Unswitch, UnknownExtentExcludesBlockAndTargets) {
+  Program P = switchProgram(false);
+  Cfg G(P);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 1);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  EXPECT_EQ(S.Unswitched, 0u);
+  EXPECT_GE(S.BlocksExcluded, 5u); // Switch block + 4 targets.
+  EXPECT_EQ(Candidate[G.idOf("main")], 0);
+  EXPECT_EQ(Candidate[G.idOf("main.c0")], 0);
+  EXPECT_EQ(Candidate[G.idOf("main.c3")], 0);
+  EXPECT_EQ(Candidate[G.idOf("main.bad")], 1); // Not a target: untouched.
+  // The table survives (it is still jumped through).
+  EXPECT_NE(P.findData("main.jt"), nullptr);
+}
+
+TEST(Unswitch, DisabledExcludesInstead) {
+  Program P = switchProgram(true);
+  Cfg G(P);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 1);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, false);
+  EXPECT_EQ(S.Unswitched, 0u);
+  EXPECT_GE(S.BlocksExcluded, 5u);
+}
+
+TEST(Unswitch, NonCandidateSwitchUntouched) {
+  Program P = switchProgram(true);
+  Cfg G(P);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 0); // Hot switch.
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  EXPECT_EQ(S.Unswitched, 0u);
+  EXPECT_EQ(S.BlocksExcluded, 0u);
+  EXPECT_NE(P.findData("main.jt"), nullptr);
+}
+
+TEST(Unswitch, SingleTargetBecomesPlainBranch) {
+  ProgramBuilder PB("t");
+  FunctionBuilder F = PB.beginFunction("main");
+  F.li(1, 0);
+  F.switchJump(1, 2, "jt", {"only"});
+  F.label("only");
+  F.li(16, 7);
+  F.halt();
+  PB.setEntry("main");
+  Program P = PB.build();
+  Cfg G(P);
+  std::vector<uint8_t> Candidate(G.numBlocks(), 1);
+  unswitchJumpTables(P, Candidate, true);
+  EXPECT_EQ(P.verify(), "");
+  Machine M(layoutProgram(P));
+  EXPECT_EQ(M.run().ExitCode, 7u);
+}
