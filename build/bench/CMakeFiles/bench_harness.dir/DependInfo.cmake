@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/Harness.cpp" "bench/CMakeFiles/bench_harness.dir/Harness.cpp.o" "gcc" "bench/CMakeFiles/bench_harness.dir/Harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/squash/CMakeFiles/squash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/squash_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/squash_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/huff/CMakeFiles/squash_huff.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/squash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/squash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/squash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_buffer_bound.dir/fig3_buffer_bound.cpp.o"
+  "CMakeFiles/fig3_buffer_bound.dir/fig3_buffer_bound.cpp.o.d"
+  "fig3_buffer_bound"
+  "fig3_buffer_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_buffer_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

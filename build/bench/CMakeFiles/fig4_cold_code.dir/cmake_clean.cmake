@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cold_code.dir/fig4_cold_code.cpp.o"
+  "CMakeFiles/fig4_cold_code.dir/fig4_cold_code.cpp.o.d"
+  "fig4_cold_code"
+  "fig4_cold_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cold_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

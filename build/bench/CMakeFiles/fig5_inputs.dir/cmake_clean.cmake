@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_inputs.dir/fig5_inputs.cpp.o"
+  "CMakeFiles/fig5_inputs.dir/fig5_inputs.cpp.o.d"
+  "fig5_inputs"
+  "fig5_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_size_reduction.dir/fig6_size_reduction.cpp.o"
+  "CMakeFiles/fig6_size_reduction.dir/fig6_size_reduction.cpp.o.d"
+  "fig6_size_reduction"
+  "fig6_size_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_size_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

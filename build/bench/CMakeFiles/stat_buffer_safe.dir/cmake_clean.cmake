@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_buffer_safe.dir/stat_buffer_safe.cpp.o"
+  "CMakeFiles/stat_buffer_safe.dir/stat_buffer_safe.cpp.o.d"
+  "stat_buffer_safe"
+  "stat_buffer_safe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_buffer_safe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

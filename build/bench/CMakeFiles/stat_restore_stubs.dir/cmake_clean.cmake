@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_restore_stubs.dir/stat_restore_stubs.cpp.o"
+  "CMakeFiles/stat_restore_stubs.dir/stat_restore_stubs.cpp.o.d"
+  "stat_restore_stubs"
+  "stat_restore_stubs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_restore_stubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_firmware.dir/embedded_firmware.cpp.o"
+  "CMakeFiles/embedded_firmware.dir/embedded_firmware.cpp.o.d"
+  "embedded_firmware"
+  "embedded_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_tool.dir/squash_tool.cpp.o"
+  "CMakeFiles/squash_tool.dir/squash_tool.cpp.o.d"
+  "squash_tool"
+  "squash_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

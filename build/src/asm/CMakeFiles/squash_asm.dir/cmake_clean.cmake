@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/squash_asm.dir/Assembler.cpp.o.d"
+  "libsquash_asm.a"
+  "libsquash_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsquash_asm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_compact.dir/Compact.cpp.o"
+  "CMakeFiles/squash_compact.dir/Compact.cpp.o.d"
+  "libsquash_compact.a"
+  "libsquash_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

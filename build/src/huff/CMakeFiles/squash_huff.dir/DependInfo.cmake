@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/huff/Huffman.cpp" "src/huff/CMakeFiles/squash_huff.dir/Huffman.cpp.o" "gcc" "src/huff/CMakeFiles/squash_huff.dir/Huffman.cpp.o.d"
+  "/root/repo/src/huff/StreamCodec.cpp" "src/huff/CMakeFiles/squash_huff.dir/StreamCodec.cpp.o" "gcc" "src/huff/CMakeFiles/squash_huff.dir/StreamCodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_huff.dir/Huffman.cpp.o"
+  "CMakeFiles/squash_huff.dir/Huffman.cpp.o.d"
+  "CMakeFiles/squash_huff.dir/StreamCodec.cpp.o"
+  "CMakeFiles/squash_huff.dir/StreamCodec.cpp.o.d"
+  "libsquash_huff.a"
+  "libsquash_huff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_huff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_ir.dir/Builder.cpp.o"
+  "CMakeFiles/squash_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/squash_ir.dir/IR.cpp.o"
+  "CMakeFiles/squash_ir.dir/IR.cpp.o.d"
+  "libsquash_ir.a"
+  "libsquash_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

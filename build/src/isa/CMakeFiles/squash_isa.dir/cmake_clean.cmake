@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_isa.dir/Disasm.cpp.o"
+  "CMakeFiles/squash_isa.dir/Disasm.cpp.o.d"
+  "CMakeFiles/squash_isa.dir/Isa.cpp.o"
+  "CMakeFiles/squash_isa.dir/Isa.cpp.o.d"
+  "libsquash_isa.a"
+  "libsquash_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/ImageDisasm.cpp" "src/link/CMakeFiles/squash_link.dir/ImageDisasm.cpp.o" "gcc" "src/link/CMakeFiles/squash_link.dir/ImageDisasm.cpp.o.d"
+  "/root/repo/src/link/Layout.cpp" "src/link/CMakeFiles/squash_link.dir/Layout.cpp.o" "gcc" "src/link/CMakeFiles/squash_link.dir/Layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/squash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

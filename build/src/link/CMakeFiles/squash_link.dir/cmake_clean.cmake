@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_link.dir/ImageDisasm.cpp.o"
+  "CMakeFiles/squash_link.dir/ImageDisasm.cpp.o.d"
+  "CMakeFiles/squash_link.dir/Layout.cpp.o"
+  "CMakeFiles/squash_link.dir/Layout.cpp.o.d"
+  "libsquash_link.a"
+  "libsquash_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_sim.dir/Machine.cpp.o"
+  "CMakeFiles/squash_sim.dir/Machine.cpp.o.d"
+  "libsquash_sim.a"
+  "libsquash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/squash/BufferSafe.cpp" "src/squash/CMakeFiles/squash_core.dir/BufferSafe.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/BufferSafe.cpp.o.d"
+  "/root/repo/src/squash/ColdCode.cpp" "src/squash/CMakeFiles/squash_core.dir/ColdCode.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/ColdCode.cpp.o.d"
+  "/root/repo/src/squash/Driver.cpp" "src/squash/CMakeFiles/squash_core.dir/Driver.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Driver.cpp.o.d"
+  "/root/repo/src/squash/Inspect.cpp" "src/squash/CMakeFiles/squash_core.dir/Inspect.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Inspect.cpp.o.d"
+  "/root/repo/src/squash/Regions.cpp" "src/squash/CMakeFiles/squash_core.dir/Regions.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Regions.cpp.o.d"
+  "/root/repo/src/squash/Rewriter.cpp" "src/squash/CMakeFiles/squash_core.dir/Rewriter.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Rewriter.cpp.o.d"
+  "/root/repo/src/squash/Runtime.cpp" "src/squash/CMakeFiles/squash_core.dir/Runtime.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Runtime.cpp.o.d"
+  "/root/repo/src/squash/Unswitch.cpp" "src/squash/CMakeFiles/squash_core.dir/Unswitch.cpp.o" "gcc" "src/squash/CMakeFiles/squash_core.dir/Unswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/huff/CMakeFiles/squash_huff.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/squash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/squash_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/squash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/squash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_core.dir/BufferSafe.cpp.o"
+  "CMakeFiles/squash_core.dir/BufferSafe.cpp.o.d"
+  "CMakeFiles/squash_core.dir/ColdCode.cpp.o"
+  "CMakeFiles/squash_core.dir/ColdCode.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Driver.cpp.o"
+  "CMakeFiles/squash_core.dir/Driver.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Inspect.cpp.o"
+  "CMakeFiles/squash_core.dir/Inspect.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Regions.cpp.o"
+  "CMakeFiles/squash_core.dir/Regions.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Rewriter.cpp.o"
+  "CMakeFiles/squash_core.dir/Rewriter.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Runtime.cpp.o"
+  "CMakeFiles/squash_core.dir/Runtime.cpp.o.d"
+  "CMakeFiles/squash_core.dir/Unswitch.cpp.o"
+  "CMakeFiles/squash_core.dir/Unswitch.cpp.o.d"
+  "libsquash_core.a"
+  "libsquash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

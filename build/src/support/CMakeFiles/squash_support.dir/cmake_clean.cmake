@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_support.dir/Error.cpp.o"
+  "CMakeFiles/squash_support.dir/Error.cpp.o.d"
+  "libsquash_support.a"
+  "libsquash_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Adpcm.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Adpcm.cpp.o.d"
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/Epic.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Epic.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Epic.cpp.o.d"
+  "/root/repo/src/workloads/G721.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/G721.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/G721.cpp.o.d"
+  "/root/repo/src/workloads/Gsm.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Gsm.cpp.o.d"
+  "/root/repo/src/workloads/Jpeg.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Jpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Jpeg.cpp.o.d"
+  "/root/repo/src/workloads/Lib.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Lib.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Lib.cpp.o.d"
+  "/root/repo/src/workloads/Mpeg2.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Mpeg2.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Mpeg2.cpp.o.d"
+  "/root/repo/src/workloads/Pgp.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Pgp.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Pgp.cpp.o.d"
+  "/root/repo/src/workloads/Rasta.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Rasta.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Rasta.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/squash_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/squash_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/squash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

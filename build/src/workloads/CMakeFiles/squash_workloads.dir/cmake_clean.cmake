@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squash_workloads.dir/Adpcm.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Adpcm.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Common.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Epic.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Epic.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/G721.cpp.o"
+  "CMakeFiles/squash_workloads.dir/G721.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Gsm.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Gsm.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Jpeg.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Jpeg.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Lib.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Lib.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Mpeg2.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Mpeg2.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Pgp.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Pgp.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Rasta.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Rasta.cpp.o.d"
+  "CMakeFiles/squash_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/squash_workloads.dir/Workloads.cpp.o.d"
+  "libsquash_workloads.a"
+  "libsquash_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squash_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asm_test.cpp" "tests/CMakeFiles/squash_tests.dir/asm_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/asm_test.cpp.o.d"
+  "/root/repo/tests/coldcode_test.cpp" "tests/CMakeFiles/squash_tests.dir/coldcode_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/coldcode_test.cpp.o.d"
+  "/root/repo/tests/compact_test.cpp" "tests/CMakeFiles/squash_tests.dir/compact_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/compact_test.cpp.o.d"
+  "/root/repo/tests/disasm_test.cpp" "tests/CMakeFiles/squash_tests.dir/disasm_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/disasm_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/squash_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/squash_tests.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/huffman_test.cpp" "tests/CMakeFiles/squash_tests.dir/huffman_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/huffman_test.cpp.o.d"
+  "/root/repo/tests/inspect_test.cpp" "tests/CMakeFiles/squash_tests.dir/inspect_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/inspect_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/squash_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/squash_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/link_test.cpp" "tests/CMakeFiles/squash_tests.dir/link_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/link_test.cpp.o.d"
+  "/root/repo/tests/randomprog_test.cpp" "tests/CMakeFiles/squash_tests.dir/randomprog_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/randomprog_test.cpp.o.d"
+  "/root/repo/tests/regions_test.cpp" "tests/CMakeFiles/squash_tests.dir/regions_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/regions_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/squash_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/squash_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/streamcodec_test.cpp" "tests/CMakeFiles/squash_tests.dir/streamcodec_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/streamcodec_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/squash_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/unswitch_test.cpp" "tests/CMakeFiles/squash_tests.dir/unswitch_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/unswitch_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/squash_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/squash_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/squash/CMakeFiles/squash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/squash_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/squash_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/squash_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/huff/CMakeFiles/squash_huff.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/squash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/squash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/squash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/squash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/squash_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
