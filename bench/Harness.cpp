@@ -22,9 +22,9 @@ std::vector<Prepared> bench::prepareSuite(double Scale) {
   for (auto &W : workloads::buildAllWorkloads(Scale)) {
     Prepared P;
     P.W = std::move(W);
-    P.Compact = compactProgram(P.W.Prog);
+    P.Compact = compactProgram(P.W.Prog).take();
     P.Baseline = layoutProgram(P.W.Prog);
-    P.Prof = squash::profileImage(P.Baseline, P.W.ProfilingInput);
+    P.Prof = squash::profileImage(P.Baseline, P.W.ProfilingInput).take();
     Out.push_back(std::move(P));
   }
   return Out;

@@ -71,7 +71,7 @@ int main() {
     uint64_t Decomps = 0, Regions = 0;
     for (auto &P : Suite) {
       vea::RunResult BaseRun = runBaseline(P, P.W.TimingInput);
-      SquashResult SR = squashProgram(P.W.Prog, P.Prof, C.Opts);
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, C.Opts).take();
       Sizes.push_back(1.0 - SR.SP.Footprint.reduction());
       SquashedRun Run = runSquashed(SR.SP, P.W.TimingInput);
       if (Run.Run.Status != vea::RunStatus::Halted) {

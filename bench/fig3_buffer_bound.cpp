@@ -36,7 +36,7 @@ int main() {
         Options Opts;
         Opts.Theta = Theta;
         Opts.BufferBoundBytes = Ks[KI];
-        SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+        SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
         Sizes.push_back(1.0 - SR.SP.Footprint.reduction());
         MeanPerK[KI].push_back(Sizes.back());
       }

@@ -26,7 +26,7 @@ int main() {
     for (auto &P : Suite) {
       Options Opts;
       Opts.Theta = Theta;
-      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
       Cold.push_back(SR.Cold.coldFraction());
       Compressible.push_back(
           static_cast<double>(SR.Regions.CompressibleInstructions) /

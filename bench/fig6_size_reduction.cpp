@@ -31,7 +31,7 @@ int main() {
     for (size_t TI = 0; TI != ThetaSweep.size(); ++TI) {
       Options Opts;
       Opts.Theta = ThetaSweep[TI];
-      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
       double Reduction = SR.SP.Footprint.reduction();
       Ratios[TI].push_back(1.0 - Reduction);
       std::printf(" %8.1f%%", 100.0 * Reduction);

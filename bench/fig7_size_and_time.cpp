@@ -41,7 +41,7 @@ int main() {
     for (size_t TI = 0; TI != Thetas.size(); ++TI) {
       Options Opts;
       Opts.Theta = Thetas[TI];
-      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
       double Size = 1.0 - SR.SP.Footprint.reduction();
       SizeR[TI].push_back(Size);
       std::printf("     %7.3f", Size);

@@ -23,7 +23,7 @@ int main() {
   for (auto &P : Suite) {
     Options Opts;
     Opts.Theta = 0.0;
-    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
     const BufferSafeStats &S = SR.BufferSafe;
     double Frac = S.CallSitesFromRegions
                       ? static_cast<double>(S.SafeCallSitesFromRegions) /

@@ -27,7 +27,7 @@ int main() {
   for (auto &P : Suite) {
     Options Opts;
     Opts.Theta = 1.0; // Compress everything.
-    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
     uint64_t Stored = 0;
     for (const auto &RI : SR.SP.Regions)
       Stored += RI.StoredInstructions;
@@ -47,7 +47,7 @@ int main() {
   // Per-stream detail for the largest benchmark.
   Options Opts;
   Opts.Theta = 1.0;
-  SquashResult SR = squashProgram(Largest->W.Prog, Largest->Prof, Opts);
+  SquashResult SR = squashProgram(Largest->W.Prog, Largest->Prof, Opts).take();
   std::printf("\nper-stream detail (%s):\n", Largest->W.Name.c_str());
   std::printf("  %-10s %10s %10s %14s %12s\n", "stream", "symbols",
               "distinct", "payload bits", "table bits");

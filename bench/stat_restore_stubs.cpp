@@ -35,7 +35,7 @@ int main() {
     for (size_t TI = 0; TI != Thetas.size(); ++TI) {
       Options Opts;
       Opts.Theta = Thetas[TI];
-      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
       uint64_t StubSites = 0;
       for (const auto &RI : SR.SP.Regions)
         StubSites += RI.ExternalCalls;

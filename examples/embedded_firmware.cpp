@@ -42,9 +42,9 @@ int main(int Argc, char **Argv) {
   for (auto &W : workloads::buildAllWorkloads()) {
     Row R;
     R.W = std::move(W);
-    compactProgram(R.W.Prog);
+    compactProgram(R.W.Prog).take();
     R.Baseline = layoutProgram(R.W.Prog);
-    R.Prof = profileImage(R.Baseline, R.W.ProfilingInput);
+    R.Prof = profileImage(R.Baseline, R.W.ProfilingInput).take();
     R.CodeBytes = static_cast<uint32_t>(4 * R.W.Prog.instructionCount());
     MaxBytes = std::max(MaxBytes, R.CodeBytes);
     Rows.push_back(std::move(R));
@@ -70,7 +70,7 @@ int main(int Argc, char **Argv) {
     for (double Theta : Thetas) {
       Options Opts;
       Opts.Theta = Theta;
-      SquashResult SR = squashProgram(R.W.Prog, R.Prof, Opts);
+      SquashResult SR = squashProgram(R.W.Prog, R.Prof, Opts).take();
       if (SR.Identity || SR.SP.Footprint.totalCodeBytes() > Budget)
         continue;
       // Confirm it still runs, and price the slowdown on the timing input.

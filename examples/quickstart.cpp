@@ -30,7 +30,7 @@ static bool runAndCompare(const char *Label, const Image &Baseline,
 
   Machine M2(SP.Img);
   RuntimeSystem RT(SP);
-  RT.attach(M2);
+  RT.attach(M2).check();
   M2.setInput(Input);
   RunResult R2 = M2.run();
   bool Ok = Orig.Status == RunStatus::Halted &&
@@ -65,7 +65,7 @@ int main() {
               (unsigned long long)W.Prog.instructionCount());
 
   // 2. Compact it (the squeeze baseline of the paper).
-  CompactStats CS = compactProgram(W.Prog);
+  CompactStats CS = compactProgram(W.Prog).take();
   std::printf("after compaction: %llu instructions "
               "(%llu unreachable blocks removed)\n",
               (unsigned long long)CS.OutputInstructions,
@@ -74,14 +74,14 @@ int main() {
   // 3. Lay it out and collect the execution profile on the profiling
   //    input.
   Image Baseline = layoutProgram(W.Prog);
-  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
   std::printf("profile: %llu instructions executed\n\n",
               (unsigned long long)Prof.TotalInstructions);
 
   // 4. Squash at a low cold-code threshold.
   Options Opts;
   Opts.Theta = 0.0;
-  SquashResult SR = squashProgram(W.Prog, Prof, Opts);
+  SquashResult SR = squashProgram(W.Prog, Prof, Opts).take();
   const FootprintBreakdown &FB = SR.SP.Footprint;
   std::printf("squash @ theta=0: cold %.1f%% of code, %llu regions\n",
               100.0 * SR.Cold.coldFraction(),

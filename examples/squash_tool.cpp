@@ -150,7 +150,7 @@ int main(int Argc, char **Argv) {
   }
   Program Prog = ProgOr.take();
 
-  CompactStats CS = compactProgram(Prog);
+  CompactStats CS = compactProgram(Prog).take();
   std::printf("assembled %llu instructions (%llu after compaction)\n",
               (unsigned long long)CS.InputInstructions,
               (unsigned long long)CS.OutputInstructions);
@@ -160,7 +160,7 @@ int main(int Argc, char **Argv) {
     std::printf("baseline listing:\n%s\n",
                 disassembleImage(Baseline).c_str());
   }
-  Profile Prof = profileImage(Baseline, A.Input);
+  Profile Prof = profileImage(Baseline, A.Input).take();
   std::printf("profile: %llu instructions on a %zu-byte input\n\n",
               (unsigned long long)Prof.TotalInstructions, A.Input.size());
 
@@ -169,7 +169,7 @@ int main(int Argc, char **Argv) {
   Opts.BufferBoundBytes = A.K;
   Opts.MoveToFront = A.Mtf;
   Opts.DeltaDisplacements = A.Delta;
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   if (SR.Identity) {
     std::printf("nothing profitable to compress at theta=%g\n", A.Theta);
     return 0;

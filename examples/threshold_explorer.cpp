@@ -44,9 +44,9 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  compactProgram(W.Prog);
+  compactProgram(W.Prog).take();
   Image Baseline = layoutProgram(W.Prog);
-  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
 
   Machine MB(Baseline);
   MB.setInput(W.TimingInput);
@@ -70,7 +70,7 @@ int main(int Argc, char **Argv) {
   for (double Theta : {0.0, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 1.0}) {
     Options Opts;
     Opts.Theta = Theta;
-    SquashResult SR = squashProgram(W.Prog, Prof, Opts);
+    SquashResult SR = squashProgram(W.Prog, Prof, Opts).take();
     if (SR.Identity) {
       std::printf("%-10g   (nothing profitable)\n", Theta);
       continue;

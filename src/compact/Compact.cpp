@@ -7,8 +7,6 @@
 
 #include "compact/Compact.h"
 
-#include "support/Error.h"
-
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -44,7 +42,7 @@ public:
   Compactor(Program &Prog, const CompactOptions &Opts)
       : Prog(Prog), Opts(Opts) {}
 
-  CompactStats run();
+  Expected<CompactStats> run();
 
 private:
   void removeNopsAndDeadMoves();
@@ -246,7 +244,14 @@ void Compactor::removeUnreachable() {
   Prog.Data = std::move(NewData);
 }
 
-CompactStats Compactor::run() {
+Expected<CompactStats> Compactor::run() {
+  // Reject malformed input before any transform runs: the reachability pass
+  // builds a Cfg, which requires every referenced label to exist.
+  std::string InErr = Prog.verify();
+  if (!InErr.empty())
+    return Status::error(StatusCode::MalformedProgram,
+                         "compact: input does not verify: " + InErr);
+
   Stats.InputInstructions = Prog.instructionCount();
   if (Opts.RemoveNops || Opts.RemoveDeadMoves)
     removeNopsAndDeadMoves();
@@ -260,16 +265,18 @@ CompactStats Compactor::run() {
 
   std::string Err = Prog.verify();
   if (!Err.empty())
-    reportFatalError("compact: produced invalid program: " + Err);
+    return Status::error(StatusCode::InternalError,
+                         "compact: produced invalid program: " + Err);
   return Stats;
 }
 
-CompactStats vea::compactProgram(Program &Prog, const CompactOptions &Opts) {
+Expected<CompactStats> vea::compactProgram(Program &Prog,
+                                           const CompactOptions &Opts) {
   Compactor C(Prog, Opts);
   return C.run();
 }
 
-CompactStats vea::compactProgram(Program &Prog) {
+Expected<CompactStats> vea::compactProgram(Program &Prog) {
   CompactOptions Opts;
   return compactProgram(Prog, Opts);
 }

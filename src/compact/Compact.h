@@ -20,6 +20,7 @@
 #define SQUASH_COMPACT_COMPACT_H
 
 #include "ir/IR.h"
+#include "support/Status.h"
 
 #include <cstdint>
 
@@ -44,9 +45,12 @@ struct CompactOptions {
 };
 
 /// Compacts \p Prog in place and returns what was done. The result still
-/// verifies and is behaviour-preserving.
-CompactStats compactProgram(Program &Prog, const CompactOptions &Opts);
-CompactStats compactProgram(Program &Prog);
+/// verifies and is behaviour-preserving. Fails with MalformedProgram if the
+/// input does not verify (the program is left untouched), or InternalError
+/// if compaction itself produced a program that no longer verifies.
+Expected<CompactStats> compactProgram(Program &Prog,
+                                      const CompactOptions &Opts);
+Expected<CompactStats> compactProgram(Program &Prog);
 
 } // namespace vea
 

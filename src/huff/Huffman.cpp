@@ -7,8 +7,6 @@
 
 #include "huff/Huffman.h"
 
-#include "support/Error.h"
-
 #include <algorithm>
 #include <queue>
 
@@ -125,11 +123,12 @@ unsigned CanonicalCode::lengthOf(uint32_t Symbol) const {
   return It == Enc.end() ? 0 : It->second.first;
 }
 
-void CanonicalCode::encode(uint32_t Symbol, vea::BitWriter &W) const {
+bool CanonicalCode::encode(uint32_t Symbol, vea::BitWriter &W) const {
   auto It = Enc.find(Symbol);
   if (It == Enc.end())
-    vea::reportFatalError("huffman: encoding symbol outside alphabet");
+    return false;
   W.writeBits(It->second.second, It->second.first);
+  return true;
 }
 
 uint32_t CanonicalCode::decode(vea::BitReader &R) const {

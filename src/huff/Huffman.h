@@ -51,8 +51,10 @@ public:
   /// Codeword length of \p Symbol; 0 if the symbol is not in the alphabet.
   unsigned lengthOf(uint32_t Symbol) const;
 
-  /// Writes the codeword for \p Symbol. The symbol must be in the alphabet.
-  void encode(uint32_t Symbol, vea::BitWriter &W) const;
+  /// Writes the codeword for \p Symbol. Returns false — writing nothing —
+  /// if the symbol is not in the alphabet (a corrupt corpus or API misuse;
+  /// callers surface it as an EncodingError Status).
+  bool encode(uint32_t Symbol, vea::BitWriter &W) const;
 
   /// The paper's DECODE(): reads one codeword and returns its symbol, or
   /// Invalid if the bit stream does not contain a valid codeword.

@@ -7,8 +7,7 @@
 
 #include "huff/StreamCodec.h"
 
-#include "support/Error.h"
-
+#include <cassert>
 #include <algorithm>
 #include <unordered_map>
 
@@ -36,22 +35,17 @@ struct Histograms {
 } // namespace
 
 /// Applies one MTF step to \p State's list for stream \p Kind: returns the
-/// recency index of \p Value and moves it to the front.
-static uint32_t mtfStep(std::vector<uint32_t> &List, uint32_t Value) {
+/// recency index of \p Value and moves it to the front, or -1 if the value
+/// is not in the dictionary (the caller surfaces this as an error).
+static int64_t mtfStep(std::vector<uint32_t> &List, uint32_t Value) {
   for (size_t I = 0; I != List.size(); ++I) {
     if (List[I] == Value) {
       List.erase(List.begin() + static_cast<ptrdiff_t>(I));
       List.insert(List.begin(), Value);
-      return static_cast<uint32_t>(I);
+      return static_cast<int64_t>(I);
     }
   }
-  vea::reportFatalError("mtf: value not in dictionary");
-}
-
-uint32_t StreamCodecs::mtfEncode(
-    unsigned Kind, uint32_t Value,
-    std::array<std::vector<uint32_t>, vea::NumFieldKinds> &State) const {
-  return mtfStep(State[Kind], Value);
+  return -1;
 }
 
 /// True for the streams the delta transform applies to.
@@ -127,12 +121,17 @@ StreamCodecs::build(const std::vector<std::vector<MInst>> &Corpus,
           uint32_t V = I.get(Kind);
           if (Opts.DeltaDisplacements && isDeltaKind(Kind))
             V = deltaStep(Kind, V, Prev[idx(Kind)]);
-          HIdx.addValue(Kind, mtfStep(State[idx(Kind)], V));
+          // The dictionary was built from this very corpus, so every value
+          // is present.
+          int64_t Idx = mtfStep(State[idx(Kind)], V);
+          assert(Idx >= 0 && "corpus value missing from MTF dictionary");
+          HIdx.addValue(Kind, static_cast<uint32_t>(Idx));
         }
       }
-      HIdx.addValue(FieldKind::Opcode,
-                    mtfStep(State[idx(FieldKind::Opcode)],
-                            static_cast<uint32_t>(Opcode::Sentinel)));
+      int64_t SentIdx = mtfStep(State[idx(FieldKind::Opcode)],
+                                static_cast<uint32_t>(Opcode::Sentinel));
+      assert(SentIdx >= 0 && "sentinel missing from MTF dictionary");
+      HIdx.addValue(FieldKind::Opcode, static_cast<uint32_t>(SentIdx));
     }
     H = std::move(HIdx);
   }
@@ -159,23 +158,40 @@ StreamCodecs::build(const std::vector<std::vector<MInst>> &Corpus,
   return SC;
 }
 
-void StreamCodecs::encodeRegion(const std::vector<MInst> &Insts,
-                                vea::BitWriter &W) const {
+vea::Status StreamCodecs::encodeRegion(const std::vector<MInst> &Insts,
+                                       vea::BitWriter &W) const {
   auto State = MtfInit; // Fresh recency lists for this region.
   std::array<uint32_t, vea::NumFieldKinds> Prev = {};
-  auto EncodeValue = [&](FieldKind Kind, uint32_t Value) {
+  auto EncodeValue = [&](FieldKind Kind, uint32_t Value) -> vea::Status {
     if (Opts.DeltaDisplacements && isDeltaKind(Kind))
       Value = deltaStep(Kind, Value, Prev[idx(Kind)]);
-    if (Opts.MoveToFront)
-      Value = mtfStep(State[idx(Kind)], Value);
-    Codes[idx(Kind)].encode(Value, W);
+    if (Opts.MoveToFront) {
+      int64_t Idx = mtfStep(State[idx(Kind)], Value);
+      if (Idx < 0)
+        return vea::Status::error(
+            vea::StatusCode::EncodingError,
+            std::string("mtf: value not in the ") + vea::fieldKindName(Kind) +
+                " dictionary");
+      Value = static_cast<uint32_t>(Idx);
+    }
+    if (!Codes[idx(Kind)].encode(Value, W))
+      return vea::Status::error(
+          vea::StatusCode::EncodingError,
+          std::string("huffman: ") + vea::fieldKindName(Kind) +
+              " symbol outside alphabet");
+    return vea::Status::success();
   };
   for (const auto &I : Insts) {
     const vea::FormatLayout &Layout = vea::formatLayout(vea::formatOf(I.Op));
-    for (unsigned S = 0; S != Layout.Count; ++S)
-      EncodeValue(Layout.Slots[S].Kind, I.get(Layout.Slots[S].Kind));
+    for (unsigned S = 0; S != Layout.Count; ++S) {
+      vea::Status St =
+          EncodeValue(Layout.Slots[S].Kind, I.get(Layout.Slots[S].Kind));
+      if (!St.ok())
+        return St;
+    }
   }
-  EncodeValue(FieldKind::Opcode, static_cast<uint32_t>(Opcode::Sentinel));
+  return EncodeValue(FieldKind::Opcode,
+                     static_cast<uint32_t>(Opcode::Sentinel));
 }
 
 uint64_t StreamCodecs::tableBits() const {

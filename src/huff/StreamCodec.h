@@ -26,6 +26,7 @@
 #include "huff/Huffman.h"
 #include "isa/Isa.h"
 #include "support/BitStream.h"
+#include "support/Status.h"
 
 #include <array>
 #include <cstdint>
@@ -66,8 +67,10 @@ public:
   }
 
   /// Encodes one region (terminated by the sentinel opcode codeword).
-  void encodeRegion(const std::vector<vea::MInst> &Insts,
-                    vea::BitWriter &W) const;
+  /// Fails with EncodingError if an instruction carries a value outside
+  /// the corpus the codes were built from.
+  vea::Status encodeRegion(const std::vector<vea::MInst> &Insts,
+                           vea::BitWriter &W) const;
 
   /// Streaming decoder for one region; instantiated by the runtime
   /// decompressor at the region's bit offset.
@@ -106,10 +109,6 @@ public:
   bool moveToFront() const { return Opts.MoveToFront; }
 
 private:
-  uint32_t mtfEncode(unsigned Kind, uint32_t Value,
-                     std::array<std::vector<uint32_t>,
-                                vea::NumFieldKinds> &State) const;
-
   Options Opts;
   std::array<CanonicalCode, vea::NumFieldKinds> Codes;
   /// Initial MTF dictionaries (distinct values, most frequent first).

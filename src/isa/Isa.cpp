@@ -7,8 +7,7 @@
 
 #include "isa/Isa.h"
 
-#include "support/Error.h"
-
+#include <cassert>
 #include <unordered_map>
 
 using namespace vea;
@@ -116,7 +115,10 @@ unsigned vea::fieldWidth(FieldKind Kind) {
   case FieldKind::Pad11:
     return 11;
   }
-  reportFatalError("unknown field kind");
+  // Exhaustive switch; a value outside the enum means corrupted state.
+  // Degrade to a zero-width field rather than killing the process.
+  assert(false && "unknown field kind");
+  return 0;
 }
 
 const char *vea::fieldKindName(FieldKind Kind) {
@@ -146,7 +148,8 @@ const char *vea::fieldKindName(FieldKind Kind) {
   case FieldKind::Pad11:
     return "pad11";
   }
-  reportFatalError("unknown field kind");
+  assert(false && "unknown field kind");
+  return "?";
 }
 
 // Field layouts. Slot order within each layout is the order fields are
@@ -202,7 +205,10 @@ const FormatLayout &vea::formatLayout(Format Form) {
   case Format::Sys:
     return SysLayout;
   }
-  reportFatalError("unknown format");
+  // A Format outside the enum can only come from corrupted state; the Sys
+  // layout is the smallest safe answer (opcode + one immediate).
+  assert(false && "unknown format");
+  return SysLayout;
 }
 
 uint32_t vea::encode(const MInst &Inst) {

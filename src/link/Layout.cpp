@@ -26,15 +26,20 @@ void vea::splitHiLo(uint32_t Value, uint16_t &Hi, uint16_t &Lo) {
   Hi = static_cast<uint16_t>(((Value >> 16) + Carry) & 0xFFFF);
 }
 
-static uint32_t resolve(const std::string &Symbol,
-                        const std::unordered_map<std::string, uint32_t> &Syms) {
+static Status layoutError(const std::string &Message) {
+  return Status::error(StatusCode::LayoutError, Message);
+}
+
+static Expected<uint32_t>
+resolve(const std::string &Symbol,
+        const std::unordered_map<std::string, uint32_t> &Syms) {
   auto It = Syms.find(Symbol);
   if (It == Syms.end())
-    reportFatalError("layout: unresolved symbol '" + Symbol + "'");
+    return layoutError("unresolved symbol '" + Symbol + "'");
   return It->second;
 }
 
-uint32_t vea::encodeInst(
+Expected<uint32_t> vea::encodeInstOrError(
     const Inst &I, uint32_t PC,
     const std::unordered_map<std::string, uint32_t> &Syms) {
   MInst M(I.Op);
@@ -44,13 +49,16 @@ uint32_t vea::encodeInst(
     M.set(FieldKind::RB, I.Rb);
     int32_t Disp = I.Imm;
     if (I.Reloc == RelocKind::Lo16 || I.Reloc == RelocKind::Hi16) {
-      uint32_t Value = resolve(I.Symbol, Syms) + static_cast<uint32_t>(I.Imm);
+      Expected<uint32_t> Addr = resolve(I.Symbol, Syms);
+      if (!Addr)
+        return Addr;
+      uint32_t Value = *Addr + static_cast<uint32_t>(I.Imm);
       uint16_t Hi, Lo;
       splitHiLo(Value, Hi, Lo);
       Disp = static_cast<int16_t>(I.Reloc == RelocKind::Hi16 ? Hi : Lo);
     }
     if (Disp < -32768 || Disp > 32767)
-      reportFatalError("layout: disp16 out of range");
+      return layoutError("disp16 out of range");
     M.setDisp16(Disp);
     break;
   }
@@ -58,14 +66,16 @@ uint32_t vea::encodeInst(
     M.set(FieldKind::RA, I.Ra);
     int64_t Disp = I.Imm;
     if (I.Reloc == RelocKind::BranchDisp) {
-      int64_t Target = resolve(I.Symbol, Syms);
+      Expected<uint32_t> TargetOr = resolve(I.Symbol, Syms);
+      if (!TargetOr)
+        return TargetOr;
+      int64_t Target = *TargetOr;
       Disp = (Target - (static_cast<int64_t>(PC) + 4)) / 4;
       if ((Target - (static_cast<int64_t>(PC) + 4)) % 4 != 0)
-        reportFatalError("layout: misaligned branch target '" + I.Symbol +
-                         "'");
+        return layoutError("misaligned branch target '" + I.Symbol + "'");
     }
     if (Disp < -(1 << 20) || Disp >= (1 << 20))
-      reportFatalError("layout: disp21 out of range");
+      return layoutError("disp21 out of range");
     M.setDisp21(static_cast<int32_t>(Disp));
     break;
   }
@@ -82,19 +92,26 @@ uint32_t vea::encodeInst(
     M.set(FieldKind::RA, I.Ra);
     M.set(FieldKind::RC, I.Rc);
     if (I.Imm < 0 || I.Imm > 255)
-      reportFatalError("layout: lit8 out of range");
+      return layoutError("lit8 out of range");
     M.set(FieldKind::Lit8, static_cast<uint32_t>(I.Imm));
     break;
   case Format::Sys:
     if (I.Imm < 0 || static_cast<uint32_t>(I.Imm) >= (1u << 26))
-      reportFatalError("layout: sfunc out of range");
+      return layoutError("sfunc out of range");
     M.set(FieldKind::SFunc26, static_cast<uint32_t>(I.Imm));
     break;
   }
   return encode(M);
 }
 
-Image vea::layoutProgram(const Program &Prog, uint32_t Base) {
+uint32_t vea::encodeInst(
+    const Inst &I, uint32_t PC,
+    const std::unordered_map<std::string, uint32_t> &Syms) {
+  return encodeInstOrError(I, PC, Syms).context("layout").take();
+}
+
+Expected<Image> vea::layoutProgramOrError(const Program &Prog,
+                                          uint32_t Base) {
   Image Img;
   Img.Base = Base;
 
@@ -125,7 +142,10 @@ Image vea::layoutProgram(const Program &Prog, uint32_t Base) {
   for (const auto &F : Prog.Functions) {
     for (const auto &B : F.Blocks) {
       for (const auto &I : B.Insts) {
-        Img.setWord(PC, encodeInst(I, PC, Img.Symbols));
+        Expected<uint32_t> Word = encodeInstOrError(I, PC, Img.Symbols);
+        if (!Word)
+          return Status(Word.status()).context("block '" + B.Label + "'");
+        Img.setWord(PC, *Word);
         PC += WordBytes;
       }
     }
@@ -137,12 +157,21 @@ Image vea::layoutProgram(const Program &Prog, uint32_t Base) {
     std::copy(D.Bytes.begin(), D.Bytes.end(),
               Img.Bytes.begin() + (Addr - Base));
     for (const auto &SW : D.SymWords) {
-      uint32_t Value = resolve(SW.Symbol, Img.Symbols) +
-                       static_cast<uint32_t>(SW.Addend);
-      Img.setWord(Addr + SW.Offset, Value);
+      Expected<uint32_t> Value = resolve(SW.Symbol, Img.Symbols);
+      if (!Value)
+        return Status(Value.status())
+            .context("data object '" + D.Name + "'");
+      Img.setWord(Addr + SW.Offset, *Value + static_cast<uint32_t>(SW.Addend));
     }
   }
 
-  Img.EntryPC = resolve(Prog.EntryFunction, Img.Symbols);
+  Expected<uint32_t> Entry = resolve(Prog.EntryFunction, Img.Symbols);
+  if (!Entry)
+    return Status(Entry.status()).context("entry function");
+  Img.EntryPC = *Entry;
   return Img;
+}
+
+Image vea::layoutProgram(const Program &Prog, uint32_t Base) {
+  return layoutProgramOrError(Prog, Base).context("layout").take();
 }

@@ -18,6 +18,7 @@
 #define SQUASH_LINK_LAYOUT_H
 
 #include "ir/IR.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <string>
@@ -69,14 +70,26 @@ struct Image {
 /// dereferences fault.
 inline constexpr uint32_t DefaultBase = 0x1000;
 
-/// Lays out \p Prog into an image. Fatal error on unresolved symbols or
-/// out-of-range displacements (these indicate builder bugs, not user input).
+/// Lays out \p Prog into an image. Fails with a LayoutError Status on
+/// unresolved symbols or out-of-range displacements; the squash pipeline
+/// propagates the error rather than dying.
+Expected<Image> layoutProgramOrError(const Program &Prog,
+                                     uint32_t Base = DefaultBase);
+
+/// Convenience wrapper for tools and tests: as layoutProgramOrError, but a
+/// failure is fatal (reported and aborted).
 Image layoutProgram(const Program &Prog, uint32_t Base = DefaultBase);
 
 /// Encodes one symbolic instruction at address \p PC, resolving any symbol
 /// through \p Syms. Shared by the linker and by squash's rewriter (which
 /// uses it with a symbol map whose entries for compressed code point at
-/// entry stubs).
+/// entry stubs). Fails with LayoutError on unresolved symbols or
+/// out-of-range fields.
+Expected<uint32_t>
+encodeInstOrError(const Inst &I, uint32_t PC,
+                  const std::unordered_map<std::string, uint32_t> &Syms);
+
+/// Convenience wrapper: as encodeInstOrError, but failure is fatal.
 uint32_t encodeInst(const Inst &I, uint32_t PC,
                     const std::unordered_map<std::string, uint32_t> &Syms);
 

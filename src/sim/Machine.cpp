@@ -7,8 +7,6 @@
 
 #include "sim/Machine.h"
 
-#include "support/Error.h"
-
 #include <cstdio>
 
 using namespace vea;
@@ -19,8 +17,13 @@ Machine::Machine(const Image &Img) : Machine(Img, Config()) {}
 
 Machine::Machine(const Image &Img, Config Cfg)
     : Mem(Cfg.MemBytes, 0), MaxInsts(Cfg.MaxInstructions) {
-  if (Img.limit() > Cfg.MemBytes)
-    reportFatalError("machine: image does not fit in memory");
+  if (Img.limit() > Cfg.MemBytes || Img.Base > Cfg.MemBytes) {
+    // Construction cannot fail loudly in a library; arm the fault so run()
+    // reports it immediately instead of executing garbage.
+    Faulted = true;
+    FaultMessage = "machine: image does not fit in memory";
+    return;
+  }
   std::copy(Img.Bytes.begin(), Img.Bytes.end(), Mem.begin() + Img.Base);
   Base = Img.Base;
   PC = Img.EntryPC;

@@ -7,17 +7,19 @@
 
 #include "squash/ColdCode.h"
 
-#include "support/Error.h"
-
 #include <algorithm>
 
 using namespace squash;
 
-ColdCodeResult squash::identifyColdCode(const vea::Cfg &G,
-                                        const vea::Profile &Prof,
-                                        double Theta) {
+vea::Expected<ColdCodeResult>
+squash::identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof,
+                         double Theta) {
   if (Prof.BlockCounts.size() != G.numBlocks())
-    vea::reportFatalError("cold-code: profile does not match program");
+    return vea::Status::error(
+        vea::StatusCode::InvalidArgument,
+        "cold-code: profile has " +
+            std::to_string(Prof.BlockCounts.size()) + " blocks, program has " +
+            std::to_string(G.numBlocks()));
 
   ColdCodeResult R;
   R.IsCold.assign(G.numBlocks(), 0);

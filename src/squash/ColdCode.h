@@ -18,6 +18,7 @@
 
 #include "ir/IR.h"
 #include "sim/Machine.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -37,9 +38,11 @@ struct ColdCodeResult {
   }
 };
 
-/// Identifies cold blocks per Section 5. \p Theta in [0, 1].
-ColdCodeResult identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof,
-                                double Theta);
+/// Identifies cold blocks per Section 5. \p Theta in [0, 1]. Fails with
+/// InvalidArgument if the profile's block count does not match the program.
+vea::Expected<ColdCodeResult> identifyColdCode(const vea::Cfg &G,
+                                               const vea::Profile &Prof,
+                                               double Theta);
 
 } // namespace squash
 

@@ -8,13 +8,18 @@
 #include "squash/Driver.h"
 
 #include "link/Layout.h"
-#include "support/Error.h"
 
 using namespace squash;
 using namespace vea;
 
-SquashResult squash::squashProgram(Program Prog, const Profile &Prof,
-                                   const Options &Opts) {
+Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
+                                             const Options &Opts) {
+  // The pipeline's passes assume a well-formed program (the Cfg builder
+  // aborts on dangling labels); reject bad input here, recoverably.
+  if (std::string Err = Prog.verify(); !Err.empty())
+    return Status::error(StatusCode::MalformedProgram,
+                         "squash: input does not verify: " + Err);
+
   SquashResult R;
   const uint32_t OriginalCodeBytes =
       static_cast<uint32_t>(4 * Prog.instructionCount());
@@ -22,13 +27,20 @@ SquashResult squash::squashProgram(Program Prog, const Profile &Prof,
   // Section 5: cold code.
   {
     Cfg G0(Prog);
-    R.Cold = identifyColdCode(G0, Prof, Opts.Theta);
+    Expected<ColdCodeResult> Cold = identifyColdCode(G0, Prof, Opts.Theta);
+    if (!Cold)
+      return Cold.status();
+    R.Cold = std::move(Cold.get());
   }
 
   // Section 6.2: unswitch cold jump tables (block ids are stable across
   // this pass, so the cold flags remain valid).
   std::vector<uint8_t> Candidate = R.Cold.IsCold;
-  R.Unswitch = unswitchJumpTables(Prog, Candidate, Opts.Unswitch);
+  Expected<UnswitchStats> US =
+      unswitchJumpTables(Prog, Candidate, Opts.Unswitch);
+  if (!US)
+    return US.status();
+  R.Unswitch = US.get();
 
   Cfg G(Prog);
 
@@ -60,12 +72,18 @@ SquashResult squash::squashProgram(Program Prog, const Profile &Prof,
   }
 
   // Section 4: regions.
-  Partition Part = formRegions(G, Candidate, Opts, &R.Regions);
+  Expected<Partition> PartOr = formRegions(G, Candidate, Opts, &R.Regions);
+  if (!PartOr)
+    return PartOr.status();
+  Partition Part = std::move(PartOr.get());
 
   if (Part.Regions.empty()) {
     // Nothing profitable to compress: emit the program unchanged.
     R.Identity = true;
-    R.SP.Img = layoutProgram(Prog);
+    Expected<Image> Img = layoutProgramOrError(Prog);
+    if (!Img)
+      return Img.status();
+    R.SP.Img = std::move(Img.get());
     R.SP.Opts = Opts;
     R.SP.Footprint.NeverCompressedWords =
         static_cast<uint32_t>(Prog.instructionCount());
@@ -77,7 +95,10 @@ SquashResult squash::squashProgram(Program Prog, const Profile &Prof,
   std::vector<uint8_t> Safe = analyzeBufferSafe(G, Part, &R.BufferSafe);
 
   // Section 2: rewrite.
-  R.SP = rewriteProgram(Prog, G, Part, Safe, Opts);
+  Expected<SquashedProgram> SPOr = rewriteProgram(Prog, G, Part, Safe, Opts);
+  if (!SPOr)
+    return SPOr.status();
+  R.SP = std::move(SPOr.get());
   R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
   return R;
 }
@@ -89,22 +110,30 @@ SquashedRun squash::runSquashed(const SquashedProgram &SP,
   Cfg.MaxInstructions = MaxInstructions;
   Machine M(SP.Img, Cfg);
   RuntimeSystem RT(SP);
-  RT.attach(M);
-  M.setInput(std::move(Input));
   SquashedRun Out;
+  if (Status St = RT.attach(M); !St.ok()) {
+    Out.Run.Status = RunStatus::Fault;
+    Out.Run.FaultMessage = St.toString();
+    Out.Runtime = RT.stats();
+    return Out;
+  }
+  M.setInput(std::move(Input));
   Out.Run = M.run();
   Out.Runtime = RT.stats();
+  Out.Output = M.output();
   return Out;
 }
 
-Profile squash::profileImage(const Image &Img, std::vector<uint8_t> Input) {
+Expected<Profile> squash::profileImage(const Image &Img,
+                                       std::vector<uint8_t> Input) {
   Machine::Config Cfg;
   Cfg.CollectBlockProfile = true;
   Machine M(Img, Cfg);
   M.setInput(std::move(Input));
   RunResult RR = M.run();
   if (RR.Status != RunStatus::Halted)
-    reportFatalError("profileImage: program did not halt cleanly: " +
-                     RR.FaultMessage);
+    return Status::error(StatusCode::RuntimeFault,
+                         "profileImage: program did not halt cleanly: " +
+                             RR.FaultMessage);
   return M.takeProfile();
 }

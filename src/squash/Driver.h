@@ -47,22 +47,30 @@ struct SquashResult {
 
 /// Runs the full squash pipeline on \p Prog (typically post-compaction)
 /// with profile \p Prof. \p Prog is taken by value because unswitching
-/// rewrites it.
-SquashResult squashProgram(vea::Program Prog, const vea::Profile &Prof,
-                           const Options &Opts);
+/// rewrites it. Fails — instead of aborting — on a malformed program, a
+/// profile that does not match it, or any downstream layout/encoding
+/// error; callers that cannot continue use Expected::take().
+vea::Expected<SquashResult> squashProgram(vea::Program Prog,
+                                          const vea::Profile &Prof,
+                                          const Options &Opts);
 
 /// Result of executing a squashed program.
 struct SquashedRun {
   vea::RunResult Run;
   RuntimeSystem::Stats Runtime;
+  std::vector<uint8_t> Output; ///< Bytes the program wrote (PutChar).
 };
 
 /// Executes a squashed image on \p Input with the decompressor attached.
+/// If the image fails its attach-time validation the result is a Fault
+/// run carrying the validation message; nothing is executed.
 SquashedRun runSquashed(const SquashedProgram &SP, std::vector<uint8_t> Input,
                         uint64_t MaxInstructions = 2'000'000'000ull);
 
-/// Profiles \p Img (an original / compacted image) on \p Input.
-vea::Profile profileImage(const vea::Image &Img, std::vector<uint8_t> Input);
+/// Profiles \p Img (an original / compacted image) on \p Input. Fails with
+/// RuntimeFault if the program does not halt cleanly.
+vea::Expected<vea::Profile> profileImage(const vea::Image &Img,
+                                         std::vector<uint8_t> Input);
 
 } // namespace squash
 

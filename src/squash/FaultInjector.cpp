@@ -1,0 +1,187 @@
+//===- squash/FaultInjector.cpp - Deterministic image corruption ----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/FaultInjector.h"
+
+#include <algorithm>
+
+using namespace squash;
+using namespace vea;
+
+const char *squash::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::BlobBitFlip:
+    return "blob-bit-flip";
+  case FaultKind::OffsetTableEntry:
+    return "offset-table-entry";
+  case FaultKind::StubSlotWord:
+    return "stub-slot-word";
+  case FaultKind::EntryStubTag:
+    return "entry-stub-tag";
+  case FaultKind::BufferShrink:
+    return "buffer-shrink";
+  case FaultKind::BufferGrow:
+    return "buffer-grow";
+  case FaultKind::BlobTruncate:
+    return "blob-truncate";
+  case FaultKind::NCCodeBitFlip:
+    return "nc-code-bit-flip";
+  }
+  return "unknown";
+}
+
+static FaultReport report(FaultKind K, uint32_t Addr, std::string Desc) {
+  FaultReport FR;
+  FR.Kind = K;
+  FR.Addr = Addr;
+  FR.Description = std::move(Desc);
+  return FR;
+}
+
+std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
+                                                FaultKind K) {
+  RuntimeLayout &L = SP.Layout;
+  Image &Img = SP.Img;
+  // Only squashed images (with runtime machinery) can be corrupted in the
+  // structures this harness targets.
+  if (L.DecompEnd == L.DecompBase)
+    return std::nullopt;
+
+  switch (K) {
+  case FaultKind::BlobBitFlip: {
+    if (L.BlobBytes == 0)
+      return std::nullopt;
+    uint64_t Bit = R.nextBelow(8ull * L.BlobBytes);
+    uint32_t Addr = L.BlobBase + static_cast<uint32_t>(Bit / 8);
+    Img.Bytes[Addr - Img.Base] ^= static_cast<uint8_t>(1u << (Bit % 8));
+    return report(K, Addr,
+                  "flipped blob bit " + std::to_string(Bit) + " (byte " +
+                      std::to_string(Addr) + ")");
+  }
+
+  case FaultKind::OffsetTableEntry: {
+    if (SP.Regions.empty())
+      return std::nullopt;
+    uint32_t Region =
+        static_cast<uint32_t>(R.nextBelow(SP.Regions.size()));
+    uint32_t Addr = L.OffsetTableBase + 4 * Region;
+    uint32_t Old = Img.word(Addr);
+    uint32_t New;
+    do {
+      New = static_cast<uint32_t>(R.next());
+    } while (New == Old);
+    Img.setWord(Addr, New);
+    return report(K, Addr,
+                  "offset table entry " + std::to_string(Region) + ": " +
+                      std::to_string(Old) + " -> " + std::to_string(New));
+  }
+
+  case FaultKind::StubSlotWord: {
+    if (L.StubSlots == 0)
+      return std::nullopt;
+    uint32_t Words = RuntimeLayout::StubSlotWords * L.StubSlots;
+    uint32_t Addr = L.StubAreaBase + 4 * static_cast<uint32_t>(
+                                             R.nextBelow(Words));
+    uint32_t Old = Img.word(Addr);
+    uint32_t New;
+    do {
+      New = static_cast<uint32_t>(R.next());
+    } while (New == Old);
+    Img.setWord(Addr, New);
+    return report(K, Addr,
+                  "stub area word at " + std::to_string(Addr) + ": " +
+                      std::to_string(Old) + " -> " + std::to_string(New));
+  }
+
+  case FaultKind::EntryStubTag: {
+    if (SP.StubOf.empty())
+      return std::nullopt;
+    // Pick the n-th stub in a deterministic (sorted) order; the map's
+    // iteration order is not stable across libraries.
+    std::vector<uint32_t> Stubs;
+    Stubs.reserve(SP.StubOf.size());
+    for (const auto &[Name, Addr] : SP.StubOf)
+      Stubs.push_back(Addr);
+    std::sort(Stubs.begin(), Stubs.end());
+    uint32_t StubAddr = Stubs[R.nextBelow(Stubs.size())];
+    uint32_t TagAddr = StubAddr + 4; // Word 1 of [bsr, tag].
+    uint32_t Old = Img.word(TagAddr);
+    // Never fabricate another *valid* tag: that would be a legitimate
+    // control transfer, not a detectable fault.
+    uint32_t New;
+    do {
+      New = static_cast<uint32_t>(R.next());
+    } while (New == Old || SP.ValidEntryTags.count(New));
+    Img.setWord(TagAddr, New);
+    return report(K, TagAddr,
+                  "entry stub tag at " + std::to_string(TagAddr) + ": " +
+                      std::to_string(Old) + " -> " + std::to_string(New));
+  }
+
+  case FaultKind::BufferShrink: {
+    if (L.BufferWords < 2)
+      return std::nullopt;
+    // The layout sizes the buffer as 1 + max(ExpandedWords), so any shrink
+    // leaves at least one region that no longer fits.
+    uint32_t Old = L.BufferWords;
+    L.BufferWords = 1 + static_cast<uint32_t>(R.nextBelow(Old - 1));
+    return report(K, L.BufferBase,
+                  "buffer shrunk from " + std::to_string(Old) + " to " +
+                      std::to_string(L.BufferWords) + " words");
+  }
+
+  case FaultKind::BufferGrow: {
+    // The data segment starts immediately after the buffer, so any growth
+    // overlaps it.
+    uint32_t Old = L.BufferWords;
+    L.BufferWords += 1 + static_cast<uint32_t>(R.nextBelow(64));
+    return report(K, L.BufferBase,
+                  "buffer grown from " + std::to_string(Old) + " to " +
+                      std::to_string(L.BufferWords) + " words");
+  }
+
+  case FaultKind::BlobTruncate: {
+    if (L.BlobBytes == 0)
+      return std::nullopt;
+    uint32_t Cut = 1 + static_cast<uint32_t>(R.nextBelow(L.BlobBytes));
+    L.BlobBytes -= Cut;
+    Img.Bytes.resize(L.BlobBase - Img.Base + L.BlobBytes);
+    return report(K, L.BlobBase + L.BlobBytes,
+                  "blob truncated by " + std::to_string(Cut) + " bytes to " +
+                      std::to_string(L.BlobBytes));
+  }
+
+  case FaultKind::NCCodeBitFlip: {
+    if (L.DecompBase <= Img.Base)
+      return std::nullopt;
+    uint64_t Bit = R.nextBelow(8ull * (L.DecompBase - Img.Base));
+    uint32_t Addr = Img.Base + static_cast<uint32_t>(Bit / 8);
+    Img.Bytes[Addr - Img.Base] ^= static_cast<uint8_t>(1u << (Bit % 8));
+    return report(K, Addr,
+                  "flipped code bit " + std::to_string(Bit) + " (byte " +
+                      std::to_string(Addr) + ")");
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultReport>
+FaultInjector::injectAny(SquashedProgram &SP,
+                         const std::vector<FaultKind> &Kinds) {
+  if (Kinds.empty())
+    return std::nullopt;
+  // Start at a random kind and rotate until one applies; inject() only
+  // draws from the generator once it has committed to a mutation site, so
+  // inapplicable kinds do not perturb the sequence.
+  size_t Start = R.nextBelow(Kinds.size());
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    if (std::optional<FaultReport> FR =
+            inject(SP, Kinds[(Start + I) % Kinds.size()]))
+      return FR;
+  }
+  return std::nullopt;
+}

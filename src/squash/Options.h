@@ -82,6 +82,17 @@ struct Options {
   /// decompressor is a small native routine; 256 words = 1 KB).
   uint32_t DecompressorCodeWords = 256;
 
+  /// Verify the image and blob CRC32 checksums when the runtime attaches.
+  /// Layout consistency (segment ordering, offset-table bounds) is always
+  /// checked; this knob only controls the full-content scan.
+  bool ChecksumAtAttach = true;
+
+  /// Retain a host-side uncompressed copy of every region so that a region
+  /// whose lazy integrity check fails at decompression time can be refilled
+  /// from the copy instead of faulting (graceful degradation). Costs host
+  /// memory only; the simulated footprint is unchanged.
+  bool RetainRecoveryCopies = true;
+
   CostModel Costs;
 };
 

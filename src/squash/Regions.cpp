@@ -7,8 +7,6 @@
 
 #include "squash/Regions.h"
 
-#include "support/Error.h"
-
 #include <algorithm>
 #include <map>
 #include <unordered_set>
@@ -320,11 +318,13 @@ static void formWholeFunctionRegions(const Cfg &G, const EntryContext &Ctx,
   Stats.InitialRegions = Part.Regions.size();
 }
 
-Partition squash::formRegions(const Cfg &G,
-                              const std::vector<uint8_t> &Compressible,
-                              const Options &Opts, RegionStats *StatsOut) {
+vea::Expected<Partition>
+squash::formRegions(const Cfg &G, const std::vector<uint8_t> &Compressible,
+                    const Options &Opts, RegionStats *StatsOut) {
   if (Compressible.size() != G.numBlocks())
-    vea::reportFatalError("regions: candidate set does not match program");
+    return vea::Status::error(
+        vea::StatusCode::InvalidArgument,
+        "regions: candidate set does not match program");
 
   Partition Part;
   Part.RegionOf.assign(G.numBlocks(), -1);

@@ -21,6 +21,7 @@
 
 #include "ir/IR.h"
 #include "squash/Options.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -75,9 +76,12 @@ std::vector<unsigned> regionEntryPoints(const vea::Cfg &G,
                                         int32_t SelfRegion);
 
 /// Forms regions over the candidate blocks \p Compressible (Section 4).
-Partition formRegions(const vea::Cfg &G,
-                      const std::vector<uint8_t> &Compressible,
-                      const Options &Opts, RegionStats *Stats = nullptr);
+/// Fails with InvalidArgument if \p Compressible does not have one flag per
+/// block.
+vea::Expected<Partition> formRegions(const vea::Cfg &G,
+                                     const std::vector<uint8_t> &Compressible,
+                                     const Options &Opts,
+                                     RegionStats *Stats = nullptr);
 
 } // namespace squash
 

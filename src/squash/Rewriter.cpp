@@ -7,12 +7,45 @@
 
 #include "squash/Rewriter.h"
 
-#include "support/Error.h"
+#include "support/Checksum.h"
 
 #include <algorithm>
 
 using namespace squash;
 using namespace vea;
+
+/// Branch-format displacement from instruction address \p From to
+/// \p Target; must match the runtime decompressor's arithmetic.
+static int32_t rtDisp(uint32_t From, uint32_t Target) {
+  return (static_cast<int32_t>(Target) - static_cast<int32_t>(From) - 4) / 4;
+}
+
+void squash::expandStoredInst(const RuntimeLayout &L, const MInst &I,
+                              uint32_t WriteAddr,
+                              std::vector<uint32_t> &Out) {
+  if (I.Op == Opcode::Bsrx) {
+    // Expand to: bsr ra, CreateStub(ra) ; br r31, <stored disp>.
+    unsigned Ra = I.ra();
+    MInst Call = makeBranch(Opcode::Bsr, Ra,
+                            rtDisp(WriteAddr, L.createStubEntry(Ra)));
+    MInst Jump = makeBranch(Opcode::Br, RegZero, I.disp21());
+    Out.push_back(encode(Call));
+    Out.push_back(encode(Jump));
+    return;
+  }
+  Out.push_back(encode(I));
+}
+
+uint32_t squash::expandedWordsCrc(const std::vector<uint32_t> &Words) {
+  uint32_t Crc = 0;
+  for (uint32_t W : Words) {
+    uint8_t B[4] = {static_cast<uint8_t>(W), static_cast<uint8_t>(W >> 8),
+                    static_cast<uint8_t>(W >> 16),
+                    static_cast<uint8_t>(W >> 24)};
+    Crc = crc32(B, 4, Crc);
+  }
+  return Crc;
+}
 
 namespace {
 
@@ -22,7 +55,7 @@ public:
            const std::vector<uint8_t> &Safe, const Options &Opts)
       : Prog(Prog), G(G), Part(Part), Safe(Safe), Opts(Opts) {}
 
-  SquashedProgram run();
+  Expected<SquashedProgram> run();
 
 private:
   /// Block id of the fallthrough successor, or -1.
@@ -63,26 +96,29 @@ private:
   }
 
   /// Final address external code should use to reach block \p B.
-  uint32_t redirect(unsigned B) const {
+  Expected<uint32_t> redirect(unsigned B) const {
     if (Part.RegionOf[B] < 0)
       return NCAddr[B];
     int32_t S = StubIndexOf[B];
     if (S < 0)
-      reportFatalError("rewriter: reference to compressed block '" +
-                       G.block(B).Label + "' without an entry stub");
+      return Status::error(StatusCode::LayoutError,
+                           "rewriter: reference to compressed block '" +
+                               G.block(B).Label + "' without an entry stub");
     return StubAddrs[S];
   }
 
-  static int32_t brDisp(uint32_t From, uint32_t Target) {
+  static Expected<int32_t> brDisp(uint32_t From, uint32_t Target) {
     int64_t D = (static_cast<int64_t>(Target) -
                  (static_cast<int64_t>(From) + 4)) /
                 4;
     if ((static_cast<int64_t>(Target) - (static_cast<int64_t>(From) + 4)) %
             4 !=
         0)
-      reportFatalError("rewriter: misaligned branch target");
+      return Status::error(StatusCode::LayoutError,
+                           "rewriter: misaligned branch target");
     if (D < -(1 << 20) || D >= (1 << 20))
-      reportFatalError("rewriter: branch displacement out of range");
+      return Status::error(StatusCode::LayoutError,
+                           "rewriter: branch displacement out of range");
     return static_cast<int32_t>(D);
   }
 
@@ -91,10 +127,10 @@ private:
   }
 
   void computeEntries();
-  void computeExpandedOffsets();
-  void layout();
-  void lowerRegions();
-  void emit();
+  Status computeExpandedOffsets();
+  Status layout();
+  Status lowerRegions();
+  Status emit();
 
   const Program &Prog;
   const Cfg &G;
@@ -133,7 +169,7 @@ void Rewriter::computeEntries() {
   }
 }
 
-void Rewriter::computeExpandedOffsets() {
+Status Rewriter::computeExpandedOffsets() {
   ExpOffset.assign(G.numBlocks(), -1);
   ExpandedWords.assign(Part.Regions.size(), 0);
   for (size_t R = 0; R != Part.Regions.size(); ++R) {
@@ -147,11 +183,14 @@ void Rewriter::computeExpandedOffsets() {
     }
     ExpandedWords[R] = Cur;
     if (Cur + 1 > 0xFFFF)
-      reportFatalError("rewriter: region too large for 16-bit tag offsets");
+      return Status::error(
+          StatusCode::LayoutError,
+          "rewriter: region too large for 16-bit tag offsets");
   }
+  return Status::success();
 }
 
-void Rewriter::layout() {
+Status Rewriter::layout() {
   uint32_t Cursor = DefaultBase;
 
   // Never-compressed code, in original order.
@@ -173,6 +212,11 @@ void Rewriter::layout() {
   }
 
   // Decompressor region.
+  if (Opts.DecompressorCodeWords < RuntimeLayout::NumEntryPoints)
+    return Status::error(StatusCode::InvalidArgument,
+                         "rewriter: decompressor region smaller than its " +
+                             std::to_string(RuntimeLayout::NumEntryPoints) +
+                             " entry points");
   L.DecompBase = Cursor;
   Cursor += 4 * Opts.DecompressorCodeWords;
   L.DecompEnd = Cursor;
@@ -180,13 +224,14 @@ void Rewriter::layout() {
   // Function offset table.
   L.OffsetTableBase = Cursor;
   if (Part.Regions.size() > 0xFFFF)
-    reportFatalError("rewriter: too many regions for 16-bit tags");
+    return Status::error(StatusCode::LayoutError,
+                         "rewriter: too many regions for 16-bit tags");
   Cursor += 4 * static_cast<uint32_t>(Part.Regions.size());
 
   // Restore-stub area (4 words per slot).
   L.StubAreaBase = Cursor;
   L.StubSlots = Opts.MaxRestoreStubs;
-  Cursor += 16 * L.StubSlots;
+  Cursor += 4 * RuntimeLayout::StubSlotWords * L.StubSlots;
 
   // Runtime buffer: jump slot + the largest decompressed region.
   uint32_t MaxExpanded = 0;
@@ -198,6 +243,7 @@ void Rewriter::layout() {
 
   // Data objects.
   DataBase = Cursor;
+  L.DataBase = Cursor;
   for (const auto &D : Prog.Data) {
     uint32_t Align = D.Align ? D.Align : 4;
     Cursor = (Cursor + Align - 1) / Align * Align;
@@ -217,11 +263,13 @@ void Rewriter::layout() {
     else if (StubIndexOf[B] >= 0)
       Syms[G.block(B).Label] = StubAddrs[StubIndexOf[B]];
     // Compressed blocks without stubs are unreferenced from outside; any
-    // attempted reference faults in encodeInst, catching partition bugs.
+    // attempted reference fails in encodeInstOrError, catching partition
+    // bugs.
   }
+  return Status::success();
 }
 
-void Rewriter::lowerRegions() {
+Status Rewriter::lowerRegions() {
   Stored.resize(Part.Regions.size());
   Out.Regions.resize(Part.Regions.size());
   for (size_t R = 0; R != Part.Regions.size(); ++R) {
@@ -237,9 +285,13 @@ void Rewriter::lowerRegions() {
           // with the stored displacement belonging to the BR (second
           // word, at A + 4).
           unsigned Callee = G.idOf(I.Symbol);
-          MInst M = makeBranch(Opcode::Bsrx, I.Ra,
-                               brDisp(A + 4, redirect(Callee)));
-          Seq.push_back(M);
+          Expected<uint32_t> Target = redirect(Callee);
+          if (!Target)
+            return Target.status();
+          Expected<int32_t> D = brDisp(A + 4, *Target);
+          if (!D)
+            return D.status();
+          Seq.push_back(makeBranch(Opcode::Bsrx, I.Ra, *D));
           ++Out.Regions[R].ExternalCalls;
           Cur += 2;
           continue;
@@ -252,35 +304,54 @@ void Rewriter::lowerRegions() {
             // take this path: see isStubCall.)
             Target = bufAddr(static_cast<uint32_t>(ExpOffset[T]));
           } else {
-            Target = redirect(T);
+            Expected<uint32_t> Red = redirect(T);
+            if (!Red)
+              return Red.status();
+            Target = *Red;
             if (I.Op == Opcode::Bsr)
               ++Out.Regions[R].BufferSafeCalls;
           }
-          Seq.push_back(makeBranch(I.Op, I.Ra, brDisp(A, Target)));
+          Expected<int32_t> D = brDisp(A, Target);
+          if (!D)
+            return D.status();
+          Seq.push_back(makeBranch(I.Op, I.Ra, *D));
           Cur += 1;
           continue;
         }
         // Everything else (including hi16/lo16 address materialization,
         // which resolves to absolute values) lowers position-independently.
-        Seq.push_back(decode(encodeInst(I, A, Syms)));
+        Expected<uint32_t> Word = encodeInstOrError(I, A, Syms);
+        if (!Word)
+          return Word.status();
+        Seq.push_back(decode(*Word));
         Cur += 1;
       }
       if (regionNeedsBr(B)) {
         int32_t Ft = ftOf(B);
         uint32_t A = bufAddr(Cur);
-        uint32_t Target = Part.RegionOf[Ft] == Self
-                              ? bufAddr(static_cast<uint32_t>(ExpOffset[Ft]))
-                              : redirect(static_cast<unsigned>(Ft));
-        Seq.push_back(makeBranch(Opcode::Br, RegZero, brDisp(A, Target)));
+        uint32_t Target;
+        if (Part.RegionOf[Ft] == Self) {
+          Target = bufAddr(static_cast<uint32_t>(ExpOffset[Ft]));
+        } else {
+          Expected<uint32_t> Red = redirect(static_cast<unsigned>(Ft));
+          if (!Red)
+            return Red.status();
+          Target = *Red;
+        }
+        Expected<int32_t> D = brDisp(A, Target);
+        if (!D)
+          return D.status();
+        Seq.push_back(makeBranch(Opcode::Br, RegZero, *D));
         Cur += 1;
       }
     }
     Out.Regions[R].ExpandedWords = ExpandedWords[R];
     Out.Regions[R].StoredInstructions = static_cast<uint32_t>(Seq.size());
   }
+  return Status::success();
 }
 
-void Rewriter::emit() {
+Status Rewriter::emit() {
   // Encode the regions.
   StreamCodecs::Options CO;
   CO.MoveToFront = Opts.MoveToFront;
@@ -290,7 +361,9 @@ void Rewriter::emit() {
   Out.Codecs.serializeTables(W);
   for (size_t R = 0; R != Part.Regions.size(); ++R) {
     Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
-    Out.Codecs.encodeRegion(Stored[R], W);
+    Status St = Out.Codecs.encodeRegion(Stored[R], W);
+    if (!St.ok())
+      return St.context("rewriter: region " + std::to_string(R));
   }
   std::vector<uint8_t> Blob = W.takeBytes();
   L.BlobBytes = static_cast<uint32_t>(Blob.size());
@@ -307,14 +380,22 @@ void Rewriter::emit() {
       continue;
     uint32_t PC = NCAddr[B];
     for (const auto &I : G.block(B).Insts) {
-      Img.setWord(PC, encodeInst(I, PC, Syms));
+      Expected<uint32_t> Word = encodeInstOrError(I, PC, Syms);
+      if (!Word)
+        return Status(Word.status())
+            .context("rewriter: block '" + G.block(B).Label + "'");
+      Img.setWord(PC, *Word);
       PC += 4;
     }
     if (ncNeedsBr(B)) {
       int32_t Ft = ftOf(B);
-      MInst Br = makeBranch(Opcode::Br, RegZero,
-                            brDisp(PC, redirect(static_cast<unsigned>(Ft))));
-      Img.setWord(PC, encode(Br));
+      Expected<uint32_t> Red = redirect(static_cast<unsigned>(Ft));
+      if (!Red)
+        return Red.status();
+      Expected<int32_t> D = brDisp(PC, *Red);
+      if (!D)
+        return D.status();
+      Img.setWord(PC, encode(makeBranch(Opcode::Br, RegZero, *D)));
     }
   }
 
@@ -322,14 +403,15 @@ void Rewriter::emit() {
   for (size_t S = 0; S != StubBlocks.size(); ++S) {
     uint32_t Addr = StubAddrs[S];
     unsigned Block = StubBlocks[S];
-    MInst Call = makeBranch(
-        Opcode::Bsr, 25,
-        brDisp(Addr, L.decompressEntry(25)));
-    Img.setWord(Addr, encode(Call));
+    Expected<int32_t> D = brDisp(Addr, L.decompressEntry(25));
+    if (!D)
+      return D.status();
+    Img.setWord(Addr, encode(makeBranch(Opcode::Bsr, 25, *D)));
     uint32_t Tag = (static_cast<uint32_t>(StubRegion[S]) << 16) |
                    (1 + static_cast<uint32_t>(ExpOffset[Block]));
     Img.setWord(Addr + 4, Tag);
     Out.StubOf[G.block(Block).Label] = Addr;
+    Out.ValidEntryTags.insert(Tag);
   }
 
   // The decompressor region is reserved, never fetched (trap dispatch);
@@ -350,8 +432,9 @@ void Rewriter::emit() {
     for (const auto &SW : D.SymWords) {
       auto It = Syms.find(SW.Symbol);
       if (It == Syms.end())
-        reportFatalError("rewriter: unresolved data symbol '" + SW.Symbol +
-                         "'");
+        return Status::error(StatusCode::LayoutError,
+                             "rewriter: unresolved data symbol '" +
+                                 SW.Symbol + "'");
       Img.setWord(Addr + SW.Offset,
                   It->second + static_cast<uint32_t>(SW.Addend));
     }
@@ -367,34 +450,65 @@ void Rewriter::emit() {
   for (size_t S = 0; S != StubBlocks.size(); ++S)
     ++Out.Regions[StubRegion[S]].NumEntryStubs;
 
+  // Integrity metadata: per-region expanded-word CRCs (with the recovery
+  // copies they are computed from), the immutable image prefix, and the
+  // blob.
+  Out.RecoveryWords.resize(Part.Regions.size());
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    std::vector<uint32_t> Words;
+    Words.reserve(ExpandedWords[R]);
+    for (const MInst &I : Stored[R])
+      expandStoredInst(L, I, L.BufferBase + 4 +
+                              4 * static_cast<uint32_t>(Words.size()),
+                       Words);
+    if (Words.size() != ExpandedWords[R])
+      return Status::error(StatusCode::InternalError,
+                           "rewriter: expanded size mismatch in region " +
+                               std::to_string(R));
+    Out.Regions[R].Crc32 = expandedWordsCrc(Words);
+    if (Opts.RetainRecoveryCopies)
+      Out.RecoveryWords[R] = std::move(Words);
+  }
+  L.ImageCrc32 = crc32(Img.Bytes.data(), L.StubAreaBase - Img.Base);
+  L.BlobCrc32 = crc32(Img.Bytes.data() + (L.BlobBase - Img.Base),
+                      L.BlobBytes);
+
   // Footprint.
   FootprintBreakdown &F = Out.Footprint;
   F.NeverCompressedWords = NCWords;
   F.EntryStubWords = 2 * static_cast<uint32_t>(StubBlocks.size());
   F.DecompressorWords = Opts.DecompressorCodeWords;
   F.OffsetTableWords = static_cast<uint32_t>(Part.Regions.size());
-  F.StubAreaWords = 4 * L.StubSlots;
+  F.StubAreaWords = RuntimeLayout::StubSlotWords * L.StubSlots;
   F.BufferWords = L.BufferWords;
   F.CompressedBytes = L.BlobBytes;
+  return Status::success();
 }
 
-SquashedProgram Rewriter::run() {
+Expected<SquashedProgram> Rewriter::run() {
   computeEntries();
-  computeExpandedOffsets();
-  layout();
-  lowerRegions();
-  emit();
+  if (Status St = computeExpandedOffsets(); !St.ok())
+    return St;
+  if (Status St = layout(); !St.ok())
+    return St;
+  if (Status St = lowerRegions(); !St.ok())
+    return St;
+  if (Status St = emit(); !St.ok())
+    return St;
   Out.Layout = L;
   Out.Opts = Opts;
   return std::move(Out);
 }
 
-SquashedProgram squash::rewriteProgram(const Program &Prog, const Cfg &G,
-                                       const Partition &Part,
-                                       const std::vector<uint8_t> &Safe,
-                                       const Options &Opts) {
+Expected<SquashedProgram>
+squash::rewriteProgram(const Program &Prog, const Cfg &G,
+                       const Partition &Part,
+                       const std::vector<uint8_t> &Safe,
+                       const Options &Opts) {
   if (Safe.size() != G.numFunctions())
-    reportFatalError("rewriter: buffer-safe vector does not match program");
+    return Status::error(
+        StatusCode::InvalidArgument,
+        "rewriter: buffer-safe vector does not match program");
   Rewriter RW(Prog, G, Part, Safe, Opts);
   return RW.run();
 }

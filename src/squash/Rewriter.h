@@ -35,26 +35,46 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace squash {
 
 /// Addresses of the runtime structures inside the squashed image.
 struct RuntimeLayout {
-  uint32_t DecompBase = 0; ///< Decompress entry r is DecompBase + 4r;
-                           ///< CreateStub entry r is DecompBase + 4(32+r).
+  /// One Decompress entry point per possible return-address register, then
+  /// one CreateStub entry point per register (Sections 2.2/2.3):
+  ///   Decompress entry r is DecompBase + 4r
+  ///   CreateStub entry r is DecompBase + 4(NumDecompressEntries + r)
+  static constexpr unsigned NumDecompressEntries = 32;
+  static constexpr unsigned NumCreateStubEntries = 32;
+  static constexpr unsigned NumEntryPoints =
+      NumDecompressEntries + NumCreateStubEntries;
+  /// Words per restore-stub slot: call, tag, refcount, key.
+  static constexpr uint32_t StubSlotWords = 4;
+
+  uint32_t DecompBase = 0;
   uint32_t DecompEnd = 0;
   uint32_t OffsetTableBase = 0; ///< One 32-bit bit-offset per region.
   uint32_t StubAreaBase = 0;
-  uint32_t StubSlots = 0;    ///< 4 words per slot.
+  uint32_t StubSlots = 0;    ///< StubSlotWords words per slot.
   uint32_t BufferBase = 0;   ///< Word 0 is the jump slot.
   uint32_t BufferWords = 0;  ///< Including the jump slot.
+  uint32_t DataBase = 0;     ///< First data byte (end of runtime machinery).
   uint32_t BlobBase = 0;     ///< Serialized stream tables + region payloads.
   uint32_t BlobBytes = 0;
 
+  /// CRC32 of the image's immutable prefix [Base, StubAreaBase): code,
+  /// entry stubs, decompressor region, offset table. Everything after is
+  /// legitimately written at runtime (stubs, buffer, data) or covered by
+  /// BlobCrc32.
+  uint32_t ImageCrc32 = 0;
+  /// CRC32 of the compressed blob.
+  uint32_t BlobCrc32 = 0;
+
   uint32_t decompressEntry(unsigned Reg) const { return DecompBase + 4 * Reg; }
   uint32_t createStubEntry(unsigned Reg) const {
-    return DecompBase + 4 * (32 + Reg);
+    return DecompBase + 4 * (NumDecompressEntries + Reg);
   }
 };
 
@@ -90,6 +110,9 @@ struct RegionImageInfo {
   uint32_t NumEntryStubs = 0;
   uint32_t ExternalCalls = 0;  ///< Bsrx sites (restore-stub calls).
   uint32_t BufferSafeCalls = 0;
+  /// CRC32 of the expanded buffer words (little-endian byte order) this
+  /// region must decompress to; checked after every fill.
+  uint32_t Crc32 = 0;
 };
 
 /// A runnable squashed program plus everything the runtime and the
@@ -103,14 +126,36 @@ struct SquashedProgram {
   Options Opts;
   /// Entry-stub address of every compressed block that has one.
   std::unordered_map<std::string, uint32_t> StubOf;
+  /// Every tag word an entry stub may legitimately hand to Decompress; the
+  /// runtime rejects tags outside this set instead of following them.
+  std::unordered_set<uint32_t> ValidEntryTags;
+  /// Per region: the exact expanded buffer words (Bsrx already expanded),
+  /// kept for recovery when a fill fails its integrity check. Empty when
+  /// Options::RetainRecoveryCopies is off.
+  std::vector<std::vector<uint32_t>> RecoveryWords;
 };
 
+/// Expands one stored instruction into the word(s) it occupies in the
+/// runtime buffer when written at \p WriteAddr, appending to \p Out (Bsrx
+/// becomes the paper's bsr-to-CreateStub + br pair). Shared by the rewriter
+/// (recovery copies and region CRCs) and the runtime decompressor so the
+/// two can never drift apart.
+void expandStoredInst(const RuntimeLayout &L, const vea::MInst &I,
+                      uint32_t WriteAddr, std::vector<uint32_t> &Out);
+
+/// CRC32 of a word sequence viewed as little-endian bytes, as stored in
+/// RegionImageInfo::Crc32.
+uint32_t expandedWordsCrc(const std::vector<uint32_t> &Words);
+
 /// Builds the squashed image. \p BufferSafeFuncs comes from
-/// analyzeBufferSafe (pass all-zeros to disable the optimization).
-SquashedProgram rewriteProgram(const vea::Program &Prog, const vea::Cfg &G,
-                               const Partition &Part,
-                               const std::vector<uint8_t> &BufferSafeFuncs,
-                               const Options &Opts);
+/// analyzeBufferSafe (pass all-zeros to disable the optimization). Fails
+/// with InvalidArgument on mismatched inputs, LayoutError when a branch or
+/// region does not fit its encoding, or EncodingError from the compressor.
+vea::Expected<SquashedProgram>
+rewriteProgram(const vea::Program &Prog, const vea::Cfg &G,
+               const Partition &Part,
+               const std::vector<uint8_t> &BufferSafeFuncs,
+               const Options &Opts);
 
 } // namespace squash
 

@@ -7,7 +7,7 @@
 
 #include "squash/Runtime.h"
 
-#include "support/Error.h"
+#include "support/Checksum.h"
 
 #include <algorithm>
 
@@ -18,17 +18,101 @@ RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
   Slots.resize(SP.Layout.StubSlots);
 }
 
-void RuntimeSystem::attach(Machine &M) {
-  if (SP.Layout.DecompEnd > SP.Layout.DecompBase)
-    M.registerTrapRange(SP.Layout.DecompBase, SP.Layout.DecompEnd, this);
+Status RuntimeSystem::attach(Machine &M) {
+  const RuntimeLayout &L = SP.Layout;
+
+  // Identity images carry no runtime machinery: nothing to validate or
+  // register.
+  if (L.DecompEnd == L.DecompBase)
+    return Status::success();
+
+  // A machine that failed to load the image reports its own fault when
+  // run; attaching is a no-op rather than a second error.
+  if (M.faulted())
+    return Status::success();
+
+  auto Bad = [](const std::string &What) {
+    return Status::error(StatusCode::MalformedImage, "attach: " + What);
+  };
+
+  // Segment ordering and bounds. These checks are cheap and always on.
+  const uint32_t Base = SP.Img.Base;
+  const uint64_t Limit = SP.Img.limit();
+  const uint64_t OffsetTableEnd =
+      static_cast<uint64_t>(L.OffsetTableBase) + 4ull * SP.Regions.size();
+  const uint64_t StubAreaEnd =
+      static_cast<uint64_t>(L.StubAreaBase) +
+      4ull * RuntimeLayout::StubSlotWords * L.StubSlots;
+  const uint64_t BufferEnd =
+      static_cast<uint64_t>(L.BufferBase) + 4ull * L.BufferWords;
+  if (L.DecompBase < Base || L.DecompBase % 4 != 0)
+    return Bad("decompressor region outside the image");
+  if (L.DecompEnd - L.DecompBase < 4 * RuntimeLayout::NumEntryPoints)
+    return Bad("decompressor region smaller than its entry points");
+  if (L.OffsetTableBase < L.DecompEnd)
+    return Bad("offset table overlaps the decompressor");
+  if (OffsetTableEnd > L.StubAreaBase)
+    return Bad("offset table shorter than the region count");
+  if (StubAreaEnd > L.BufferBase)
+    return Bad("restore-stub area overlaps the runtime buffer");
+  if (L.BufferWords == 0)
+    return Bad("runtime buffer has no jump slot");
+  if (BufferEnd > L.DataBase)
+    return Bad("runtime buffer overlaps the data segment");
+  if (L.DataBase > L.BlobBase)
+    return Bad("data segment overlaps the compressed blob");
+  if (static_cast<uint64_t>(L.BlobBase) + L.BlobBytes > Limit)
+    return Bad("compressed blob extends past the image");
+  if (Limit > M.memBytes())
+    return Bad("image extends past simulated memory");
+
+  // Per-region host-side metadata. Cheap and always on.
+  uint32_t PrevOffset = 0;
+  for (size_t R = 0; R != SP.Regions.size(); ++R) {
+    const RegionImageInfo &RI = SP.Regions[R];
+    if (RI.ExpandedWords + 1 > L.BufferWords)
+      return Bad("runtime buffer too small for region " + std::to_string(R));
+    if (RI.BitOffset >= 8ull * L.BlobBytes)
+      return Bad("region " + std::to_string(R) +
+                 " starts past the end of the blob");
+    if (R != 0 && RI.BitOffset <= PrevOffset)
+      return Bad("region bit offsets are not strictly increasing");
+    PrevOffset = RI.BitOffset;
+  }
+
+  // Full-content scans of guest memory (optional; the offset table and
+  // each region are re-checked lazily on every fill regardless).
+  if (SP.Opts.ChecksumAtAttach) {
+    for (size_t R = 0; R != SP.Regions.size(); ++R) {
+      uint32_t Addr = L.OffsetTableBase + 4 * static_cast<uint32_t>(R);
+      uint32_t Word = static_cast<uint32_t>(M.memData()[Addr]) |
+                      (static_cast<uint32_t>(M.memData()[Addr + 1]) << 8) |
+                      (static_cast<uint32_t>(M.memData()[Addr + 2]) << 16) |
+                      (static_cast<uint32_t>(M.memData()[Addr + 3]) << 24);
+      if (Word != SP.Regions[R].BitOffset)
+        return Status::error(StatusCode::CorruptOffsetTable,
+                             "attach: offset table entry " +
+                                 std::to_string(R) +
+                                 " does not match the region metadata");
+    }
+    if (crc32(M.memData() + Base, L.StubAreaBase - Base) != L.ImageCrc32)
+      return Status::error(StatusCode::MalformedImage,
+                           "attach: image checksum mismatch");
+    if (crc32(M.memData() + L.BlobBase, L.BlobBytes) != L.BlobCrc32)
+      return Status::error(StatusCode::CorruptBlob,
+                           "attach: blob checksum mismatch");
+  }
+
+  M.registerTrapRange(L.DecompBase, L.DecompEnd, this);
+  return Status::success();
 }
 
 bool RuntimeSystem::handleTrap(Machine &M, uint32_t PC) {
   uint32_t Index = (PC - SP.Layout.DecompBase) / 4;
-  if (Index < 32)
+  if (Index < RuntimeLayout::NumDecompressEntries)
     return decompress(M, Index);
-  if (Index < 64)
-    return createStub(M, Index - 32);
+  if (Index < RuntimeLayout::NumEntryPoints)
+    return createStub(M, Index - RuntimeLayout::NumDecompressEntries);
   M.fault("jump into the middle of the decompressor");
   return false;
 }
@@ -41,54 +125,72 @@ static int32_t dispTo(uint32_t From, uint32_t Target) {
 
 bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
   const RuntimeLayout &L = SP.Layout;
+  const RegionImageInfo &RI = SP.Regions[Region];
 
   // Fetch the region's bit offset through the in-memory function offset
   // table, as the native decompressor would.
   uint32_t BitOff;
   if (!M.loadWord(L.OffsetTableBase + 4 * Region, BitOff))
     return false;
-  if (BitOff > 8ull * L.BlobBytes) {
-    M.fault("corrupt function offset table entry");
-    return false;
+
+  // Decode into a host-side staging vector so a corrupt stream never
+  // leaves a partially-overwritten buffer; the guest sees either the full
+  // region or (on recovery) the retained copy.
+  std::string Corrupt;
+  std::vector<uint32_t> Words;
+  uint64_t Decoded = 0;
+  if (BitOff != RI.BitOffset || BitOff >= 8ull * L.BlobBytes) {
+    Corrupt = "corrupt function offset table entry";
+  } else {
+    BitReader Reader(M.memData() + L.BlobBase, L.BlobBytes);
+    Reader.seekBit(BitOff);
+    StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+    Words.reserve(RI.ExpandedWords);
+    MInst I;
+    bool Overrun = false;
+    while (Dec.next(I)) {
+      ++Decoded;
+      expandStoredInst(
+          L, I,
+          L.BufferBase + 4 + 4 * static_cast<uint32_t>(Words.size()), Words);
+      if (Words.size() > RI.ExpandedWords) {
+        Overrun = true; // Longer than this region can be: corrupt stream.
+        break;
+      }
+    }
+    if (!Dec.ok() || Overrun || Words.size() != RI.ExpandedWords)
+      Corrupt = "corrupt compressed region " + std::to_string(Region);
+    else if (expandedWordsCrc(Words) != RI.Crc32)
+      Corrupt =
+          "compressed region " + std::to_string(Region) + " failed checksum";
   }
 
-  BitReader Reader(M.memData() + L.BlobBase, L.BlobBytes);
-  Reader.seekBit(BitOff);
-  StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+  if (!Corrupt.empty()) {
+    // Graceful degradation: refill from the retained uncompressed copy
+    // when one exists; otherwise fault.
+    if (Region < SP.RecoveryWords.size() &&
+        SP.RecoveryWords[Region].size() == RI.ExpandedWords &&
+        RI.ExpandedWords != 0) {
+      Words = SP.RecoveryWords[Region];
+      Decoded = RI.StoredInstructions;
+      ++St.CorruptRegionRecoveries;
+      record(Event::Kind::RecoverFill, Region);
+    } else {
+      M.fault(Corrupt);
+      return false;
+    }
+  }
 
   uint32_t WriteAddr = L.BufferBase + 4;
   const uint32_t BufferEnd = L.BufferBase + 4 * L.BufferWords;
-  uint64_t Decoded = 0;
-  MInst I;
-  while (Dec.next(I)) {
-    ++Decoded;
-    if (I.Op == Opcode::Bsrx) {
-      // Expand to: bsr ra, CreateStub(ra) ; br r31, <stored disp>.
-      if (WriteAddr + 8 > BufferEnd) {
-        M.fault("runtime buffer overflow during decompression");
-        return false;
-      }
-      unsigned Ra = I.ra();
-      MInst Call = makeBranch(Opcode::Bsr, Ra,
-                              dispTo(WriteAddr, L.createStubEntry(Ra)));
-      MInst Jump = makeBranch(Opcode::Br, RegZero, I.disp21());
-      if (!M.storeWord(WriteAddr, encode(Call)) ||
-          !M.storeWord(WriteAddr + 4, encode(Jump)))
-        return false;
-      WriteAddr += 8;
-      continue;
-    }
+  for (uint32_t Word : Words) {
     if (WriteAddr + 4 > BufferEnd) {
       M.fault("runtime buffer overflow during decompression");
       return false;
     }
-    if (!M.storeWord(WriteAddr, encode(I)))
+    if (!M.storeWord(WriteAddr, Word))
       return false;
     WriteAddr += 4;
-  }
-  if (!Dec.ok()) {
-    M.fault("corrupt compressed region " + std::to_string(Region));
-    return false;
   }
 
   ++St.Decompressions;
@@ -110,27 +212,41 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
   uint32_t Region = Tag >> 16;
   uint32_t Offset = Tag & 0xFFFFu;
   if (Region >= SP.Regions.size() || Offset == 0 ||
-      Offset >= L.BufferWords) {
+      Offset >= L.BufferWords ||
+      Offset > SP.Regions[Region].ExpandedWords) {
     M.fault("corrupt decompressor tag");
     return false;
   }
 
   // A return address inside the stub area means we were entered through a
   // restore stub: drop its reference.
-  const uint32_t StubAreaEnd = L.StubAreaBase + 16 * L.StubSlots;
+  const uint32_t StubAreaEnd =
+      L.StubAreaBase + 4 * RuntimeLayout::StubSlotWords * L.StubSlots;
   bool FromRestoreStub =
       TagAddr >= L.StubAreaBase && TagAddr < StubAreaEnd;
   uint32_t StubBase = 0;
   if (FromRestoreStub) {
-    ++St.RestoreStubCalls;
-    record(Event::Kind::EnterViaRestore, Region, TagAddr);
+    // The only legitimate return address inside the stub area is the word
+    // after a slot's call instruction.
+    if ((TagAddr - L.StubAreaBase) % (4 * RuntimeLayout::StubSlotWords) !=
+        4) {
+      M.fault("corrupt restore stub return address");
+      return false;
+    }
     StubBase = TagAddr - 4;
-    uint32_t SlotIdx = (StubBase - L.StubAreaBase) / 16;
+    uint32_t SlotIdx =
+        (StubBase - L.StubAreaBase) / (4 * RuntimeLayout::StubSlotWords);
     StubSlot &Slot = Slots[SlotIdx];
     if (!Slot.Live || Slot.Count == 0) {
       M.fault("return through a dead restore stub");
       return false;
     }
+    if (Tag != Slot.Tag) {
+      M.fault("corrupt restore stub tag");
+      return false;
+    }
+    ++St.RestoreStubCalls;
+    record(Event::Kind::EnterViaRestore, Region, TagAddr);
     --Slot.Count;
     if (!M.storeWord(StubBase + 8, Slot.Count))
       return false;
@@ -140,6 +256,12 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
       record(Event::Kind::StubRelease, Region, StubBase, 0);
     }
   } else {
+    // Entered through an entry stub: the tag must be one the rewriter
+    // emitted, otherwise the stub (or the register) was corrupted.
+    if (!SP.ValidEntryTags.count(Tag)) {
+      M.fault("corrupt decompressor tag");
+      return false;
+    }
     ++St.EntryStubCalls;
     record(Event::Kind::EnterViaStub, Region, TagAddr);
   }
@@ -202,7 +324,8 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     ++St.StubReuses;
     StubSlot &Slot = Slots[Found];
     ++Slot.Count;
-    StubAddr = L.StubAreaBase + 16 * static_cast<uint32_t>(Found);
+    StubAddr = L.StubAreaBase +
+               4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Found);
     record(Event::Kind::StubReuse, static_cast<uint32_t>(CurrentRegion),
            StubAddr, Slot.Count);
     if (!M.storeWord(StubAddr + 8, Slot.Count))
@@ -219,11 +342,13 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     Slot.Count = 1;
     ++St.LiveStubs;
     St.MaxLiveStubs = std::max(St.MaxLiveStubs, St.LiveStubs);
-    StubAddr = L.StubAreaBase + 16 * static_cast<uint32_t>(Free);
+    StubAddr = L.StubAreaBase +
+               4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Free);
     record(Event::Kind::StubCreate, static_cast<uint32_t>(CurrentRegion),
            StubAddr, 1);
     uint32_t Tag =
         (static_cast<uint32_t>(CurrentRegion) << 16) | ReturnOffset;
+    Slot.Tag = Tag;
     MInst Call = makeBranch(Opcode::Bsr, Reg,
                             dispTo(StubAddr, L.decompressEntry(Reg)));
     if (!M.storeWord(StubAddr, encode(Call)) ||

@@ -28,6 +28,7 @@
 
 #include "sim/Machine.h"
 #include "squash/Rewriter.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <vector>
@@ -44,6 +45,9 @@ public:
     uint64_t StubCreates = 0;
     uint64_t StubReuses = 0;
     uint64_t BufferedHits = 0; ///< Fills skipped (ReuseBufferedRegion).
+    uint64_t CorruptRegionRecoveries = 0; ///< Fills served from the
+                                          ///< recovery copy after a failed
+                                          ///< integrity check.
     uint32_t MaxLiveStubs = 0;
     uint32_t LiveStubs = 0;
   };
@@ -59,6 +63,8 @@ public:
       StubCreate,   ///< New restore stub allocated.
       StubReuse,    ///< Existing restore stub's count incremented.
       StubRelease,  ///< Count reached zero; slot freed.
+      RecoverFill,  ///< Region failed its integrity check; buffer was
+                    ///< refilled from the retained recovery copy.
     };
     Kind K;
     uint32_t Region = 0; ///< Region involved (Decompress/Enter kinds).
@@ -72,8 +78,13 @@ public:
   void enableTrace() { Tracing = true; }
   const std::vector<Event> &events() const { return Trace; }
 
-  /// Registers this service's trap range with \p M. Call before running.
-  void attach(vea::Machine &M);
+  /// Validates the squashed image inside \p M — segment ordering and
+  /// bounds, offset-table consistency, and (when Options::ChecksumAtAttach
+  /// is set) the image and blob CRC32s — then registers this service's trap
+  /// range. Call before running. On failure nothing is registered, so
+  /// entry-stub calls land on the decompressor region's zero sentinel words
+  /// and fault cleanly instead of executing a corrupt image.
+  vea::Status attach(vea::Machine &M);
 
   bool handleTrap(vea::Machine &M, uint32_t PC) override;
 
@@ -96,6 +107,8 @@ private:
     bool Live = false;
     uint32_t Key = 0;   ///< (region << 16) | call-site buffer word offset.
     uint32_t Count = 0; ///< Reference count (mirrored in memory word 2).
+    uint32_t Tag = 0;   ///< Tag written to memory word 1; the in-memory
+                        ///< copy is cross-checked against this on reentry.
   };
   std::vector<StubSlot> Slots;
 

@@ -7,17 +7,15 @@
 
 #include "squash/Unswitch.h"
 
-#include "support/Error.h"
-
 #include <unordered_map>
 #include <unordered_set>
 
 using namespace squash;
 using namespace vea;
 
-UnswitchStats squash::unswitchJumpTables(Program &Prog,
-                                         std::vector<uint8_t> &Candidate,
-                                         bool EnableUnswitch) {
+Expected<UnswitchStats>
+squash::unswitchJumpTables(Program &Prog, std::vector<uint8_t> &Candidate,
+                           bool EnableUnswitch) {
   UnswitchStats Stats;
 
   // Block label -> id map consistent with Cfg ordering.
@@ -27,7 +25,8 @@ UnswitchStats squash::unswitchJumpTables(Program &Prog,
     for (const auto &B : F.Blocks)
       IdOf[B.Label] = NumBlocks++;
   if (Candidate.size() != NumBlocks)
-    reportFatalError("unswitch: candidate set does not match program");
+    return Status::error(StatusCode::InvalidArgument,
+                         "unswitch: candidate set does not match program");
 
   std::unordered_set<std::string> TablesToRemove;
 

@@ -20,6 +20,7 @@
 #define SQUASH_SQUASH_UNSWITCH_H
 
 #include "ir/IR.h"
+#include "support/Status.h"
 
 #include <vector>
 
@@ -39,10 +40,11 @@ struct UnswitchStats {
 /// compression; only those switches are touched. Candidacy is cleared for
 /// blocks that could not be unswitched (and for the jump's targets).
 /// If \p EnableUnswitch is false, every candidate switch block is excluded
-/// instead of transformed.
-UnswitchStats unswitchJumpTables(vea::Program &Prog,
-                                 std::vector<uint8_t> &Candidate,
-                                 bool EnableUnswitch);
+/// instead of transformed. Fails with InvalidArgument if \p Candidate does
+/// not have one flag per block.
+vea::Expected<UnswitchStats> unswitchJumpTables(vea::Program &Prog,
+                                                std::vector<uint8_t> &Candidate,
+                                                bool EnableUnswitch);
 
 } // namespace squash
 

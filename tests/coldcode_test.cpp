@@ -46,7 +46,7 @@ TEST(ColdCode, ThetaZeroMeansNeverExecutedOnly) {
   Program Prog = blockChain(4, 10);
   Cfg G(Prog);
   Profile Prof = makeProfile({100, 0, 5, 0}, 10);
-  ColdCodeResult R = identifyColdCode(G, Prof, 0.0);
+  ColdCodeResult R = identifyColdCode(G, Prof, 0.0).take();
   EXPECT_EQ(R.FrequencyCutoff, 0u);
   EXPECT_EQ(R.IsCold[0], 0);
   EXPECT_EQ(R.IsCold[1], 1);
@@ -59,7 +59,7 @@ TEST(ColdCode, ThetaOneMakesEverythingCold) {
   Program Prog = blockChain(3, 10);
   Cfg G(Prog);
   Profile Prof = makeProfile({1000, 10, 1}, 10);
-  ColdCodeResult R = identifyColdCode(G, Prof, 1.0);
+  ColdCodeResult R = identifyColdCode(G, Prof, 1.0).take();
   for (uint8_t C : R.IsCold)
     EXPECT_EQ(C, 1);
   EXPECT_DOUBLE_EQ(R.coldFraction(), 1.0);
@@ -73,11 +73,11 @@ TEST(ColdCode, FrequencyClassesAdmittedWhole) {
   Cfg G(Prog);
   Profile Prof = makeProfile({0, 1, 1, 100}, 10);
   double Budget15 = 15.0 / static_cast<double>(Prof.TotalInstructions);
-  ColdCodeResult R = identifyColdCode(G, Prof, Budget15);
+  ColdCodeResult R = identifyColdCode(G, Prof, Budget15).take();
   EXPECT_EQ(R.FrequencyCutoff, 0u); // Class of weight 20 does not fit 15.
 
   double Budget20 = 20.0 / static_cast<double>(Prof.TotalInstructions);
-  R = identifyColdCode(G, Prof, Budget20);
+  R = identifyColdCode(G, Prof, Budget20).take();
   EXPECT_EQ(R.FrequencyCutoff, 1u);
   EXPECT_EQ(R.IsCold[1], 1);
   EXPECT_EQ(R.IsCold[2], 1);
@@ -91,17 +91,20 @@ TEST(ColdCode, CutoffIsLargestAdmissibleFrequency) {
   // Weights: 0, 20, 40, 80, 10000; tot = 10140.
   // Cumulative: f<=2 -> 20; f<=4 -> 60; f<=8 -> 140.
   ColdCodeResult R =
-      identifyColdCode(G, Prof, 60.0 / Prof.TotalInstructions);
+      identifyColdCode(G, Prof, 60.0 / Prof.TotalInstructions).take();
   EXPECT_EQ(R.FrequencyCutoff, 4u);
-  R = identifyColdCode(G, Prof, 139.0 / Prof.TotalInstructions);
+  R = identifyColdCode(G, Prof, 139.0 / Prof.TotalInstructions).take();
   EXPECT_EQ(R.FrequencyCutoff, 4u);
-  R = identifyColdCode(G, Prof, 140.0 / Prof.TotalInstructions);
+  R = identifyColdCode(G, Prof, 140.0 / Prof.TotalInstructions).take();
   EXPECT_EQ(R.FrequencyCutoff, 8u);
 }
 
-TEST(ColdCode, MismatchedProfileIsFatal) {
+TEST(ColdCode, MismatchedProfileIsError) {
   Program Prog = blockChain(2, 4);
   Cfg G(Prog);
   Profile Prof = makeProfile({1}, 4); // Wrong size.
-  EXPECT_DEATH(identifyColdCode(G, Prof, 0.0), "profile");
+  vea::Expected<ColdCodeResult> R = identifyColdCode(G, Prof, 0.0);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), vea::StatusCode::InvalidArgument);
+  EXPECT_NE(R.status().toString().find("profile"), std::string::npos);
 }

@@ -24,7 +24,7 @@ TEST(Compact, RemovesNops) {
   F.halt();
   PB.setEntry("main");
   Program P = PB.build();
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_EQ(S.NopsRemoved, 3u);
   EXPECT_EQ(P.instructionCount(), 2u);
   Machine M(layoutProgram(P));
@@ -40,7 +40,7 @@ TEST(Compact, RemovesIdentityMoves) {
   F.halt();
   PB.setEntry("main");
   Program P = PB.build();
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_EQ(S.DeadMovesRemoved, 2u);
 }
 
@@ -60,7 +60,7 @@ TEST(Compact, RemovesUnreachableFunctionsAndBlocks) {
   }
   PB.setEntry("main");
   Program P = PB.build();
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_EQ(S.UnreachableFunctionsRemoved, 1u);
   EXPECT_GE(S.UnreachableBlocksRemoved, 2u);
   EXPECT_EQ(P.Functions.size(), 1u);
@@ -85,7 +85,7 @@ TEST(Compact, AddressTakenCodeSurvives) {
   PB.addSymbolTable("table", {"pointee"});
   PB.setEntry("main");
   Program P = PB.build();
-  compactProgram(P);
+  compactProgram(P).take();
   ASSERT_NE(P.findFunction("pointee"), nullptr);
   Machine M(layoutProgram(P));
   EXPECT_EQ(M.run().ExitCode, 9u);
@@ -103,7 +103,7 @@ TEST(Compact, DeadDataRemoved) {
   PB.addDataWords("unused", {1, 2, 3});
   PB.setEntry("main");
   Program P = PB.build();
-  compactProgram(P);
+  compactProgram(P).take();
   EXPECT_NE(P.findData("used"), nullptr);
   EXPECT_EQ(P.findData("unused"), nullptr);
 }
@@ -124,7 +124,7 @@ TEST(Compact, ThreadsBranchChains) {
   F.halt();
   PB.setEntry("main");
   Program P = PB.build();
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_GE(S.BranchesThreaded, 1u);
   // The trampolines become unreachable and disappear.
   Cfg G(P);
@@ -143,7 +143,7 @@ TEST(Compact, DropsBranchToNextBlock) {
   F.halt();
   PB.setEntry("main");
   Program P = PB.build();
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_EQ(S.RedundantBranchesRemoved, 1u);
   Machine M(layoutProgram(P));
   EXPECT_EQ(M.run().ExitCode, 4u);
@@ -178,7 +178,7 @@ TEST(Compact, PreservesBehaviourOnRealWorkload) {
   M1.setInput(Input);
   RunResult R1 = M1.run();
 
-  CompactStats S = compactProgram(P);
+  CompactStats S = compactProgram(P).take();
   EXPECT_GT(S.NopsRemoved, 0u);
   Machine M2(layoutProgram(P));
   M2.setInput(Input);

@@ -65,11 +65,11 @@ TEST(Driver, SetjmpCallersNeverCompressed) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
+  Profile Prof = profileImage(Baseline, {0}).take();
 
   Options Opts;
   Opts.Theta = 1.0; // Everything cold.
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   EXPECT_FALSE(functionCompressed(SR, "uses_setjmp"));
   EXPECT_TRUE(functionCompressed(SR, "plain_cold"));
@@ -104,18 +104,18 @@ TEST(Driver, IndirectCallBlocksExcluded) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
+  Profile Prof = profileImage(Baseline, {0}).take();
 
   Options Opts;
   Opts.Theta = 1.0;
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   EXPECT_FALSE(functionCompressed(SR, "dispatcher"));
   EXPECT_TRUE(functionCompressed(SR, "target"));
   // And the squashed program still runs both paths correctly.
   Machine M(SR.SP.Img);
   RuntimeSystem RT(SR.SP);
-  RT.attach(M);
+  ASSERT_TRUE(RT.attach(M).ok());
   M.setInput({1});
   EXPECT_EQ(M.run().Status, RunStatus::Halted);
 }
@@ -154,13 +154,13 @@ TEST(Driver, HigherThetaCompressesAtLeastAsMuch) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
+  Profile Prof = profileImage(Baseline, {0}).take();
 
   uint64_t Last = 0;
   for (double Theta : {0.0, 1e-3, 1e-1, 1.0}) {
     Options Opts;
     Opts.Theta = Theta;
-    SquashResult SR = squashProgram(Prog, Prof, Opts);
+    SquashResult SR = squashProgram(Prog, Prof, Opts).take();
     EXPECT_GE(SR.Regions.CompressibleInstructions, Last);
     Last = SR.Regions.CompressibleInstructions;
   }
@@ -192,11 +192,11 @@ TEST(Driver, ProfileReflectsInputDifferences) {
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
 
-  Profile ProfA = profileImage(Baseline, {1});
-  Profile ProfB = profileImage(Baseline, {0});
+  Profile ProfA = profileImage(Baseline, {1}).take();
+  Profile ProfB = profileImage(Baseline, {0}).take();
   Options Opts;
-  SquashResult SA = squashProgram(Prog, ProfA, Opts);
-  SquashResult SB = squashProgram(Prog, ProfB, Opts);
+  SquashResult SA = squashProgram(Prog, ProfA, Opts).take();
+  SquashResult SB = squashProgram(Prog, ProfB, Opts).take();
   // Under input A, fb is cold (compressed); under input B, fa is.
   EXPECT_TRUE(SA.SP.StubOf.count("fb"));
   EXPECT_FALSE(SA.SP.StubOf.count("fa"));
@@ -229,16 +229,74 @@ TEST(Driver, UnswitchStatsSurfaceInResult) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
+  Profile Prof = profileImage(Baseline, {0}).take();
 
   Options Opts;
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   EXPECT_EQ(SR.Unswitch.Unswitched, 1u);
   EXPECT_EQ(SR.Unswitch.TablesReclaimed, 1u);
 
   Options NoUnswitch;
   NoUnswitch.Unswitch = false;
-  SquashResult SR2 = squashProgram(Prog, Prof, NoUnswitch);
+  SquashResult SR2 = squashProgram(Prog, Prof, NoUnswitch).take();
   EXPECT_EQ(SR2.Unswitch.Unswitched, 0u);
   EXPECT_GE(SR2.Unswitch.BlocksExcluded, 3u);
+}
+
+TEST(Driver, RunSquashedSurfacesAttachFailure) {
+  // A corrupted layout never reaches execution: runSquashed reports the
+  // validation failure as a Fault run instead of dying or running garbage.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.sys(SysFunc::GetChar);
+    F.beq(0, "skip");
+    F.call("cold");
+    F.label("skip");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("cold");
+    for (int I = 0; I != 20; ++I)
+      F.addi(1, 1, 1);
+    F.ret();
+  }
+  PB.setEntry("main");
+  Program Prog = PB.build();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {0}).take();
+  SquashResult SR = squashProgram(Prog, Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+
+  SquashedProgram SP = SR.SP;
+  SP.Layout.BufferWords = 0;
+  SquashedRun R = runSquashed(SP, {1});
+  EXPECT_EQ(R.Run.Status, RunStatus::Fault);
+  EXPECT_NE(R.Run.FaultMessage.find("no jump slot"), std::string::npos);
+  EXPECT_EQ(R.Runtime.Decompressions, 0u);
+}
+
+TEST(Driver, RunSquashedIsIdempotentOnIdentityImages) {
+  // Zero-region squash results carry no runtime machinery; runSquashed
+  // must handle them without attach-time complaints.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(1, 5);
+    F.label("loop");
+    F.subi(1, 1, 1);
+    F.bne(1, "loop");
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Program Prog = PB.build();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {}).take();
+  SquashResult SR = squashProgram(Prog, Prof, Options()).take();
+  ASSERT_TRUE(SR.Identity);
+  SquashedRun R = runSquashed(SR.SP, {});
+  EXPECT_EQ(R.Run.Status, RunStatus::Halted);
+  EXPECT_EQ(R.Runtime.Decompressions, 0u);
 }

@@ -37,9 +37,9 @@ struct PreparedWorkload {
 PreparedWorkload prepare(workloads::Workload W) {
   PreparedWorkload P;
   P.W = std::move(W);
-  compactProgram(P.W.Prog);
+  compactProgram(P.W.Prog).take();
   P.Baseline = layoutProgram(P.W.Prog);
-  P.Prof = profileImage(P.Baseline, P.W.ProfilingInput);
+  P.Prof = profileImage(P.Baseline, P.W.ProfilingInput).take();
   {
     Machine M(P.Baseline);
     M.setInput(P.W.ProfilingInput);
@@ -59,7 +59,7 @@ PreparedWorkload prepare(workloads::Workload W) {
 
 void expectEquivalent(const PreparedWorkload &P, const Options &Opts,
                       const std::string &Tag) {
-  SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts);
+  SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
 
   auto RunOne = [&](const std::vector<uint8_t> &Input,
                     const RunResult &Base,
@@ -67,7 +67,7 @@ void expectEquivalent(const PreparedWorkload &P, const Options &Opts,
     Machine M(SR.SP.Img);
     RuntimeSystem RT(SR.SP);
     if (!SR.Identity)
-      RT.attach(M);
+      ASSERT_TRUE(RT.attach(M).ok());
     M.setInput(Input);
     RunResult R = M.run();
     ASSERT_EQ(R.Status, RunStatus::Halted)

@@ -46,8 +46,8 @@ SquashResult squashedFixture(const Options &Opts) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
-  return squashProgram(Prog, Prof, Opts);
+  Profile Prof = profileImage(Baseline, {0}).take();
+  return squashProgram(Prog, Prof, Opts).take();
 }
 
 } // namespace
@@ -145,15 +145,15 @@ TEST(Extensions, WholeFunctionRejectsMixedFunctions) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {});
+  Profile Prof = profileImage(Baseline, {}).take();
 
   Options Whole;
   Whole.WholeFunctionRegions = true;
-  SquashResult WholeSR = squashProgram(Prog, Prof, Whole);
+  SquashResult WholeSR = squashProgram(Prog, Prof, Whole).take();
   // Function grain finds nothing (mixed hot/cold function)...
   EXPECT_TRUE(WholeSR.Identity);
   // ...while sub-function regions compress the cold half (Section 4's
   // argument).
-  SquashResult SubSR = squashProgram(Prog, Prof, Options());
+  SquashResult SubSR = squashProgram(Prog, Prof, Options()).take();
   EXPECT_FALSE(SubSR.Identity);
 }

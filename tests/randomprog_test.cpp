@@ -209,7 +209,7 @@ class RandomProgram : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomProgram, SquashPreservesBehaviour) {
   Program Prog = randomProgram(static_cast<uint64_t>(GetParam()) * 977 + 5);
-  compactProgram(Prog);
+  compactProgram(Prog).take();
   Image Baseline = layoutProgram(Prog);
 
   Machine::Config MC;
@@ -231,12 +231,12 @@ TEST_P(RandomProgram, SquashPreservesBehaviour) {
       Opts.Theta = Theta;
       Opts.BufferBoundBytes = K;
       Opts.MoveToFront = (GetParam() % 2) == 1;
-      SquashResult SR = squashProgram(Prog, Prof, Opts);
+      SquashResult SR = squashProgram(Prog, Prof, Opts).take();
 
       Machine M2(SR.SP.Img, MC);
       RuntimeSystem RT(SR.SP);
       if (!SR.Identity)
-        RT.attach(M2);
+        ASSERT_TRUE(RT.attach(M2).ok());
       RunResult R = M2.run();
       ASSERT_EQ(R.Status, RunStatus::Halted)
           << "seed " << GetParam() << " theta " << Theta << " K " << K

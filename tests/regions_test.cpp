@@ -50,7 +50,7 @@ TEST(Regions, PartitionInvariants) {
   Options Opts;
   Opts.BufferBoundBytes = 256; // 64 instructions
   RegionStats Stats;
-  Partition Part = formRegions(G, allColdButMain(G), Opts, &Stats);
+  Partition Part = formRegions(G, allColdButMain(G), Opts, &Stats).take();
 
   // Every block is in at most one region; RegionOf is consistent.
   std::unordered_set<unsigned> Seen;
@@ -78,7 +78,7 @@ TEST(Regions, OnlyCandidatesCompressed) {
   std::vector<uint8_t> U(G.numBlocks(), 0);
   U[G.idOf("cold1")] = 1;
   Options Opts;
-  Partition Part = formRegions(G, U, Opts, nullptr);
+  Partition Part = formRegions(G, U, Opts, nullptr).take();
   for (unsigned B = 0; B != G.numBlocks(); ++B) {
     if (!U[B]) {
       EXPECT_EQ(Part.RegionOf[B], -1);
@@ -93,7 +93,7 @@ TEST(Regions, UnprofitableTinyBlocksRejected) {
   Cfg G(P);
   Options Opts;
   RegionStats Stats;
-  Partition Part = formRegions(G, allColdButMain(G), Opts, &Stats);
+  Partition Part = formRegions(G, allColdButMain(G), Opts, &Stats).take();
   EXPECT_TRUE(Part.Regions.empty());
   EXPECT_GT(Stats.RejectedRoots, 0u);
 }
@@ -105,12 +105,12 @@ TEST(Regions, PackingMergesSmallRegions) {
   Options NoPack;
   NoPack.PackRegions = false;
   RegionStats S1;
-  formRegions(G, allColdButMain(G), NoPack, &S1);
+  formRegions(G, allColdButMain(G), NoPack, &S1).take();
 
   Options Pack;
   Pack.PackRegions = true;
   RegionStats S2;
-  Partition Part = formRegions(G, allColdButMain(G), Pack, &S2);
+  Partition Part = formRegions(G, allColdButMain(G), Pack, &S2).take();
 
   EXPECT_LT(S2.PackedRegions, S1.PackedRegions);
   EXPECT_GT(S2.Merges, 0u);
@@ -129,7 +129,7 @@ TEST(Regions, BufferBoundSplitsLargeFunction) {
   Cfg G(P);
   Options Opts;
   Opts.BufferBoundBytes = 128;
-  Partition Part = formRegions(G, allColdButMain(G), Opts, nullptr);
+  Partition Part = formRegions(G, allColdButMain(G), Opts, nullptr).take();
   EXPECT_TRUE(Part.Regions.empty());
 
   // With blocks smaller than K, the function splits into multiple regions.
@@ -155,7 +155,7 @@ TEST(Regions, BufferBoundSplitsLargeFunction) {
   Cfg G2(P2);
   std::vector<uint8_t> U(G2.numBlocks(), 1);
   U[G2.idOf("main")] = 0;
-  Partition Part2 = formRegions(G2, U, Opts, nullptr);
+  Partition Part2 = formRegions(G2, U, Opts, nullptr).take();
   EXPECT_GE(Part2.Regions.size(), 2u);
 }
 
@@ -238,7 +238,7 @@ TEST(BufferSafe, SeedsAndPropagation) {
   std::vector<uint8_t> U(G.numBlocks(), 0);
   U[G.idOf("coldfn")] = 1;
   Options Opts;
-  Partition Part = formRegions(G, U, Opts, nullptr);
+  Partition Part = formRegions(G, U, Opts, nullptr).take();
   ASSERT_EQ(Part.Regions.size(), 1u);
 
   BufferSafeStats Stats;

@@ -33,7 +33,7 @@ struct Pipeline {
   }
 
   void profile(std::vector<uint8_t> Input) {
-    Prof = profileImage(Baseline, std::move(Input));
+    Prof = profileImage(Baseline, std::move(Input)).take();
   }
 
   /// Runs baseline and squashed on \p Input; requires identical results.
@@ -44,10 +44,11 @@ struct Pipeline {
     RunResult Base = M.run();
     EXPECT_EQ(Base.Status, RunStatus::Halted);
 
-    SquashResult SR = squashProgram(Prog, Prof, Opts);
+    SquashResult SR = squashProgram(Prog, Prof, Opts).take();
     Machine M2(SR.SP.Img);
     RuntimeSystem RT(SR.SP);
-    RT.attach(M2);
+    Status At = RT.attach(M2);
+    EXPECT_TRUE(At.ok()) << At.toString();
     M2.setInput(Input);
     RunResult R = M2.run();
     EXPECT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
@@ -177,13 +178,13 @@ TEST(Runtime, TraceShowsTheProtocol) {
   P.profile({0});
   Options Opts;
   Opts.PackRegions = false;
-  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
 
   Machine M(SR.SP.Img);
   RuntimeSystem RT(SR.SP);
   RT.enableTrace();
-  RT.attach(M);
+  ASSERT_TRUE(RT.attach(M).ok());
   M.setInput({1});
   ASSERT_EQ(M.run().Status, RunStatus::Halted);
 
@@ -328,16 +329,16 @@ TEST(Runtime, StubAreaExhaustionFaults) {
 
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {0});
+  Profile Prof = profileImage(Baseline, {0}).take();
 
   Options Opts;
   Opts.MaxRestoreStubs = 1;
   Opts.PackRegions = false; // Keep a, b, c in distinct regions.
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   Machine M(SR.SP.Img);
   RuntimeSystem RT(SR.SP);
-  RT.attach(M);
+  ASSERT_TRUE(RT.attach(M).ok());
   M.setInput({1});
   RunResult R = M.run();
   EXPECT_EQ(R.Status, RunStatus::Fault);
@@ -349,7 +350,7 @@ TEST(Runtime, CorruptBlobFaultsCleanly) {
   Pipeline P(callFromBufferProgram());
   P.profile({0});
   Options Opts;
-  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   // Flip bytes in the middle of the compressed blob.
   Image Broken = SR.SP.Img;
@@ -360,11 +361,14 @@ TEST(Runtime, CorruptBlobFaultsCleanly) {
   SP2.Img = Broken;
   Machine M(SP2.Img);
   RuntimeSystem RT(SP2);
-  RT.attach(M);
+  // The blob checksum catches the corruption at attach; nothing is
+  // registered, so running the image faults cleanly at the first entry
+  // stub instead of hanging or exiting 31.
+  Status At = RT.attach(M);
+  EXPECT_FALSE(At.ok());
+  EXPECT_EQ(At.code(), StatusCode::CorruptBlob);
   M.setInput({1});
   RunResult R = M.run();
-  // Either the decoder detects corruption, or the decoded garbage
-  // diverges (fault); the machine must not hang or exit 31.
   EXPECT_NE(R.Status, RunStatus::InstLimit);
   EXPECT_FALSE(R.Status == RunStatus::Halted && R.ExitCode == 31);
 }
@@ -384,9 +388,9 @@ TEST(Runtime, IdentityWhenNothingCompressible) {
   PB.setEntry("main");
   Program Prog = PB.build();
   Image Baseline = layoutProgram(Prog);
-  Profile Prof = profileImage(Baseline, {});
+  Profile Prof = profileImage(Baseline, {}).take();
   Options Opts;
-  SquashResult SR = squashProgram(Prog, Prof, Opts);
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   EXPECT_TRUE(SR.Identity);
   EXPECT_EQ(SR.SP.Footprint.totalCodeBytes(),
             SR.SP.Footprint.OriginalCodeBytes);
@@ -394,11 +398,140 @@ TEST(Runtime, IdentityWhenNothingCompressible) {
   EXPECT_EQ(M.run().Status, RunStatus::Halted);
 }
 
+TEST(Runtime, JumpIntoDecompressorMiddleFaults) {
+  // PCs inside the trap range but past the entry points (the zero
+  // sentinel words) must fault with a diagnostic, not dispatch.
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  const RuntimeLayout &L = SR.SP.Layout;
+  for (uint32_t PC : {L.DecompBase + 4 * RuntimeLayout::NumEntryPoints,
+                      L.DecompEnd - 4}) {
+    Machine M(SR.SP.Img);
+    RuntimeSystem RT(SR.SP);
+    ASSERT_TRUE(RT.attach(M).ok());
+    M.setInput({1});
+    M.setPC(PC);
+    RunResult R = M.run();
+    EXPECT_EQ(R.Status, RunStatus::Fault);
+    EXPECT_NE(R.FaultMessage.find("middle of the decompressor"),
+              std::string::npos)
+        << "PC " << PC << ": " << R.FaultMessage;
+  }
+}
+
+TEST(Runtime, DecompressorRegionMustFitEntryPoints) {
+  // The reserved decompressor region cannot be smaller than its entry
+  // points (one Decompress + one CreateStub entry per register).
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  Opts.DecompressorCodeWords = RuntimeLayout::NumEntryPoints - 1;
+  Expected<SquashResult> R = squashProgram(P.Prog, P.Prof, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Runtime, AttachRejectsTruncatedImage) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedProgram SP = SR.SP;
+  ASSERT_GT(SP.Layout.BlobBytes, 4u);
+  SP.Img.Bytes.resize(SP.Img.Bytes.size() - 4); // Blob loses its tail.
+  Machine M(SP.Img);
+  RuntimeSystem RT(SP);
+  Status At = RT.attach(M);
+  ASSERT_FALSE(At.ok());
+  EXPECT_NE(At.toString().find("past the image"), std::string::npos);
+}
+
+TEST(Runtime, AttachRejectsZeroWordBuffer) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedProgram SP = SR.SP;
+  SP.Layout.BufferWords = 0;
+  Machine M(SP.Img);
+  RuntimeSystem RT(SP);
+  Status At = RT.attach(M);
+  ASSERT_FALSE(At.ok());
+  EXPECT_NE(At.toString().find("no jump slot"), std::string::npos);
+}
+
+TEST(Runtime, AttachRejectsShortOffsetTable) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedProgram SP = SR.SP;
+  // Claim the stub area starts where the offset table does: no room for
+  // the region entries.
+  SP.Layout.StubAreaBase = SP.Layout.OffsetTableBase;
+  Machine M(SP.Img);
+  RuntimeSystem RT(SP);
+  Status At = RT.attach(M);
+  ASSERT_FALSE(At.ok());
+  EXPECT_NE(At.toString().find("offset table shorter"), std::string::npos);
+}
+
+TEST(Runtime, AttachRejectsRegionAtExactBlobEnd) {
+  // Boundary regression: a region whose bit offset equals 8 * BlobBytes
+  // (one past the last valid bit) must be rejected, not accepted by an
+  // off-by-one.
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedProgram SP = SR.SP;
+  SP.Regions.back().BitOffset = 8 * SP.Layout.BlobBytes;
+  Machine M(SP.Img);
+  RuntimeSystem RT(SP);
+  Status At = RT.attach(M);
+  ASSERT_FALSE(At.ok());
+  EXPECT_NE(At.toString().find("past the end of the blob"),
+            std::string::npos);
+}
+
+TEST(Rewriter, RegionChecksumsMatchRecoveryCopies) {
+  // The stored per-region CRC must be the CRC of the retained recovery
+  // words — the single-source-of-truth expansion helper guarantees the
+  // rewriter and the runtime agree.
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Options()).take();
+  ASSERT_FALSE(SR.Identity);
+  ASSERT_EQ(SR.SP.RecoveryWords.size(), SR.SP.Regions.size());
+  for (size_t R = 0; R != SR.SP.Regions.size(); ++R) {
+    ASSERT_EQ(SR.SP.RecoveryWords[R].size(), SR.SP.Regions[R].ExpandedWords);
+    EXPECT_EQ(expandedWordsCrc(SR.SP.RecoveryWords[R]),
+              SR.SP.Regions[R].Crc32);
+  }
+}
+
+TEST(Rewriter, RecoveryCopiesCanBeDisabled) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  Opts.RetainRecoveryCopies = false;
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+  for (const auto &Words : SR.SP.RecoveryWords)
+    EXPECT_TRUE(Words.empty());
+  // The image still runs correctly without them.
+  SquashedRun R = runSquashed(SR.SP, {1});
+  EXPECT_EQ(R.Run.Status, RunStatus::Halted) << R.Run.FaultMessage;
+  EXPECT_EQ(R.Run.ExitCode, 31u);
+}
+
 TEST(Rewriter, FootprintAccountingConsistent) {
   Pipeline P(callFromBufferProgram());
   P.profile({0});
   Options Opts;
-  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts);
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   const FootprintBreakdown &F = SR.SP.Footprint;
   const RuntimeLayout &L = SR.SP.Layout;

@@ -56,7 +56,7 @@ TEST(Unswitch, ChainPreservesSemantics) {
   Program P = switchProgram(true);
   Cfg G(P);
   std::vector<uint8_t> Candidate(G.numBlocks(), 1);
-  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true).take();
   EXPECT_EQ(S.Unswitched, 1u);
   EXPECT_EQ(S.TablesReclaimed, 1u);
   EXPECT_EQ(S.TableBytesReclaimed, 16u);
@@ -77,7 +77,7 @@ TEST(Unswitch, MatchesOriginalBehaviour) {
   Program Transformed = switchProgram(true);
   Cfg G(Transformed);
   std::vector<uint8_t> Candidate(G.numBlocks(), 1);
-  unswitchJumpTables(Transformed, Candidate, true);
+  unswitchJumpTables(Transformed, Candidate, true).take();
   for (uint8_t B = 0; B != 5; ++B)
     EXPECT_EQ(runWithByte(Orig, B), runWithByte(Transformed, B));
 }
@@ -86,7 +86,7 @@ TEST(Unswitch, UnknownExtentExcludesBlockAndTargets) {
   Program P = switchProgram(false);
   Cfg G(P);
   std::vector<uint8_t> Candidate(G.numBlocks(), 1);
-  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true).take();
   EXPECT_EQ(S.Unswitched, 0u);
   EXPECT_GE(S.BlocksExcluded, 5u); // Switch block + 4 targets.
   EXPECT_EQ(Candidate[G.idOf("main")], 0);
@@ -101,7 +101,7 @@ TEST(Unswitch, DisabledExcludesInstead) {
   Program P = switchProgram(true);
   Cfg G(P);
   std::vector<uint8_t> Candidate(G.numBlocks(), 1);
-  UnswitchStats S = unswitchJumpTables(P, Candidate, false);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, false).take();
   EXPECT_EQ(S.Unswitched, 0u);
   EXPECT_GE(S.BlocksExcluded, 5u);
 }
@@ -110,7 +110,7 @@ TEST(Unswitch, NonCandidateSwitchUntouched) {
   Program P = switchProgram(true);
   Cfg G(P);
   std::vector<uint8_t> Candidate(G.numBlocks(), 0); // Hot switch.
-  UnswitchStats S = unswitchJumpTables(P, Candidate, true);
+  UnswitchStats S = unswitchJumpTables(P, Candidate, true).take();
   EXPECT_EQ(S.Unswitched, 0u);
   EXPECT_EQ(S.BlocksExcluded, 0u);
   EXPECT_NE(P.findData("main.jt"), nullptr);
@@ -128,7 +128,7 @@ TEST(Unswitch, SingleTargetBecomesPlainBranch) {
   Program P = PB.build();
   Cfg G(P);
   std::vector<uint8_t> Candidate(G.numBlocks(), 1);
-  unswitchJumpTables(P, Candidate, true);
+  unswitchJumpTables(P, Candidate, true).take();
   EXPECT_EQ(P.verify(), "");
   Machine M(layoutProgram(P));
   EXPECT_EQ(M.run().ExitCode, 7u);

@@ -96,13 +96,13 @@ TEST_P(WorkloadSanity, TimingInputExercisesProfileColdCode) {
   // no never-executed code, matching the paper's ~1.00 overhead at
   // theta = 0, so this asserts at a higher threshold).
   workloads::Workload W = buildByIndex(GetParam());
-  compactProgram(W.Prog);
+  compactProgram(W.Prog).take();
   Image Baseline = layoutProgram(W.Prog);
-  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
 
   Options Opts;
   Opts.Theta = 0.1;
-  SquashResult SR = squashProgram(W.Prog, Prof, Opts);
+  SquashResult SR = squashProgram(W.Prog, Prof, Opts).take();
   ASSERT_FALSE(SR.Identity);
   SquashedRun Run = runSquashed(SR.SP, W.TimingInput);
   ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
@@ -115,11 +115,11 @@ TEST_P(WorkloadSanity, ColdFractionInPaperBallpark) {
   // but not total (paper: ~73% mean; we accept a generous band per
   // benchmark).
   workloads::Workload W = buildByIndex(GetParam());
-  compactProgram(W.Prog);
+  compactProgram(W.Prog).take();
   Image Baseline = layoutProgram(W.Prog);
-  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
   Cfg G(W.Prog);
-  ColdCodeResult Cold = identifyColdCode(G, Prof, 0.0);
+  ColdCodeResult Cold = identifyColdCode(G, Prof, 0.0).take();
   EXPECT_GT(Cold.coldFraction(), 0.40);
   EXPECT_LT(Cold.coldFraction(), 0.92);
 }
@@ -150,9 +150,9 @@ TEST(WorkloadSuite, AdpcmUlawModeEquivalentWhenForced) {
   // input — pure cold code. Force it and require original/squashed
   // equivalence at theta = 1.
   workloads::Workload W = workloads::buildAdpcm(Scale);
-  compactProgram(W.Prog);
+  compactProgram(W.Prog).take();
   Image Baseline = layoutProgram(W.Prog);
-  Profile Prof = profileImage(Baseline, W.ProfilingInput);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
 
   std::vector<uint8_t> Input = W.ProfilingInput;
   Input[4] = 4; // Rewrite the frame's mode word.
@@ -165,10 +165,10 @@ TEST(WorkloadSuite, AdpcmUlawModeEquivalentWhenForced) {
 
   Options Opts;
   Opts.Theta = 1.0;
-  SquashResult SR = squashProgram(W.Prog, Prof, Opts);
+  SquashResult SR = squashProgram(W.Prog, Prof, Opts).take();
   Machine M2(SR.SP.Img);
   RuntimeSystem RT(SR.SP);
-  RT.attach(M2);
+  ASSERT_TRUE(RT.attach(M2).ok());
   M2.setInput(Input);
   RunResult R2 = M2.run();
   ASSERT_EQ(R2.Status, RunStatus::Halted) << R2.FaultMessage;
