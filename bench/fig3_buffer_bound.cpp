@@ -60,5 +60,26 @@ int main() {
               "512 preferred because larger regions mean fewer decompressor "
               "calls).\n",
               Ks[BestK]);
+
+  // Beyond the paper: the decode cache multiplies the buffer to
+  // CacheSlots * K, so its size cost scales with both knobs. One row at
+  // theta-mid and 4 slots shows where the extra slots stop paying for
+  // themselves in footprint.
+  std::printf("\n%-12s", "4-slot cache");
+  for (uint32_t K : Ks) {
+    std::vector<double> Sizes;
+    for (auto &P : Suite) {
+      Options Opts;
+      Opts.Theta = ThetaMid;
+      Opts.BufferBoundBytes = K;
+      Opts.CacheSlots = 4;
+      Opts.ReuseBufferedRegion = true;
+      SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
+      Sizes.push_back(1.0 - SR.SP.Footprint.reduction());
+    }
+    std::printf(" %8.4f", geomean(Sizes));
+  }
+  std::printf("\n(cache rows pay 4x the buffer words plus the slot map; "
+              "compare against the theta-mid row above.)\n");
   return 0;
 }

@@ -99,7 +99,7 @@ static void BM_RegionEncode(benchmark::State &State) {
   StreamCodecs SC = StreamCodecs::build({Region}, StreamCodecs::Options());
   for (auto _ : State) {
     BitWriter W;
-    SC.encodeRegion(Region, W);
+    SC.encodeRegion(Region, W).check();
     benchmark::DoNotOptimize(W.byteSize());
   }
   State.SetItemsProcessed(State.iterations() * Region.size());
@@ -110,7 +110,7 @@ static void BM_RegionDecode(benchmark::State &State) {
   auto Region = syntheticRegion(static_cast<size_t>(State.range(0)), 7);
   StreamCodecs SC = StreamCodecs::build({Region}, StreamCodecs::Options());
   BitWriter W;
-  SC.encodeRegion(Region, W);
+  SC.encodeRegion(Region, W).check();
   std::vector<uint8_t> Blob = W.takeBytes();
   for (auto _ : State) {
     BitReader Rd(Blob);

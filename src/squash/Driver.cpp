@@ -9,8 +9,20 @@
 
 #include "link/Layout.h"
 
+#include <chrono>
+
 using namespace squash;
 using namespace vea;
+
+namespace {
+/// Seconds since \p Since, advancing it to now (per-stage stopwatch).
+double lapSeconds(std::chrono::steady_clock::time_point &Since) {
+  auto Now = std::chrono::steady_clock::now();
+  double S = std::chrono::duration<double>(Now - Since).count();
+  Since = Now;
+  return S;
+}
+} // namespace
 
 Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
                                              const Options &Opts) {
@@ -23,6 +35,8 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
   SquashResult R;
   const uint32_t OriginalCodeBytes =
       static_cast<uint32_t>(4 * Prog.instructionCount());
+  const auto Start = std::chrono::steady_clock::now();
+  auto Lap = Start;
 
   // Section 5: cold code.
   {
@@ -32,6 +46,7 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
       return Cold.status();
     R.Cold = std::move(Cold.get());
   }
+  R.Stats.ColdSeconds = lapSeconds(Lap);
 
   // Section 6.2: unswitch cold jump tables (block ids are stable across
   // this pass, so the cold flags remain valid).
@@ -71,11 +86,14 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
     }
   }
 
+  R.Stats.UnswitchSeconds = lapSeconds(Lap);
+
   // Section 4: regions.
   Expected<Partition> PartOr = formRegions(G, Candidate, Opts, &R.Regions);
   if (!PartOr)
     return PartOr.status();
   Partition Part = std::move(PartOr.get());
+  R.Stats.RegionSeconds = lapSeconds(Lap);
 
   if (Part.Regions.empty()) {
     // Nothing profitable to compress: emit the program unchanged.
@@ -88,11 +106,15 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
     R.SP.Footprint.NeverCompressedWords =
         static_cast<uint32_t>(Prog.instructionCount());
     R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+    R.Stats.TotalSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - Start)
+                               .count();
     return R;
   }
 
   // Section 6.1: buffer safety.
   std::vector<uint8_t> Safe = analyzeBufferSafe(G, Part, &R.BufferSafe);
+  R.Stats.BufferSafeSeconds = lapSeconds(Lap);
 
   // Section 2: rewrite.
   Expected<SquashedProgram> SPOr = rewriteProgram(Prog, G, Part, Safe, Opts);
@@ -100,6 +122,11 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
     return SPOr.status();
   R.SP = std::move(SPOr.get());
   R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+  R.Stats.RewriteSeconds = lapSeconds(Lap);
+  R.Stats.EncodeSeconds = R.SP.Encode.Seconds;
+  R.Stats.EncodeThreads = R.SP.Encode.ThreadsUsed;
+  R.Stats.TotalSeconds =
+      std::chrono::duration<double>(Lap - Start).count();
   return R;
 }
 

@@ -32,6 +32,20 @@
 
 namespace squash {
 
+/// Wall-clock accounting for the offline pipeline, one entry per stage in
+/// execution order (consumed by bench/stat_decode_cache).
+struct SquashStats {
+  double ColdSeconds = 0.0;       ///< Cold-code identification.
+  double UnswitchSeconds = 0.0;   ///< Jump-table unswitching + filters.
+  double RegionSeconds = 0.0;     ///< Region formation + packing.
+  double BufferSafeSeconds = 0.0; ///< Buffer-safety analysis.
+  double RewriteSeconds = 0.0;    ///< Lowering, layout, image emission
+                                  ///< (includes EncodeSeconds).
+  double EncodeSeconds = 0.0;     ///< Per-region compression only.
+  double TotalSeconds = 0.0;
+  uint32_t EncodeThreads = 1;     ///< Workers the encode pass used.
+};
+
 /// Everything squashProgram produces: the runnable image plus the stats
 /// every experiment in the paper reports.
 struct SquashResult {
@@ -40,6 +54,7 @@ struct SquashResult {
   RegionStats Regions;
   BufferSafeStats BufferSafe;
   UnswitchStats Unswitch;
+  SquashStats Stats;
   /// True when no region was profitable: the "squashed" image is simply
   /// the original layout (no machinery added, footprint unchanged).
   bool Identity = false;

@@ -30,6 +30,8 @@ const char *squash::faultKindName(FaultKind K) {
     return "blob-truncate";
   case FaultKind::NCCodeBitFlip:
     return "nc-code-bit-flip";
+  case FaultKind::SlotMapEntry:
+    return "slot-map-entry";
   }
   return "unknown";
 }
@@ -164,6 +166,22 @@ std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
     return report(K, Addr,
                   "flipped code bit " + std::to_string(Bit) + " (byte " +
                       std::to_string(Addr) + ")");
+  }
+
+  case FaultKind::SlotMapEntry: {
+    if (L.CacheSlots == 0 || L.SlotMapBase == 0)
+      return std::nullopt;
+    uint32_t Slot = static_cast<uint32_t>(R.nextBelow(L.CacheSlots));
+    uint32_t Addr = L.SlotMapBase + 4 * Slot;
+    uint32_t Old = Img.word(Addr);
+    uint32_t New;
+    do {
+      New = static_cast<uint32_t>(R.next());
+    } while (New == Old);
+    Img.setWord(Addr, New);
+    return report(K, Addr,
+                  "slot map entry " + std::to_string(Slot) + ": " +
+                      std::to_string(Old) + " -> " + std::to_string(New));
   }
   }
   return std::nullopt;

@@ -41,6 +41,7 @@ enum class FaultKind : uint8_t {
   BufferGrow,       ///< Grow the runtime buffer into the data segment.
   BlobTruncate,     ///< Cut the blob (and the image) short.
   NCCodeBitFlip,    ///< Flip one bit of never-compressed code / stubs.
+  SlotMapEntry,     ///< Corrupt one decode-cache slot-map word.
 };
 
 const char *faultKindName(FaultKind K);

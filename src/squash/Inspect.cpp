@@ -39,8 +39,13 @@ std::string squash::formatSegmentMap(const SquashedProgram &SP) {
       4 * F.EntryStubWords);
   Row("decompressor", L.DecompBase, L.DecompEnd - L.DecompBase);
   Row("function offset table", L.OffsetTableBase, 4 * F.OffsetTableWords);
-  Row("restore-stub area", L.StubAreaBase, 16 * L.StubSlots);
+  Row("restore-stub area", L.StubAreaBase,
+      4 * RuntimeLayout::StubSlotWords * L.StubSlots);
+  Row("decode-cache slot map", L.SlotMapBase, 4 * L.CacheSlots);
   Row("runtime buffer", L.BufferBase, 4 * L.BufferWords);
+  if (L.CacheSlots > 1)
+    Out += line("    (%u cache slots x %u words)\n", L.CacheSlots,
+                L.SlotWords);
   Row("compressed blob", L.BlobBase, L.BlobBytes);
   Out += line("  total code footprint: %u bytes (original %u, reduction "
               "%.1f%%)\n",

@@ -74,6 +74,27 @@ struct Options {
   /// re-decodes; this knob exists for the ablation benchmark.
   bool ReuseBufferedRegion = false;
 
+  /// Number of slots the runtime buffer area is carved into. Each slot is
+  /// large enough for the largest region (jump slot + expanded words), so
+  /// the simulated buffer footprint scales linearly with this. With more
+  /// than one slot the runtime keeps a resident-region table and serves
+  /// repeat entries from a resident slot without re-decoding (LRU
+  /// eviction); 1 reproduces the paper's single shared buffer exactly.
+  uint32_t CacheSlots = 1;
+
+  /// When the decode cache is active (CacheSlots > 1, or
+  /// ReuseBufferedRegion), rewrite a resident region's entry stubs to
+  /// branch straight into its slot, skipping the Decompress trap entirely;
+  /// the original bsr word is restored on eviction. Has no effect when the
+  /// cache is inactive (the paper's protocol always traps).
+  bool DirectResidentStubs = true;
+
+  /// Worker threads for the offline per-region compression pass. 0 means
+  /// one per hardware thread; 1 forces the serial path. The parallel path
+  /// produces byte-identical output to serial order (regions are encoded
+  /// independently and concatenated in region order).
+  uint32_t SquashThreads = 0;
+
   /// Capacity of the restore-stub area (the paper observed at most 9 live
   /// stubs even at θ = 0.01).
   uint32_t MaxRestoreStubs = 32;

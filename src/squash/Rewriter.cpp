@@ -8,8 +8,10 @@
 #include "squash/Rewriter.h"
 
 #include "support/Checksum.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace squash;
 using namespace vea;
@@ -34,6 +36,34 @@ void squash::expandStoredInst(const RuntimeLayout &L, const MInst &I,
     return;
   }
   Out.push_back(encode(I));
+}
+
+Status squash::relocateRegionWords(std::vector<uint32_t> &Words,
+                                   uint32_t FromBase, uint32_t ToBase) {
+  if (FromBase == ToBase)
+    return Status::success();
+  const int64_t SlideWords =
+      (static_cast<int64_t>(ToBase) - static_cast<int64_t>(FromBase)) / 4;
+  const uint32_t RegionEnd =
+      FromBase + 4 * static_cast<uint32_t>(Words.size());
+  for (size_t I = 0; I != Words.size(); ++I) {
+    MInst D = decode(Words[I]);
+    if (!isBranchFormat(D.Op))
+      continue;
+    // Target as lowered at the canonical base. Branches that stay inside
+    // the region slide with it; branches that escape it must compensate.
+    uint32_t A = FromBase + 4 * static_cast<uint32_t>(I);
+    int64_t Target = static_cast<int64_t>(A) + 4 + 4ll * D.disp21();
+    if (Target >= FromBase && Target < RegionEnd)
+      continue;
+    int64_t NewDisp = static_cast<int64_t>(D.disp21()) - SlideWords;
+    if (NewDisp < -(1 << 20) || NewDisp >= (1 << 20))
+      return Status::error(StatusCode::LayoutError,
+                           "relocate: branch displacement out of range for "
+                           "cache slot");
+    Words[I] = encode(makeBranch(D.Op, D.ra(), static_cast<int32_t>(NewDisp)));
+  }
+  return Status::success();
 }
 
 uint32_t squash::expandedWordsCrc(const std::vector<uint32_t> &Words) {
@@ -233,12 +263,22 @@ Status Rewriter::layout() {
   L.StubSlots = Opts.MaxRestoreStubs;
   Cursor += 4 * RuntimeLayout::StubSlotWords * L.StubSlots;
 
-  // Runtime buffer: jump slot + the largest decompressed region.
+  // Decode-cache slot map: one resident-region word per slot.
+  if (Opts.CacheSlots == 0)
+    return Status::error(StatusCode::InvalidArgument,
+                         "rewriter: decode cache needs at least one slot");
+  L.CacheSlots = Opts.CacheSlots;
+  L.SlotMapBase = Cursor;
+  Cursor += 4 * L.CacheSlots;
+
+  // Runtime buffer: per cache slot, a jump slot + the largest decompressed
+  // region. One slot reproduces the paper's single shared buffer.
   uint32_t MaxExpanded = 0;
   for (uint32_t W : ExpandedWords)
     MaxExpanded = std::max(MaxExpanded, W);
   L.BufferBase = Cursor;
-  L.BufferWords = 1 + MaxExpanded;
+  L.SlotWords = 1 + MaxExpanded;
+  L.BufferWords = L.CacheSlots * L.SlotWords;
   Cursor += 4 * L.BufferWords;
 
   // Data objects.
@@ -359,12 +399,41 @@ Status Rewriter::emit() {
   Out.Codecs = StreamCodecs::build(Stored, CO);
   vea::BitWriter W;
   Out.Codecs.serializeTables(W);
-  for (size_t R = 0; R != Part.Regions.size(); ++R) {
-    Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
-    Status St = Out.Codecs.encodeRegion(Stored[R], W);
-    if (!St.ok())
-      return St.context("rewriter: region " + std::to_string(R));
+  const size_t NumRegions = Part.Regions.size();
+  unsigned Threads =
+      ThreadPool::effectiveThreads(Opts.SquashThreads, NumRegions);
+  auto EncodeStart = std::chrono::steady_clock::now();
+  if (Threads > 1 && NumRegions > 1) {
+    // Encode each region into its own bitstream concurrently, then append
+    // in region order. Regions are encoded independently (encodeRegion
+    // keeps its MTF/delta state per region), so the concatenation is
+    // byte-identical to the serial path.
+    std::vector<vea::BitWriter> Pieces(NumRegions);
+    std::vector<Status> Results(NumRegions);
+    ThreadPool Pool(Threads);
+    Pool.parallelFor(NumRegions, [&](size_t R) {
+      Results[R] = Out.Codecs.encodeRegion(Stored[R], Pieces[R]);
+    });
+    for (size_t R = 0; R != NumRegions; ++R) {
+      if (!Results[R].ok())
+        return Results[R].context("rewriter: region " + std::to_string(R));
+      Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
+      W.append(Pieces[R]);
+    }
+  } else {
+    Threads = 1;
+    for (size_t R = 0; R != NumRegions; ++R) {
+      Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
+      Status St = Out.Codecs.encodeRegion(Stored[R], W);
+      if (!St.ok())
+        return St.context("rewriter: region " + std::to_string(R));
+    }
   }
+  Out.Encode.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    EncodeStart)
+          .count();
+  Out.Encode.ThreadsUsed = Threads;
   std::vector<uint8_t> Blob = W.takeBytes();
   L.BlobBytes = static_cast<uint32_t>(Blob.size());
 
@@ -400,6 +469,7 @@ Status Rewriter::emit() {
   }
 
   // Entry stubs: bsr r25, Decompress(r25) ; tag.
+  Out.RegionEntryStubs.resize(Part.Regions.size());
   for (size_t S = 0; S != StubBlocks.size(); ++S) {
     uint32_t Addr = StubAddrs[S];
     unsigned Block = StubBlocks[S];
@@ -412,7 +482,12 @@ Status Rewriter::emit() {
     Img.setWord(Addr + 4, Tag);
     Out.StubOf[G.block(Block).Label] = Addr;
     Out.ValidEntryTags.insert(Tag);
+    Out.RegionEntryStubs[StubRegion[S]].push_back({Addr, Tag});
   }
+
+  // Decode-cache slot map: every slot starts empty.
+  for (uint32_t S = 0; S != L.CacheSlots; ++S)
+    Img.setWord(L.SlotMapBase + 4 * S, RuntimeLayout::SlotMapEmpty);
 
   // The decompressor region is reserved, never fetched (trap dispatch);
   // fill with the illegal sentinel word so stray jumps fault loudly.
@@ -480,6 +555,7 @@ Status Rewriter::emit() {
   F.DecompressorWords = Opts.DecompressorCodeWords;
   F.OffsetTableWords = static_cast<uint32_t>(Part.Regions.size());
   F.StubAreaWords = RuntimeLayout::StubSlotWords * L.StubSlots;
+  F.SlotMapWords = L.CacheSlots;
   F.BufferWords = L.BufferWords;
   F.CompressedBytes = L.BlobBytes;
   return Status::success();

@@ -53,13 +53,20 @@ struct RuntimeLayout {
   /// Words per restore-stub slot: call, tag, refcount, key.
   static constexpr uint32_t StubSlotWords = 4;
 
+  /// Slot-map word marking a cache slot that holds no region.
+  static constexpr uint32_t SlotMapEmpty = 0xFFFFFFFFu;
+
   uint32_t DecompBase = 0;
   uint32_t DecompEnd = 0;
   uint32_t OffsetTableBase = 0; ///< One 32-bit bit-offset per region.
   uint32_t StubAreaBase = 0;
   uint32_t StubSlots = 0;    ///< StubSlotWords words per slot.
-  uint32_t BufferBase = 0;   ///< Word 0 is the jump slot.
-  uint32_t BufferWords = 0;  ///< Including the jump slot.
+  uint32_t SlotMapBase = 0;  ///< One word per cache slot: resident region
+                             ///< id, or SlotMapEmpty. Runtime-written.
+  uint32_t CacheSlots = 1;   ///< Decode-cache slots carved from the buffer.
+  uint32_t SlotWords = 0;    ///< Words per cache slot, incl. its jump slot.
+  uint32_t BufferBase = 0;   ///< Word 0 is slot 0's jump slot.
+  uint32_t BufferWords = 0;  ///< All slots: CacheSlots * SlotWords.
   uint32_t DataBase = 0;     ///< First data byte (end of runtime machinery).
   uint32_t BlobBase = 0;     ///< Serialized stream tables + region payloads.
   uint32_t BlobBytes = 0;
@@ -76,6 +83,14 @@ struct RuntimeLayout {
   uint32_t createStubEntry(unsigned Reg) const {
     return DecompBase + 4 * (NumDecompressEntries + Reg);
   }
+
+  /// Address of cache slot \p Slot's jump-slot word.
+  uint32_t slotBase(uint32_t Slot) const {
+    return BufferBase + 4 * Slot * SlotWords;
+  }
+  /// Address of the first decompressed word of cache slot \p Slot. Slot 0
+  /// is the canonical base every region displacement is lowered against.
+  uint32_t slotDataBase(uint32_t Slot) const { return slotBase(Slot) + 4; }
 };
 
 /// The paper's space accounting for the transformed program.
@@ -85,13 +100,15 @@ struct FootprintBreakdown {
   uint32_t DecompressorWords = 0;
   uint32_t OffsetTableWords = 0;
   uint32_t StubAreaWords = 0;
-  uint32_t BufferWords = 0;
+  uint32_t SlotMapWords = 0; ///< One word per decode-cache slot.
+  uint32_t BufferWords = 0;  ///< All cache slots.
   uint32_t CompressedBytes = 0; ///< Stream tables + region payloads.
   uint32_t OriginalCodeBytes = 0;
 
   uint32_t totalCodeBytes() const {
     return 4 * (NeverCompressedWords + EntryStubWords + DecompressorWords +
-                OffsetTableWords + StubAreaWords + BufferWords) +
+                OffsetTableWords + StubAreaWords + SlotMapWords +
+                BufferWords) +
            CompressedBytes;
   }
   double reduction() const {
@@ -115,6 +132,22 @@ struct RegionImageInfo {
   uint32_t Crc32 = 0;
 };
 
+/// One entry stub of a compressed region: where it lives and the tag its
+/// second word carries. The runtime uses these to rewrite a resident
+/// region's stubs into direct branches (Options::DirectResidentStubs) and
+/// to restore them on eviction.
+struct EntryStubSite {
+  uint32_t Addr = 0; ///< Address of the stub's bsr word.
+  uint32_t Tag = 0;  ///< (region << 16) | (1 + expanded word offset).
+};
+
+/// Wall-clock accounting for the offline encode pass, surfaced through
+/// SquashStats.
+struct EncodeTiming {
+  double Seconds = 0.0;       ///< Region-encoding wall time.
+  uint32_t ThreadsUsed = 1;   ///< 1 when the serial path ran.
+};
+
 /// A runnable squashed program plus everything the runtime and the
 /// experiment harnesses need.
 struct SquashedProgram {
@@ -133,6 +166,11 @@ struct SquashedProgram {
   /// kept for recovery when a fill fails its integrity check. Empty when
   /// Options::RetainRecoveryCopies is off.
   std::vector<std::vector<uint32_t>> RecoveryWords;
+  /// Per region: its entry stubs, for direct-branch rewriting of resident
+  /// regions.
+  std::vector<std::vector<EntryStubSite>> RegionEntryStubs;
+  /// Timing of the per-region encode pass that produced the blob.
+  EncodeTiming Encode;
 };
 
 /// Expands one stored instruction into the word(s) it occupies in the
@@ -146,6 +184,16 @@ void expandStoredInst(const RuntimeLayout &L, const vea::MInst &I,
 /// CRC32 of a word sequence viewed as little-endian bytes, as stored in
 /// RegionImageInfo::Crc32.
 uint32_t expandedWordsCrc(const std::vector<uint32_t> &Words);
+
+/// Relocates a region's expanded words from \p FromBase to \p ToBase (both
+/// first-data-word addresses). Regions are lowered against the canonical
+/// base (slot 0); a branch whose target lies *inside* the region is
+/// position-independent and untouched, while one that escapes the region
+/// (entry stubs, never-compressed code, decompressor entry points) must
+/// absorb the slot displacement. Fails with LayoutError if an adjusted
+/// displacement no longer fits disp21.
+vea::Status relocateRegionWords(std::vector<uint32_t> &Words,
+                                uint32_t FromBase, uint32_t ToBase);
 
 /// Builds the squashed image. \p BufferSafeFuncs comes from
 /// analyzeBufferSafe (pass all-zeros to disable the optimization). Fails

@@ -16,6 +16,8 @@ using namespace vea;
 
 RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
   Slots.resize(SP.Layout.StubSlots);
+  Cache.resize(std::max(1u, SP.Layout.CacheSlots));
+  SlotOfRegion.assign(SP.Regions.size(), -1);
 }
 
 Status RuntimeSystem::attach(Machine &M) {
@@ -57,6 +59,16 @@ Status RuntimeSystem::attach(Machine &M) {
     return Bad("restore-stub area overlaps the runtime buffer");
   if (L.BufferWords == 0)
     return Bad("runtime buffer has no jump slot");
+  if (L.CacheSlots == 0 || L.SlotWords == 0)
+    return Bad("decode cache has no slots");
+  if (4ull * L.CacheSlots * L.SlotWords != 4ull * L.BufferWords)
+    return Bad("runtime buffer inconsistent with its cache slots");
+  const uint64_t SlotMapEnd =
+      static_cast<uint64_t>(L.SlotMapBase) + 4ull * L.CacheSlots;
+  if (L.SlotMapBase < StubAreaEnd)
+    return Bad("slot map overlaps the restore-stub area");
+  if (SlotMapEnd > L.BufferBase)
+    return Bad("slot map overlaps the runtime buffer");
   if (BufferEnd > L.DataBase)
     return Bad("runtime buffer overlaps the data segment");
   if (L.DataBase > L.BlobBase)
@@ -70,8 +82,8 @@ Status RuntimeSystem::attach(Machine &M) {
   uint32_t PrevOffset = 0;
   for (size_t R = 0; R != SP.Regions.size(); ++R) {
     const RegionImageInfo &RI = SP.Regions[R];
-    if (RI.ExpandedWords + 1 > L.BufferWords)
-      return Bad("runtime buffer too small for region " + std::to_string(R));
+    if (RI.ExpandedWords + 1 > L.SlotWords)
+      return Bad("cache slot too small for region " + std::to_string(R));
     if (RI.BitOffset >= 8ull * L.BlobBytes)
       return Bad("region " + std::to_string(R) +
                  " starts past the end of the blob");
@@ -123,9 +135,122 @@ static int32_t dispTo(uint32_t From, uint32_t Target) {
   return (static_cast<int32_t>(Target) - static_cast<int32_t>(From) - 4) / 4;
 }
 
-bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
+bool RuntimeSystem::evictSlot(Machine &M, uint32_t Slot) {
+  CacheSlotState &CS = Cache[Slot];
+  if (CS.Region < 0)
+    return true;
+  if (CS.StubsRewritten && !restoreEntryStubs(M, static_cast<uint32_t>(CS.Region)))
+    return false;
+  SlotOfRegion[CS.Region] = -1;
+  ++St.Evictions;
+  record(Event::Kind::Evict, static_cast<uint32_t>(CS.Region), Slot);
+  if (!M.storeWord(SP.Layout.SlotMapBase + 4 * Slot,
+                   RuntimeLayout::SlotMapEmpty))
+    return false;
+  CS = CacheSlotState{};
+  return true;
+}
+
+bool RuntimeSystem::rewriteEntryStubs(Machine &M, uint32_t Region,
+                                      uint32_t Slot) {
+  if (Region >= SP.RegionEntryStubs.size())
+    return true;
+  const RuntimeLayout &L = SP.Layout;
+  bool Any = false;
+  for (const EntryStubSite &S : SP.RegionEntryStubs[Region]) {
+    uint32_t Target = L.slotDataBase(Slot) + 4 * ((S.Tag & 0xFFFFu) - 1);
+    int64_t D = (static_cast<int64_t>(Target) -
+                 static_cast<int64_t>(S.Addr) - 4) /
+                4;
+    if (D < -(1 << 20) || D >= (1 << 20))
+      continue; // Too far for a direct branch; this stub keeps trapping.
+    if (!M.storeWord(S.Addr, encode(makeBranch(Opcode::Br, RegZero,
+                                               static_cast<int32_t>(D)))))
+      return false;
+    ++St.DirectStubRewrites;
+    Any = true;
+  }
+  Cache[Slot].StubsRewritten = Any;
+  return true;
+}
+
+bool RuntimeSystem::restoreEntryStubs(Machine &M, uint32_t Region) {
+  if (Region >= SP.RegionEntryStubs.size())
+    return true;
+  const RuntimeLayout &L = SP.Layout;
+  for (const EntryStubSite &S : SP.RegionEntryStubs[Region]) {
+    MInst Call = makeBranch(Opcode::Bsr, 25,
+                            dispTo(S.Addr, L.decompressEntry(25)));
+    if (!M.storeWord(S.Addr, encode(Call)))
+      return false;
+    ++St.DirectStubRestores;
+  }
+  return true;
+}
+
+bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
+                               uint32_t &SlotOut) {
   const RuntimeLayout &L = SP.Layout;
   const RegionImageInfo &RI = SP.Regions[Region];
+  const bool Active = cacheActive();
+
+  // Resident? Re-validate and serve from the slot without re-decoding.
+  int32_t Preferred = -1;
+  if (Active && SlotOfRegion[Region] >= 0) {
+    uint32_t Slot = static_cast<uint32_t>(SlotOfRegion[Region]);
+    uint32_t MapWord;
+    if (!M.loadWord(L.SlotMapBase + 4 * Slot, MapWord))
+      return false;
+    if (MapWord != Region) {
+      // The guest slot map contradicts the host resident table: mask by
+      // invalidating the slot and re-decoding into it.
+      ++St.SlotMapRepairs;
+      record(Event::Kind::SlotMapRepair, Region, Slot);
+      Preferred = static_cast<int32_t>(Slot);
+    } else if (crc32(M.memData() + L.slotDataBase(Slot),
+                     4 * RI.ExpandedWords) == Cache[Slot].Crc) {
+      Cache[Slot].LastUse = ++UseTick;
+      ++St.BufferedHits;
+      record(Event::Kind::BufferedHit, Region, Slot);
+      M.addCycles(SP.Opts.Costs.DecompSetupCycles);
+      CurrentRegion = static_cast<int32_t>(Region);
+      SlotOut = Slot;
+      return true;
+    } else {
+      // The slot's words were tampered with since the fill; re-decode in
+      // place.
+      ++St.ResidentCrcMismatches;
+      Preferred = static_cast<int32_t>(Slot);
+    }
+  }
+
+  // Pick the slot to fill: the region's own (revalidation failure), a free
+  // one, or the least recently used.
+  uint32_t Slot = 0;
+  if (Preferred >= 0) {
+    Slot = static_cast<uint32_t>(Preferred);
+  } else if (Active) {
+    int32_t Free = -1;
+    uint32_t Lru = 0;
+    uint64_t Oldest = ~0ull;
+    for (uint32_t I = 0; I != Cache.size(); ++I) {
+      if (Cache[I].Region < 0) {
+        Free = static_cast<int32_t>(I);
+        break;
+      }
+      if (Cache[I].LastUse < Oldest) {
+        Oldest = Cache[I].LastUse;
+        Lru = I;
+      }
+    }
+    if (Free >= 0) {
+      Slot = static_cast<uint32_t>(Free);
+    } else {
+      if (!evictSlot(M, Lru))
+        return false;
+      Slot = Lru;
+    }
+  }
 
   // Fetch the region's bit offset through the in-memory function offset
   // table, as the native decompressor would.
@@ -181,10 +306,19 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
     }
   }
 
-  uint32_t WriteAddr = L.BufferBase + 4;
-  const uint32_t BufferEnd = L.BufferBase + 4 * L.BufferWords;
+  // Regions are lowered (and their CRCs computed) against slot 0's data
+  // base; landing anywhere else slides the external branch displacements.
+  if (Status RS = relocateRegionWords(Words, L.slotDataBase(0),
+                                      L.slotDataBase(Slot));
+      !RS.ok()) {
+    M.fault(RS.message());
+    return false;
+  }
+
+  uint32_t WriteAddr = L.slotDataBase(Slot);
+  const uint32_t SlotEnd = L.slotBase(Slot) + 4 * L.SlotWords;
   for (uint32_t Word : Words) {
-    if (WriteAddr + 4 > BufferEnd) {
+    if (WriteAddr + 4 > SlotEnd) {
       M.fault("runtime buffer overflow during decompression");
       return false;
     }
@@ -193,6 +327,18 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
     WriteAddr += 4;
   }
 
+  // Host resident table + guest slot map.
+  if (Cache[Slot].Region >= 0 &&
+      Cache[Slot].Region != static_cast<int32_t>(Region))
+    SlotOfRegion[Cache[Slot].Region] = -1; // Paper-mode overwrite.
+  Cache[Slot].Region = static_cast<int32_t>(Region);
+  Cache[Slot].LastUse = ++UseTick;
+  Cache[Slot].Crc = expandedWordsCrc(Words);
+  Cache[Slot].StubsRewritten = false;
+  SlotOfRegion[Region] = static_cast<int32_t>(Slot);
+  if (!M.storeWord(L.SlotMapBase + 4 * Slot, Region))
+    return false;
+
   ++St.Decompressions;
   St.DecodedInstructions += Decoded;
   record(Event::Kind::Decompress, Region);
@@ -200,6 +346,14 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region) {
   M.addCycles(C.DecompSetupCycles + C.CyclesPerDecodedInstr * Decoded +
               C.IcacheFlushCycles);
   CurrentRegion = static_cast<int32_t>(Region);
+
+  // A freshly resident region's entry stubs can branch straight to the
+  // slot until it is evicted.
+  if (Active && SP.Opts.DirectResidentStubs &&
+      !rewriteEntryStubs(M, Region, Slot))
+    return false;
+
+  SlotOut = Slot;
   return true;
 }
 
@@ -212,7 +366,7 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
   uint32_t Region = Tag >> 16;
   uint32_t Offset = Tag & 0xFFFFu;
   if (Region >= SP.Regions.size() || Offset == 0 ||
-      Offset >= L.BufferWords ||
+      Offset >= L.SlotWords ||
       Offset > SP.Regions[Region].ExpandedWords) {
     M.fault("corrupt decompressor tag");
     return false;
@@ -266,19 +420,15 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
     record(Event::Kind::EnterViaStub, Region, TagAddr);
   }
 
-  if (SP.Opts.ReuseBufferedRegion &&
-      CurrentRegion == static_cast<int32_t>(Region)) {
-    ++St.BufferedHits;
-    record(Event::Kind::BufferedHit, Region);
-    M.addCycles(SP.Opts.Costs.DecompSetupCycles);
-  } else if (!fillBuffer(M, Region)) {
+  // Make the region resident (cache hit or decode), learn its slot.
+  uint32_t CacheSlotIdx = 0;
+  if (!fillBuffer(M, Region, CacheSlotIdx))
     return false;
-  }
 
-  // Jump slot at the start of the buffer transfers to the tag's offset.
-  MInst Slot = makeBranch(Opcode::Br, RegZero,
+  // The slot's jump word transfers to the tag's offset within the slot.
+  MInst Jump = makeBranch(Opcode::Br, RegZero,
                           static_cast<int32_t>(Offset) - 1);
-  if (!M.storeWord(L.BufferBase, encode(Slot)))
+  if (!M.storeWord(L.slotBase(CacheSlotIdx), encode(Jump)))
     return false;
 
   // The paper's decompressor sets the return register to the restore
@@ -286,7 +436,7 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
   if (FromRestoreStub)
     M.setReg(Reg, StubBase);
 
-  M.setPC(L.BufferBase);
+  M.setPC(L.slotBase(CacheSlotIdx));
   return true;
 }
 
@@ -298,15 +448,24 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     M.fault("CreateStub called from outside the runtime buffer");
     return false;
   }
-  if (CurrentRegion < 0) {
+  // Keys and tags are slot-relative so a restore stub stays valid no
+  // matter which cache slot its region is refilled into later.
+  uint32_t CacheSlotIdx = (BrAddr - L.BufferBase) / (4 * L.SlotWords);
+  uint32_t CallWordOffset = (BrAddr - L.slotBase(CacheSlotIdx)) / 4;
+  if (CallWordOffset == 0) {
+    M.fault("CreateStub called from outside the runtime buffer");
+    return false;
+  }
+  int32_t CallerRegion = Cache[CacheSlotIdx].Region;
+  if (CallerRegion < 0) {
     M.fault("CreateStub with no region in the buffer");
     return false;
   }
+  Cache[CacheSlotIdx].LastUse = ++UseTick; // The slot is executing.
 
-  uint32_t CallWordOffset = (BrAddr - L.BufferBase) / 4;
   uint32_t ReturnOffset = CallWordOffset + 1;
   uint32_t Key =
-      (static_cast<uint32_t>(CurrentRegion) << 16) | CallWordOffset;
+      (static_cast<uint32_t>(CallerRegion) << 16) | CallWordOffset;
 
   // One restore stub per call site: reuse if it already exists.
   int32_t Found = -1, Free = -1;
@@ -326,7 +485,7 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     ++Slot.Count;
     StubAddr = L.StubAreaBase +
                4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Found);
-    record(Event::Kind::StubReuse, static_cast<uint32_t>(CurrentRegion),
+    record(Event::Kind::StubReuse, static_cast<uint32_t>(CallerRegion),
            StubAddr, Slot.Count);
     if (!M.storeWord(StubAddr + 8, Slot.Count))
       return false;
@@ -344,10 +503,10 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     St.MaxLiveStubs = std::max(St.MaxLiveStubs, St.LiveStubs);
     StubAddr = L.StubAreaBase +
                4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Free);
-    record(Event::Kind::StubCreate, static_cast<uint32_t>(CurrentRegion),
+    record(Event::Kind::StubCreate, static_cast<uint32_t>(CallerRegion),
            StubAddr, 1);
     uint32_t Tag =
-        (static_cast<uint32_t>(CurrentRegion) << 16) | ReturnOffset;
+        (static_cast<uint32_t>(CallerRegion) << 16) | ReturnOffset;
     Slot.Tag = Tag;
     MInst Call = makeBranch(Opcode::Bsr, Reg,
                             dispTo(StubAddr, L.decompressEntry(Reg)));

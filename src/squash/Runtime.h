@@ -44,12 +44,30 @@ public:
     uint64_t RestoreStubCalls = 0;     ///< Decompress from a restore stub.
     uint64_t StubCreates = 0;
     uint64_t StubReuses = 0;
-    uint64_t BufferedHits = 0; ///< Fills skipped (ReuseBufferedRegion).
+    uint64_t BufferedHits = 0; ///< Fills skipped: region was resident.
+    uint64_t Evictions = 0;    ///< Resident regions displaced by a fill
+                               ///< while the decode cache was active.
+    uint64_t SlotMapRepairs = 0; ///< Guest slot-map words that disagreed
+                                 ///< with the host resident table and were
+                                 ///< invalidated (fill repeated).
+    uint64_t ResidentCrcMismatches = 0; ///< Resident slots that failed
+                                        ///< re-validation and were refilled.
+    uint64_t DirectStubRewrites = 0; ///< Entry stubs turned into direct
+                                     ///< branches on residency.
+    uint64_t DirectStubRestores = 0; ///< ... restored to bsr on eviction.
     uint64_t CorruptRegionRecoveries = 0; ///< Fills served from the
                                           ///< recovery copy after a failed
                                           ///< integrity check.
     uint32_t MaxLiveStubs = 0;
     uint32_t LiveStubs = 0;
+
+    /// Fills as a fraction of decompression requests: 1.0 means every
+    /// entry re-decoded (the paper's always-thrash behaviour), lower means
+    /// the decode cache absorbed re-entries.
+    double thrashRatio() const {
+      uint64_t Requests = Decompressions + BufferedHits;
+      return Requests ? static_cast<double>(Decompressions) / Requests : 0.0;
+    }
   };
 
   /// One runtime event, recorded when tracing is enabled: the observable
@@ -65,10 +83,14 @@ public:
       StubRelease,  ///< Count reached zero; slot freed.
       RecoverFill,  ///< Region failed its integrity check; buffer was
                     ///< refilled from the retained recovery copy.
+      Evict,        ///< A resident region was displaced from its cache
+                    ///< slot (decode cache active only).
+      SlotMapRepair, ///< Guest slot-map word contradicted the host table;
+                     ///< the slot was invalidated and refilled.
     };
     Kind K;
     uint32_t Region = 0; ///< Region involved (Decompress/Enter kinds).
-    uint32_t Addr = 0;   ///< Stub or tag address, when applicable.
+    uint32_t Addr = 0;   ///< Stub/tag address or cache-slot index.
     uint32_t Count = 0;  ///< Refcount after the operation (Stub kinds).
   };
 
@@ -90,18 +112,49 @@ public:
 
   const Stats &stats() const { return St; }
 
-  /// Region currently held by the runtime buffer (-1 before the first
-  /// decompression).
+  /// Region most recently entered through the decompressor (-1 before the
+  /// first decompression). With a multi-slot cache this is the MRU
+  /// resident region, not the only one.
   int32_t currentRegion() const { return CurrentRegion; }
+
+  /// Region resident in cache slot \p Slot, or -1 when the slot is empty.
+  int32_t residentRegion(uint32_t Slot) const {
+    return Slot < Cache.size() ? Cache[Slot].Region : -1;
+  }
 
 private:
   bool decompress(vea::Machine &M, unsigned Reg);
   bool createStub(vea::Machine &M, unsigned Reg);
-  bool fillBuffer(vea::Machine &M, uint32_t Region);
+  /// Makes \p Region resident (serving it from its slot when possible) and
+  /// reports the slot it occupies through \p SlotOut.
+  bool fillBuffer(vea::Machine &M, uint32_t Region, uint32_t &SlotOut);
+  bool evictSlot(vea::Machine &M, uint32_t Slot);
+  bool rewriteEntryStubs(vea::Machine &M, uint32_t Region, uint32_t Slot);
+  bool restoreEntryStubs(vea::Machine &M, uint32_t Region);
+
+  /// The decode cache serves resident regions without re-decoding only in
+  /// these configurations; at the defaults (one slot, no reuse) every
+  /// request re-decodes, reproducing the paper's protocol exactly.
+  bool cacheActive() const {
+    return SP.Opts.ReuseBufferedRegion || SP.Layout.CacheSlots > 1;
+  }
 
   const SquashedProgram &SP;
   Stats St;
   int32_t CurrentRegion = -1;
+
+  /// Host mirror of the decode cache: per slot, the resident region, an
+  /// LRU tick, and the CRC of the slot-relocated words written at fill
+  /// time (re-checked before a hit is served).
+  struct CacheSlotState {
+    int32_t Region = -1;
+    uint64_t LastUse = 0;
+    uint32_t Crc = 0;
+    bool StubsRewritten = false;
+  };
+  std::vector<CacheSlotState> Cache;
+  std::vector<int32_t> SlotOfRegion; ///< Per region: its slot, or -1.
+  uint64_t UseTick = 0;
 
   struct StubSlot {
     bool Live = false;

@@ -54,7 +54,7 @@ const char *statusCodeName(StatusCode Code);
 /// context() prepends breadcrumbs as an error travels up the pipeline, so
 /// the final message reads outermost-first, e.g.
 /// "squash: rewrite: branch displacement out of range".
-class Status {
+class [[nodiscard]] Status {
 public:
   Status() = default; // Success.
 
@@ -94,7 +94,7 @@ private:
 
 /// A value-or-Status carrier: the return type of every fallible library
 /// entry point in the squash pipeline.
-template <typename T> class Expected {
+template <typename T> class [[nodiscard]] Expected {
 public:
   Expected(T Value) : Value(std::move(Value)) {}
   Expected(Status S) : Err(std::move(S)) {

@@ -1,0 +1,89 @@
+//===- support/ThreadPool.cpp - Small fixed-size worker pool --------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace vea;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WakeWorker.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+  }
+  WakeWorker.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Tasks.empty() && Running == 0; });
+}
+
+void ThreadPool::parallelFor(size_t NumTasks,
+                             const std::function<void(size_t)> &Body) {
+  if (NumTasks == 0)
+    return;
+  // One claim-loop task per worker instead of one task per index: N may be
+  // much larger than the pool, and indices stay cheap to hand out.
+  auto Next = std::make_shared<std::atomic<size_t>>(0);
+  size_t Lanes = std::min<size_t>(Workers.size(), NumTasks);
+  for (size_t L = 0; L != Lanes; ++L)
+    enqueue([Next, NumTasks, &Body] {
+      for (size_t I = (*Next)++; I < NumTasks; I = (*Next)++)
+        Body(I);
+    });
+  wait();
+}
+
+unsigned ThreadPool::effectiveThreads(unsigned Requested, size_t NumTasks) {
+  unsigned N =
+      Requested ? Requested : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::max<size_t>(1, std::min<size_t>(N, NumTasks)));
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorker.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++Running;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Running;
+      if (Tasks.empty() && Running == 0)
+        AllDone.notify_all();
+    }
+  }
+}

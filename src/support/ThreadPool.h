@@ -1,0 +1,73 @@
+//===- support/ThreadPool.h - Small fixed-size worker pool -----*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for the offline squash pipeline. The one
+/// pattern the pipeline needs is an indexed parallel-for with deterministic
+/// result placement: N independent tasks, each writing its own slot of a
+/// pre-sized output vector, joined before the caller continues. Tasks must
+/// not throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SUPPORT_THREADPOOL_H
+#define SQUASH_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vea {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (0 means one per hardware thread; the
+  /// pool always has at least one worker).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for execution on some worker.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until every enqueued task has finished.
+  void wait();
+
+  /// Runs Body(0..NumTasks-1) across the pool's workers and waits for all
+  /// of them. Indices are claimed atomically, so tasks may complete in any
+  /// order — callers that need determinism index into pre-sized output
+  /// storage.
+  void parallelFor(size_t NumTasks, const std::function<void(size_t)> &Body);
+
+  /// Clamped worker count for \p NumTasks independent tasks under the
+  /// \p Requested setting (0 = hardware concurrency): never more threads
+  /// than tasks, never zero.
+  static unsigned effectiveThreads(unsigned Requested, size_t NumTasks);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  std::condition_variable AllDone;
+  size_t Running = 0;
+  bool Stopping = false;
+};
+
+} // namespace vea
+
+#endif // SQUASH_SUPPORT_THREADPOOL_H

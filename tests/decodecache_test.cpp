@@ -1,0 +1,349 @@
+//===- tests/decodecache_test.cpp - Multi-slot decode cache ---------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Regression tests for the N-slot decode cache: exact fill/eviction/hit
+// counts under LRU for a thrash workload with one more region than the
+// cache has slots, the no-re-decode guarantee for resident re-entries,
+// direct resident stubs (rewrite on fill, restore on eviction), and the
+// per-slot revalidation paths (guest slot-map disagreement, resident CRC
+// mismatch) driven one trap at a time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Layout.h"
+#include "ir/Builder.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+/// Iterations of the thrash loop (exact counts below are linear in this).
+constexpr uint32_t Reps = 6;
+
+/// A hot driver loop whose guarded cold body calls three cold leaf
+/// functions in rotation. Squashed with PackRegions off this yields exactly
+/// four regions — the call block M and the leaves f0..f2 — and the request
+/// stream per iteration is M f0 M f1 M f2 M (the caller re-enters through
+/// a restore stub after every callee return).
+Program thrashProgram(uint32_t Iterations = Reps) {
+  ProgramBuilder PB("thrash");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.sys(SysFunc::GetChar);
+    F.mov(20, 0); // Guard: 0 = profile run (cold body skipped).
+    F.li(21, static_cast<int32_t>(Iterations));
+    F.li(22, 0); // Accumulator.
+    F.label("loop");
+    F.beq(20, "next");
+    // The label isolates the guarded body in its own block: without it the
+    // body would share the guard's (hot) block and never be cold.
+    F.label("cold");
+    // The cold call block (region M). Padding keeps it a real region.
+    for (int I = 0; I != 6; ++I)
+      F.addi(1, 1, 1);
+    F.call("f0");
+    F.add(22, 22, 0);
+    F.call("f1");
+    F.add(22, 22, 0);
+    F.call("f2");
+    F.add(22, 22, 0);
+    F.label("next");
+    F.subi(21, 21, 1);
+    F.bne(21, "loop");
+    F.mov(16, 22);
+    F.sys(SysFunc::PutWord);
+    F.andi(16, 22, 0xFF);
+    F.halt();
+  }
+  for (int FI = 0; FI != 3; ++FI) {
+    FunctionBuilder F = PB.beginFunction("f" + std::to_string(FI));
+    for (int I = 0; I != 12; ++I)
+      F.addi(1, 1, 1);
+    F.li(0, 7 * FI + 3);
+    F.ret();
+  }
+  PB.setEntry("main");
+  return PB.build();
+}
+
+struct Squashed {
+  SquashResult SR;
+  RunResult Base;
+  std::vector<uint8_t> BaseOut;
+};
+
+/// Squashes the thrash program with \p Slots cache slots (profile skips the
+/// cold body; timing input executes it), remembering the baseline run.
+Squashed squashThrash(uint32_t Slots, bool DirectStubs,
+                      uint32_t Iterations = Reps) {
+  Program Prog = thrashProgram(Iterations);
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {0}).take();
+
+  Squashed Out;
+  {
+    Machine M(Baseline);
+    M.setInput({1});
+    Out.Base = M.run();
+    Out.BaseOut = M.output();
+    EXPECT_EQ(Out.Base.Status, RunStatus::Halted);
+  }
+
+  Options Opts;
+  Opts.PackRegions = false;
+  Opts.CacheSlots = Slots;
+  Opts.ReuseBufferedRegion = true; // Activate the cache even at one slot.
+  Opts.DirectResidentStubs = DirectStubs;
+  Out.SR = squashProgram(Prog, Prof, Opts).take();
+  EXPECT_FALSE(Out.SR.Identity);
+  return Out;
+}
+
+/// Runs the squashed image on the timing input and checks equivalence.
+SquashedRun runAndCheck(const Squashed &S) {
+  SquashedRun R = runSquashed(S.SR.SP, {1});
+  EXPECT_EQ(R.Run.Status, RunStatus::Halted) << R.Run.FaultMessage;
+  EXPECT_EQ(R.Run.ExitCode, S.Base.ExitCode);
+  EXPECT_EQ(R.Output, S.BaseOut);
+  return R;
+}
+
+} // namespace
+
+TEST(DecodeCache, ThrashExactCountsAcrossSlotCounts) {
+  // Request stream per iteration: M f0 M f1 M f2 M; across iterations the
+  // trailing M request is immediately followed by the next head M request.
+  // Expected fills/hits/evictions under LRU, with four regions total:
+  struct Want {
+    uint32_t Slots;
+    uint64_t Fills, Hits, Evictions;
+  };
+  const uint64_t R = Reps;
+  const Want Cases[] = {
+      // One slot: everything thrashes except the back-to-back M requests.
+      {1, 6 * R + 1, R - 1, 6 * R},
+      // Two slots: M pins its slot (always most recent at eviction time);
+      // the three leaves rotate through the other.
+      {2, 3 * R + 1, 4 * R - 1, 3 * R - 1},
+      // Three slots, four regions: the classic LRU pathology — the leaf
+      // rotation always evicts the leaf needed next. Same fills as two
+      // slots; one fewer warm-up eviction.
+      {3, 3 * R + 1, 4 * R - 1, 3 * R - 2},
+      // Four slots: whole working set resident after warm-up.
+      {4, 4, 7 * R - 4, 0},
+  };
+  for (const Want &W : Cases) {
+    Squashed S = squashThrash(W.Slots, /*DirectStubs=*/false);
+    ASSERT_EQ(S.SR.SP.Regions.size(), 4u)
+        << "thrash program no longer forms exactly 4 regions";
+    SquashedRun Run = runAndCheck(S);
+    EXPECT_EQ(Run.Runtime.Decompressions, W.Fills) << W.Slots << " slots";
+    EXPECT_EQ(Run.Runtime.BufferedHits, W.Hits) << W.Slots << " slots";
+    EXPECT_EQ(Run.Runtime.Evictions, W.Evictions) << W.Slots << " slots";
+    // Requests are conserved: every entry is either a fill or a hit.
+    EXPECT_EQ(Run.Runtime.Decompressions + Run.Runtime.BufferedHits,
+              7 * R);
+  }
+}
+
+TEST(DecodeCache, ThrashRatioReflectsCachePressure) {
+  SquashedRun Thrashing =
+      runAndCheck(squashThrash(1, /*DirectStubs=*/false));
+  SquashedRun Cached = runAndCheck(squashThrash(4, /*DirectStubs=*/false));
+  EXPECT_GT(Thrashing.Runtime.thrashRatio(), 0.8);
+  EXPECT_LT(Cached.Runtime.thrashRatio(), 0.2);
+}
+
+TEST(DecodeCache, ResidentReentryDoesNotRedecode) {
+  // With the whole working set resident, each region is decoded exactly
+  // once no matter how long the program runs: the decoded-instruction
+  // counter must not grow with the iteration count.
+  SquashedRun Short =
+      runAndCheck(squashThrash(4, /*DirectStubs=*/false, /*Iterations=*/1));
+  SquashedRun Long =
+      runAndCheck(squashThrash(4, /*DirectStubs=*/false, /*Iterations=*/Reps));
+  ASSERT_GT(Short.Runtime.DecodedInstructions, 0u);
+  EXPECT_EQ(Long.Runtime.DecodedInstructions,
+            Short.Runtime.DecodedInstructions);
+  EXPECT_EQ(Long.Runtime.Decompressions, 4u);
+}
+
+TEST(DecodeCache, DirectResidentStubsShortCircuitEntry) {
+  // With direct stubs a resident region's entry stub branches straight to
+  // its slot, so repeat entries never reach the trap handler at all.
+  SquashedRun Trapped =
+      runAndCheck(squashThrash(4, /*DirectStubs=*/false));
+  SquashedRun Direct = runAndCheck(squashThrash(4, /*DirectStubs=*/true));
+  EXPECT_GT(Direct.Runtime.DirectStubRewrites, 0u);
+  EXPECT_LT(Direct.Runtime.EntryStubCalls, Trapped.Runtime.EntryStubCalls);
+  // Nothing was evicted, so nothing was restored.
+  EXPECT_EQ(Direct.Runtime.Evictions, 0u);
+  EXPECT_EQ(Direct.Runtime.DirectStubRestores, 0u);
+}
+
+TEST(DecodeCache, EvictionRestoresDirectStubs) {
+  // Under thrash every eviction must put the original trapping stub back,
+  // or a later entry would branch into a slot now holding another region.
+  SquashedRun Run = runAndCheck(squashThrash(2, /*DirectStubs=*/true));
+  EXPECT_GT(Run.Runtime.Evictions, 0u);
+  EXPECT_GT(Run.Runtime.DirectStubRestores, 0u);
+}
+
+TEST(DecodeCache, EvictTraceNamesSlotAndRegion) {
+  Squashed S = squashThrash(2, /*DirectStubs=*/false);
+  Machine M(S.SR.SP.Img);
+  RuntimeSystem RT(S.SR.SP);
+  RT.enableTrace();
+  ASSERT_TRUE(RT.attach(M).ok());
+  M.setInput({1});
+  ASSERT_EQ(M.run().Status, RunStatus::Halted);
+
+  unsigned Evicts = 0;
+  for (const auto &E : RT.events()) {
+    if (E.K != RuntimeSystem::Event::Kind::Evict)
+      continue;
+    ++Evicts;
+    EXPECT_LT(E.Addr, 2u) << "eviction from a slot that does not exist";
+    EXPECT_LT(E.Region, S.SR.SP.Regions.size());
+  }
+  EXPECT_EQ(Evicts, RT.stats().Evictions);
+
+  // After the run the host resident table, the guest slot map, and the
+  // public accessor all agree.
+  const RuntimeLayout &L = S.SR.SP.Layout;
+  for (uint32_t Slot = 0; Slot != L.CacheSlots; ++Slot) {
+    uint32_t MapWord;
+    ASSERT_TRUE(M.loadWord(L.SlotMapBase + 4 * Slot, MapWord));
+    int32_t Resident = RT.residentRegion(Slot);
+    if (Resident < 0)
+      EXPECT_EQ(MapWord, RuntimeLayout::SlotMapEmpty);
+    else
+      EXPECT_EQ(MapWord, static_cast<uint32_t>(Resident));
+  }
+}
+
+namespace {
+
+/// Fixture for trap-at-a-time driving of the revalidation paths: a squashed
+/// thrash image, attached, with a helper that requests one region through
+/// its real entry stub exactly as the bsr would.
+class Revalidation : public ::testing::Test {
+protected:
+  void SetUp() override {
+    S = squashThrash(2, /*DirectStubs=*/false);
+    M.emplace(S.SR.SP.Img);
+    RT.emplace(S.SR.SP);
+    ASSERT_TRUE(RT->attach(*M).ok());
+    // Find a region that owns an entry stub to drive.
+    for (uint32_t R = 0; R != S.SR.SP.RegionEntryStubs.size(); ++R) {
+      if (!S.SR.SP.RegionEntryStubs[R].empty()) {
+        Region = R;
+        StubAddr = S.SR.SP.RegionEntryStubs[R][0].Addr;
+        return;
+      }
+    }
+    FAIL() << "no region with an entry stub";
+  }
+
+  /// One Decompress request for the fixture's region, as if its entry
+  /// stub's `bsr r25, Decompress` had just executed.
+  void request() {
+    M->setReg(25, StubAddr + 4); // bsr leaves the tag's address in ra.
+    ASSERT_TRUE(RT->handleTrap(
+        *M, S.SR.SP.Layout.decompressEntry(25)));
+  }
+
+  Squashed S;
+  std::optional<Machine> M;
+  std::optional<RuntimeSystem> RT;
+  uint32_t Region = 0;
+  uint32_t StubAddr = 0;
+};
+
+} // namespace
+
+TEST_F(Revalidation, SlotMapDisagreementIsRepaired) {
+  request();
+  ASSERT_EQ(RT->stats().Decompressions, 1u);
+  ASSERT_EQ(RT->residentRegion(0), static_cast<int32_t>(Region));
+
+  // Corrupt the guest slot-map word behind the runtime's back.
+  const RuntimeLayout &L = S.SR.SP.Layout;
+  ASSERT_TRUE(M->storeWord(L.SlotMapBase, 0x5EADBEEF));
+
+  // The next request must notice the disagreement, repair the slot by
+  // refilling it in place, and leave the map consistent again.
+  request();
+  EXPECT_EQ(RT->stats().SlotMapRepairs, 1u);
+  EXPECT_EQ(RT->stats().Decompressions, 2u);
+  EXPECT_EQ(RT->stats().BufferedHits, 0u);
+  uint32_t MapWord;
+  ASSERT_TRUE(M->loadWord(L.SlotMapBase, MapWord));
+  EXPECT_EQ(MapWord, Region);
+
+  // With the map repaired the region is served from its slot again.
+  request();
+  EXPECT_EQ(RT->stats().BufferedHits, 1u);
+  EXPECT_EQ(RT->stats().Decompressions, 2u);
+}
+
+TEST_F(Revalidation, ResidentCrcMismatchForcesRefill) {
+  request();
+  ASSERT_EQ(RT->stats().Decompressions, 1u);
+
+  // Tamper with the resident region's code words inside the slot.
+  const RuntimeLayout &L = S.SR.SP.Layout;
+  uint32_t Victim = L.slotDataBase(0);
+  uint32_t Old;
+  ASSERT_TRUE(M->loadWord(Victim, Old));
+  ASSERT_TRUE(M->storeWord(Victim, Old ^ 0x00010000));
+
+  // The per-slot CRC re-check must reject the hit and decode again rather
+  // than jump into tampered code.
+  request();
+  EXPECT_EQ(RT->stats().ResidentCrcMismatches, 1u);
+  EXPECT_EQ(RT->stats().Decompressions, 2u);
+  EXPECT_EQ(RT->stats().BufferedHits, 0u);
+  uint32_t Repaired;
+  ASSERT_TRUE(M->loadWord(Victim, Repaired));
+  EXPECT_EQ(Repaired, Old);
+
+  // And the refilled slot serves hits once more.
+  request();
+  EXPECT_EQ(RT->stats().BufferedHits, 1u);
+}
+
+TEST(DecodeCache, LayoutSizesBufferForAllSlots) {
+  Squashed S = squashThrash(3, /*DirectStubs=*/false);
+  const RuntimeLayout &L = S.SR.SP.Layout;
+  EXPECT_EQ(L.CacheSlots, 3u);
+  EXPECT_EQ(L.BufferWords, L.CacheSlots * L.SlotWords);
+  EXPECT_EQ(S.SR.SP.Footprint.SlotMapWords, L.CacheSlots);
+  // Every region fits every slot (jump word + expansion).
+  for (const auto &RI : S.SR.SP.Regions)
+    EXPECT_LE(RI.ExpandedWords + 1, L.SlotWords);
+  // Slots are disjoint and inside the buffer.
+  for (uint32_t Slot = 0; Slot != L.CacheSlots; ++Slot) {
+    EXPECT_GE(L.slotBase(Slot), L.BufferBase);
+    EXPECT_LE(L.slotBase(Slot) + 4 * L.SlotWords,
+              L.BufferBase + 4 * L.BufferWords);
+  }
+}
+
+TEST(DecodeCache, ZeroSlotsIsRejected) {
+  Program Prog = thrashProgram();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {0}).take();
+  Options Opts;
+  Opts.CacheSlots = 0;
+  Expected<SquashResult> R = squashProgram(Prog, Prof, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
+}

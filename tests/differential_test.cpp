@@ -1,0 +1,228 @@
+//===- tests/differential_test.cpp - Differential-execution fuzzing -------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The lock-step property behind the decode cache and the parallel squash
+// pipeline: every transformation of a program — compaction, squashing with
+// a serial or parallel encoder, and execution through 1..4 decode-cache
+// slots — must be observationally equivalent to the plain build. Each
+// random program (64 seeds, shared generator in RandomProgramGen.h) is run
+// under every configuration and all architectural results (exit code,
+// output stream, halt status) are compared against the plain baseline.
+//
+// The parallel encoder additionally has a stronger obligation: its output
+// must be BYTE-IDENTICAL to the serial encoder's, not merely equivalent.
+// That is asserted per seed here and across the full workload suite in
+// ParallelSquashDeterminism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgramGen.h"
+
+#include "compact/Compact.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+using namespace squash;
+using testgen::randomProgram;
+
+namespace {
+
+constexpr uint64_t MaxInstructions = 20'000'000;
+
+/// The architectural observables every configuration must agree on.
+struct Observed {
+  RunStatus Status;
+  uint32_t ExitCode = 0;
+  std::vector<uint8_t> Output;
+  std::string FaultMessage;
+};
+
+Observed runPlain(const Image &Img) {
+  Machine::Config MC;
+  MC.MaxInstructions = MaxInstructions;
+  Machine M(Img, MC);
+  RunResult R = M.run();
+  return {R.Status, R.ExitCode, M.output(), R.FaultMessage};
+}
+
+Observed runSquashed(const SquashResult &SR) {
+  Machine::Config MC;
+  MC.MaxInstructions = MaxInstructions;
+  Machine M(SR.SP.Img, MC);
+  RuntimeSystem RT(SR.SP);
+  if (!SR.Identity) {
+    if (Status St = RT.attach(M); !St.ok())
+      return {RunStatus::Fault, 0, {}, St.toString()};
+  }
+  RunResult R = M.run();
+  return {R.Status, R.ExitCode, M.output(), R.FaultMessage};
+}
+
+void expectSame(const Observed &Got, const Observed &Want,
+                const std::string &Tag) {
+  ASSERT_EQ(Got.Status, RunStatus::Halted) << Tag << ": " << Got.FaultMessage;
+  EXPECT_EQ(Got.ExitCode, Want.ExitCode) << Tag;
+  EXPECT_EQ(Got.Output, Want.Output) << Tag << " output diverged";
+}
+
+class Differential : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(Differential, AllConfigurationsAgree) {
+  const uint64_t Seed = static_cast<uint64_t>(GetParam()) * 2477 + 13;
+  const std::string SeedTag = "seed " + std::to_string(Seed);
+
+  // Configuration 1: plain — the uncompacted, unsquashed reference.
+  Observed Base;
+  {
+    Program Plain = randomProgram(Seed);
+    Base = runPlain(layoutProgram(Plain));
+    ASSERT_EQ(Base.Status, RunStatus::Halted)
+        << SeedTag << " plain: " << Base.FaultMessage;
+  }
+
+  // Configuration 2: compacted.
+  Program Prog = randomProgram(Seed);
+  compactProgram(Prog).take();
+  Image Compacted = layoutProgram(Prog);
+  expectSame(runPlain(Compacted), Base, SeedTag + " compacted");
+
+  Profile Prof;
+  {
+    Machine::Config PC;
+    PC.MaxInstructions = MaxInstructions;
+    PC.CollectBlockProfile = true;
+    Machine MP(Compacted, PC);
+    ASSERT_EQ(MP.run().Status, RunStatus::Halted);
+    Prof = MP.takeProfile();
+  }
+
+  // Everything below squashes at θ = 1.0 (every block a candidate: maximum
+  // runtime-machinery coverage) with a small buffer bound so the program
+  // splits into several regions — without that the cache-slot sweep would
+  // never fill more than one slot.
+  Options Common;
+  Common.Theta = 1.0;
+  Common.BufferBoundBytes = 256;
+  Common.MoveToFront = (GetParam() % 2) == 1;
+
+  // Configurations 3 and 4: squashed, serial vs. parallel encoder. The
+  // images must match byte for byte before either is run.
+  Options Serial = Common;
+  Serial.SquashThreads = 1;
+  SquashResult SerialSR = squashProgram(Prog, Prof, Serial).take();
+
+  Options Parallel = Common;
+  Parallel.SquashThreads = 4;
+  SquashResult ParallelSR = squashProgram(Prog, Prof, Parallel).take();
+
+  ASSERT_EQ(SerialSR.Identity, ParallelSR.Identity) << SeedTag;
+  EXPECT_EQ(SerialSR.SP.Img.Base, ParallelSR.SP.Img.Base) << SeedTag;
+  ASSERT_EQ(SerialSR.SP.Img.Bytes, ParallelSR.SP.Img.Bytes)
+      << SeedTag << ": parallel encoder produced different image bytes";
+  EXPECT_EQ(SerialSR.SP.Layout.BlobBytes, ParallelSR.SP.Layout.BlobBytes)
+      << SeedTag;
+
+  expectSame(runSquashed(SerialSR), Base, SeedTag + " squashed-serial");
+  expectSame(runSquashed(ParallelSR), Base, SeedTag + " squashed-parallel");
+
+  // Configurations 5..8: the decode cache at every slot count. Slot count
+  // 1 with reuse enabled is the degenerate cache (single resident region);
+  // 2..4 exercise fills, hits, LRU eviction, and direct resident stubs.
+  for (uint32_t Slots : {1u, 2u, 3u, 4u}) {
+    Options Cached = Common;
+    Cached.CacheSlots = Slots;
+    Cached.ReuseBufferedRegion = true;
+    Cached.DirectResidentStubs = true;
+    SquashResult SR = squashProgram(Prog, Prof, Cached).take();
+    expectSame(runSquashed(SR), Base,
+               SeedTag + " cache-slots=" + std::to_string(Slots));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(0, 64));
+
+namespace {
+
+class ParallelSquashDeterminism : public ::testing::TestWithParam<int> {};
+
+constexpr double WorkloadScale = 0.05;
+
+workloads::Workload buildWorkload(int Index) {
+  using namespace workloads;
+  switch (Index) {
+  case 0:
+    return buildAdpcm(WorkloadScale);
+  case 1:
+    return buildEpic(WorkloadScale);
+  case 2:
+    return buildG721Dec(WorkloadScale);
+  case 3:
+    return buildG721Enc(WorkloadScale);
+  case 4:
+    return buildGsm(WorkloadScale);
+  case 5:
+    return buildJpegDec(WorkloadScale);
+  case 6:
+    return buildJpegEnc(WorkloadScale);
+  case 7:
+    return buildMpeg2Dec(WorkloadScale);
+  case 8:
+    return buildMpeg2Enc(WorkloadScale);
+  case 9:
+    return buildPgp(WorkloadScale);
+  default:
+    return buildRasta(WorkloadScale);
+  }
+}
+
+const char *workloadName(int Index) {
+  static const char *Names[] = {"adpcm",    "epic",     "g721_dec",
+                                "g721_enc", "gsm",      "jpeg_dec",
+                                "jpeg_enc", "mpeg2dec", "mpeg2enc",
+                                "pgp",      "rasta"};
+  return Names[Index];
+}
+
+} // namespace
+
+TEST_P(ParallelSquashDeterminism, ByteIdenticalToSerial) {
+  workloads::Workload W = buildWorkload(GetParam());
+  compactProgram(W.Prog).take();
+  Image Baseline = layoutProgram(W.Prog);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
+
+  Options Serial;
+  Serial.Theta = 1e-2;
+  Serial.SquashThreads = 1;
+  SquashResult SerialSR = squashProgram(W.Prog, Prof, Serial).take();
+
+  for (uint32_t Threads : {2u, 4u, 8u}) {
+    Options Parallel = Serial;
+    Parallel.SquashThreads = Threads;
+    SquashResult ParallelSR = squashProgram(W.Prog, Prof, Parallel).take();
+
+    ASSERT_EQ(SerialSR.SP.Img.Bytes, ParallelSR.SP.Img.Bytes)
+        << W.Name << ": " << Threads
+        << "-thread encode not byte-identical to serial";
+    EXPECT_EQ(SerialSR.SP.Layout.BlobBytes, ParallelSR.SP.Layout.BlobBytes)
+        << W.Name;
+    EXPECT_EQ(SerialSR.SP.Footprint.totalCodeBytes(),
+              ParallelSR.SP.Footprint.totalCodeBytes())
+        << W.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelSquashDeterminism,
+                         ::testing::Range(0, 11),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return workloadName(Info.param);
+                         });

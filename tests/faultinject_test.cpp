@@ -198,3 +198,119 @@ TEST(FaultInjection, MismatchedProfileIsRecoverableError) {
   ASSERT_FALSE(R.ok());
   EXPECT_EQ(R.status().code(), StatusCode::InvalidArgument);
 }
+
+//===----------------------------------------------------------------------===//
+// Decode-cache sweep: the same detect-or-mask contract with the multi-slot
+// cache active (slot map, resident table, per-slot CRC revalidation, direct
+// resident stubs), including corruption of the slot map itself.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Cache configurations: slot count, with/without direct resident stubs.
+class CacheFaultSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+Reference prepareCached(uint32_t Slots, bool DirectStubs) {
+  Reference R;
+  R.W = buildByIndex(0);
+  compactProgram(R.W.Prog).take();
+  Image Baseline = layoutProgram(R.W.Prog);
+  Profile Prof = profileImage(Baseline, R.W.ProfilingInput).take();
+  Options Opts;
+  Opts.Theta = 0.1;
+  Opts.CacheSlots = Slots;
+  Opts.ReuseBufferedRegion = true;
+  Opts.DirectResidentStubs = DirectStubs;
+  R.SR = squashProgram(R.W.Prog, Prof, Opts).take();
+  EXPECT_FALSE(R.SR.Identity);
+  R.Base = runSquashed(R.SR.SP, R.W.TimingInput);
+  EXPECT_EQ(R.Base.Run.Status, RunStatus::Halted) << R.Base.Run.FaultMessage;
+  R.MaxInstructions = 4 * R.Base.Run.Instructions + 1'000'000;
+  return R;
+}
+
+} // namespace
+
+TEST_P(CacheFaultSweep, EveryFaultDetectedOrMaskedWithCacheActive) {
+  const uint32_t Slots = static_cast<uint32_t>(std::get<0>(GetParam()));
+  const bool DirectStubs = std::get<1>(GetParam());
+  Reference Ref = prepareCached(Slots, DirectStubs);
+
+  // The cached image is deterministic with the cache active: its reference
+  // run must agree with the paper-mode reference.
+  const std::vector<FaultKind> Kinds = {
+      FaultKind::BlobBitFlip,  FaultKind::OffsetTableEntry,
+      FaultKind::StubSlotWord, FaultKind::EntryStubTag,
+      FaultKind::BufferShrink, FaultKind::BufferGrow,
+      FaultKind::BlobTruncate, FaultKind::SlotMapEntry};
+
+  constexpr uint64_t Seeds = 40;
+  uint64_t Detected = 0, Masked = 0, SlotMapFaults = 0;
+  for (uint64_t Seed = 0; Seed != Seeds; ++Seed) {
+    SquashedProgram SP = Ref.SR.SP;
+    SP.Opts.ChecksumAtAttach = false; // Force the lazy per-fill checks.
+    FaultInjector FI(11 + Seed * 2654435761ull + 1009 * Slots +
+                     (DirectStubs ? 7 : 0));
+    std::optional<FaultReport> FR = FI.injectAny(SP, Kinds);
+    ASSERT_TRUE(FR.has_value());
+    SCOPED_TRACE(std::string(faultKindName(FR->Kind)) + " seed " +
+                 std::to_string(Seed) + " slots " + std::to_string(Slots) +
+                 ": " + FR->Description);
+    if (FR->Kind == FaultKind::SlotMapEntry)
+      ++SlotMapFaults;
+
+    SquashedRun Run = runSquashed(SP, Ref.W.TimingInput, Ref.MaxInstructions);
+    if (Run.Run.Status == RunStatus::Fault) {
+      EXPECT_FALSE(Run.Run.FaultMessage.empty());
+      ++Detected;
+      continue;
+    }
+    ASSERT_EQ(Run.Run.Status, RunStatus::Halted)
+        << "corrupted cached image hung (instruction limit)";
+    EXPECT_EQ(Run.Run.ExitCode, Ref.Base.Run.ExitCode)
+        << "silently wrong exit code";
+    EXPECT_EQ(Run.Output, Ref.Base.Output) << "silently wrong output";
+    ++Masked;
+  }
+  EXPECT_EQ(Detected + Masked, Seeds);
+  EXPECT_GT(Detected, 0u);
+  EXPECT_GT(Masked, 0u);
+  RecordProperty("detected", static_cast<int>(Detected));
+  RecordProperty("masked", static_cast<int>(Masked));
+  RecordProperty("slot_map_faults", static_cast<int>(SlotMapFaults));
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotSweep, CacheFaultSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(false, true)));
+
+// A corrupted slot-map entry alone must always be masked: the slot map is
+// redundant with the host resident table, and an entry corrupted before
+// the program starts is overwritten by the first fill of that slot before
+// any lookup can trust it. (Mid-run disagreement — the repair path proper —
+// is driven directly in decodecache_test.cpp's Revalidation fixture.) The
+// program's behaviour must be unchanged in every case.
+TEST(FaultInjection, SlotMapCorruptionAlwaysMasked) {
+  Reference Ref = prepareCached(3, /*DirectStubs=*/false);
+  uint64_t Injected = 0;
+  for (uint64_t Seed = 0; Seed != 30; ++Seed) {
+    SquashedProgram SP = Ref.SR.SP;
+    SP.Opts.ChecksumAtAttach = false;
+    FaultInjector FI(Seed * 7919 + 31);
+    std::optional<FaultReport> FR =
+        FI.inject(SP, FaultKind::SlotMapEntry);
+    if (!FR)
+      continue;
+    ++Injected;
+    SCOPED_TRACE(FR->Description);
+    SquashedRun Run = runSquashed(SP, Ref.W.TimingInput, Ref.MaxInstructions);
+    ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+    EXPECT_EQ(Run.Run.ExitCode, Ref.Base.Run.ExitCode);
+    EXPECT_EQ(Run.Output, Ref.Base.Output);
+    // Every slot was filled at least once, so the corrupted entry must
+    // have been rewritten with the truth by run's end.
+    EXPECT_GT(Run.Runtime.Decompressions, 0u);
+  }
+  EXPECT_GT(Injected, 0u);
+}
