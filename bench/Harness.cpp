@@ -60,3 +60,20 @@ std::string bench::thetaLabel(double Theta) {
     std::snprintf(Buf, sizeof(Buf), "%.0e", Theta);
   return Buf;
 }
+
+std::string bench::writeBenchJson(const std::string &Name,
+                                  const std::vector<BenchRow> &Rows) {
+  std::string Path = "BENCH_" + Name + ".json";
+  std::string Out = "[\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    Out += "  {\"label\":\"" + jsonEscape(Rows[I].first) +
+           "\",\"metrics\":" + Rows[I].second + "}";
+    Out += I + 1 == Rows.size() ? "\n" : ",\n";
+  }
+  Out += "]\n";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F || std::fwrite(Out.data(), 1, Out.size(), F) != Out.size())
+    reportFatalError("bench: cannot write " + Path);
+  std::fclose(F);
+  return Path;
+}

@@ -27,11 +27,13 @@
 #include "link/Layout.h"
 #include "sim/Machine.h"
 #include "squash/Driver.h"
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bench {
@@ -60,6 +62,18 @@ extern const double ThetaMid;  ///< This repo's analog of θ = 0.00005.
 
 /// Formats a θ for table headers.
 std::string thetaLabel(double Theta);
+
+/// One machine-readable result row: a label (usually the workload name)
+/// plus a metrics-registry JSON object.
+using BenchRow = std::pair<std::string, std::string>;
+
+/// Writes BENCH_<Name>.json in the working directory — a JSON array with
+/// one `{"label": ..., "metrics": {...}}` object per row — and returns the
+/// path. The second element of each row must already be a JSON object
+/// (MetricsRegistry::toJson output). Fatal on I/O failure so benches
+/// cannot silently produce nothing.
+std::string writeBenchJson(const std::string &Name,
+                           const std::vector<BenchRow> &Rows);
 
 } // namespace bench
 

@@ -7,11 +7,16 @@
 // assembly source:
 //
 //   squash_tool [file.s] [--theta X] [--k BYTES] [--mtf] [--delta]
-//               [--input BYTES...]
+//               [--input BYTES...] [--profile-out FILE] [--profile-in FILE]...
+//               [--metrics-json FILE] [--trace-out FILE] [--trace-capacity N]
 //
 // Assembles the program (or a built-in demo), compacts it, profiles it on
-// the given input bytes, squashes it, prints the objdump-style inspection
-// reports, and verifies that original and squashed runs agree.
+// the given input bytes (or loads and merges saved profiles), squashes it,
+// prints the objdump-style inspection reports, and verifies that original
+// and squashed runs agree. --metrics-json dumps every pipeline and runtime
+// counter as one JSON object; --trace-out writes the verification run's
+// event trace in Chrome trace format plus a per-region heat report to
+// stdout. FILE may be "-" for stdout.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +25,10 @@
 #include "link/ImageDisasm.h"
 #include "link/Layout.h"
 #include "sim/Machine.h"
+#include "sim/ProfileIO.h"
 #include "squash/Driver.h"
 #include "squash/Inspect.h"
+#include "squash/Observability.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +100,11 @@ struct Args {
   bool Delta = false;
   bool Disasm = false;
   std::vector<uint8_t> Input;
+  std::string ProfileOut;
+  std::vector<std::string> ProfileIn; ///< Repeatable; merged when several.
+  std::string MetricsJson;
+  std::string TraceOut;
+  uint32_t TraceCapacity = RuntimeSystem::DefaultTraceCapacity;
 };
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
@@ -108,6 +120,16 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.Delta = true;
     } else if (S == "--disasm") {
       A.Disasm = true;
+    } else if (S == "--profile-out" && I + 1 < Argc) {
+      A.ProfileOut = Argv[++I];
+    } else if (S == "--profile-in" && I + 1 < Argc) {
+      A.ProfileIn.push_back(Argv[++I]);
+    } else if (S == "--metrics-json" && I + 1 < Argc) {
+      A.MetricsJson = Argv[++I];
+    } else if (S == "--trace-out" && I + 1 < Argc) {
+      A.TraceOut = Argv[++I];
+    } else if (S == "--trace-capacity" && I + 1 < Argc) {
+      A.TraceCapacity = static_cast<uint32_t>(std::atoi(Argv[++I]));
     } else if (S == "--input") {
       while (I + 1 < Argc && std::isdigit(Argv[I + 1][0]))
         A.Input.push_back(static_cast<uint8_t>(std::atoi(Argv[++I])));
@@ -117,6 +139,21 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       std::fprintf(stderr, "unknown flag %s\n", S.c_str());
       return false;
     }
+  }
+  return true;
+}
+
+/// Writes \p Text to \p Path, or to stdout when Path is "-".
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
   }
   return true;
 }
@@ -160,9 +197,38 @@ int main(int Argc, char **Argv) {
     std::printf("baseline listing:\n%s\n",
                 disassembleImage(Baseline).c_str());
   }
-  Profile Prof = profileImage(Baseline, A.Input).take();
-  std::printf("profile: %llu instructions on a %zu-byte input\n\n",
-              (unsigned long long)Prof.TotalInstructions, A.Input.size());
+  Profile Prof;
+  if (!A.ProfileIn.empty()) {
+    std::vector<Profile> Loaded;
+    for (const std::string &Path : A.ProfileIn) {
+      Expected<Profile> POr = loadProfileFile(Path);
+      if (!POr) {
+        std::fprintf(stderr, "%s\n", POr.status().toString().c_str());
+        return 1;
+      }
+      Loaded.push_back(std::move(POr.get()));
+    }
+    Expected<Profile> MOr = mergeProfiles(Loaded);
+    if (!MOr) {
+      std::fprintf(stderr, "%s\n", MOr.status().toString().c_str());
+      return 1;
+    }
+    Prof = std::move(MOr.get());
+    std::printf("profile: %llu instructions merged from %zu file(s)\n\n",
+                (unsigned long long)Prof.TotalInstructions,
+                A.ProfileIn.size());
+  } else {
+    Prof = profileImage(Baseline, A.Input).take();
+    std::printf("profile: %llu instructions on a %zu-byte input\n\n",
+                (unsigned long long)Prof.TotalInstructions, A.Input.size());
+  }
+  if (!A.ProfileOut.empty()) {
+    if (Status St = saveProfileFile(Prof, A.ProfileOut); !St.ok()) {
+      std::fprintf(stderr, "%s\n", St.toString().c_str());
+      return 1;
+    }
+    std::printf("profile saved to %s\n", A.ProfileOut.c_str());
+  }
 
   Options Opts;
   Opts.Theta = A.Theta;
@@ -172,6 +238,12 @@ int main(int Argc, char **Argv) {
   SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   if (SR.Identity) {
     std::printf("nothing profitable to compress at theta=%g\n", A.Theta);
+    if (!A.MetricsJson.empty()) {
+      MetricsRegistry Reg;
+      collectSquashMetrics(Reg, SR);
+      if (!writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+        return 1;
+    }
     return 0;
   }
 
@@ -190,7 +262,9 @@ int main(int Argc, char **Argv) {
   Machine M1(Baseline);
   M1.setInput(LongInput);
   RunResult R1 = M1.run();
-  SquashedRun R2 = runSquashed(SR.SP, LongInput);
+  bool WantTrace = !A.TraceOut.empty();
+  SquashedRun R2 = runSquashed(SR.SP, LongInput, 2'000'000'000ull,
+                               WantTrace ? A.TraceCapacity : 0);
   bool Ok = R1.Status == RunStatus::Halted &&
             R2.Run.Status == RunStatus::Halted &&
             R1.ExitCode == R2.Run.ExitCode;
@@ -199,5 +273,24 @@ int main(int Argc, char **Argv) {
               R1.ExitCode, R2.Run.ExitCode,
               (unsigned long long)R2.Runtime.Decompressions,
               Ok ? "OK" : "MISMATCH");
+
+  if (WantTrace) {
+    if (!writeTextFile(A.TraceOut,
+                       exportChromeTrace(R2.Trace, R2.TraceDropped) + "\n"))
+      return 1;
+    std::printf("\ntrace: %zu event(s) retained, %llu dropped -> %s\n",
+                R2.Trace.size(), (unsigned long long)R2.TraceDropped,
+                A.TraceOut.c_str());
+    std::printf("region heat:\n%s",
+                renderRegionHeatReport(buildRegionHeatReport(R2.Trace))
+                    .c_str());
+  }
+  if (!A.MetricsJson.empty()) {
+    MetricsRegistry Reg;
+    collectSquashMetrics(Reg, SR);
+    collectRunMetrics(Reg, R2);
+    if (!writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+      return 1;
+  }
   return Ok ? 0 : 1;
 }

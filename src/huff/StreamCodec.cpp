@@ -54,9 +54,10 @@ static bool isDeltaKind(FieldKind Kind) {
 }
 
 /// Forward delta step: returns (Value - Prev) within the field's width and
-/// updates Prev.
+/// updates Prev. fieldMask (not a raw shift) keeps this defined if a
+/// full-width delta stream is ever added.
 static uint32_t deltaStep(FieldKind Kind, uint32_t Value, uint32_t &Prev) {
-  uint32_t Mask = (1u << vea::fieldWidth(Kind)) - 1;
+  uint32_t Mask = vea::fieldMask(Kind);
   uint32_t Out = (Value - Prev) & Mask;
   Prev = Value;
   return Out;
@@ -64,7 +65,7 @@ static uint32_t deltaStep(FieldKind Kind, uint32_t Value, uint32_t &Prev) {
 
 /// Inverse delta step.
 static uint32_t undeltaStep(FieldKind Kind, uint32_t Coded, uint32_t &Prev) {
-  uint32_t Mask = (1u << vea::fieldWidth(Kind)) - 1;
+  uint32_t Mask = vea::fieldMask(Kind);
   uint32_t Value = (Prev + Coded) & Mask;
   Prev = Value;
   return Value;

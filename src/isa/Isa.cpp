@@ -121,6 +121,11 @@ unsigned vea::fieldWidth(FieldKind Kind) {
   return 0;
 }
 
+uint32_t vea::fieldMask(FieldKind Kind) {
+  unsigned W = fieldWidth(Kind);
+  return W >= 32 ? 0xFFFFFFFFu : (1u << W) - 1;
+}
+
 const char *vea::fieldKindName(FieldKind Kind) {
   switch (Kind) {
   case FieldKind::Opcode:

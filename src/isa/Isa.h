@@ -80,6 +80,11 @@ inline constexpr unsigned NumFieldKinds = 12;
 /// Bit width of each field kind, indexed by FieldKind.
 unsigned fieldWidth(FieldKind Kind);
 
+/// All-ones mask of fieldWidth(Kind) bits. Safe for the full-width case:
+/// `(1u << 32) - 1` is undefined behaviour, so every mask computation must
+/// go through here rather than shifting by the raw width.
+uint32_t fieldMask(FieldKind Kind);
+
 /// Printable name of a field kind (for diagnostics and benchmarks).
 const char *fieldKindName(FieldKind Kind);
 
@@ -228,9 +233,7 @@ struct MInst {
     return Fields[static_cast<unsigned>(Kind)];
   }
   void set(FieldKind Kind, uint32_t Value) {
-    assert((fieldWidth(Kind) == 32 ||
-            Value < (1u << fieldWidth(Kind))) &&
-           "field value exceeds field width");
+    assert(Value <= fieldMask(Kind) && "field value exceeds field width");
     Fields[static_cast<unsigned>(Kind)] = Value;
     if (Kind == FieldKind::Opcode)
       Op = static_cast<Opcode>(Value);

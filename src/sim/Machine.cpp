@@ -426,3 +426,11 @@ Profile Machine::takeProfile() {
   P.TotalInstructions = Insts;
   return P;
 }
+
+void vea::exportRunMetrics(MetricsRegistry &R, const RunResult &Run,
+                           const std::string &Prefix) {
+  R.setCounter(Prefix + "instructions", Run.Instructions);
+  R.setCounter(Prefix + "cycles", Run.Cycles);
+  R.setCounter(Prefix + "exit_code", Run.ExitCode);
+  R.setCounter(Prefix + "halted", Run.Status == RunStatus::Halted ? 1 : 0);
+}

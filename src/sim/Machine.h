@@ -21,6 +21,7 @@
 
 #include "isa/Isa.h"
 #include "link/Layout.h"
+#include "support/Metrics.h"
 
 #include <array>
 #include <cstdint>
@@ -56,6 +57,11 @@ struct RunResult {
   uint64_t Instructions = 0; ///< Program instructions retired.
   uint64_t Cycles = 0;       ///< Instructions + charged runtime-service work.
 };
+
+/// Registers a run's machine counters (instructions retired, cycles, exit
+/// code, halt status) under \p Prefix (DESIGN.md §12).
+void exportRunMetrics(MetricsRegistry &R, const RunResult &Run,
+                      const std::string &Prefix = "run.");
 
 /// The per-basic-block execution profile squash consumes.
 struct Profile {

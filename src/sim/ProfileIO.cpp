@@ -1,0 +1,162 @@
+//===- sim/ProfileIO.cpp - Profile persistence ----------------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ProfileIO.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace vea;
+
+static const char *const ProfileMagic = "squash-profile";
+static const char *const ProfileVersion = "v1";
+
+std::string vea::serializeProfile(const Profile &Prof) {
+  std::string Out;
+  Out += ProfileMagic;
+  Out += ' ';
+  Out += ProfileVersion;
+  Out += '\n';
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "blocks %zu\n", Prof.BlockCounts.size());
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "total %llu\n",
+                static_cast<unsigned long long>(Prof.TotalInstructions));
+  Out += Buf;
+  for (size_t I = 0; I != Prof.BlockCounts.size(); ++I) {
+    if (!Prof.BlockCounts[I])
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%zu %llu\n", I,
+                  static_cast<unsigned long long>(Prof.BlockCounts[I]));
+    Out += Buf;
+  }
+  return Out;
+}
+
+static Status parseError(const std::string &Detail) {
+  return Status::error(StatusCode::InvalidArgument,
+                       "parseProfile: " + Detail);
+}
+
+/// Parses a full line as an unsigned 64-bit decimal; rejects trailing junk.
+static bool parseU64(const std::string &Tok, uint64_t &Value) {
+  if (Tok.empty())
+    return false;
+  Value = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // overflow
+    Value = Value * 10 + Digit;
+  }
+  return true;
+}
+
+Expected<Profile> vea::parseProfile(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  if (!std::getline(In, Line))
+    return parseError("empty input");
+  if (Line != std::string(ProfileMagic) + " " + ProfileVersion)
+    return parseError("bad header: '" + Line + "'");
+
+  auto expectField = [&](const char *Key, uint64_t &Value) -> Status {
+    if (!std::getline(In, Line))
+      return parseError(std::string("missing '") + Key + "' line");
+    std::istringstream LS(Line);
+    std::string K, V, Extra;
+    if (!(LS >> K >> V) || K != Key || (LS >> Extra))
+      return parseError(std::string("malformed '") + Key + "' line: '" +
+                        Line + "'");
+    if (!parseU64(V, Value))
+      return parseError(std::string("bad ") + Key + " value: '" + V + "'");
+    return Status::success();
+  };
+
+  uint64_t NumBlocks = 0, Total = 0;
+  if (Status St = expectField("blocks", NumBlocks); !St.ok())
+    return St;
+  if (Status St = expectField("total", Total); !St.ok())
+    return St;
+  if (NumBlocks > (1u << 28))
+    return parseError("implausible block count");
+
+  Profile Prof;
+  Prof.BlockCounts.assign(static_cast<size_t>(NumBlocks), 0);
+  Prof.TotalInstructions = Total;
+
+  std::vector<uint8_t> Seen(static_cast<size_t>(NumBlocks), 0);
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string IdTok, CountTok, Extra;
+    if (!(LS >> IdTok >> CountTok) || (LS >> Extra))
+      return parseError("malformed record: '" + Line + "'");
+    uint64_t Id = 0, Count = 0;
+    if (!parseU64(IdTok, Id) || !parseU64(CountTok, Count))
+      return parseError("malformed record: '" + Line + "'");
+    if (Id >= NumBlocks)
+      return parseError("block id out of range: '" + Line + "'");
+    if (Seen[static_cast<size_t>(Id)])
+      return parseError("duplicate block id: '" + Line + "'");
+    Seen[static_cast<size_t>(Id)] = 1;
+    Prof.BlockCounts[static_cast<size_t>(Id)] = Count;
+  }
+  return Prof;
+}
+
+Status vea::saveProfileFile(const Profile &Prof, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error(StatusCode::ResourceExhausted,
+                         "saveProfileFile: cannot open '" + Path + "'");
+  std::string Text = serializeProfile(Prof);
+  Out.write(Text.data(), static_cast<std::streamsize>(Text.size()));
+  Out.flush();
+  if (!Out)
+    return Status::error(StatusCode::ResourceExhausted,
+                         "saveProfileFile: write failed for '" + Path + "'");
+  return Status::success();
+}
+
+Expected<Profile> vea::loadProfileFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error(StatusCode::ResourceExhausted,
+                         "loadProfileFile: cannot open '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return Status::error(StatusCode::ResourceExhausted,
+                         "loadProfileFile: read failed for '" + Path + "'");
+  return parseProfile(Buf.str());
+}
+
+Expected<Profile> vea::mergeProfiles(const std::vector<Profile> &Profiles) {
+  if (Profiles.empty())
+    return Status::error(StatusCode::InvalidArgument,
+                         "mergeProfiles: no profiles");
+  Profile Merged;
+  Merged.BlockCounts.assign(Profiles.front().BlockCounts.size(), 0);
+  for (const Profile &P : Profiles) {
+    if (P.BlockCounts.size() != Merged.BlockCounts.size())
+      return Status::error(
+          StatusCode::InvalidArgument,
+          "mergeProfiles: block count mismatch (" +
+              std::to_string(P.BlockCounts.size()) + " vs " +
+              std::to_string(Merged.BlockCounts.size()) + ")");
+    for (size_t I = 0; I != P.BlockCounts.size(); ++I)
+      Merged.BlockCounts[I] += P.BlockCounts[I];
+    Merged.TotalInstructions += P.TotalInstructions;
+  }
+  return Merged;
+}

@@ -1,0 +1,64 @@
+//===- sim/ProfileIO.h - Profile persistence -------------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Save/load/merge for the per-basic-block execution profiles squash
+/// consumes. The paper's Figure 5 trains the compressor on one input and
+/// evaluates on another; persisting profiles makes that experiment (and
+/// multi-input training via merge) reproducible from the command line:
+///
+///   squash-profile v1
+///   blocks <N>
+///   total <instructions>
+///   <block-id> <count>        # one line per nonzero-count block
+///   ...
+///
+/// The format is line-oriented text, versioned by the header line so a
+/// future binary or extended format can coexist with old files. Block ids
+/// are Cfg block ids for the program the profile was collected on; loaders
+/// validate structure, not program identity — squashProgram rejects a
+/// profile whose block count does not match the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SIM_PROFILEIO_H
+#define SQUASH_SIM_PROFILEIO_H
+
+#include "sim/Machine.h"
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace vea {
+
+/// Renders \p Prof in the versioned text format above. Zero-count blocks
+/// are omitted (cold code dominates real profiles; the block count line
+/// preserves the vector's size).
+std::string serializeProfile(const Profile &Prof);
+
+/// Parses the text format. Fails with InvalidArgument on an unknown
+/// version line, a malformed or duplicate record, a block id outside
+/// [0, blocks), or a count that overflows uint64.
+Expected<Profile> parseProfile(const std::string &Text);
+
+/// Writes serializeProfile(Prof) to \p Path. Fails with ResourceExhausted
+/// when the file cannot be created or written.
+Status saveProfileFile(const Profile &Prof, const std::string &Path);
+
+/// Reads and parses \p Path. Fails with ResourceExhausted when the file
+/// cannot be read, or with parseProfile's errors.
+Expected<Profile> loadProfileFile(const std::string &Path);
+
+/// Merges same-program profiles by summing per-block counts and total
+/// instruction counts (multi-input training). Fails with InvalidArgument
+/// when \p Profiles is empty or the block counts disagree.
+Expected<Profile> mergeProfiles(const std::vector<Profile> &Profiles);
+
+} // namespace vea
+
+#endif // SQUASH_SIM_PROFILEIO_H

@@ -72,3 +72,11 @@ std::vector<uint8_t> squash::analyzeBufferSafe(const Cfg &G,
   }
   return Safe;
 }
+
+void BufferSafeStats::exportMetrics(vea::MetricsRegistry &R,
+                                    const std::string &Prefix) const {
+  R.setCounter(Prefix + "functions", Functions);
+  R.setCounter(Prefix + "safe_functions", SafeFunctions);
+  R.setCounter(Prefix + "region_call_sites", CallSitesFromRegions);
+  R.setCounter(Prefix + "safe_region_call_sites", SafeCallSitesFromRegions);
+}

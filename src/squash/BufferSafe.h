@@ -30,6 +30,10 @@ struct BufferSafeStats {
   unsigned SafeFunctions = 0;
   unsigned CallSitesFromRegions = 0;     ///< Static calls in compressed code.
   unsigned SafeCallSitesFromRegions = 0; ///< ... whose callee is buffer-safe.
+
+  /// Registers every field as a counter under \p Prefix (DESIGN.md §12).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "squash.buffersafe.") const;
 };
 
 /// Returns one flag per function (Cfg function index): 1 = buffer-safe.

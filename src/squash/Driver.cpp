@@ -132,11 +132,14 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
 
 SquashedRun squash::runSquashed(const SquashedProgram &SP,
                                 std::vector<uint8_t> Input,
-                                uint64_t MaxInstructions) {
+                                uint64_t MaxInstructions,
+                                uint32_t TraceCapacity) {
   Machine::Config Cfg;
   Cfg.MaxInstructions = MaxInstructions;
   Machine M(SP.Img, Cfg);
   RuntimeSystem RT(SP);
+  if (TraceCapacity)
+    RT.enableTrace(TraceCapacity);
   SquashedRun Out;
   if (Status St = RT.attach(M); !St.ok()) {
     Out.Run.Status = RunStatus::Fault;
@@ -148,7 +151,23 @@ SquashedRun squash::runSquashed(const SquashedProgram &SP,
   Out.Run = M.run();
   Out.Runtime = RT.stats();
   Out.Output = M.output();
+  if (TraceCapacity) {
+    Out.Trace = RT.events();
+    Out.TraceDropped = RT.droppedEvents();
+  }
   return Out;
+}
+
+void SquashStats::exportMetrics(vea::MetricsRegistry &R,
+                                const std::string &Prefix) const {
+  R.setGauge(Prefix + "cold_seconds", ColdSeconds);
+  R.setGauge(Prefix + "unswitch_seconds", UnswitchSeconds);
+  R.setGauge(Prefix + "region_seconds", RegionSeconds);
+  R.setGauge(Prefix + "buffersafe_seconds", BufferSafeSeconds);
+  R.setGauge(Prefix + "rewrite_seconds", RewriteSeconds);
+  R.setGauge(Prefix + "encode_seconds", EncodeSeconds);
+  R.setGauge(Prefix + "total_seconds", TotalSeconds);
+  R.setCounter(Prefix + "encode_threads", EncodeThreads);
 }
 
 Expected<Profile> squash::profileImage(const Image &Img,

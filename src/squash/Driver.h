@@ -44,6 +44,11 @@ struct SquashStats {
   double EncodeSeconds = 0.0;     ///< Per-region compression only.
   double TotalSeconds = 0.0;
   uint32_t EncodeThreads = 1;     ///< Workers the encode pass used.
+
+  /// Registers per-stage wall times (gauges, seconds) and the encode worker
+  /// count under \p Prefix (DESIGN.md §12).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "squash.time.") const;
 };
 
 /// Everything squashProgram produces: the runnable image plus the stats
@@ -74,13 +79,21 @@ struct SquashedRun {
   vea::RunResult Run;
   RuntimeSystem::Stats Runtime;
   std::vector<uint8_t> Output; ///< Bytes the program wrote (PutChar).
+  /// Runtime event trace, oldest first (empty unless runSquashed was given
+  /// a nonzero TraceCapacity). Bounded: when the ring fills, the oldest
+  /// events are overwritten and TraceDropped counts them.
+  std::vector<RuntimeSystem::Event> Trace;
+  uint64_t TraceDropped = 0;
 };
 
 /// Executes a squashed image on \p Input with the decompressor attached.
 /// If the image fails its attach-time validation the result is a Fault
-/// run carrying the validation message; nothing is executed.
+/// run carrying the validation message; nothing is executed. A nonzero
+/// \p TraceCapacity enables runtime event tracing into a ring of that many
+/// events (see RuntimeSystem::enableTrace).
 SquashedRun runSquashed(const SquashedProgram &SP, std::vector<uint8_t> Input,
-                        uint64_t MaxInstructions = 2'000'000'000ull);
+                        uint64_t MaxInstructions = 2'000'000'000ull,
+                        uint32_t TraceCapacity = 0);
 
 /// Profiles \p Img (an original / compacted image) on \p Input. Fails with
 /// RuntimeFault if the program does not halt cleanly.

@@ -14,66 +14,65 @@
 using namespace squash;
 using vea::Cfg;
 
-namespace {
+RegionEntryAnalysis::RegionEntryAnalysis(const Cfg &G) : G(G) {
+  Callers.resize(G.numBlocks());
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id)
+    for (unsigned Callee : G.callees(Id))
+      Callers[Callee].push_back(Id);
+  ProgramEntry = G.idOf(G.program().EntryFunction);
+}
 
-/// Precomputed call-graph reverse edges and entry-ness inputs shared by the
-/// formation and packing phases.
-struct EntryContext {
-  explicit EntryContext(const Cfg &G) : G(G) {
-    CallersOf.resize(G.numBlocks());
-    for (unsigned Id = 0; Id != G.numBlocks(); ++Id)
-      for (unsigned Callee : G.callees(Id))
-        CallersOf[Callee].push_back(Id);
-    ProgramEntry = G.idOf(G.program().EntryFunction);
-  }
-
-  /// True if block \p B must have an entry stub when compressed into region
-  /// \p Self under the assignment \p RegionOf: some entry source lies
-  /// outside the region. Any caller at all forces a stub, because calls
-  /// from compressed code always route through the callee's entry stub
-  /// (only buffer-safe callees are called directly, and those are never
-  /// compressed).
-  bool isEntry(unsigned B, const std::vector<int32_t> &RegionOf,
-               int32_t Self) const {
-    if (B == ProgramEntry || G.isAddressTaken(B))
+bool RegionEntryAnalysis::isEntry(unsigned B,
+                                  const std::vector<int32_t> &RegionOf,
+                                  int32_t Self) const {
+  if (B == ProgramEntry || G.isAddressTaken(B))
+    return true;
+  if (!Callers[B].empty())
+    return true;
+  for (unsigned P : G.preds(B))
+    if (RegionOf[P] != Self)
       return true;
-    if (!CallersOf[B].empty())
-      return true;
-    for (unsigned P : G.preds(B))
-      if (RegionOf[P] != Self)
-        return true;
-    return false;
-  }
+  return false;
+}
 
-  /// Region ids (with -1 for never-compressed) of all entry sources of
-  /// block \p B outside region \p Self. Address-taken blocks and the
-  /// program entry report the pseudo-source -2, which no merge can absorb.
-  void externalSources(unsigned B, const std::vector<int32_t> &RegionOf,
-                       int32_t Self, std::unordered_set<int32_t> &Out) const {
-    if (B == ProgramEntry || G.isAddressTaken(B) || !CallersOf[B].empty())
-      Out.insert(-2); // Sources no merge can absorb.
-    for (unsigned P : G.preds(B))
-      if (RegionOf[P] != Self)
-        Out.insert(RegionOf[P]);
-  }
+void RegionEntryAnalysis::externalSources(
+    unsigned B, const std::vector<int32_t> &RegionOf, int32_t Self,
+    std::unordered_set<int32_t> &Out) const {
+  if (B == ProgramEntry || G.isAddressTaken(B) || !Callers[B].empty())
+    Out.insert(-2); // Sources no merge can absorb.
+  for (unsigned P : G.preds(B))
+    if (RegionOf[P] != Self)
+      Out.insert(RegionOf[P]);
+}
 
-  const Cfg &G;
-  std::vector<std::vector<unsigned>> CallersOf;
-  unsigned ProgramEntry = 0;
-};
-
-} // namespace
+std::vector<unsigned>
+squash::regionEntryPoints(const RegionEntryAnalysis &A,
+                          const std::vector<unsigned> &Blocks,
+                          const std::vector<int32_t> &RegionOf,
+                          int32_t SelfRegion) {
+  std::vector<unsigned> Entries;
+  for (unsigned B : Blocks)
+    if (A.isEntry(B, RegionOf, SelfRegion))
+      Entries.push_back(B);
+  return Entries;
+}
 
 std::vector<unsigned>
 squash::regionEntryPoints(const Cfg &G, const std::vector<unsigned> &Blocks,
                           const std::vector<int32_t> &RegionOf,
                           int32_t SelfRegion) {
-  EntryContext Ctx(G);
-  std::vector<unsigned> Entries;
-  for (unsigned B : Blocks)
-    if (Ctx.isEntry(B, RegionOf, SelfRegion))
-      Entries.push_back(B);
-  return Entries;
+  return regionEntryPoints(RegionEntryAnalysis(G), Blocks, RegionOf,
+                           SelfRegion);
+}
+
+void RegionStats::exportMetrics(vea::MetricsRegistry &R,
+                                const std::string &Prefix) const {
+  R.setCounter(Prefix + "initial", InitialRegions);
+  R.setCounter(Prefix + "packed", PackedRegions);
+  R.setCounter(Prefix + "merges", Merges);
+  R.setCounter(Prefix + "rejected_roots", RejectedRoots);
+  R.setCounter(Prefix + "compressible_instructions",
+               CompressibleInstructions);
 }
 
 /// True if \p A's terminator permits falling through to the next block.
@@ -85,38 +84,49 @@ static bool fallsThrough(const Cfg &G, unsigned A) {
 // Initial DFS regions
 //===----------------------------------------------------------------------===//
 
-static void formInitialRegions(const Cfg &G, const EntryContext &Ctx,
+static void formInitialRegions(const Cfg &G, const RegionEntryAnalysis &Ctx,
                                const std::vector<uint8_t> &Compressible,
                                const Options &Opts, Partition &Part,
                                RegionStats &Stats) {
   const uint32_t KWords = std::max<uint32_t>(1, Opts.BufferBoundBytes / 4);
   std::vector<uint8_t> FailedRoot(G.numBlocks(), 0);
 
+  // Per-root processed marks, epoch-stamped so the vector is allocated
+  // once for the whole pass. A block's accept/reject outcome is fixed the
+  // first time it is popped (the word budget only grows within a root), so
+  // once marked it is never re-tested — and never re-pushed — for this
+  // root. Without this a dense cold CFG re-tests every over-budget block
+  // once per incoming edge per root.
+  std::vector<unsigned> SeenEpoch(G.numBlocks(), 0);
+
   for (unsigned Root = 0; Root != G.numBlocks(); ++Root) {
     if (!Compressible[Root] || Part.RegionOf[Root] >= 0 || FailedRoot[Root])
       continue;
     unsigned Func = G.functionOf(Root);
+    const unsigned Epoch = Root + 1;
 
     // Depth-first search bounded to K instructions, compressible blocks,
     // a single function (Section 4).
     std::vector<unsigned> Tree;
-    std::unordered_set<unsigned> InTree;
     uint32_t TreeWords = 0;
     std::vector<unsigned> Stack = {Root};
     while (!Stack.empty()) {
       unsigned B = Stack.back();
       Stack.pop_back();
-      if (InTree.count(B) || !Compressible[B] || Part.RegionOf[B] >= 0 ||
+      if (SeenEpoch[B] == Epoch)
+        continue; // Already decided for this root (duplicate in stack).
+      SeenEpoch[B] = Epoch;
+      if (!Compressible[B] || Part.RegionOf[B] >= 0 ||
           G.functionOf(B) != Func)
         continue;
       uint32_t Size = G.block(B).size();
       if (TreeWords + Size > KWords)
         continue;
-      InTree.insert(B);
       Tree.push_back(B);
       TreeWords += Size;
       for (unsigned S : G.succs(B))
-        Stack.push_back(S);
+        if (SeenEpoch[S] != Epoch)
+          Stack.push_back(S);
     }
     if (Tree.empty())
       continue;
@@ -163,7 +173,7 @@ constexpr uint32_t EntryStubSaving = 2;
 constexpr uint32_t FallthroughSaving = 1;
 } // namespace
 
-static void packRegions(const Cfg &G, const EntryContext &Ctx,
+static void packRegions(const Cfg &G, const RegionEntryAnalysis &Ctx,
                         const Options &Opts, Partition &Part,
                         RegionStats &Stats) {
   const uint32_t KWords = std::max<uint32_t>(1, Opts.BufferBoundBytes / 4);
@@ -279,7 +289,7 @@ static void packRegions(const Cfg &G, const EntryContext &Ctx,
 /// One region per fully-cold function; no K bound (the runtime buffer must
 /// hold the largest compressed function, which is exactly the problem the
 /// paper's sub-function regions solve).
-static void formWholeFunctionRegions(const Cfg &G, const EntryContext &Ctx,
+static void formWholeFunctionRegions(const Cfg &G, const RegionEntryAnalysis &Ctx,
                                      const std::vector<uint8_t> &Compressible,
                                      const Options &Opts, Partition &Part,
                                      RegionStats &Stats) {
@@ -329,7 +339,7 @@ squash::formRegions(const Cfg &G, const std::vector<uint8_t> &Compressible,
   Partition Part;
   Part.RegionOf.assign(G.numBlocks(), -1);
   RegionStats Stats;
-  EntryContext Ctx(G);
+  RegionEntryAnalysis Ctx(G);
 
   if (Opts.WholeFunctionRegions) {
     formWholeFunctionRegions(G, Ctx, Compressible, Opts, Part, Stats);

@@ -21,9 +21,11 @@
 
 #include "ir/IR.h"
 #include "squash/Options.h"
+#include "support/Metrics.h"
 #include "support/Status.h"
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 namespace squash {
@@ -64,12 +66,61 @@ struct RegionStats {
   uint64_t Merges = 0;
   uint64_t RejectedRoots = 0;   ///< DFS roots whose tree was unprofitable.
   uint64_t CompressibleInstructions = 0;
+
+  /// Registers every field as a counter under \p Prefix (DESIGN.md §12).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "squash.regions.") const;
+};
+
+/// Precomputed call-graph reverse edges and entry-ness inputs. Building it
+/// walks every block and edge once (O(blocks + edges)); per-region entry
+/// queries against a built analysis are then proportional to the region,
+/// not the program. Construct once per Cfg and reuse across every
+/// regionEntryPoints / isEntry query (the formation, packing, and rewrite
+/// phases all share one).
+class RegionEntryAnalysis {
+public:
+  explicit RegionEntryAnalysis(const vea::Cfg &G);
+
+  /// True if block \p B must have an entry stub when compressed into
+  /// region \p Self under the assignment \p RegionOf: some entry source
+  /// lies outside the region. Any caller at all forces a stub, because
+  /// calls from compressed code always route through the callee's entry
+  /// stub (only buffer-safe callees are called directly, and those are
+  /// never compressed).
+  bool isEntry(unsigned B, const std::vector<int32_t> &RegionOf,
+               int32_t Self) const;
+
+  /// Region ids (with -1 for never-compressed) of all entry sources of
+  /// block \p B outside region \p Self. Address-taken blocks and the
+  /// program entry report the pseudo-source -2, which no merge can absorb.
+  void externalSources(unsigned B, const std::vector<int32_t> &RegionOf,
+                       int32_t Self, std::unordered_set<int32_t> &Out) const;
+
+  const std::vector<unsigned> &callersOf(unsigned B) const {
+    return Callers[B];
+  }
+  unsigned programEntry() const { return ProgramEntry; }
+
+private:
+  const vea::Cfg &G;
+  std::vector<std::vector<unsigned>> Callers;
+  unsigned ProgramEntry = 0;
 };
 
 /// Identifies the entry points of a hypothetical region \p Blocks: blocks
 /// entered from outside the region by a branch/fallthrough edge, called
 /// from outside, address-taken, or the program entry. Exposed for the
 /// rewriter, the cost model, and tests.
+std::vector<unsigned> regionEntryPoints(const RegionEntryAnalysis &A,
+                                        const std::vector<unsigned> &Blocks,
+                                        const std::vector<int32_t> &RegionOf,
+                                        int32_t SelfRegion);
+
+/// Convenience overload that builds the analysis itself. One-shot callers
+/// only: querying many regions this way re-derives the call-graph reverse
+/// edges (O(blocks + edges)) per call, which is quadratic over a program —
+/// build a RegionEntryAnalysis once instead.
 std::vector<unsigned> regionEntryPoints(const vea::Cfg &G,
                                         const std::vector<unsigned> &Blocks,
                                         const std::vector<int32_t> &RegionOf,

@@ -188,9 +188,12 @@ private:
 
 void Rewriter::computeEntries() {
   StubIndexOf.assign(G.numBlocks(), -1);
+  // One analysis for all regions: entry queries are per-region work, the
+  // call-graph reversal is done once.
+  RegionEntryAnalysis Entry(G);
   for (size_t R = 0; R != Part.Regions.size(); ++R) {
     std::vector<unsigned> Entries = regionEntryPoints(
-        G, Part.Regions[R].Blocks, Part.RegionOf, static_cast<int32_t>(R));
+        Entry, Part.Regions[R].Blocks, Part.RegionOf, static_cast<int32_t>(R));
     for (unsigned E : Entries) {
       StubIndexOf[E] = static_cast<int32_t>(StubBlocks.size());
       StubBlocks.push_back(E);
@@ -587,4 +590,19 @@ squash::rewriteProgram(const Program &Prog, const Cfg &G,
         "rewriter: buffer-safe vector does not match program");
   Rewriter RW(Prog, G, Part, Safe, Opts);
   return RW.run();
+}
+
+void FootprintBreakdown::exportMetrics(vea::MetricsRegistry &R,
+                                       const std::string &Prefix) const {
+  R.setCounter(Prefix + "never_compressed_words", NeverCompressedWords);
+  R.setCounter(Prefix + "entry_stub_words", EntryStubWords);
+  R.setCounter(Prefix + "decompressor_words", DecompressorWords);
+  R.setCounter(Prefix + "offset_table_words", OffsetTableWords);
+  R.setCounter(Prefix + "stub_area_words", StubAreaWords);
+  R.setCounter(Prefix + "slot_map_words", SlotMapWords);
+  R.setCounter(Prefix + "buffer_words", BufferWords);
+  R.setCounter(Prefix + "compressed_bytes", CompressedBytes);
+  R.setCounter(Prefix + "original_code_bytes", OriginalCodeBytes);
+  R.setCounter(Prefix + "total_code_bytes", totalCodeBytes());
+  R.setGauge(Prefix + "reduction", reduction());
 }

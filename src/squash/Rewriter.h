@@ -32,6 +32,7 @@
 #include "link/Layout.h"
 #include "squash/Options.h"
 #include "squash/Regions.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -117,6 +118,11 @@ struct FootprintBreakdown {
                            OriginalCodeBytes
                : 0.0;
   }
+
+  /// Registers every segment size (and the derived totals) under
+  /// \p Prefix (DESIGN.md §12).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "footprint.") const;
 };
 
 /// Per-region results of lowering + encoding.

@@ -20,6 +20,36 @@ RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
   SlotOfRegion.assign(SP.Regions.size(), -1);
 }
 
+std::vector<RuntimeSystem::Event> RuntimeSystem::events() const {
+  // Before the ring wraps, Trace is already oldest-first; after, the
+  // oldest retained event sits at TraceNext.
+  std::vector<Event> Out;
+  Out.reserve(Trace.size());
+  for (size_t I = 0; I != Trace.size(); ++I)
+    Out.push_back(Trace[(TraceNext + I) % Trace.size()]);
+  return Out;
+}
+
+void RuntimeSystem::Stats::exportMetrics(vea::MetricsRegistry &R,
+                                         const std::string &Prefix) const {
+  R.setCounter(Prefix + "decompressions", Decompressions);
+  R.setCounter(Prefix + "decoded_instructions", DecodedInstructions);
+  R.setCounter(Prefix + "entry_stub_calls", EntryStubCalls);
+  R.setCounter(Prefix + "restore_stub_calls", RestoreStubCalls);
+  R.setCounter(Prefix + "stub_creates", StubCreates);
+  R.setCounter(Prefix + "stub_reuses", StubReuses);
+  R.setCounter(Prefix + "buffered_hits", BufferedHits);
+  R.setCounter(Prefix + "evictions", Evictions);
+  R.setCounter(Prefix + "slot_map_repairs", SlotMapRepairs);
+  R.setCounter(Prefix + "resident_crc_mismatches", ResidentCrcMismatches);
+  R.setCounter(Prefix + "direct_stub_rewrites", DirectStubRewrites);
+  R.setCounter(Prefix + "direct_stub_restores", DirectStubRestores);
+  R.setCounter(Prefix + "corrupt_region_recoveries", CorruptRegionRecoveries);
+  R.setCounter(Prefix + "max_live_stubs", MaxLiveStubs);
+  R.setCounter(Prefix + "live_stubs", LiveStubs);
+  R.setGauge(Prefix + "thrash_ratio", thrashRatio());
+}
+
 Status RuntimeSystem::attach(Machine &M) {
   const RuntimeLayout &L = SP.Layout;
 
@@ -143,7 +173,7 @@ bool RuntimeSystem::evictSlot(Machine &M, uint32_t Slot) {
     return false;
   SlotOfRegion[CS.Region] = -1;
   ++St.Evictions;
-  record(Event::Kind::Evict, static_cast<uint32_t>(CS.Region), Slot);
+  record(M, Event::Kind::Evict, static_cast<uint32_t>(CS.Region), Slot);
   if (!M.storeWord(SP.Layout.SlotMapBase + 4 * Slot,
                    RuntimeLayout::SlotMapEmpty))
     return false;
@@ -205,13 +235,13 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       // The guest slot map contradicts the host resident table: mask by
       // invalidating the slot and re-decoding into it.
       ++St.SlotMapRepairs;
-      record(Event::Kind::SlotMapRepair, Region, Slot);
+      record(M, Event::Kind::SlotMapRepair, Region, Slot);
       Preferred = static_cast<int32_t>(Slot);
     } else if (crc32(M.memData() + L.slotDataBase(Slot),
                      4 * RI.ExpandedWords) == Cache[Slot].Crc) {
       Cache[Slot].LastUse = ++UseTick;
       ++St.BufferedHits;
-      record(Event::Kind::BufferedHit, Region, Slot);
+      record(M, Event::Kind::BufferedHit, Region, Slot);
       M.addCycles(SP.Opts.Costs.DecompSetupCycles);
       CurrentRegion = static_cast<int32_t>(Region);
       SlotOut = Slot;
@@ -299,7 +329,7 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       Words = SP.RecoveryWords[Region];
       Decoded = RI.StoredInstructions;
       ++St.CorruptRegionRecoveries;
-      record(Event::Kind::RecoverFill, Region);
+      record(M, Event::Kind::RecoverFill, Region, Slot);
     } else {
       M.fault(Corrupt);
       return false;
@@ -341,7 +371,7 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
 
   ++St.Decompressions;
   St.DecodedInstructions += Decoded;
-  record(Event::Kind::Decompress, Region);
+  record(M, Event::Kind::Decompress, Region, Slot);
   const CostModel &C = SP.Opts.Costs;
   M.addCycles(C.DecompSetupCycles + C.CyclesPerDecodedInstr * Decoded +
               C.IcacheFlushCycles);
@@ -400,14 +430,14 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
       return false;
     }
     ++St.RestoreStubCalls;
-    record(Event::Kind::EnterViaRestore, Region, TagAddr);
+    record(M, Event::Kind::EnterViaRestore, Region, TagAddr);
     --Slot.Count;
     if (!M.storeWord(StubBase + 8, Slot.Count))
       return false;
     if (Slot.Count == 0) {
       Slot.Live = false;
       --St.LiveStubs;
-      record(Event::Kind::StubRelease, Region, StubBase, 0);
+      record(M, Event::Kind::StubRelease, Region, StubBase, 0);
     }
   } else {
     // Entered through an entry stub: the tag must be one the rewriter
@@ -417,7 +447,7 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
       return false;
     }
     ++St.EntryStubCalls;
-    record(Event::Kind::EnterViaStub, Region, TagAddr);
+    record(M, Event::Kind::EnterViaStub, Region, TagAddr);
   }
 
   // Make the region resident (cache hit or decode), learn its slot.
@@ -485,7 +515,7 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     ++Slot.Count;
     StubAddr = L.StubAreaBase +
                4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Found);
-    record(Event::Kind::StubReuse, static_cast<uint32_t>(CallerRegion),
+    record(M, Event::Kind::StubReuse, static_cast<uint32_t>(CallerRegion),
            StubAddr, Slot.Count);
     if (!M.storeWord(StubAddr + 8, Slot.Count))
       return false;
@@ -503,7 +533,7 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
     St.MaxLiveStubs = std::max(St.MaxLiveStubs, St.LiveStubs);
     StubAddr = L.StubAreaBase +
                4 * RuntimeLayout::StubSlotWords * static_cast<uint32_t>(Free);
-    record(Event::Kind::StubCreate, static_cast<uint32_t>(CallerRegion),
+    record(M, Event::Kind::StubCreate, static_cast<uint32_t>(CallerRegion),
            StubAddr, 1);
     uint32_t Tag =
         (static_cast<uint32_t>(CallerRegion) << 16) | ReturnOffset;

@@ -28,8 +28,10 @@
 
 #include "sim/Machine.h"
 #include "squash/Rewriter.h"
+#include "support/Metrics.h"
 #include "support/Status.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +70,10 @@ public:
       uint64_t Requests = Decompressions + BufferedHits;
       return Requests ? static_cast<double>(Decompressions) / Requests : 0.0;
     }
+
+    /// Registers every counter under \p Prefix (DESIGN.md §12).
+    void exportMetrics(vea::MetricsRegistry &R,
+                       const std::string &Prefix = "runtime.") const;
   };
 
   /// One runtime event, recorded when tracing is enabled: the observable
@@ -92,13 +98,38 @@ public:
     uint32_t Region = 0; ///< Region involved (Decompress/Enter kinds).
     uint32_t Addr = 0;   ///< Stub/tag address or cache-slot index.
     uint32_t Count = 0;  ///< Refcount after the operation (Stub kinds).
+    uint64_t Cycle = 0;  ///< Machine cycle count when recorded (timestamp
+                         ///< for the Chrome-trace exporter).
   };
+
+  /// Default trace ring capacity (events, not bytes).
+  static constexpr uint32_t DefaultTraceCapacity = 1u << 16;
 
   explicit RuntimeSystem(const SquashedProgram &SP);
 
-  /// Starts recording events (unbounded; intended for tests and tools).
-  void enableTrace() { Tracing = true; }
-  const std::vector<Event> &events() const { return Trace; }
+  /// Starts recording events into a bounded ring of \p Capacity events.
+  /// When the ring is full the oldest event is overwritten (the newest
+  /// events are always retained) and droppedEvents() counts the loss, so
+  /// host memory for the trace is O(Capacity) no matter how long the
+  /// workload runs.
+  void enableTrace(uint32_t Capacity = DefaultTraceCapacity) {
+    Tracing = true;
+    TraceCap = std::max(1u, Capacity);
+    Trace.clear();
+    Trace.reserve(std::min<uint32_t>(TraceCap, 1024));
+    TraceNext = 0;
+    TraceDropped = 0;
+  }
+
+  /// The retained events, oldest first. With overflow this is the newest
+  /// traceCapacity() events of the run.
+  std::vector<Event> events() const;
+
+  /// Events overwritten because the ring was full.
+  uint64_t droppedEvents() const { return TraceDropped; }
+  uint32_t traceCapacity() const { return TraceCap; }
+  /// Total events recorded, including overwritten ones.
+  uint64_t totalEvents() const { return Trace.size() + TraceDropped; }
 
   /// Validates the squashed image inside \p M — segment ordering and
   /// bounds, offset-table consistency, and (when Options::ChecksumAtAttach
@@ -165,13 +196,27 @@ private:
   };
   std::vector<StubSlot> Slots;
 
-  void record(Event::Kind K, uint32_t Region, uint32_t Addr = 0,
-              uint32_t Count = 0) {
-    if (Tracing)
-      Trace.push_back({K, Region, Addr, Count});
+  /// Appends to the trace ring, stamping the machine's cycle counter.
+  /// Overwrites the oldest event (counting the drop) once the ring holds
+  /// traceCapacity() events.
+  void record(const vea::Machine &M, Event::Kind K, uint32_t Region,
+              uint32_t Addr = 0, uint32_t Count = 0) {
+    if (!Tracing)
+      return;
+    Event E{K, Region, Addr, Count, M.cycles()};
+    if (Trace.size() < TraceCap) {
+      Trace.push_back(E);
+    } else {
+      Trace[TraceNext] = E;
+      TraceNext = (TraceNext + 1) % TraceCap;
+      ++TraceDropped;
+    }
   }
   bool Tracing = false;
-  std::vector<Event> Trace;
+  uint32_t TraceCap = DefaultTraceCapacity;
+  size_t TraceNext = 0;      ///< Oldest element once the ring wrapped.
+  uint64_t TraceDropped = 0; ///< Events overwritten after overflow.
+  std::vector<Event> Trace;  ///< Ring storage (append until TraceCap).
 };
 
 } // namespace squash

@@ -105,3 +105,11 @@ squash::unswitchJumpTables(Program &Prog, std::vector<uint8_t> &Candidate,
   }
   return Stats;
 }
+
+void UnswitchStats::exportMetrics(vea::MetricsRegistry &R,
+                                  const std::string &Prefix) const {
+  R.setCounter(Prefix + "unswitched", Unswitched);
+  R.setCounter(Prefix + "tables_reclaimed", TablesReclaimed);
+  R.setCounter(Prefix + "table_bytes_reclaimed", TableBytesReclaimed);
+  R.setCounter(Prefix + "blocks_excluded", BlocksExcluded);
+}

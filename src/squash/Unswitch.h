@@ -20,6 +20,7 @@
 #define SQUASH_SQUASH_UNSWITCH_H
 
 #include "ir/IR.h"
+#include "support/Metrics.h"
 #include "support/Status.h"
 
 #include <vector>
@@ -32,6 +33,10 @@ struct UnswitchStats {
   unsigned TableBytesReclaimed = 0;
   unsigned BlocksExcluded = 0;   ///< Candidacy removed (unknown extent or
                                  ///< chain too long).
+
+  /// Registers every field as a counter under \p Prefix (DESIGN.md §12).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "squash.unswitch.") const;
 };
 
 /// Transforms \p Prog in place. \p Candidate flags (by Cfg block id of the

@@ -1,0 +1,124 @@
+//===- support/Metrics.cpp - Named counter/gauge registry -----------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace vea;
+
+MetricsRegistry::Entry &MetricsRegistry::entry(const std::string &Name) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return Entries[It->second];
+  Index.emplace(Name, Entries.size());
+  Entries.push_back(Entry{Name, true, 0, 0.0});
+  return Entries.back();
+}
+
+const MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? nullptr : &Entries[It->second];
+}
+
+void MetricsRegistry::setCounter(const std::string &Name, uint64_t Value) {
+  Entry &E = entry(Name);
+  E.IsCounter = true;
+  E.U64 = Value;
+}
+
+void MetricsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
+  Entry &E = entry(Name);
+  E.IsCounter = true;
+  E.U64 += Delta;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  Entry &E = entry(Name);
+  E.IsCounter = false;
+  E.Dbl = Value;
+}
+
+bool MetricsRegistry::has(const std::string &Name) const {
+  return find(Name) != nullptr;
+}
+
+uint64_t MetricsRegistry::counter(const std::string &Name) const {
+  const Entry *E = find(Name);
+  return E && E->IsCounter ? E->U64 : 0;
+}
+
+double MetricsRegistry::gauge(const std::string &Name) const {
+  const Entry *E = find(Name);
+  return E && !E->IsCounter ? E->Dbl : 0.0;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Out.push_back(E.Name);
+  return Out;
+}
+
+std::string vea::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const Entry &E : Entries) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(E.Name) + "\":";
+    char Buf[48];
+    if (E.IsCounter) {
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(E.U64));
+    } else {
+      double V = std::isfinite(E.Dbl) ? E.Dbl : 0.0;
+      std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+      // %g may print a bare integer; that is still valid JSON.
+    }
+    Out += Buf;
+  }
+  Out += "}";
+  return Out;
+}

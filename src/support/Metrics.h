@@ -1,0 +1,80 @@
+//===- support/Metrics.h - Named counter/gauge registry --------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny metrics registry: named 64-bit counters and double gauges with a
+/// single JSON serialization surface. Every measurement the pipeline and
+/// the runtime produce (SquashStats, RegionStats, BufferSafeStats,
+/// UnswitchStats, RuntimeSystem::Stats, machine cycle/instruction counts)
+/// registers here through an exportMetrics() hook, so tools, benches, and
+/// tests consume one machine-readable artifact instead of N ad-hoc printf
+/// formats (see DESIGN.md §12).
+///
+/// The registry preserves insertion order in its JSON output so repeated
+/// runs diff cleanly, and is deliberately allocation-light: it is filled
+/// once after a run, never on the simulated hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SUPPORT_METRICS_H
+#define SQUASH_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vea {
+
+class MetricsRegistry {
+public:
+  /// Sets (or overwrites) the integer counter \p Name.
+  void setCounter(const std::string &Name, uint64_t Value);
+
+  /// Adds \p Delta to counter \p Name, creating it at zero first.
+  void addCounter(const std::string &Name, uint64_t Delta);
+
+  /// Sets (or overwrites) the floating-point gauge \p Name.
+  void setGauge(const std::string &Name, double Value);
+
+  /// Lookup helpers (tests and report generators).
+  bool has(const std::string &Name) const;
+  uint64_t counter(const std::string &Name) const; ///< 0 if absent/gauge.
+  double gauge(const std::string &Name) const;     ///< 0.0 if absent.
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// All metric names, in insertion order.
+  std::vector<std::string> names() const;
+
+  /// Serializes every metric as one flat JSON object, insertion-ordered:
+  ///   {"squash.regions.packed": 7, "run.cycles": 123, ...}
+  /// Counters emit as integers, gauges as decimals (non-finite gauges
+  /// degrade to 0 so the output is always valid JSON).
+  std::string toJson() const;
+
+private:
+  struct Entry {
+    std::string Name;
+    bool IsCounter = true;
+    uint64_t U64 = 0;
+    double Dbl = 0.0;
+  };
+  Entry &entry(const std::string &Name);
+  const Entry *find(const std::string &Name) const;
+
+  std::vector<Entry> Entries;
+  std::unordered_map<std::string, size_t> Index;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes excluded).
+std::string jsonEscape(const std::string &S);
+
+} // namespace vea
+
+#endif // SQUASH_SUPPORT_METRICS_H

@@ -1,0 +1,446 @@
+//===- tests/observability_test.cpp - Metrics, trace, profile IO ----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The observability layer: the metrics registry and its JSON rendering,
+// the Chrome-trace exporter's structural validity, the per-region heat
+// report, and profile persistence — including the acceptance-criteria
+// properties that a saved-then-loaded profile squashes to a byte-identical
+// image and that a merged multi-input profile drives a correct
+// differential run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "sim/ProfileIO.h"
+#include "squash/Driver.h"
+#include "squash/Observability.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+/// Minimal recursive-descent JSON syntax checker — enough to assert that
+/// every byte the exporters produce is a single well-formed JSON value.
+struct JsonChecker {
+  const char *C, *E;
+  explicit JsonChecker(const std::string &S)
+      : C(S.data()), E(S.data() + S.size()) {}
+
+  void ws() {
+    while (C != E && (*C == ' ' || *C == '\t' || *C == '\n' || *C == '\r'))
+      ++C;
+  }
+  bool lit(const char *L) {
+    size_t N = std::strlen(L);
+    if (static_cast<size_t>(E - C) >= N && !std::memcmp(C, L, N)) {
+      C += N;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    if (C == E || *C != '"')
+      return false;
+    ++C;
+    while (C != E && *C != '"') {
+      if (static_cast<unsigned char>(*C) < 0x20)
+        return false; // raw control character
+      if (*C == '\\') {
+        ++C;
+        if (C == E || !std::strchr("\"\\/bfnrtu", *C))
+          return false;
+      }
+      ++C;
+    }
+    if (C == E)
+      return false;
+    ++C;
+    return true;
+  }
+  bool number() {
+    const char *Start = C;
+    if (C != E && *C == '-')
+      ++C;
+    bool Digits = false;
+    while (C != E && (std::isdigit(static_cast<unsigned char>(*C)) ||
+                      *C == '.' || *C == 'e' || *C == 'E' || *C == '+' ||
+                      *C == '-')) {
+      Digits |= std::isdigit(static_cast<unsigned char>(*C)) != 0;
+      ++C;
+    }
+    return C != Start && Digits;
+  }
+  bool value() {
+    ws();
+    if (C == E)
+      return false;
+    if (*C == '{') {
+      ++C;
+      ws();
+      if (C != E && *C == '}') {
+        ++C;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (!string())
+          return false;
+        ws();
+        if (C == E || *C != ':')
+          return false;
+        ++C;
+        if (!value())
+          return false;
+        ws();
+        if (C != E && *C == ',') {
+          ++C;
+          continue;
+        }
+        if (C != E && *C == '}') {
+          ++C;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*C == '[') {
+      ++C;
+      ws();
+      if (C != E && *C == ']') {
+        ++C;
+        return true;
+      }
+      while (true) {
+        if (!value())
+          return false;
+        ws();
+        if (C != E && *C == ',') {
+          ++C;
+          continue;
+        }
+        if (C != E && *C == ']') {
+          ++C;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (*C == '"')
+      return string();
+    if (lit("true") || lit("false") || lit("null"))
+      return true;
+    return number();
+  }
+};
+
+bool isValidJson(const std::string &S) {
+  JsonChecker P(S);
+  if (!P.value())
+    return false;
+  P.ws();
+  return P.C == P.E;
+}
+
+/// A byte-stream accumulator whose >= 128 bytes divert through a cold
+/// transform function — cold under any profile whose input stays below
+/// 128, exercised by timing inputs that do not.
+Program streamProgram() {
+  ProgramBuilder PB("obs");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(9, 0); // checksum
+    F.label("loop");
+    F.sys(SysFunc::GetChar);
+    F.li(1, -1);
+    F.cmpeq(1, 0, 1);
+    F.bne(1, "eof");
+    F.cmpulti(1, 0, 128);
+    F.bne(1, "plain");
+    F.mov(16, 0);
+    F.call("rare"); // returns the transformed byte in r0
+    F.label("plain");
+    F.add(9, 9, 0);
+    F.br("loop");
+    F.label("eof");
+    F.andi(16, 9, 255);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("rare");
+    F.muli(0, 16, 3);
+    F.xori(0, 0, 0x5a);
+    for (int I = 0; I != 10; ++I)
+      F.addi(0, 0, 1); // Padding so the function forms a real region.
+    F.andi(0, 0, 255);
+    F.ret();
+  }
+  PB.setEntry("main");
+  return PB.build();
+}
+
+std::vector<uint8_t> lowBytes(size_t N, uint8_t Seed) {
+  std::vector<uint8_t> In;
+  for (size_t I = 0; I != N; ++I)
+    In.push_back(static_cast<uint8_t>((Seed + I * 7) % 128));
+  return In;
+}
+
+std::vector<uint8_t> mixedBytes(size_t N) {
+  std::vector<uint8_t> In;
+  for (size_t I = 0; I != N; ++I)
+    In.push_back(static_cast<uint8_t>(40 + I * 29)); // wraps past 128
+  return In;
+}
+
+/// Profiles streamProgram's baseline on \p Input.
+Profile profileOn(const Program &Prog, const std::vector<uint8_t> &Input) {
+  Image Baseline = layoutProgram(Prog);
+  return profileImage(Baseline, Input).take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, CountersAndGauges) {
+  MetricsRegistry R;
+  EXPECT_TRUE(R.empty());
+  R.setCounter("a", 7);
+  R.addCounter("a", 3);
+  R.setGauge("b", 0.5);
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R.has("a"));
+  EXPECT_FALSE(R.has("c"));
+  EXPECT_EQ(R.counter("a"), 10u);
+  EXPECT_DOUBLE_EQ(R.gauge("b"), 0.5);
+  // addCounter on a fresh name starts from zero.
+  R.addCounter("c", 2);
+  EXPECT_EQ(R.counter("c"), 2u);
+}
+
+TEST(Metrics, JsonIsValidAndInsertionOrdered) {
+  MetricsRegistry R;
+  R.setCounter("z.count", 1);
+  R.setGauge("a.gauge", 2.25);
+  R.setCounter("quote\"key\n", 3); // must be escaped, not break the JSON
+  std::string J = R.toJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  // Insertion order, not lexicographic: z before a.
+  EXPECT_LT(J.find("z.count"), J.find("a.gauge"));
+  EXPECT_NE(J.find("\\\""), std::string::npos);
+  EXPECT_NE(J.find("\\n"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryIsAnEmptyObject) {
+  MetricsRegistry R;
+  EXPECT_EQ(R.toJson(), "{}");
+  EXPECT_TRUE(isValidJson(R.toJson()));
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome-trace export + heat report
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, ChromeTraceIsStructurallyValid) {
+  Program Prog = streamProgram();
+  Profile Prof = profileOn(Prog, lowBytes(64, 1));
+  Options Opts;
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+
+  SquashedRun Run = runSquashed(SR.SP, mixedBytes(64), 2'000'000'000ull,
+                                RuntimeSystem::DefaultTraceCapacity);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  ASSERT_FALSE(Run.Trace.empty());
+
+  std::string J = exportChromeTrace(Run.Trace, Run.TraceDropped);
+  EXPECT_TRUE(isValidJson(J)) << J.substr(0, 200);
+  EXPECT_NE(J.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"decompress\""), std::string::npos);
+
+  // Timestamps are the machine cycle counts, nondecreasing oldest-first.
+  for (size_t I = 1; I < Run.Trace.size(); ++I)
+    EXPECT_LE(Run.Trace[I - 1].Cycle, Run.Trace[I].Cycle);
+}
+
+TEST(Observability, EmptyTraceExportsValidJson) {
+  std::string J = exportChromeTrace({}, 5);
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"dropped_events\":\"5\""), std::string::npos);
+}
+
+TEST(Observability, HeatReportAggregatesPerRegion) {
+  using Event = RuntimeSystem::Event;
+  std::vector<Event> Events = {
+      {Event::Kind::EnterViaStub, 1, 0, 0, 10},
+      {Event::Kind::Decompress, 1, 0, 0, 11},
+      {Event::Kind::BufferedHit, 1, 0, 0, 20},
+      {Event::Kind::Decompress, 2, 0, 0, 30},
+      {Event::Kind::Evict, 1, 0, 0, 30},
+      {Event::Kind::StubCreate, 7, 0, 1, 31}, // stub event: not region heat
+      {Event::Kind::Decompress, 1, 0, 0, 40},
+  };
+  std::vector<RegionHeat> Report = buildRegionHeatReport(Events);
+  ASSERT_EQ(Report.size(), 2u);
+  // Sorted by decompressions descending: region 1 (2 fills) first.
+  EXPECT_EQ(Report[0].Region, 1u);
+  EXPECT_EQ(Report[0].Decompressions, 2u);
+  EXPECT_EQ(Report[0].BufferedHits, 1u);
+  EXPECT_EQ(Report[0].Evictions, 1u);
+  EXPECT_EQ(Report[0].StubCalls, 1u);
+  EXPECT_EQ(Report[0].FirstCycle, 10u);
+  EXPECT_EQ(Report[0].LastCycle, 40u);
+  EXPECT_EQ(Report[1].Region, 2u);
+  EXPECT_EQ(Report[1].Decompressions, 1u);
+
+  std::string Table = renderRegionHeatReport(Report);
+  EXPECT_NE(Table.find("decompressions"), std::string::npos);
+}
+
+TEST(Observability, CollectCoversSquashAndRunCounters) {
+  Program Prog = streamProgram();
+  Profile Prof = profileOn(Prog, lowBytes(64, 1));
+  Options Opts;
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedRun Run = runSquashed(SR.SP, mixedBytes(64), 2'000'000'000ull,
+                                RuntimeSystem::DefaultTraceCapacity);
+
+  MetricsRegistry Reg;
+  collectSquashMetrics(Reg, SR);
+  collectRunMetrics(Reg, Run);
+  // One registry covers both squash-time and runtime counters.
+  for (const char *Key :
+       {"squash.time.total_seconds", "squash.cold.cold_instructions",
+        "squash.regions.initial", "squash.buffersafe.functions",
+        "squash.unswitch.unswitched", "footprint.total_code_bytes",
+        "run.instructions", "run.cycles", "runtime.decompressions",
+        "runtime.trace_events", "runtime.trace_dropped"})
+    EXPECT_TRUE(Reg.has(Key)) << Key;
+  EXPECT_TRUE(isValidJson(Reg.toJson()));
+  EXPECT_EQ(Reg.counter("runtime.trace_events"), Run.Trace.size());
+  EXPECT_GE(Reg.counter("runtime.decompressions"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile persistence
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileIO, SerializeParseRoundTrip) {
+  Profile P;
+  P.BlockCounts = {0, 3, 0, 12345678901234ull, 1};
+  P.TotalInstructions = 999;
+  Expected<Profile> Back = parseProfile(serializeProfile(P));
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(Back.get().BlockCounts, P.BlockCounts);
+  EXPECT_EQ(Back.get().TotalInstructions, P.TotalInstructions);
+}
+
+TEST(ProfileIO, RejectsMalformedInput) {
+  EXPECT_FALSE(parseProfile("").ok());
+  EXPECT_FALSE(parseProfile("squash-profile v99\nblocks 1\ntotal 0\n").ok());
+  const char *Good = "squash-profile v1\nblocks 2\ntotal 5\n";
+  EXPECT_TRUE(parseProfile(Good).ok());
+  EXPECT_FALSE(parseProfile(std::string(Good) + "2 1\n").ok()) << "id range";
+  EXPECT_FALSE(parseProfile(std::string(Good) + "0 1\n0 2\n").ok())
+      << "duplicate id";
+  EXPECT_FALSE(parseProfile(std::string(Good) + "0 1 junk\n").ok());
+  EXPECT_FALSE(parseProfile(std::string(Good) + "0 99999999999999999999\n")
+                   .ok())
+      << "count overflow";
+  EXPECT_FALSE(parseProfile("squash-profile v1\nblocks -1\ntotal 0\n").ok());
+}
+
+TEST(ProfileIO, MergeSumsAndValidates) {
+  Profile A, B;
+  A.BlockCounts = {1, 2, 3};
+  A.TotalInstructions = 6;
+  B.BlockCounts = {10, 0, 30};
+  B.TotalInstructions = 40;
+  Expected<Profile> M = mergeProfiles({A, B});
+  ASSERT_TRUE(M.ok());
+  EXPECT_EQ(M.get().BlockCounts, (std::vector<uint64_t>{11, 2, 33}));
+  EXPECT_EQ(M.get().TotalInstructions, 46u);
+
+  EXPECT_FALSE(mergeProfiles({}).ok());
+  Profile C;
+  C.BlockCounts = {1};
+  EXPECT_FALSE(mergeProfiles({A, C}).ok()) << "block count mismatch";
+}
+
+TEST(ProfileIO, SaveLoadFileRoundTrip) {
+  Profile P;
+  P.BlockCounts = {5, 0, 7};
+  P.TotalInstructions = 12;
+  std::string Path = testing::TempDir() + "squash_profileio_test.prof";
+  ASSERT_TRUE(saveProfileFile(P, Path).ok());
+  Expected<Profile> Back = loadProfileFile(Path);
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(Back.get().BlockCounts, P.BlockCounts);
+  EXPECT_EQ(Back.get().TotalInstructions, P.TotalInstructions);
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(loadProfileFile(Path + ".does-not-exist").ok());
+}
+
+TEST(ProfileIO, LoadedProfileSquashesByteIdentically) {
+  Program Prog = streamProgram();
+  Profile Prof = profileOn(Prog, lowBytes(64, 1));
+
+  std::string Path = testing::TempDir() + "squash_profileio_image.prof";
+  ASSERT_TRUE(saveProfileFile(Prof, Path).ok());
+  Profile Loaded = loadProfileFile(Path).take();
+  std::remove(Path.c_str());
+
+  Options Opts;
+  SquashResult Direct = squashProgram(Prog, Prof, Opts).take();
+  SquashResult ViaFile = squashProgram(Prog, Loaded, Opts).take();
+  ASSERT_FALSE(Direct.Identity);
+  // The persisted profile carries everything the pipeline consumes: the
+  // squashed images must match byte for byte.
+  EXPECT_EQ(ViaFile.SP.Img.Bytes, Direct.SP.Img.Bytes);
+  EXPECT_EQ(ViaFile.SP.Img.Base, Direct.SP.Img.Base);
+  EXPECT_EQ(ViaFile.SP.Img.EntryPC, Direct.SP.Img.EntryPC);
+}
+
+TEST(ProfileIO, MergedProfileDrivesDifferentialRun) {
+  Program Prog = streamProgram();
+  // Two training inputs (the paper's Figure 5 cross-input setup), merged.
+  Profile P1 = profileOn(Prog, lowBytes(48, 1));
+  Profile P2 = profileOn(Prog, lowBytes(96, 3));
+  Profile Merged = mergeProfiles({P1, P2}).take();
+  EXPECT_EQ(Merged.TotalInstructions,
+            P1.TotalInstructions + P2.TotalInstructions);
+
+  Options Opts;
+  SquashResult SR = squashProgram(Prog, Merged, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+
+  // Differential check on an input neither profile saw: the squashed
+  // program must agree with the baseline and hit the decompressor.
+  std::vector<uint8_t> Eval = mixedBytes(80);
+  Image Baseline = layoutProgram(Prog);
+  Machine M(Baseline);
+  M.setInput(Eval);
+  RunResult Base = M.run();
+  ASSERT_EQ(Base.Status, RunStatus::Halted);
+
+  SquashedRun Run = runSquashed(SR.SP, Eval);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  EXPECT_EQ(Run.Run.ExitCode, Base.ExitCode);
+  EXPECT_EQ(Run.Output, M.output());
+  EXPECT_GE(Run.Runtime.Decompressions, 1u);
+}

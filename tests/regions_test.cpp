@@ -254,3 +254,78 @@ TEST(BufferSafe, SeedsAndPropagation) {
   EXPECT_EQ(Stats.Functions, 5u);
   EXPECT_EQ(Stats.SafeFunctions, 1u);
 }
+
+TEST(Regions, InvariantsHoldAfterPackingAndRenumbering) {
+  // Many small functions force the packer to merge and renumber regions;
+  // the partition invariants must survive that rewrite.
+  std::vector<unsigned> Sizes(16, 10);
+  Program P = hotAndCold(Sizes);
+  Cfg G(P);
+  Options Opts;
+  Opts.PackRegions = true;
+  Opts.BufferBoundBytes = 128; // 32 instructions: several merges per region
+  RegionStats Stats;
+  Partition Part = formRegions(G, allColdButMain(G), Opts, &Stats).take();
+  ASSERT_GT(Stats.Merges, 0u);
+
+  // RegionOf maps into live regions only, and every region id is the
+  // block's back-pointer: the two views agree exactly.
+  std::unordered_set<unsigned> InSomeRegion;
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    EXPECT_FALSE(Part.Regions[R].Blocks.empty()) << "empty region survived";
+    EXPECT_TRUE(std::is_sorted(Part.Regions[R].Blocks.begin(),
+                               Part.Regions[R].Blocks.end()));
+    for (unsigned B : Part.Regions[R].Blocks) {
+      EXPECT_TRUE(InSomeRegion.insert(B).second) << "block in two regions";
+      EXPECT_EQ(Part.RegionOf[B], static_cast<int32_t>(R));
+    }
+    EXPECT_LE(Part.Regions[R].sizeWords(G), Opts.BufferBoundBytes / 4);
+  }
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    if (Part.RegionOf[B] < 0) {
+      EXPECT_EQ(InSomeRegion.count(B), 0u);
+    } else {
+      ASSERT_LT(static_cast<size_t>(Part.RegionOf[B]), Part.Regions.size())
+          << "RegionOf points past the live region list";
+      EXPECT_EQ(InSomeRegion.count(B), 1u);
+    }
+  }
+}
+
+TEST(Regions, WholeFunctionRegionsAblation) {
+  std::vector<unsigned> Sizes(6, 20);
+  Program P = hotAndCold(Sizes);
+  Cfg G(P);
+  Options Whole;
+  Whole.WholeFunctionRegions = true;
+  RegionStats Stats;
+  Partition Part = formRegions(G, allColdButMain(G), Whole, &Stats).take();
+  ASSERT_FALSE(Part.Regions.empty());
+
+  // The strawman forms one region per fully-cold function: no region may
+  // span functions, and every block of a compressed function is in it.
+  for (size_t R = 0; R != Part.Regions.size(); ++R) {
+    unsigned Func = G.functionOf(Part.Regions[R].Blocks.front());
+    for (unsigned B : Part.Regions[R].Blocks) {
+      EXPECT_EQ(G.functionOf(B), Func) << "region spans functions";
+      EXPECT_EQ(Part.RegionOf[B], static_cast<int32_t>(R));
+    }
+  }
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    if (Part.RegionOf[B] < 0)
+      continue;
+    for (unsigned Other = 0; Other != G.numBlocks(); ++Other) {
+      if (G.functionOf(Other) == G.functionOf(B)) {
+        EXPECT_EQ(Part.RegionOf[Other], Part.RegionOf[B])
+            << "partial function compressed under WholeFunctionRegions";
+      }
+    }
+  }
+
+  // The ablation compresses the same straight-line functions the paper's
+  // scheme would here, so both schemes agree on the compressed block set.
+  Options Default;
+  RegionStats DefStats;
+  formRegions(G, allColdButMain(G), Default, &DefStats).take();
+  EXPECT_EQ(Stats.CompressibleInstructions, DefStats.CompressibleInstructions);
+}

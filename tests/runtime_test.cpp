@@ -553,3 +553,42 @@ TEST(Rewriter, FootprintAccountingConsistent) {
   for (const auto &RI : SR.SP.Regions)
     EXPECT_LT(RI.BitOffset, 8u * L.BlobBytes);
 }
+
+TEST(Runtime, TraceRingKeepsNewestAndCountsDropsExactly) {
+  Pipeline P(callFromBufferProgram());
+  P.profile({0});
+  Options Opts;
+  Opts.PackRegions = false;
+  SquashResult SR = squashProgram(P.Prog, P.Prof, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+
+  // Reference run with a capacity no realistic trace reaches.
+  SquashedRun Full = runSquashed(SR.SP, {1}, 2'000'000'000ull, 1u << 20);
+  ASSERT_EQ(Full.Run.Status, RunStatus::Halted) << Full.Run.FaultMessage;
+  ASSERT_EQ(Full.TraceDropped, 0u);
+  ASSERT_GE(Full.Trace.size(), 4u);
+
+  // Same deterministic run through a 3-slot ring: memory stays O(capacity),
+  // the drop counter is exact, and exactly the newest events survive in
+  // oldest-first order.
+  const uint32_t Cap = 3;
+  SquashedRun Ring = runSquashed(SR.SP, {1}, 2'000'000'000ull, Cap);
+  ASSERT_EQ(Ring.Run.Status, RunStatus::Halted);
+  ASSERT_EQ(Ring.Trace.size(), Cap);
+  EXPECT_EQ(Ring.TraceDropped, Full.Trace.size() - Cap);
+  for (size_t I = 0; I != Cap; ++I) {
+    const RuntimeSystem::Event &Want =
+        Full.Trace[Full.Trace.size() - Cap + I];
+    const RuntimeSystem::Event &Got = Ring.Trace[I];
+    EXPECT_EQ(Got.K, Want.K) << "event " << I;
+    EXPECT_EQ(Got.Region, Want.Region);
+    EXPECT_EQ(Got.Addr, Want.Addr);
+    EXPECT_EQ(Got.Count, Want.Count);
+    EXPECT_EQ(Got.Cycle, Want.Cycle);
+  }
+
+  // An untraced run keeps no events at all.
+  SquashedRun Off = runSquashed(SR.SP, {1});
+  EXPECT_TRUE(Off.Trace.empty());
+  EXPECT_EQ(Off.TraceDropped, 0u);
+}
