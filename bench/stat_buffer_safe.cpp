@@ -20,6 +20,7 @@ int main() {
   std::printf("%-10s %12s %16s %12s %14s\n", "program", "functions",
               "safe functions", "calls", "safe calls");
   std::vector<double> Fractions;
+  std::vector<BenchRow> Rows;
   for (auto &P : Suite) {
     Options Opts;
     Opts.Theta = 0.0;
@@ -33,10 +34,20 @@ int main() {
     std::printf("%-10s %12u %15u %12u %9u (%4.1f%%)\n", P.W.Name.c_str(),
                 S.Functions, S.SafeFunctions, S.CallSitesFromRegions,
                 S.SafeCallSitesFromRegions, 100.0 * Frac);
+    vea::MetricsRegistry Reg;
+    Reg.setCounter("buffersafe.functions", S.Functions);
+    Reg.setCounter("buffersafe.safe_functions", S.SafeFunctions);
+    Reg.setCounter("buffersafe.region_call_sites", S.CallSitesFromRegions);
+    Reg.setCounter("buffersafe.safe_region_call_sites",
+                   S.SafeCallSitesFromRegions);
+    Reg.setGauge("buffersafe.safe_fraction", Frac);
+    Rows.emplace_back(P.W.Name, Reg.toJson());
   }
   std::printf("%-10s %57.1f%%\n", "mean",
               100.0 * (geomean(Fractions) - 1.0));
   std::printf("\npaper: ~12.5%% of compressible regions' calls benefit on "
               "average; gsm > 20%%, g721_enc ~19%%.\n");
+  std::string Path = writeBenchJson("buffer_safe", Rows);
+  std::printf("wrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
   return 0;
 }

@@ -23,6 +23,7 @@ int main() {
   std::printf("%-10s %10s %12s %12s %8s\n", "program", "instrs",
               "raw bytes", "blob bytes", "ratio");
   std::vector<double> Ratios;
+  std::vector<BenchRow> Rows;
   const Prepared *Largest = nullptr;
   for (auto &P : Suite) {
     Options Opts;
@@ -37,6 +38,12 @@ int main() {
     std::printf("%-10s %10llu %12.0f %12u %7.1f%%\n", P.W.Name.c_str(),
                 (unsigned long long)Stored, Raw,
                 SR.SP.Footprint.CompressedBytes, 100.0 * Ratio);
+    vea::MetricsRegistry Reg;
+    Reg.setCounter("ratio.stored_instructions", Stored);
+    Reg.setCounter("ratio.blob_bytes", SR.SP.Footprint.CompressedBytes);
+    Reg.setGauge("ratio.raw_bytes", Raw);
+    Reg.setGauge("ratio.compressed_over_raw", Ratio);
+    Rows.emplace_back(P.W.Name, Reg.toJson());
     if (!Largest || P.Compact.OutputInstructions >
                         Largest->Compact.OutputInstructions)
       Largest = &P;
@@ -57,5 +64,8 @@ int main() {
                 (unsigned long long)St.Distinct,
                 (unsigned long long)St.PayloadBits,
                 (unsigned long long)St.TableBits);
+
+  std::string Path = writeBenchJson("compression_ratio", Rows);
+  std::printf("\nwrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
   return 0;
 }

@@ -160,6 +160,15 @@ int main() {
               "thrash@1buf", "thrash@4", "evict@4", "encode-1t(s)",
               "encode-4t(s)");
   std::vector<double> Paper, Cached;
+  std::vector<BenchRow> JsonRows;
+  for (const CacheRow &R : Rows) {
+    vea::MetricsRegistry Reg;
+    Reg.setCounter("cache.decodes", R.Decodes);
+    Reg.setCounter("cache.hits", R.Hits);
+    Reg.setCounter("cache.evictions", R.Evictions);
+    Reg.setGauge("cache.thrash_ratio", R.Thrash);
+    JsonRows.emplace_back("thrash/" + R.Label, Reg.toJson());
+  }
   double Serial1 = 0.0, Parallel4 = 0.0;
   for (auto &P : Suite) {
     Options Base;
@@ -193,6 +202,13 @@ int main() {
                 P.W.Name.c_str(), 100.0 * PR, 100.0 * CR,
                 static_cast<unsigned long long>(Evict),
                 PaperSR.Stats.EncodeSeconds, CacheSR.Stats.EncodeSeconds);
+    vea::MetricsRegistry Reg;
+    Reg.setGauge("cache.thrash_ratio_paper", PR);
+    Reg.setGauge("cache.thrash_ratio_4slots", CR);
+    Reg.setCounter("cache.evictions_4slots", Evict);
+    PaperSR.Stats.exportMetrics(Reg, "squash.serial.time.");
+    CacheSR.Stats.exportMetrics(Reg, "squash.4t.time.");
+    JsonRows.emplace_back(P.W.Name, Reg.toJson());
   }
   std::printf("\nsuite geomean thrash ratio: %.1f%% (paper mode) vs %.1f%% "
               "(4 slots); total encode wall time %.4fs serial vs %.4fs with "
@@ -202,5 +218,7 @@ int main() {
   std::printf("note: encoded bytes are byte-identical across thread counts "
               "(asserted by the differential suite); only wall time "
               "changes.\n");
+  std::string Path = writeBenchJson("decode_cache", JsonRows);
+  std::printf("wrote %zu row(s) to %s\n", JsonRows.size(), Path.c_str());
   return 0;
 }

@@ -1,0 +1,123 @@
+//===- bench/stat_drift.cpp - Train-on-A / run-on-B drift matrix ----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Quantifies the paper's §4.3 robustness claim with the DriftMonitor.
+// Every workload is squashed under its training profile (input A), then
+// run twice under a drift monitor: once on A again (matched — the drift
+// score should be near zero) and once on the timing input B (cross — the
+// deliberately profile-cold codec modes show up as drift). The cross
+// monitor's live heat is then merged back into the training profile and
+// the workload re-squashed; rerunning on B measures how many charged trap
+// cycles the profile-feedback loop recovers. One metrics row per workload
+// goes to BENCH_drift.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "sim/ProfileIO.h"
+#include "squash/DriftMonitor.h"
+
+using namespace bench;
+using namespace squash;
+using namespace vea;
+
+namespace {
+
+/// Squashes, runs on \p Input under a monitor, and returns the run.
+SquashedRun monitoredRun(const SquashedProgram &SP,
+                         const std::vector<uint8_t> &Input,
+                         DriftMonitor &Mon) {
+  return runSquashed(SP, Input, 2'000'000'000ull, 0, &Mon);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Drift: train on A, run on B, re-squash on merged ==\n\n");
+  auto Suite = prepareSuite();
+  std::printf("%-10s %10s %10s %8s %14s %14s %10s\n", "program", "sameScore",
+              "crossScore", "overlap", "trapCycBefore", "trapCycAfter",
+              "recovered");
+
+  std::vector<BenchRow> Rows;
+  for (auto &P : Suite) {
+    Options Opts;
+    Opts.Theta = ThetaMid;
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
+
+    // Matched run: same input the profile was trained on.
+    DriftMonitor SameMon(SR.SP, P.Prof);
+    SquashedRun SameRun = monitoredRun(SR.SP, P.W.ProfilingInput, SameMon);
+    DriftReport Same = SameMon.report();
+
+    // Cross run: the timing input, which exercises profile-cold paths.
+    DriftMonitor CrossMon(SR.SP, P.Prof);
+    SquashedRun CrossRun = monitoredRun(SR.SP, P.W.TimingInput, CrossMon);
+    DriftReport Cross = CrossMon.report();
+    const uint64_t TrapCyclesBefore = CrossRun.Runtime.TrapCycles.sum();
+
+    // Profile feedback: weight the live heat so its instruction total
+    // matches the training profile's — enough to flip every monitored
+    // region decisively hot, without inflating the merged total (and with
+    // it the θ cold budget) past recognition.
+    const Profile LiveUnit = CrossMon.liveProfile(1.0);
+    const double Weight =
+        static_cast<double>(std::max<uint64_t>(P.Prof.TotalInstructions, 1)) /
+        static_cast<double>(
+            std::max<uint64_t>(LiveUnit.TotalInstructions, 1));
+    Expected<Profile> MergedOr =
+        mergeProfiles({P.Prof, CrossMon.liveProfile(Weight)});
+    Profile Merged = MergedOr.take();
+    // Keep the absolute cold budget θ·trainTotal and pin the frequency
+    // cutoff to the original squash's: the live heat should flip
+    // mispredicted regions hot, never reclassify hot blocks as cold
+    // (emptied low frequency classes would otherwise let the cutoff
+    // scan run further).
+    Options Opts2 = Opts;
+    Opts2.Theta = Opts.Theta *
+                  (static_cast<double>(P.Prof.TotalInstructions) /
+                   static_cast<double>(
+                       std::max<uint64_t>(Merged.TotalInstructions, 1)));
+    Opts2.ColdCutoffCap = SR.Cold.FrequencyCutoff;
+    SquashResult SR2 = squashProgram(P.W.Prog, Merged, Opts2).take();
+    DriftMonitor AfterMon(SR2.SP, Merged);
+    SquashedRun AfterRun = monitoredRun(SR2.SP, P.W.TimingInput, AfterMon);
+    const uint64_t TrapCyclesAfter = AfterRun.Runtime.TrapCycles.sum();
+    const int64_t Recovered = static_cast<int64_t>(TrapCyclesBefore) -
+                              static_cast<int64_t>(TrapCyclesAfter);
+
+    const bool Ok = SameRun.Run.Status == RunStatus::Halted &&
+                    CrossRun.Run.Status == RunStatus::Halted &&
+                    AfterRun.Run.Status == RunStatus::Halted &&
+                    CrossRun.Run.ExitCode == AfterRun.Run.ExitCode;
+    if (!Ok) {
+      std::fprintf(stderr, "stat_drift: %s did not run cleanly\n",
+                   P.W.Name.c_str());
+      return 1;
+    }
+
+    MetricsRegistry Reg;
+    Same.exportMetrics(Reg, "drift.same.");
+    Cross.exportMetrics(Reg, "drift.cross.");
+    AfterMon.report().exportMetrics(Reg, "drift.after.");
+    Reg.setCounter("drift.trap_cycles_before", TrapCyclesBefore);
+    Reg.setCounter("drift.trap_cycles_after", TrapCyclesAfter);
+    Reg.setGauge("drift.recovered_cycles", static_cast<double>(Recovered));
+    Reg.setGauge("drift.live_weight", Weight);
+    Reg.setHistogram("drift.cross.trap_cycles_hist",
+                     CrossRun.Runtime.TrapCycles);
+    Rows.emplace_back(P.W.Name, Reg.toJson());
+
+    std::printf("%-10s %10.4f %10.4f %8.3f %14llu %14llu %10lld\n",
+                P.W.Name.c_str(), Same.DriftScore, Cross.DriftScore,
+                Cross.TopKOverlap, (unsigned long long)TrapCyclesBefore,
+                (unsigned long long)TrapCyclesAfter, (long long)Recovered);
+  }
+
+  std::string Path = writeBenchJson("drift", Rows);
+  std::printf("\nwrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
+  return 0;
+}

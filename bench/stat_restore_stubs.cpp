@@ -29,8 +29,10 @@ int main() {
   std::printf("\n");
 
   std::vector<std::vector<double>> StaticPct(Thetas.size());
+  std::vector<BenchRow> Rows;
   uint32_t MaxLiveOverall = 0;
   for (auto &P : Suite) {
+    vea::MetricsRegistry Reg;
     std::printf("%-10s", P.W.Name.c_str());
     for (size_t TI = 0; TI != Thetas.size(); ++TI) {
       Options Opts;
@@ -50,8 +52,13 @@ int main() {
       MaxLiveOverall =
           std::max(MaxLiveOverall, Run.Runtime.MaxLiveStubs);
       std::printf("  %12.1f%% %14u", Pct, Run.Runtime.MaxLiveStubs);
+      const std::string Prefix = "stubs.theta_" + thetaLabel(Thetas[TI]) + ".";
+      Reg.setCounter(Prefix + "static_sites", StubSites);
+      Reg.setGauge(Prefix + "static_pct_of_nc", Pct);
+      Reg.setCounter(Prefix + "max_live", Run.Runtime.MaxLiveStubs);
     }
     std::printf("\n");
+    Rows.emplace_back(P.W.Name, Reg.toJson());
   }
   std::printf("%-10s", "mean");
   for (auto &V : StaticPct)
@@ -60,5 +67,7 @@ int main() {
               "at theta = 0.01).\npaper static-stub cost: 13%% of "
               "never-compressed code at theta = 0, 27%% at 0.01.\n",
               MaxLiveOverall);
+  std::string Path = writeBenchJson("restore_stubs", Rows);
+  std::printf("wrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
   return 0;
 }

@@ -8,15 +8,22 @@
 //
 //   squash_tool [file.s] [--theta X] [--k BYTES] [--mtf] [--delta]
 //               [--input BYTES...] [--profile-out FILE] [--profile-in FILE]...
-//               [--metrics-json FILE] [--trace-out FILE] [--trace-capacity N]
+//               [--metrics-json FILE] [--metrics-prom FILE]
+//               [--trace-out FILE] [--trace-capacity N]
+//               [--drift-report FILE] [--live-profile-out FILE]
 //
 // Assembles the program (or a built-in demo), compacts it, profiles it on
 // the given input bytes (or loads and merges saved profiles), squashes it,
 // prints the objdump-style inspection reports, and verifies that original
 // and squashed runs agree. --metrics-json dumps every pipeline and runtime
-// counter as one JSON object; --trace-out writes the verification run's
-// event trace in Chrome trace format plus a per-region heat report to
-// stdout. FILE may be "-" for stdout.
+// counter as one JSON object; --metrics-prom dumps the same registry in
+// Prometheus text exposition format; --trace-out writes the verification
+// run's event trace in Chrome trace format plus a per-region heat report
+// to stdout. --drift-report attaches a DriftMonitor to the verification
+// run and writes its JSON drift report; --live-profile-out writes the
+// monitor's live heat as a loadable profile (merge it with the training
+// profile via --profile-in to re-squash against observed behaviour).
+// FILE may be "-" for stdout.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +33,7 @@
 #include "link/Layout.h"
 #include "sim/Machine.h"
 #include "sim/ProfileIO.h"
+#include "squash/DriftMonitor.h"
 #include "squash/Driver.h"
 #include "squash/Inspect.h"
 #include "squash/Observability.h"
@@ -103,8 +111,11 @@ struct Args {
   std::string ProfileOut;
   std::vector<std::string> ProfileIn; ///< Repeatable; merged when several.
   std::string MetricsJson;
+  std::string MetricsProm;
   std::string TraceOut;
   uint32_t TraceCapacity = RuntimeSystem::DefaultTraceCapacity;
+  std::string DriftReportPath;
+  std::string LiveProfileOut;
 };
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
@@ -126,6 +137,12 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.ProfileIn.push_back(Argv[++I]);
     } else if (S == "--metrics-json" && I + 1 < Argc) {
       A.MetricsJson = Argv[++I];
+    } else if (S == "--metrics-prom" && I + 1 < Argc) {
+      A.MetricsProm = Argv[++I];
+    } else if (S == "--drift-report" && I + 1 < Argc) {
+      A.DriftReportPath = Argv[++I];
+    } else if (S == "--live-profile-out" && I + 1 < Argc) {
+      A.LiveProfileOut = Argv[++I];
     } else if (S == "--trace-out" && I + 1 < Argc) {
       A.TraceOut = Argv[++I];
     } else if (S == "--trace-capacity" && I + 1 < Argc) {
@@ -238,11 +255,30 @@ int main(int Argc, char **Argv) {
   SquashResult SR = squashProgram(Prog, Prof, Opts).take();
   if (SR.Identity) {
     std::printf("nothing profitable to compress at theta=%g\n", A.Theta);
-    if (!A.MetricsJson.empty()) {
+    if (!A.MetricsJson.empty() || !A.MetricsProm.empty()) {
       MetricsRegistry Reg;
       collectSquashMetrics(Reg, SR);
-      if (!writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+      if (!A.MetricsJson.empty() &&
+          !writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
         return 1;
+      if (!A.MetricsProm.empty() &&
+          !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
+        return 1;
+    }
+    if (!A.DriftReportPath.empty() || !A.LiveProfileOut.empty()) {
+      // No regions means no traps to observe: emit the empty report /
+      // profile so downstream consumers still find well-formed files.
+      DriftMonitor Mon(SR.SP, Prof);
+      if (!A.DriftReportPath.empty() &&
+          !writeTextFile(A.DriftReportPath, Mon.reportJson() + "\n"))
+        return 1;
+      if (!A.LiveProfileOut.empty()) {
+        if (Status St = saveProfileFile(Mon.liveProfile(), A.LiveProfileOut);
+            !St.ok()) {
+          std::fprintf(stderr, "%s\n", St.toString().c_str());
+          return 1;
+        }
+      }
     }
     return 0;
   }
@@ -263,8 +299,11 @@ int main(int Argc, char **Argv) {
   M1.setInput(LongInput);
   RunResult R1 = M1.run();
   bool WantTrace = !A.TraceOut.empty();
+  bool WantDrift = !A.DriftReportPath.empty() || !A.LiveProfileOut.empty();
+  DriftMonitor Mon(SR.SP, Prof);
   SquashedRun R2 = runSquashed(SR.SP, LongInput, 2'000'000'000ull,
-                               WantTrace ? A.TraceCapacity : 0);
+                               WantTrace ? A.TraceCapacity : 0,
+                               WantDrift ? &Mon : nullptr);
   bool Ok = R1.Status == RunStatus::Halted &&
             R2.Run.Status == RunStatus::Halted &&
             R1.ExitCode == R2.Run.ExitCode;
@@ -285,11 +324,36 @@ int main(int Argc, char **Argv) {
                 renderRegionHeatReport(buildRegionHeatReport(R2.Trace))
                     .c_str());
   }
-  if (!A.MetricsJson.empty()) {
+  if (WantDrift) {
+    DriftReport Rep = Mon.report();
+    std::printf("\ndrift: score %.3f, top-%u overlap %.3f, %u/%u regions "
+                "touched, %zu mispredicted cold\n",
+                Rep.DriftScore, DriftConfig{}.TopK, Rep.TopKOverlap,
+                Rep.RegionsTouched, Rep.RegionsTotal,
+                Rep.MispredictedCold.size());
+    if (!A.DriftReportPath.empty() &&
+        !writeTextFile(A.DriftReportPath, Mon.reportJson() + "\n"))
+      return 1;
+    if (!A.LiveProfileOut.empty()) {
+      if (Status St = saveProfileFile(Mon.liveProfile(), A.LiveProfileOut);
+          !St.ok()) {
+        std::fprintf(stderr, "%s\n", St.toString().c_str());
+        return 1;
+      }
+      std::printf("live profile saved to %s\n", A.LiveProfileOut.c_str());
+    }
+  }
+  if (!A.MetricsJson.empty() || !A.MetricsProm.empty()) {
     MetricsRegistry Reg;
     collectSquashMetrics(Reg, SR);
     collectRunMetrics(Reg, R2);
-    if (!writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+    if (WantDrift)
+      Mon.report().exportMetrics(Reg);
+    if (!A.MetricsJson.empty() &&
+        !writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+      return 1;
+    if (!A.MetricsProm.empty() &&
+        !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
       return 1;
   }
   return Ok ? 0 : 1;

@@ -13,7 +13,7 @@ using namespace squash;
 
 vea::Expected<ColdCodeResult>
 squash::identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof,
-                         double Theta) {
+                         double Theta, uint64_t CutoffCap) {
   if (Prof.BlockCounts.size() != G.numBlocks())
     return vea::Status::error(
         vea::StatusCode::InvalidArgument,
@@ -42,6 +42,8 @@ squash::identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof,
     // Frequency classes are admitted whole: every block with freq <= N is
     // cold, so a class that does not fit entirely ends the scan.
     uint64_t Freq = Prof.BlockCounts[Order[I]];
+    if (Freq > CutoffCap)
+      break;
     double ClassWeight = 0.0;
     size_t J = I;
     while (J < Order.size() && Prof.BlockCounts[Order[J]] == Freq) {

@@ -38,11 +38,16 @@ struct ColdCodeResult {
   }
 };
 
-/// Identifies cold blocks per Section 5. \p Theta in [0, 1]. Fails with
-/// InvalidArgument if the profile's block count does not match the program.
-vea::Expected<ColdCodeResult> identifyColdCode(const vea::Cfg &G,
-                                               const vea::Profile &Prof,
-                                               double Theta);
+/// Identifies cold blocks per Section 5. \p Theta in [0, 1]. \p CutoffCap
+/// bounds the frequency cutoff N from above regardless of remaining θ
+/// budget — profile-feedback re-squashes use it to keep the original
+/// hot/cold boundary when merged-in live heat empties the low frequency
+/// classes (which would otherwise let the scan run further and reclassify
+/// previously-hot blocks as cold). Fails with InvalidArgument if the
+/// profile's block count does not match the program.
+vea::Expected<ColdCodeResult>
+identifyColdCode(const vea::Cfg &G, const vea::Profile &Prof, double Theta,
+                 uint64_t CutoffCap = UINT64_MAX);
 
 } // namespace squash
 

@@ -41,7 +41,8 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
   // Section 5: cold code.
   {
     Cfg G0(Prog);
-    Expected<ColdCodeResult> Cold = identifyColdCode(G0, Prof, Opts.Theta);
+    Expected<ColdCodeResult> Cold =
+        identifyColdCode(G0, Prof, Opts.Theta, Opts.ColdCutoffCap);
     if (!Cold)
       return Cold.status();
     R.Cold = std::move(Cold.get());
@@ -103,6 +104,7 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
       return Img.status();
     R.SP.Img = std::move(Img.get());
     R.SP.Opts = Opts;
+    R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
     R.SP.Footprint.NeverCompressedWords =
         static_cast<uint32_t>(Prog.instructionCount());
     R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
@@ -122,6 +124,7 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
     return SPOr.status();
   R.SP = std::move(SPOr.get());
   R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+  R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
   R.Stats.RewriteSeconds = lapSeconds(Lap);
   R.Stats.EncodeSeconds = R.SP.Encode.Seconds;
   R.Stats.EncodeThreads = R.SP.Encode.ThreadsUsed;
@@ -133,13 +136,15 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
 SquashedRun squash::runSquashed(const SquashedProgram &SP,
                                 std::vector<uint8_t> Input,
                                 uint64_t MaxInstructions,
-                                uint32_t TraceCapacity) {
+                                uint32_t TraceCapacity,
+                                TrapObserver *Observer) {
   Machine::Config Cfg;
   Cfg.MaxInstructions = MaxInstructions;
   Machine M(SP.Img, Cfg);
   RuntimeSystem RT(SP);
   if (TraceCapacity)
     RT.enableTrace(TraceCapacity);
+  RT.setTrapObserver(Observer);
   SquashedRun Out;
   if (Status St = RT.attach(M); !St.ok()) {
     Out.Run.Status = RunStatus::Fault;

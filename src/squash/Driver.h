@@ -90,10 +90,13 @@ struct SquashedRun {
 /// If the image fails its attach-time validation the result is a Fault
 /// run carrying the validation message; nothing is executed. A nonzero
 /// \p TraceCapacity enables runtime event tracing into a ring of that many
-/// events (see RuntimeSystem::enableTrace).
+/// events (see RuntimeSystem::enableTrace). \p Observer, when non-null, is
+/// called on every Decompress-entry trap during the run (squash/DriftMonitor
+/// plugs in here).
 SquashedRun runSquashed(const SquashedProgram &SP, std::vector<uint8_t> Input,
                         uint64_t MaxInstructions = 2'000'000'000ull,
-                        uint32_t TraceCapacity = 0);
+                        uint32_t TraceCapacity = 0,
+                        TrapObserver *Observer = nullptr);
 
 /// Profiles \p Img (an original / compacted image) on \p Input. Fails with
 /// RuntimeFault if the program does not halt cleanly.

@@ -33,6 +33,14 @@ struct Options {
   /// dynamic instruction count (Section 5).
   double Theta = 0.0;
 
+  /// Upper bound on the cold-code frequency cutoff N, regardless of how
+  /// much θ budget remains (UINT64_MAX = unbounded, the paper's rule).
+  /// Profile-feedback re-squashes pin this to the original squash's
+  /// cutoff so that merging live heat into the profile can only flip
+  /// blocks hot, never reclassify previously-hot blocks as cold (see
+  /// ColdCode.h and DESIGN.md §13).
+  uint64_t ColdCutoffCap = UINT64_MAX;
+
   /// The paper's K: upper bound, in bytes, on the runtime buffer used to
   /// guide region formation (Section 4; default 512, chosen empirically in
   /// Figure 3).

@@ -315,10 +315,15 @@ Status Rewriter::layout() {
 Status Rewriter::lowerRegions() {
   Stored.resize(Part.Regions.size());
   Out.Regions.resize(Part.Regions.size());
+  Out.RegionBlocks.resize(Part.Regions.size());
   for (size_t R = 0; R != Part.Regions.size(); ++R) {
     int32_t Self = static_cast<int32_t>(R);
     auto &Seq = Stored[R];
     uint32_t Cur = 0;
+    for (unsigned B : Part.Regions[R].Blocks)
+      Out.RegionBlocks[R].push_back(
+          {B, static_cast<uint32_t>(G.block(B).Insts.size()),
+           static_cast<uint8_t>(StubIndexOf[B] >= 0)});
     for (unsigned B : Part.Regions[R].Blocks) {
       for (const auto &I : G.block(B).Insts) {
         uint32_t A = bufAddr(Cur);

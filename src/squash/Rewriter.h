@@ -147,6 +147,16 @@ struct EntryStubSite {
   uint32_t Tag = 0;  ///< (region << 16) | (1 + expanded word offset).
 };
 
+/// One Cfg block a compressed region contains, with its instruction count.
+/// squash/DriftMonitor uses this mapping to project live region heat back
+/// onto a block-level sim::Profile that mergeProfiles can combine with the
+/// training profile for a re-squash.
+struct RegionBlockRef {
+  uint32_t Block = 0;        ///< Cfg block id (post-unswitch numbering).
+  uint32_t Instructions = 0; ///< Source instructions in the block.
+  uint8_t IsEntry = 0;       ///< Has an entry stub (region entry point).
+};
+
 /// Wall-clock accounting for the offline encode pass, surfaced through
 /// SquashStats.
 struct EncodeTiming {
@@ -175,6 +185,13 @@ struct SquashedProgram {
   /// Per region: its entry stubs, for direct-branch rewriting of resident
   /// regions.
   std::vector<std::vector<EntryStubSite>> RegionEntryStubs;
+  /// Per region: the blocks it compresses (same region order as Regions),
+  /// for projecting runtime heat back onto the profile's block ids.
+  std::vector<std::vector<RegionBlockRef>> RegionBlocks;
+  /// Block count of the guiding profile (the pre-unswitch Cfg). Unswitching
+  /// may append blocks, so RegionBlocks entries at or past this id have no
+  /// profile slot and are skipped when a live profile is exported.
+  uint32_t ProfileBlockCount = 0;
   /// Timing of the per-region encode pass that produced the blob.
   EncodeTiming Encode;
 };

@@ -14,6 +14,8 @@
 using namespace squash;
 using namespace vea;
 
+TrapObserver::~TrapObserver() = default;
+
 RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
   Slots.resize(SP.Layout.StubSlots);
   Cache.resize(std::max(1u, SP.Layout.CacheSlots));
@@ -48,6 +50,9 @@ void RuntimeSystem::Stats::exportMetrics(vea::MetricsRegistry &R,
   R.setCounter(Prefix + "max_live_stubs", MaxLiveStubs);
   R.setCounter(Prefix + "live_stubs", LiveStubs);
   R.setGauge(Prefix + "thrash_ratio", thrashRatio());
+  R.setHistogram(Prefix + "trap_cycles", TrapCycles);
+  R.setHistogram(Prefix + "decode_cycles", DecodeCycles);
+  R.setHistogram(Prefix + "hit_streaks", HitStreaks);
 }
 
 Status RuntimeSystem::attach(Machine &M) {
@@ -150,13 +155,25 @@ Status RuntimeSystem::attach(Machine &M) {
 }
 
 bool RuntimeSystem::handleTrap(Machine &M, uint32_t PC) {
+  // Per-trap charged-cycle latency: no guest instruction retires while a
+  // trap is being serviced, so the cycle delta across the dispatch is
+  // exactly the work this trap charged. Recording is a bit-width plus an
+  // array increment on a preallocated histogram — no allocation, no added
+  // simulated cycles (DESIGN.md §13).
+  const uint64_t Before = M.cycles();
   uint32_t Index = (PC - SP.Layout.DecompBase) / 4;
-  if (Index < RuntimeLayout::NumDecompressEntries)
-    return decompress(M, Index);
-  if (Index < RuntimeLayout::NumEntryPoints)
-    return createStub(M, Index - RuntimeLayout::NumDecompressEntries);
-  M.fault("jump into the middle of the decompressor");
-  return false;
+  bool Ok;
+  if (Index < RuntimeLayout::NumDecompressEntries) {
+    Ok = decompress(M, Index);
+  } else if (Index < RuntimeLayout::NumEntryPoints) {
+    Ok = createStub(M, Index - RuntimeLayout::NumDecompressEntries);
+  } else {
+    M.fault("jump into the middle of the decompressor");
+    return false;
+  }
+  if (Ok)
+    St.TrapCycles.record(M.cycles() - Before);
+  return Ok;
 }
 
 /// Computes a branch-format displacement from instruction address \p From
@@ -241,6 +258,7 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
                      4 * RI.ExpandedWords) == Cache[Slot].Crc) {
       Cache[Slot].LastUse = ++UseTick;
       ++St.BufferedHits;
+      ++HitStreak;
       record(M, Event::Kind::BufferedHit, Region, Slot);
       M.addCycles(SP.Opts.Costs.DecompSetupCycles);
       CurrentRegion = static_cast<int32_t>(Region);
@@ -371,10 +389,15 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
 
   ++St.Decompressions;
   St.DecodedInstructions += Decoded;
+  St.HitStreaks.record(HitStreak);
+  HitStreak = 0;
   record(M, Event::Kind::Decompress, Region, Slot);
   const CostModel &C = SP.Opts.Costs;
-  M.addCycles(C.DecompSetupCycles + C.CyclesPerDecodedInstr * Decoded +
-              C.IcacheFlushCycles);
+  const uint64_t DecodeCharge = C.DecompSetupCycles +
+                                C.CyclesPerDecodedInstr * Decoded +
+                                C.IcacheFlushCycles;
+  St.DecodeCycles.record(DecodeCharge);
+  M.addCycles(DecodeCharge);
   CurrentRegion = static_cast<int32_t>(Region);
 
   // A freshly resident region's entry stubs can branch straight to the
@@ -452,8 +475,13 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
 
   // Make the region resident (cache hit or decode), learn its slot.
   uint32_t CacheSlotIdx = 0;
+  const uint64_t FillsBefore = St.Decompressions;
+  const uint64_t CyclesBefore = M.cycles();
   if (!fillBuffer(M, Region, CacheSlotIdx))
     return false;
+  if (Observer)
+    Observer->onRegionEntry(Region, St.Decompressions != FillsBefore,
+                            FromRestoreStub, M.cycles() - CyclesBefore);
 
   // The slot's jump word transfers to the tag's offset within the slot.
   MInst Jump = makeBranch(Opcode::Br, RegZero,

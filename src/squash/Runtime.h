@@ -28,6 +28,7 @@
 
 #include "sim/Machine.h"
 #include "squash/Rewriter.h"
+#include "support/Histogram.h"
 #include "support/Metrics.h"
 #include "support/Status.h"
 
@@ -36,6 +37,26 @@
 #include <vector>
 
 namespace squash {
+
+/// Observer of the runtime's Decompress traps, invoked synchronously from
+/// the trap path (so implementations must stay allocation-free and cheap).
+/// squash/DriftMonitor uses this to accumulate live region heat online,
+/// without waiting for the bounded trace ring — which drops old events —
+/// to be drained after the run.
+class TrapObserver {
+public:
+  virtual ~TrapObserver();
+
+  /// Called once per Decompress-entry trap, after \p Region became
+  /// resident. \p Filled is false when the decode cache served the entry
+  /// without re-decoding; \p ViaRestore is true when the trap came through
+  /// a restore stub (a call returning into an evicted region) rather than
+  /// an entry stub — a cache-pressure artifact, not a fresh region entry;
+  /// \p ChargedCycles is the simulated cycle cost the entry added (fill +
+  /// setup, or the hit's setup charge).
+  virtual void onRegionEntry(uint32_t Region, bool Filled, bool ViaRestore,
+                             uint64_t ChargedCycles) = 0;
+};
 
 class RuntimeSystem : public vea::TrapHandler {
 public:
@@ -62,6 +83,17 @@ public:
                                           ///< integrity check.
     uint32_t MaxLiveStubs = 0;
     uint32_t LiveStubs = 0;
+
+    /// Latency distributions (DESIGN.md §13). Histograms are fixed-size
+    /// members — preallocated with the Stats object when the runtime is
+    /// constructed — so hot-path recording is a couple of arithmetic ops
+    /// and never allocates.
+    vea::Histogram TrapCycles;   ///< Charged cycles per decompressor trap.
+    vea::Histogram DecodeCycles; ///< Charged decode cycles per region fill.
+    vea::Histogram HitStreaks;   ///< Resident (no-decode) entries served
+                                 ///< between consecutive fills; recorded at
+                                 ///< each fill, so 0 means the fill had no
+                                 ///< cache hits before it.
 
     /// Fills as a fraction of decompression requests: 1.0 means every
     /// entry re-decoded (the paper's always-thrash behaviour), lower means
@@ -141,6 +173,10 @@ public:
 
   bool handleTrap(vea::Machine &M, uint32_t PC) override;
 
+  /// Registers \p O to be called on every Decompress-entry trap (nullptr
+  /// detaches). The observer is invoked synchronously on the trap path.
+  void setTrapObserver(TrapObserver *O) { Observer = O; }
+
   const Stats &stats() const { return St; }
 
   /// Region most recently entered through the decompressor (-1 before the
@@ -173,6 +209,8 @@ private:
   const SquashedProgram &SP;
   Stats St;
   int32_t CurrentRegion = -1;
+  TrapObserver *Observer = nullptr;
+  uint64_t HitStreak = 0; ///< Resident hits since the last fill.
 
   /// Host mirror of the decode cache: per slot, the resident region, an
   /// LRU tick, and the CRC of the slot-relocated words written at fill

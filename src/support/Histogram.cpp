@@ -1,0 +1,78 @@
+//===- support/Histogram.cpp - Log-bucketed latency histogram -------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace vea;
+
+void Histogram::merge(const Histogram &Other) {
+  if (Other.Count_ == 0)
+    return;
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    Counts[I] += Other.Counts[I];
+  if (Count_ == 0 || Other.Min_ < Min_)
+    Min_ = Other.Min_;
+  if (Count_ == 0 || Other.Max_ > Max_)
+    Max_ = Other.Max_;
+  Count_ += Other.Count_;
+  Sum_ += Other.Sum_;
+}
+
+void Histogram::reset() {
+  Counts.fill(0);
+  Count_ = Sum_ = Min_ = Max_ = 0;
+}
+
+uint64_t Histogram::percentile(double P) const {
+  if (Count_ == 0)
+    return 0;
+  P = std::clamp(P, 0.0, 100.0);
+  // Rank of the requested sample, at least 1 so p0 reports the minimum.
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(P / 100.0 * static_cast<double>(Count_)));
+  Rank = std::max<uint64_t>(Rank, 1);
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Cum += Counts[I];
+    if (Cum >= Rank)
+      return std::clamp(bucketLowerBound(I), min(), max());
+  }
+  return max();
+}
+
+std::string Histogram::toJson() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"buckets\":[",
+                static_cast<unsigned long long>(Count_),
+                static_cast<unsigned long long>(Sum_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max()),
+                static_cast<unsigned long long>(percentile(50)),
+                static_cast<unsigned long long>(percentile(90)),
+                static_cast<unsigned long long>(percentile(99)));
+  std::string Out = Buf;
+  bool First = true;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    if (!Counts[I])
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    std::snprintf(Buf, sizeof(Buf), "[%llu,%llu]",
+                  static_cast<unsigned long long>(bucketLowerBound(I)),
+                  static_cast<unsigned long long>(Counts[I]));
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}

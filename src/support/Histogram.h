@@ -1,0 +1,126 @@
+//===- support/Histogram.h - Log-bucketed latency histogram ----*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, log-linear (HDR-style) histogram for uint64 samples —
+/// trap latencies, decode cycles, cache hit streaks. The bucket layout is
+/// the classic log-linear scheme: each power-of-two octave is split into
+/// SubBuckets linear sub-buckets, so relative quantile error is bounded by
+/// 1/SubBuckets (12.5%) while the whole 64-bit range fits in NumBuckets
+/// counters with no allocation, ever.
+///
+/// Values below 2*SubBuckets land in single-valued buckets, so
+/// distributions of small integers (hit streaks, sub-16-cycle latencies)
+/// report exact percentiles.
+///
+/// record() is a couple of arithmetic operations (bit-width + array
+/// increment) and is safe to call on the simulated hot path; the summary
+/// operations (percentile, toJson) walk the bucket array and are meant for
+/// post-run reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SUPPORT_HISTOGRAM_H
+#define SQUASH_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace vea {
+
+class Histogram {
+public:
+  /// Sub-buckets per power-of-two octave (8: quantiles within 12.5%).
+  static constexpr unsigned SubBucketBits = 3;
+  static constexpr unsigned SubBuckets = 1u << SubBucketBits;
+  /// Buckets covering [0, UINT64_MAX]: one linear run for the first two
+  /// octaves plus SubBuckets per remaining octave.
+  static constexpr unsigned NumBuckets = (64 - SubBucketBits + 1) * SubBuckets;
+
+  /// Bucket index of \p V. Exact for V < 2*SubBuckets, log-linear above.
+  static unsigned bucketIndex(uint64_t V) {
+    if (V < SubBuckets)
+      return static_cast<unsigned>(V);
+    const unsigned P = std::bit_width(V) - 1; // position of the top set bit
+    const unsigned Octave = P - SubBucketBits + 1;
+    return Octave * SubBuckets +
+           static_cast<unsigned>((V >> (P - SubBucketBits)) - SubBuckets);
+  }
+
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t bucketLowerBound(unsigned Index) {
+    if (Index < 2 * SubBuckets)
+      return Index;
+    const unsigned Octave = Index / SubBuckets;
+    const unsigned Sub = Index % SubBuckets;
+    return static_cast<uint64_t>(SubBuckets + Sub) << (Octave - 1);
+  }
+
+  /// Largest value mapping to bucket \p Index (inclusive).
+  static uint64_t bucketUpperBound(unsigned Index) {
+    if (Index < 2 * SubBuckets)
+      return Index;
+    const unsigned Octave = Index / SubBuckets;
+    const uint64_t Width = 1ull << (Octave - 1);
+    return bucketLowerBound(Index) + (Width - 1);
+  }
+
+  void record(uint64_t V) { recordN(V, 1); }
+  void recordN(uint64_t V, uint64_t N) {
+    if (N == 0)
+      return;
+    Counts[bucketIndex(V)] += N;
+    if (Count_ == 0 || V < Min_)
+      Min_ = V;
+    if (Count_ == 0 || V > Max_)
+      Max_ = V;
+    Count_ += N;
+    Sum_ += V * N;
+  }
+
+  /// Element-wise sum of two histograms (associative and commutative, so
+  /// per-shard histograms can be reduced in any order).
+  void merge(const Histogram &Other);
+
+  void reset();
+
+  uint64_t count() const { return Count_; }
+  uint64_t sum() const { return Sum_; }
+  uint64_t min() const { return Count_ ? Min_ : 0; } ///< 0 when empty.
+  uint64_t max() const { return Count_ ? Max_ : 0; } ///< 0 when empty.
+  double mean() const {
+    return Count_ ? static_cast<double>(Sum_) / static_cast<double>(Count_)
+                  : 0.0;
+  }
+  uint64_t bucketCount(unsigned Index) const { return Counts[Index]; }
+
+  /// Value at percentile \p P (0..100]: the lower bound of the bucket
+  /// holding the sample of rank ceil(P/100 * count), clamped to the
+  /// observed [min, max]. Exact when every sample is a bucket lower bound
+  /// (always true below 2*SubBuckets); within one sub-bucket otherwise.
+  /// Returns 0 on an empty histogram.
+  uint64_t percentile(double P) const;
+
+  /// One JSON object: exact count/sum/min/max, the standard percentile
+  /// ladder, and the nonzero buckets as [lower_bound, count] pairs.
+  ///   {"count":12,"sum":340,"min":1,"max":99,"p50":8,"p90":64,"p99":96,
+  ///    "buckets":[[1,3],[8,9]]}
+  std::string toJson() const;
+
+private:
+  std::array<uint64_t, NumBuckets> Counts{};
+  uint64_t Count_ = 0;
+  uint64_t Sum_ = 0;
+  uint64_t Min_ = 0;
+  uint64_t Max_ = 0;
+};
+
+} // namespace vea
+
+#endif // SQUASH_SUPPORT_HISTOGRAM_H

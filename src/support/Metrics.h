@@ -1,4 +1,4 @@
-//===- support/Metrics.h - Named counter/gauge registry --------*- C++ -*-===//
+//===- support/Metrics.h - Named counter/gauge/histogram registry -*- C++ -*-===//
 //
 // Part of the squash project: a reproduction of "Profile-Guided Code
 // Compression" (Debray & Evans, PLDI 2002).
@@ -6,24 +6,33 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A tiny metrics registry: named 64-bit counters and double gauges with a
-/// single JSON serialization surface. Every measurement the pipeline and
-/// the runtime produce (SquashStats, RegionStats, BufferSafeStats,
-/// UnswitchStats, RuntimeSystem::Stats, machine cycle/instruction counts)
-/// registers here through an exportMetrics() hook, so tools, benches, and
-/// tests consume one machine-readable artifact instead of N ad-hoc printf
-/// formats (see DESIGN.md §12).
+/// A tiny metrics registry: named 64-bit counters, double gauges, and
+/// log-bucketed histograms with two serialization surfaces — JSON and
+/// Prometheus text exposition. Every measurement the pipeline and the
+/// runtime produce (SquashStats, RegionStats, BufferSafeStats,
+/// UnswitchStats, RuntimeSystem::Stats, machine cycle/instruction counts,
+/// trap-latency distributions) registers here through an exportMetrics()
+/// hook, so tools, benches, and tests consume one machine-readable
+/// artifact instead of N ad-hoc printf formats (see DESIGN.md §12-§13).
 ///
-/// The registry preserves insertion order in its JSON output so repeated
-/// runs diff cleanly, and is deliberately allocation-light: it is filled
-/// once after a run, never on the simulated hot path.
+/// A metric's kind is fixed by the call that creates it: writing a gauge
+/// over an existing counter (or any other kind mix-up) is rejected — the
+/// setter returns false, asserts in debug builds, and leaves the entry
+/// untouched — instead of silently reinterpreting the shared storage.
+///
+/// The registry preserves insertion order in its output so repeated runs
+/// diff cleanly, and is deliberately allocation-light: it is filled once
+/// after a run, never on the simulated hot path.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SQUASH_SUPPORT_METRICS_H
 #define SQUASH_SUPPORT_METRICS_H
 
+#include "support/Histogram.h"
+
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,19 +41,32 @@ namespace vea {
 
 class MetricsRegistry {
 public:
-  /// Sets (or overwrites) the integer counter \p Name.
-  void setCounter(const std::string &Name, uint64_t Value);
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
 
-  /// Adds \p Delta to counter \p Name, creating it at zero first.
-  void addCounter(const std::string &Name, uint64_t Delta);
+  /// Sets (or overwrites) the integer counter \p Name. Returns false (and
+  /// debug-asserts) if \p Name already exists with a different kind.
+  bool setCounter(const std::string &Name, uint64_t Value);
 
-  /// Sets (or overwrites) the floating-point gauge \p Name.
-  void setGauge(const std::string &Name, double Value);
+  /// Adds \p Delta to counter \p Name, creating it at zero first. Returns
+  /// false (and debug-asserts) on a kind conflict.
+  bool addCounter(const std::string &Name, uint64_t Delta);
+
+  /// Sets (or overwrites) the floating-point gauge \p Name. Returns false
+  /// (and debug-asserts) on a kind conflict.
+  bool setGauge(const std::string &Name, double Value);
+
+  /// Stores a snapshot of \p H as histogram \p Name (overwriting a previous
+  /// snapshot). Returns false (and debug-asserts) on a kind conflict.
+  bool setHistogram(const std::string &Name, const Histogram &H);
 
   /// Lookup helpers (tests and report generators).
   bool has(const std::string &Name) const;
-  uint64_t counter(const std::string &Name) const; ///< 0 if absent/gauge.
-  double gauge(const std::string &Name) const;     ///< 0.0 if absent.
+  /// Kind of \p Name; Counter if absent (pair with has()).
+  Kind kind(const std::string &Name) const;
+  uint64_t counter(const std::string &Name) const; ///< 0 if absent/other.
+  double gauge(const std::string &Name) const;     ///< 0.0 if absent/other.
+  /// The histogram snapshot, or nullptr if absent or another kind.
+  const Histogram *histogram(const std::string &Name) const;
 
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }
@@ -52,20 +74,31 @@ public:
   /// All metric names, in insertion order.
   std::vector<std::string> names() const;
 
-  /// Serializes every metric as one flat JSON object, insertion-ordered:
-  ///   {"squash.regions.packed": 7, "run.cycles": 123, ...}
-  /// Counters emit as integers, gauges as decimals (non-finite gauges
-  /// degrade to 0 so the output is always valid JSON).
+  /// Serializes every metric as one JSON object, insertion-ordered:
+  ///   {"squash.regions.packed": 7, "run.cycles": 123,
+  ///    "runtime.trap_cycles": {"count":4,...,"buckets":[[64,4]]}, ...}
+  /// Counters emit as integers, gauges as round-trip decimals (non-finite
+  /// gauges degrade to 0 so the output is always valid JSON), histograms
+  /// as the nested object Histogram::toJson produces.
   std::string toJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` line plus
+  /// sample lines per metric, insertion-ordered. Names are sanitized to
+  /// the Prometheus alphabet ('.' and other invalid characters become
+  /// '_'). Histograms emit cumulative `_bucket{le="..."}` samples (one per
+  /// nonzero bucket, upper bounds inclusive), `_sum`, and `_count`.
+  std::string toPrometheus() const;
 
 private:
   struct Entry {
     std::string Name;
-    bool IsCounter = true;
+    Kind K = Kind::Counter;
     uint64_t U64 = 0;
     double Dbl = 0.0;
+    std::unique_ptr<Histogram> Hist; ///< Set for Kind::Histogram only.
   };
-  Entry &entry(const std::string &Name);
+  /// Finds \p Name or creates it with kind \p K; nullptr on kind conflict.
+  Entry *entry(const std::string &Name, Kind K);
   const Entry *find(const std::string &Name) const;
 
   std::vector<Entry> Entries;
@@ -74,6 +107,17 @@ private:
 
 /// Escapes \p S for inclusion in a JSON string literal (quotes excluded).
 std::string jsonEscape(const std::string &S);
+
+/// Formats \p V at round-trip precision (%.17g); non-finite values degrade
+/// to "0" so both the JSON and Prometheus surfaces stay parseable. Shared
+/// by MetricsRegistry::toJson and toPrometheus.
+std::string formatGauge(double V);
+
+/// Maps \p Name onto the Prometheus metric-name alphabet
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every other character (the registry's '.'
+/// separators, most prominently) becomes '_', and a leading digit gains a
+/// '_' prefix.
+std::string prometheusName(const std::string &Name);
 
 } // namespace vea
 

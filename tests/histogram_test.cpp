@@ -1,0 +1,226 @@
+//===- tests/histogram_test.cpp - Log-bucketed histogram tests ------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The HDR-style histogram behind the runtime's trap-latency and decode
+// metrics: bucket-boundary exactness, percentile accuracy on small-integer
+// distributions, merge algebra, and the 0/UINT64_MAX range edges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace vea;
+
+namespace {
+
+Histogram fromValues(const std::vector<uint64_t> &Vs) {
+  Histogram H;
+  for (uint64_t V : Vs)
+    H.record(V);
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bucket layout
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, SmallValuesGetSingleValuedBuckets) {
+  // Everything below 2*SubBuckets (16) maps to its own bucket, so the
+  // bounds collapse to the value itself.
+  for (uint64_t V = 0; V != 2 * Histogram::SubBuckets; ++V) {
+    unsigned I = Histogram::bucketIndex(V);
+    EXPECT_EQ(I, static_cast<unsigned>(V));
+    EXPECT_EQ(Histogram::bucketLowerBound(I), V);
+    EXPECT_EQ(Histogram::bucketUpperBound(I), V);
+  }
+}
+
+TEST(Histogram, BucketBoundsTileTheRange) {
+  // Buckets partition [0, UINT64_MAX]: each upper bound is one below the
+  // next lower bound, and both bounds map back to their own bucket.
+  for (unsigned I = 0; I + 1 != Histogram::NumBuckets; ++I) {
+    uint64_t Lo = Histogram::bucketLowerBound(I);
+    uint64_t Hi = Histogram::bucketUpperBound(I);
+    ASSERT_LE(Lo, Hi);
+    EXPECT_EQ(Histogram::bucketIndex(Lo), I);
+    EXPECT_EQ(Histogram::bucketIndex(Hi), I);
+    EXPECT_EQ(Histogram::bucketLowerBound(I + 1), Hi + 1);
+  }
+  // The last bucket reaches the top of the 64-bit range.
+  EXPECT_EQ(Histogram::bucketUpperBound(Histogram::NumBuckets - 1),
+            UINT64_MAX);
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), Histogram::NumBuckets - 1);
+}
+
+TEST(Histogram, RelativeErrorBoundedBySubBucketWidth) {
+  // Log-linear promise: bucket width / lower bound <= 1/SubBuckets above
+  // the linear range.
+  for (uint64_t V : {16ull, 100ull, 1000ull, 1ull << 20, 1ull << 40,
+                     (1ull << 63) + 12345}) {
+    unsigned I = Histogram::bucketIndex(V);
+    uint64_t Lo = Histogram::bucketLowerBound(I);
+    uint64_t Hi = Histogram::bucketUpperBound(I);
+    EXPECT_LE(Lo, V);
+    EXPECT_GE(Hi, V);
+    EXPECT_LE(Hi - Lo, Lo / Histogram::SubBuckets);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, PercentilesExactOnSmallIntegers) {
+  // Every sample stays below 2*SubBuckets, so each bucket is
+  // single-valued and every percentile is exact.
+  std::vector<uint64_t> Vs;
+  for (uint64_t V = 1; V <= 10; ++V)
+    for (int N = 0; N != 10; ++N)
+      Vs.push_back(V); // 100 samples: ten each of 1..10.
+  Histogram H = fromValues(Vs);
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_EQ(H.percentile(0), 1u);    // p0 clamps to the minimum.
+  EXPECT_EQ(H.percentile(50), 5u);   // rank 50 -> fifth value.
+  EXPECT_EQ(H.percentile(90), 9u);
+  EXPECT_EQ(H.percentile(99), 10u);  // rank 99 -> tenth value.
+  EXPECT_EQ(H.percentile(100), 10u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 10u);
+  EXPECT_DOUBLE_EQ(H.mean(), 5.5);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  // A single large sample: the percentile must report a value inside
+  // [min, max] even though the bucket lower bound sits below the sample.
+  Histogram H;
+  H.record(1000);
+  EXPECT_EQ(H.percentile(50), 1000u);
+  EXPECT_EQ(H.percentile(99), 1000u);
+  EXPECT_EQ(H.min(), 1000u);
+  EXPECT_EQ(H.max(), 1000u);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+}
+
+TEST(Histogram, RecordNWeightsSamples) {
+  Histogram H;
+  H.recordN(3, 99);
+  H.recordN(7, 1);
+  H.recordN(5, 0); // A zero-weight record must be a no-op...
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_EQ(H.sum(), 99u * 3 + 7);
+  EXPECT_EQ(H.min(), 3u); // ...including for min/max tracking.
+  EXPECT_EQ(H.percentile(99), 3u);
+  EXPECT_EQ(H.percentile(100), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Range edges
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, ZeroAndMaxCoexist) {
+  Histogram H;
+  H.record(0);
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), UINT64_MAX);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(Histogram::NumBuckets - 1), 1u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  // UINT64_MAX is not a bucket lower bound, so p100 reports the top
+  // bucket's lower bound — within one sub-bucket of the true sample, the
+  // documented accuracy contract.
+  EXPECT_EQ(H.percentile(100),
+            Histogram::bucketLowerBound(Histogram::NumBuckets - 1));
+  EXPECT_GE(H.percentile(100), UINT64_MAX - UINT64_MAX / 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge algebra
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, MergeMatchesSingleStreamRecording) {
+  std::vector<uint64_t> All = {1, 5, 9, 14, 200, 3000, 1ull << 33};
+  Histogram Whole = fromValues(All);
+  Histogram A = fromValues({1, 5, 9});
+  Histogram B = fromValues({14, 200, 3000, 1ull << 33});
+  A.merge(B);
+  EXPECT_EQ(A.count(), Whole.count());
+  EXPECT_EQ(A.sum(), Whole.sum());
+  EXPECT_EQ(A.min(), Whole.min());
+  EXPECT_EQ(A.max(), Whole.max());
+  for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+    ASSERT_EQ(A.bucketCount(I), Whole.bucketCount(I)) << "bucket " << I;
+  EXPECT_EQ(A.toJson(), Whole.toJson());
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Histogram A = fromValues({1, 2, 3});
+  Histogram B = fromValues({100, 200});
+  Histogram C = fromValues({7, 1ull << 40});
+
+  Histogram AB_C = A; // (A+B)+C
+  AB_C.merge(B);
+  AB_C.merge(C);
+  Histogram A_BC = A; // A+(B+C)
+  Histogram BC = B;
+  BC.merge(C);
+  A_BC.merge(BC);
+  Histogram CBA = C; // C+B+A
+  CBA.merge(B);
+  CBA.merge(A);
+
+  EXPECT_EQ(AB_C.toJson(), A_BC.toJson());
+  EXPECT_EQ(AB_C.toJson(), CBA.toJson());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram A = fromValues({4, 8});
+  std::string Before = A.toJson();
+  Histogram Empty;
+  A.merge(Empty); // A + 0 = A
+  EXPECT_EQ(A.toJson(), Before);
+  Empty.merge(A); // 0 + A = A (min/max adopted, not clobbered by zeros).
+  EXPECT_EQ(Empty.toJson(), Before);
+  EXPECT_EQ(Empty.min(), 4u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram H = fromValues({1, 2, 1ull << 50});
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.toJson(), fromValues({}).toJson());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON shape
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, JsonListsNonZeroBucketsAsPairs) {
+  Histogram H;
+  H.record(1);
+  H.record(1);
+  H.record(8);
+  std::string J = H.toJson();
+  EXPECT_NE(J.find("\"count\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"sum\":10"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"buckets\":[[1,2],[8,1]]"), std::string::npos) << J;
+}

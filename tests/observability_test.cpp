@@ -17,12 +17,14 @@
 #include "sim/Machine.h"
 #include "sim/ProfileIO.h"
 #include "squash/Driver.h"
+#include "squash/DriftMonitor.h"
 #include "squash/Observability.h"
 #include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 
 using namespace vea;
 using namespace squash;
@@ -249,6 +251,84 @@ TEST(Metrics, EmptyRegistryIsAnEmptyObject) {
   EXPECT_TRUE(isValidJson(R.toJson()));
 }
 
+TEST(Metrics, HistogramsSerializeIntoJson) {
+  MetricsRegistry R;
+  Histogram H;
+  H.record(3);
+  H.record(3);
+  H.record(9);
+  R.setCounter("before", 1);
+  R.setHistogram("run.lat", H);
+  std::string J = R.toJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"run.lat\":{\"count\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"buckets\":[[3,2],[9,1]]"), std::string::npos) << J;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, PrometheusExpositionStructure) {
+  MetricsRegistry R;
+  R.setCounter("run.traps", 12);
+  R.setGauge("drift.score", 0.25);
+  std::string P = R.toPrometheus();
+  EXPECT_NE(P.find("# TYPE run_traps counter\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("run_traps 12\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("# TYPE drift_score gauge\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("drift_score 0.25\n"), std::string::npos) << P;
+  // Dots never leak into the exposition, and insertion order is kept.
+  EXPECT_EQ(P.find("run.traps"), std::string::npos);
+  EXPECT_LT(P.find("run_traps"), P.find("drift_score"));
+  EXPECT_EQ(P.back(), '\n');
+}
+
+TEST(Metrics, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry R;
+  Histogram H;
+  H.record(1);
+  H.record(1);
+  H.record(8);
+  R.setHistogram("trap.cycles", H);
+  std::string P = R.toPrometheus();
+  EXPECT_NE(P.find("# TYPE trap_cycles histogram\n"), std::string::npos)
+      << P;
+  // Buckets are cumulative with inclusive upper bounds: le="1" already
+  // holds both 1-samples, le="8" everything, and +Inf closes the ladder.
+  EXPECT_NE(P.find("trap_cycles_bucket{le=\"1\"} 2\n"), std::string::npos)
+      << P;
+  EXPECT_NE(P.find("trap_cycles_bucket{le=\"8\"} 3\n"), std::string::npos)
+      << P;
+  EXPECT_NE(P.find("trap_cycles_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << P;
+  EXPECT_NE(P.find("trap_cycles_sum 10\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("trap_cycles_count 3\n"), std::string::npos) << P;
+  // Cumulative counts never decrease down the ladder.
+  uint64_t Prev = 0;
+  std::istringstream In(P);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("trap_cycles_bucket", 0) != 0)
+      continue;
+    uint64_t N = std::stoull(Line.substr(Line.rfind(' ') + 1));
+    EXPECT_GE(N, Prev) << Line;
+    Prev = N;
+  }
+}
+
+TEST(Metrics, PrometheusEmptyRegistryAndEmptyHistogram) {
+  MetricsRegistry R;
+  EXPECT_EQ(R.toPrometheus(), "");
+  R.setHistogram("h", Histogram());
+  std::string P = R.toPrometheus();
+  // An empty histogram still exposes a complete (all-zero) ladder.
+  EXPECT_NE(P.find("h_bucket{le=\"+Inf\"} 0\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("h_sum 0\n"), std::string::npos) << P;
+  EXPECT_NE(P.find("h_count 0\n"), std::string::npos) << P;
+}
+
 //===----------------------------------------------------------------------===//
 // Chrome-trace export + heat report
 //===----------------------------------------------------------------------===//
@@ -443,4 +523,250 @@ TEST(ProfileIO, MergedProfileDrivesDifferentialRun) {
   EXPECT_EQ(Run.Run.ExitCode, Base.ExitCode);
   EXPECT_EQ(Run.Output, M.output());
   EXPECT_GE(Run.Runtime.Decompressions, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trap-latency histograms
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, TrapHistogramsMatchRunCounters) {
+  Program Prog = streamProgram();
+  Profile Prof = profileOn(Prog, lowBytes(64, 1));
+  Options Opts;
+  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
+  ASSERT_FALSE(SR.Identity);
+  SquashedRun Run = runSquashed(SR.SP, mixedBytes(64));
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  const RuntimeSystem::Stats &St = Run.Runtime;
+  ASSERT_GE(St.Decompressions, 1u);
+
+  // One decode-cycle sample per region fill; one trap-cycle sample per
+  // successful trap; the sums are real cycle charges, so the percentile
+  // ladder must be ordered and bracketed by min/max.
+  EXPECT_EQ(St.DecodeCycles.count(), St.Decompressions);
+  EXPECT_GE(St.TrapCycles.count(), St.Decompressions);
+  EXPECT_GT(St.TrapCycles.sum(), 0u);
+  for (const vea::Histogram *H :
+       {&St.TrapCycles, &St.DecodeCycles, &St.HitStreaks}) {
+    uint64_t P50 = H->percentile(50), P99 = H->percentile(99);
+    EXPECT_LE(H->min(), P50);
+    EXPECT_LE(P50, P99);
+    EXPECT_LE(P99, H->max());
+  }
+  // Every fill terminates one (possibly zero-length) hit streak.
+  EXPECT_EQ(St.HitStreaks.count(), St.Decompressions);
+
+  // exportMetrics republishes the histograms under the runtime prefix.
+  MetricsRegistry Reg;
+  St.exportMetrics(Reg, "runtime.");
+  const Histogram *H = Reg.histogram("runtime.trap_cycles");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->count(), St.TrapCycles.count());
+  EXPECT_EQ(H->sum(), St.TrapCycles.sum());
+  EXPECT_TRUE(isValidJson(Reg.toJson()));
+}
+
+//===----------------------------------------------------------------------===//
+// Drift monitor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct DriftSetup {
+  SquashResult SR;
+  Profile Prof;
+};
+
+DriftSetup squashForDrift(const Program &Prog,
+                          const std::vector<uint8_t> &TrainInput) {
+  DriftSetup S;
+  S.Prof = profileOn(Prog, TrainInput);
+  Options Opts;
+  S.SR = squashProgram(Prog, S.Prof, Opts).take();
+  return S;
+}
+
+} // namespace
+
+TEST(Drift, MatchedRunScoresZero) {
+  Program Prog = streamProgram();
+  std::vector<uint8_t> Train = lowBytes(64, 1);
+  DriftSetup S = squashForDrift(Prog, Train);
+  ASSERT_FALSE(S.SR.Identity);
+
+  // Replaying the training input: every live entry was predicted, so the
+  // one-sided excess score is exactly zero (see DriftMonitor.h).
+  DriftMonitor Mon(S.SR.SP, S.Prof);
+  SquashedRun Run = runSquashed(S.SR.SP, Train, 2'000'000'000ull, 0, &Mon);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  DriftReport Rep = Mon.report();
+  EXPECT_EQ(Rep.DriftScore, 0.0);
+  EXPECT_EQ(Rep.RegionsTotal, static_cast<uint32_t>(S.SR.SP.Regions.size()));
+  EXPECT_TRUE(Rep.MispredictedCold.empty());
+}
+
+TEST(Drift, CrossInputScoresPositive) {
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+
+  // mixedBytes drives >= 128 bytes through the "rare" function the
+  // training profile called dead: its region's entries are pure excess.
+  DriftMonitor Mon(S.SR.SP, S.Prof);
+  SquashedRun Run =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &Mon);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  DriftReport Rep = Mon.report();
+  EXPECT_GT(Rep.DriftScore, 0.0);
+  EXPECT_LE(Rep.DriftScore, 1.0);
+  EXPECT_GE(Rep.LiveEntries, 1u);
+  ASSERT_FALSE(Rep.MispredictedCold.empty());
+  // Ranked hottest-first, and the hottest mispredicted region had little
+  // or no predicted heat.
+  for (size_t I = 1; I < Rep.MispredictedCold.size(); ++I)
+    EXPECT_GE(Rep.MispredictedCold[I - 1].LiveEntries,
+              Rep.MispredictedCold[I].LiveEntries);
+}
+
+TEST(Drift, NoTrapsMeansNoDrift) {
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+  DriftMonitor Mon(S.SR.SP, S.Prof);
+  DriftReport Rep = Mon.report(); // No run at all: nothing observed.
+  EXPECT_EQ(Rep.DriftScore, 0.0);
+  EXPECT_EQ(Rep.TopKOverlap, 1.0);
+  EXPECT_EQ(Rep.LiveEntries, 0u);
+  EXPECT_EQ(Rep.RegionsTouched, 0u);
+}
+
+TEST(Drift, ReportJsonIsDeterministicAndComplete) {
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+
+  // Two monitors observing two identical runs must render byte-identical
+  // JSON — the property that makes drift reports diffable across runs.
+  DriftMonitor A(S.SR.SP, S.Prof), B(S.SR.SP, S.Prof);
+  SquashedRun R1 =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &A);
+  SquashedRun R2 =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &B);
+  ASSERT_EQ(R1.Run.Status, RunStatus::Halted);
+  ASSERT_EQ(R2.Run.Status, RunStatus::Halted);
+  std::string J = A.reportJson();
+  EXPECT_EQ(J, B.reportJson());
+  EXPECT_TRUE(isValidJson(J)) << J;
+  for (const char *Key :
+       {"\"live_entries\":", "\"live_restores\":", "\"live_fills\":",
+        "\"live_charged_cycles\":", "\"regions_total\":",
+        "\"regions_touched\":", "\"drift_score\":", "\"top_k_overlap\":",
+        "\"normalized_cross_entropy\":", "\"mispredicted_cold\":["})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key << " missing in " << J;
+
+  // reset() forgets live heat: back to the no-traps report.
+  A.reset();
+  EXPECT_EQ(A.report().LiveEntries, 0u);
+  EXPECT_EQ(A.report().DriftScore, 0.0);
+}
+
+TEST(Drift, ExportMetricsPublishesAllScalars) {
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+  DriftMonitor Mon(S.SR.SP, S.Prof);
+  SquashedRun Run =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &Mon);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted);
+  DriftReport Rep = Mon.report();
+  MetricsRegistry Reg;
+  Rep.exportMetrics(Reg);
+  for (const char *Key :
+       {"drift.live_entries", "drift.live_restores", "drift.live_fills",
+        "drift.live_charged_cycles", "drift.regions_total",
+        "drift.regions_touched", "drift.mispredicted_cold", "drift.score",
+        "drift.top_k_overlap", "drift.normalized_cross_entropy"})
+    EXPECT_TRUE(Reg.has(Key)) << Key;
+  EXPECT_EQ(Reg.counter("drift.live_entries"), Rep.LiveEntries);
+  EXPECT_DOUBLE_EQ(Reg.gauge("drift.score"), Rep.DriftScore);
+  EXPECT_TRUE(isValidJson(Reg.toJson()));
+  // The same registry renders on the Prometheus surface too.
+  EXPECT_NE(Reg.toPrometheus().find("# TYPE drift_score gauge"),
+            std::string::npos);
+}
+
+TEST(Drift, LiveProfileMergesWithTraining) {
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+  DriftMonitor Mon(S.SR.SP, S.Prof);
+  SquashedRun Run =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &Mon);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted);
+
+  Profile Live = Mon.liveProfile();
+  ASSERT_EQ(Live.BlockCounts.size(), S.Prof.BlockCounts.size());
+  EXPECT_GT(Live.TotalInstructions, 0u);
+
+  // Weight scales every credited count (and survives the v1 text format).
+  Profile Boosted = Mon.liveProfile(3.0);
+  for (size_t I = 0; I != Live.BlockCounts.size(); ++I)
+    EXPECT_EQ(Boosted.BlockCounts[I], 3 * Live.BlockCounts[I]) << I;
+
+  // The exported profile is mergeable with its training profile and
+  // round-trips through ProfileIO — the merge-and-re-squash input path.
+  Profile Merged = mergeProfiles({S.Prof, Live}).take();
+  EXPECT_EQ(Merged.TotalInstructions,
+            S.Prof.TotalInstructions + Live.TotalInstructions);
+  Expected<Profile> Back = parseProfile(serializeProfile(Live));
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(Back.get().BlockCounts, Live.BlockCounts);
+
+  // Re-squashing under the merged profile keeps the program correct on
+  // the drifted input.
+  Options Opts;
+  SquashResult SR2 = squashProgram(Prog, Merged, Opts).take();
+  SquashedRun Run2 = runSquashed(SR2.SP, mixedBytes(64));
+  ASSERT_EQ(Run2.Run.Status, RunStatus::Halted) << Run2.Run.FaultMessage;
+  EXPECT_EQ(Run2.Run.ExitCode, Run.Run.ExitCode);
+  EXPECT_EQ(Run2.Output, Run.Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Bench row shape (BENCH_drift.json producers)
+//===----------------------------------------------------------------------===//
+
+TEST(Drift, BenchRowShapeIsValidJson) {
+  // Mirrors bench/stat_drift.cpp's per-workload row: three drift exports
+  // under distinct prefixes plus the recovery counters. The bench and this
+  // test share the exportMetrics surface, so a key drifting there breaks
+  // here first.
+  Program Prog = streamProgram();
+  DriftSetup S = squashForDrift(Prog, lowBytes(64, 1));
+  ASSERT_FALSE(S.SR.Identity);
+  DriftMonitor Same(S.SR.SP, S.Prof), Cross(S.SR.SP, S.Prof);
+  SquashedRun RunA =
+      runSquashed(S.SR.SP, lowBytes(64, 1), 2'000'000'000ull, 0, &Same);
+  SquashedRun RunB =
+      runSquashed(S.SR.SP, mixedBytes(64), 2'000'000'000ull, 0, &Cross);
+  ASSERT_EQ(RunA.Run.Status, RunStatus::Halted);
+  ASSERT_EQ(RunB.Run.Status, RunStatus::Halted);
+
+  MetricsRegistry Reg;
+  Same.report().exportMetrics(Reg, "drift.same.");
+  Cross.report().exportMetrics(Reg, "drift.cross.");
+  Reg.setCounter("drift.trap_cycles_before", RunB.Runtime.TrapCycles.sum());
+  Reg.setGauge("drift.live_weight", 1.0);
+  Reg.setHistogram("drift.cross.trap_cycles_hist", RunB.Runtime.TrapCycles);
+
+  std::string J = Reg.toJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  for (const char *Key : {"drift.same.score", "drift.cross.score",
+                          "drift.trap_cycles_before", "drift.live_weight",
+                          "drift.cross.trap_cycles_hist"})
+    EXPECT_TRUE(Reg.has(Key)) << Key;
+  // The matched run scores zero, the drifted one doesn't — the structural
+  // core of stat_drift's acceptance check.
+  EXPECT_EQ(Reg.gauge("drift.same.score"), 0.0);
+  EXPECT_GT(Reg.gauge("drift.cross.score"), 0.0);
 }

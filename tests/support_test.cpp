@@ -6,9 +6,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/BitStream.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
 
 using namespace vea;
 
@@ -105,4 +110,71 @@ TEST(Rng, SplitIndependence) {
   Rng A(7);
   Rng B = A.split();
   EXPECT_NE(A.next(), B.next());
+}
+
+// A metric's kind is fixed by the call that created it: later writes of a
+// different kind must be rejected without disturbing the stored value.
+// (In debug builds the same misuse also trips an assert; the bool contract
+// below is what release builds — and callers that check — rely on.)
+#ifdef NDEBUG
+TEST(Metrics, KindIsSticky) {
+  MetricsRegistry R;
+  ASSERT_TRUE(R.setCounter("c", 7));
+  EXPECT_FALSE(R.setGauge("c", 1.5));
+  EXPECT_FALSE(R.setHistogram("c", Histogram()));
+  EXPECT_EQ(R.kind("c"), MetricsRegistry::Kind::Counter);
+  EXPECT_EQ(R.counter("c"), 7u);
+
+  ASSERT_TRUE(R.setGauge("g", 2.5));
+  EXPECT_FALSE(R.setCounter("g", 3));
+  EXPECT_FALSE(R.addCounter("g", 3));
+  EXPECT_EQ(R.gauge("g"), 2.5);
+
+  Histogram H;
+  H.record(5);
+  ASSERT_TRUE(R.setHistogram("h", H));
+  EXPECT_FALSE(R.setGauge("h", 0.0));
+  ASSERT_NE(R.histogram("h"), nullptr);
+  EXPECT_EQ(R.histogram("h")->count(), 1u);
+
+  // Same-kind overwrites stay allowed.
+  EXPECT_TRUE(R.setCounter("c", 9));
+  EXPECT_EQ(R.counter("c"), 9u);
+  EXPECT_EQ(R.size(), 3u);
+}
+#else
+TEST(MetricsDeathTest, KindConflictAssertsInDebug) {
+  MetricsRegistry R;
+  ASSERT_TRUE(R.setCounter("c", 7));
+  EXPECT_DEATH(R.setGauge("c", 1.5), "different kind");
+}
+#endif
+
+TEST(Metrics, WrongKindAccessorsDegradeToZero) {
+  MetricsRegistry R;
+  R.setCounter("c", 7);
+  R.setGauge("g", 2.5);
+  EXPECT_EQ(R.gauge("c"), 0.0);
+  EXPECT_EQ(R.counter("g"), 0u);
+  EXPECT_EQ(R.histogram("c"), nullptr);
+  EXPECT_FALSE(R.has("missing"));
+  EXPECT_EQ(R.histogram("missing"), nullptr);
+}
+
+TEST(Metrics, GaugeJsonRoundTripsAtFullPrecision) {
+  MetricsRegistry R;
+  const double V = 0.1234567890123456789; // Needs all 17 significant digits.
+  R.setGauge("g", V);
+  std::string J = R.toJson();
+  std::string Expect = "\"g\":" + formatGauge(V);
+  EXPECT_NE(J.find(Expect), std::string::npos) << J;
+  EXPECT_EQ(std::stod(formatGauge(V)), V); // %.17g round-trips exactly.
+  EXPECT_EQ(formatGauge(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(formatGauge(std::nan("")), "0");
+}
+
+TEST(Metrics, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheusName("run.trap_cycles"), "run_trap_cycles");
+  EXPECT_EQ(prometheusName("9lives"), "_9lives");
+  EXPECT_EQ(prometheusName("a-b c"), "a_b_c");
 }
