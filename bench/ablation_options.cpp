@@ -33,14 +33,16 @@ int main() {
     O.PackRegions = false;
     Configs.push_back({"no-packing", O});
   }
+  // Whole-stage ablations skip the pass itself (its conservative fallback
+  // runs instead) rather than flipping a bespoke option.
   {
     Options O = Base;
-    O.BufferSafeCalls = false;
+    O.DisabledPasses = {"buffer-safe"};
     Configs.push_back({"no-buffer-safe", O});
   }
   {
     Options O = Base;
-    O.Unswitch = false;
+    O.DisabledPasses = {"unswitch"};
     Configs.push_back({"no-unswitch", O});
   }
   {

@@ -21,6 +21,7 @@ int main() {
   auto Suite = prepareSuite();
 
   std::printf("%-12s %10s %14s\n", "theta", "cold", "compressible");
+  std::vector<BenchRow> Rows;
   for (double Theta : ThetaSweep) {
     std::vector<double> Cold, Compressible;
     for (auto &P : Suite) {
@@ -32,9 +33,15 @@ int main() {
           static_cast<double>(SR.Regions.CompressibleInstructions) /
           static_cast<double>(SR.Cold.TotalInstructions));
     }
+    vea::MetricsRegistry Reg;
+    Reg.setGauge("fig4.cold_fraction", geomean(Cold));
+    Reg.setGauge("fig4.compressible_fraction", geomean(Compressible));
+    Rows.emplace_back("theta=" + thetaLabel(Theta), Reg.toJson());
     std::printf("%-12s %9.1f%% %13.1f%%\n", thetaLabel(Theta).c_str(),
                 100.0 * geomean(Cold), 100.0 * geomean(Compressible));
   }
+  std::string Path = writeBenchJson("fig4_cold_code", Rows);
+  std::printf("\nwrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
 
   std::printf("\npaper: cold 73%% (theta=0) -> 94%% (1e-2) -> 100%% (1); "
               "compressible 65%% -> ~96%%.\nNot all cold code is "

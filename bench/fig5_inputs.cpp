@@ -21,7 +21,12 @@ int main() {
   std::printf("%-10s %-46s %9s  %-52s %9s\n", "program", "profiling input",
               "size(KB)", "timing input", "size(KB)");
   auto Suite = prepareSuite();
+  std::vector<BenchRow> Rows;
   for (auto &P : Suite) {
+    vea::MetricsRegistry Reg;
+    Reg.setCounter("fig5.profiling_input_bytes", P.W.ProfilingInput.size());
+    Reg.setCounter("fig5.timing_input_bytes", P.W.TimingInput.size());
+    Rows.emplace_back(P.W.Name, Reg.toJson());
     std::printf("%-10s %-46s %9.1f  %-52s %9.1f\n", P.W.Name.c_str(),
                 P.W.ProfilingInputName.c_str(),
                 P.W.ProfilingInput.size() / 1024.0,
@@ -30,5 +35,7 @@ int main() {
   }
   std::printf("\n(inputs are deterministic synthetic media standing in for "
               "clinton.pcm, mlk_IHaveADream.pcm, baboon.tif, etc.)\n");
+  std::string Path = writeBenchJson("fig5_inputs", Rows);
+  std::printf("wrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
   return 0;
 }

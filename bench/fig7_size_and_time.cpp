@@ -31,6 +31,7 @@ int main() {
     std::printf(" time@%-7s", thetaLabel(T).c_str());
   std::printf("  decompressions\n");
 
+  std::vector<BenchRow> Rows;
   std::vector<std::vector<double>> SizeR(Thetas.size()),
       TimeR(Thetas.size());
   for (auto &P : Suite) {
@@ -38,6 +39,7 @@ int main() {
     std::printf("%-10s |", P.W.Name.c_str());
     std::vector<uint64_t> Decomps;
     std::vector<double> Times;
+    vea::MetricsRegistry Reg;
     for (size_t TI = 0; TI != Thetas.size(); ++TI) {
       Options Opts;
       Opts.Theta = Thetas[TI];
@@ -56,7 +58,13 @@ int main() {
       TimeR[TI].push_back(Time);
       Times.push_back(Time);
       Decomps.push_back(Run.Runtime.Decompressions);
+      std::string Suffix = "theta_" + thetaLabel(Thetas[TI]);
+      Reg.setGauge("fig7.size." + Suffix, Size);
+      Reg.setGauge("fig7.time." + Suffix, Time);
+      Reg.setCounter("fig7.decompressions." + Suffix,
+                     Run.Runtime.Decompressions);
     }
+    Rows.emplace_back(P.W.Name, Reg.toJson());
     std::printf(" |");
     for (double T : Times)
       std::printf("     %7.3f", T);
@@ -67,12 +75,22 @@ int main() {
   }
 
   std::printf("%-10s |", "geo-mean");
-  for (auto &V : SizeR)
-    std::printf("     %7.3f", geomean(V));
+  vea::MetricsRegistry MeanReg;
+  for (size_t TI = 0; TI != Thetas.size(); ++TI) {
+    MeanReg.setGauge("fig7.size.theta_" + thetaLabel(Thetas[TI]),
+                     geomean(SizeR[TI]));
+    std::printf("     %7.3f", geomean(SizeR[TI]));
+  }
   std::printf(" |");
-  for (auto &V : TimeR)
-    std::printf("     %7.3f", geomean(V));
+  for (size_t TI = 0; TI != Thetas.size(); ++TI) {
+    MeanReg.setGauge("fig7.time.theta_" + thetaLabel(Thetas[TI]),
+                     geomean(TimeR[TI]));
+    std::printf("     %7.3f", geomean(TimeR[TI]));
+  }
+  Rows.emplace_back("geo-mean", MeanReg.toJson());
   std::printf("\n");
+  std::string Path = writeBenchJson("fig7_size_and_time", Rows);
+  std::printf("wrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
 
   std::printf("\npaper (Alpha/MediaBench, theta = 0 / 1e-5 / 5e-5): sizes "
               "0.863 / 0.842 / 0.812, times ~1.00 / 1.04 / 1.24.\n");

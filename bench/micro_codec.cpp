@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Harness.h"
+
 #include "huff/StreamCodec.h"
 #include "ir/Builder.h"
 #include "link/Layout.h"
@@ -151,4 +153,47 @@ static void BM_InterpreterLoop(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpreterLoop);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally records one BenchRow per run so the
+/// micro benches emit the same BENCH_*.json shape as the figure benches.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+public:
+  bool ReportContext(const Context &Ctx) override {
+    return benchmark::ConsoleReporter::ReportContext(Ctx);
+  }
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      vea::MetricsRegistry Reg;
+      Reg.setCounter("micro.iterations",
+                     static_cast<uint64_t>(R.iterations));
+      Reg.setGauge("micro.real_time_ns", R.GetAdjustedRealTime());
+      Reg.setGauge("micro.cpu_time_ns", R.GetAdjustedCPUTime());
+      auto It = R.counters.find("items_per_second");
+      if (It != R.counters.end())
+        Reg.setGauge("micro.items_per_second", It->second.value);
+      Rows.emplace_back(R.benchmark_name(), Reg.toJson());
+    }
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+  }
+
+  std::vector<bench::BenchRow> Rows;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonRowReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  std::string Path = bench::writeBenchJson("micro_codec", Reporter.Rows);
+  std::printf("wrote %zu row(s) to %s\n", Reporter.Rows.size(),
+              Path.c_str());
+  return 0;
+}

@@ -11,6 +11,7 @@
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--trace-capacity N]
 //               [--drift-report FILE] [--live-profile-out FILE]
+//               [--print-pipeline] [--stop-after=PASS] [--disable-pass=PASS]...
 //
 // Assembles the program (or a built-in demo), compacts it, profiles it on
 // the given input bytes (or loads and merges saved profiles), squashes it,
@@ -25,6 +26,13 @@
 // profile via --profile-in to re-squash against observed behaviour).
 // FILE may be "-" for stdout.
 //
+// The pipeline surface (squash/Pipeline.h): --print-pipeline lists the
+// standard passes in order and exits; --stop-after=PASS runs only the
+// pipeline prefix ending at PASS and prints the pass trace plus whatever
+// stats that prefix produced; --disable-pass=PASS (repeatable) skips a
+// pass via Options::DisabledPasses — each disabled pass substitutes its
+// conservative fallback, so the result still runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
@@ -37,6 +45,7 @@
 #include "squash/Driver.h"
 #include "squash/Inspect.h"
 #include "squash/Observability.h"
+#include "squash/Pipeline.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -116,12 +125,37 @@ struct Args {
   uint32_t TraceCapacity = RuntimeSystem::DefaultTraceCapacity;
   std::string DriftReportPath;
   std::string LiveProfileOut;
+  bool PrintPipeline = false;
+  std::string StopAfter;
+  std::vector<std::string> DisabledPasses; ///< Repeatable.
 };
+
+/// Matches "--flag=value" or "--flag value"; fills \p Value on a hit.
+bool flagWithValue(const std::string &S, const char *Flag, int Argc,
+                   char **Argv, int &I, std::string &Value) {
+  std::string F = Flag;
+  if (S.rfind(F + "=", 0) == 0) {
+    Value = S.substr(F.size() + 1);
+    return true;
+  }
+  if (S == F && I + 1 < Argc) {
+    Value = Argv[++I];
+    return true;
+  }
+  return false;
+}
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
   for (int I = 1; I < Argc; ++I) {
     std::string S = Argv[I];
-    if (S == "--theta" && I + 1 < Argc) {
+    std::string V;
+    if (S == "--print-pipeline") {
+      A.PrintPipeline = true;
+    } else if (flagWithValue(S, "--stop-after", Argc, Argv, I, V)) {
+      A.StopAfter = V;
+    } else if (flagWithValue(S, "--disable-pass", Argc, Argv, I, V)) {
+      A.DisabledPasses.push_back(V);
+    } else if (S == "--theta" && I + 1 < Argc) {
       A.Theta = std::atof(Argv[++I]);
     } else if (S == "--k" && I + 1 < Argc) {
       A.K = static_cast<uint32_t>(std::atoi(Argv[++I]));
@@ -181,6 +215,13 @@ int main(int Argc, char **Argv) {
   Args A;
   if (!parseArgs(Argc, Argv, A))
     return 2;
+
+  if (A.PrintPipeline) {
+    std::printf("standard squash pipeline (in order):\n");
+    for (const std::string &Name : standardPassNames())
+      std::printf("  %s\n", Name.c_str());
+    return 0;
+  }
 
   std::string Source = DemoSource;
   if (!A.SourcePath.empty()) {
@@ -252,7 +293,55 @@ int main(int Argc, char **Argv) {
   Opts.BufferBoundBytes = A.K;
   Opts.MoveToFront = A.Mtf;
   Opts.DeltaDisplacements = A.Delta;
-  SquashResult SR = squashProgram(Prog, Prof, Opts).take();
+  Opts.DisabledPasses = A.DisabledPasses;
+
+  if (!A.StopAfter.empty()) {
+    // Prefix run: drive the pass manager directly and report the state the
+    // prefix produced instead of squashing end-to-end.
+    if (std::string Err = Prog.verify(); !Err.empty()) {
+      std::fprintf(stderr, "program does not verify: %s\n", Err.c_str());
+      return 1;
+    }
+    SquashResult PR;
+    PipelineContext Ctx(Prog, Prof, Opts, PR);
+    PassManager PM;
+    buildStandardPipeline(PM);
+    if (Status St = PM.runUntil(Ctx, A.StopAfter); !St.ok()) {
+      std::fprintf(stderr, "%s\n", St.toString().c_str());
+      return 1;
+    }
+    std::printf("pipeline stopped after '%s' (%zu of %zu passes)\n\n",
+                A.StopAfter.c_str(), PR.PassTrace.size(), PM.size());
+    std::fputs(formatPassTrace(PR.PassTrace).c_str(), stdout);
+    std::printf("\ncold: %llu of %llu instructions (frequency cutoff %llu)\n",
+                (unsigned long long)PR.Cold.ColdInstructions,
+                (unsigned long long)PR.Cold.TotalInstructions,
+                (unsigned long long)PR.Cold.FrequencyCutoff);
+    std::printf("regions: %llu packed (%llu before packing), %llu "
+                "compressible instructions\n",
+                (unsigned long long)PR.Regions.PackedRegions,
+                (unsigned long long)PR.Regions.InitialRegions,
+                (unsigned long long)PR.Regions.CompressibleInstructions);
+    if (!A.MetricsJson.empty() || !A.MetricsProm.empty()) {
+      MetricsRegistry Reg;
+      collectSquashMetrics(Reg, PR);
+      if (!A.MetricsJson.empty() &&
+          !writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+        return 1;
+      if (!A.MetricsProm.empty() &&
+          !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
+        return 1;
+    }
+    return 0;
+  }
+
+  Expected<SquashResult> SROr = squashProgram(Prog, Prof, Opts);
+  if (!SROr) {
+    std::fprintf(stderr, "squash failed: %s\n",
+                 SROr.status().toString().c_str());
+    return 1;
+  }
+  SquashResult SR = SROr.take();
   if (SR.Identity) {
     std::printf("nothing profitable to compress at theta=%g\n", A.Theta);
     if (!A.MetricsJson.empty() || !A.MetricsProm.empty()) {

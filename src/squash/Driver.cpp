@@ -7,22 +7,10 @@
 
 #include "squash/Driver.h"
 
-#include "link/Layout.h"
-
-#include <chrono>
+#include "squash/Pipeline.h"
 
 using namespace squash;
 using namespace vea;
-
-namespace {
-/// Seconds since \p Since, advancing it to now (per-stage stopwatch).
-double lapSeconds(std::chrono::steady_clock::time_point &Since) {
-  auto Now = std::chrono::steady_clock::now();
-  double S = std::chrono::duration<double>(Now - Since).count();
-  Since = Now;
-  return S;
-}
-} // namespace
 
 Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
                                              const Options &Opts) {
@@ -33,103 +21,11 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
                          "squash: input does not verify: " + Err);
 
   SquashResult R;
-  const uint32_t OriginalCodeBytes =
-      static_cast<uint32_t>(4 * Prog.instructionCount());
-  const auto Start = std::chrono::steady_clock::now();
-  auto Lap = Start;
-
-  // Section 5: cold code.
-  {
-    Cfg G0(Prog);
-    Expected<ColdCodeResult> Cold =
-        identifyColdCode(G0, Prof, Opts.Theta, Opts.ColdCutoffCap);
-    if (!Cold)
-      return Cold.status();
-    R.Cold = std::move(Cold.get());
-  }
-  R.Stats.ColdSeconds = lapSeconds(Lap);
-
-  // Section 6.2: unswitch cold jump tables (block ids are stable across
-  // this pass, so the cold flags remain valid).
-  std::vector<uint8_t> Candidate = R.Cold.IsCold;
-  Expected<UnswitchStats> US =
-      unswitchJumpTables(Prog, Candidate, Opts.Unswitch);
-  if (!US)
-    return US.status();
-  R.Unswitch = US.get();
-
-  Cfg G(Prog);
-
-  // Remaining candidacy filters (Section 2.2 and conservatism around
-  // indirect control flow).
-  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
-    if (!Candidate[Id])
-      continue;
-    if (G.functionCallsSetjmp(G.functionOf(Id))) {
-      Candidate[Id] = 0; // setjmp callers are never compressed.
-      continue;
-    }
-    if (G.hasIndirectCall(Id)) {
-      // Indirect calls from the buffer would need Jsr expansion; squash
-      // conservatively leaves such blocks uncompressed (see DESIGN.md).
-      Candidate[Id] = 0;
-      continue;
-    }
-  }
-  // A computed jump with unknown targets poisons its whole function.
-  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
-    const BasicBlock &B = G.block(Id);
-    if (B.Insts.back().Op == Opcode::Jmp && !B.Switch) {
-      unsigned F = G.functionOf(Id);
-      for (unsigned J = 0; J != G.numBlocks(); ++J)
-        if (G.functionOf(J) == F)
-          Candidate[J] = 0;
-    }
-  }
-
-  R.Stats.UnswitchSeconds = lapSeconds(Lap);
-
-  // Section 4: regions.
-  Expected<Partition> PartOr = formRegions(G, Candidate, Opts, &R.Regions);
-  if (!PartOr)
-    return PartOr.status();
-  Partition Part = std::move(PartOr.get());
-  R.Stats.RegionSeconds = lapSeconds(Lap);
-
-  if (Part.Regions.empty()) {
-    // Nothing profitable to compress: emit the program unchanged.
-    R.Identity = true;
-    Expected<Image> Img = layoutProgramOrError(Prog);
-    if (!Img)
-      return Img.status();
-    R.SP.Img = std::move(Img.get());
-    R.SP.Opts = Opts;
-    R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
-    R.SP.Footprint.NeverCompressedWords =
-        static_cast<uint32_t>(Prog.instructionCount());
-    R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
-    R.Stats.TotalSeconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - Start)
-                               .count();
-    return R;
-  }
-
-  // Section 6.1: buffer safety.
-  std::vector<uint8_t> Safe = analyzeBufferSafe(G, Part, &R.BufferSafe);
-  R.Stats.BufferSafeSeconds = lapSeconds(Lap);
-
-  // Section 2: rewrite.
-  Expected<SquashedProgram> SPOr = rewriteProgram(Prog, G, Part, Safe, Opts);
-  if (!SPOr)
-    return SPOr.status();
-  R.SP = std::move(SPOr.get());
-  R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
-  R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
-  R.Stats.RewriteSeconds = lapSeconds(Lap);
-  R.Stats.EncodeSeconds = R.SP.Encode.Seconds;
-  R.Stats.EncodeThreads = R.SP.Encode.ThreadsUsed;
-  R.Stats.TotalSeconds =
-      std::chrono::duration<double>(Lap - Start).count();
+  PipelineContext Ctx(Prog, Prof, Opts, R);
+  PassManager PM;
+  buildStandardPipeline(PM);
+  if (Status St = PM.run(Ctx); !St.ok())
+    return St;
   return R;
 }
 

@@ -6,14 +6,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level squash pipeline, mirroring the paper's tool flow:
-/// a (compacted) program plus an execution profile goes in; a runnable
-/// squashed image with full footprint accounting comes out.
+/// The top-level squash entry points: a (compacted) program plus an
+/// execution profile goes in; a runnable squashed image with full
+/// footprint accounting comes out. Since the pass-manager refactor the
+/// pipeline itself lives in squash/Pipeline.h as named passes over a
+/// shared analysis context; squashProgram builds and runs the standard
+/// pass list:
 ///
-///   identify cold code (Sec. 5) -> unswitch cold jump tables (Sec. 6.2)
-///   -> filter candidates (setjmp callers, indirect-call blocks)
-///   -> form + pack regions (Sec. 4) -> buffer-safety analysis (Sec. 6.1)
-///   -> rewrite (Sec. 2) -> attach the decompressor runtime and run.
+///   cold-code (Sec. 5) -> unswitch (Sec. 6.2, invalidates the CFG cache)
+///   -> filter-setjmp-indirect (Sec. 2.2) -> filter-computed-jump
+///   -> regions (Sec. 4) -> buffer-safe (Sec. 6.1) -> rewrite (Sec. 2)
+///
+/// then the caller attaches the decompressor runtime via runSquashed.
+/// Tools that need a prefix, a skip, or per-pass hooks drive a
+/// PassManager directly (squash_tool --stop-after, Options::DisabledPasses,
+/// the fault-injection harness).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +36,8 @@
 #include "squash/Unswitch.h"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace squash {
 
@@ -51,6 +60,16 @@ struct SquashStats {
                      const std::string &Prefix = "squash.time.") const;
 };
 
+/// One executed (or skipped) pass in the pipeline's trace: what ran, for
+/// how long, and how it ended (see squash/Pipeline.h; render with
+/// formatPassTrace).
+struct PassTraceEntry {
+  std::string Name;
+  double Seconds = 0.0;
+  bool Disabled = false; ///< Ran its runDisabled fallback instead.
+  bool Ok = true;        ///< False when this pass aborted the pipeline.
+};
+
 /// Everything squashProgram produces: the runnable image plus the stats
 /// every experiment in the paper reports.
 struct SquashResult {
@@ -60,16 +79,22 @@ struct SquashResult {
   BufferSafeStats BufferSafe;
   UnswitchStats Unswitch;
   SquashStats Stats;
+  /// Per-pass execution record, in run order (every pass appears, even on
+  /// identity results — the pass manager records uniformly).
+  std::vector<PassTraceEntry> PassTrace;
   /// True when no region was profitable: the "squashed" image is simply
   /// the original layout (no machinery added, footprint unchanged).
   bool Identity = false;
 };
 
-/// Runs the full squash pipeline on \p Prog (typically post-compaction)
-/// with profile \p Prof. \p Prog is taken by value because unswitching
-/// rewrites it. Fails — instead of aborting — on a malformed program, a
-/// profile that does not match it, or any downstream layout/encoding
-/// error; callers that cannot continue use Expected::take().
+/// Runs the standard squash pass pipeline on \p Prog (typically
+/// post-compaction) with profile \p Prof. \p Prog is taken by value
+/// because unswitching rewrites it. Fails — instead of aborting — on a
+/// malformed program, a profile that does not match it, or any downstream
+/// layout/encoding error; callers that cannot continue use
+/// Expected::take(). A thin wrapper over buildStandardPipeline +
+/// PassManager::run (squash/Pipeline.h) for callers that want the whole
+/// pipeline, hook-free.
 vea::Expected<SquashResult> squashProgram(vea::Program Prog,
                                           const vea::Profile &Prof,
                                           const Options &Opts);

@@ -17,6 +17,8 @@
 #define SQUASH_SQUASH_OPTIONS_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace squash {
 
@@ -121,6 +123,15 @@ struct Options {
   /// from the copy instead of faulting (graceful degradation). Costs host
   /// memory only; the simulated footprint is unchanged.
   bool RetainRecoveryCopies = true;
+
+  /// Pipeline passes to skip, by name (see squash/Pipeline.h for the
+  /// standard list). A disabled pass executes its conservative fallback
+  /// instead of its transformation — e.g. disabling "unswitch" excludes
+  /// candidate switch blocks (same as Unswitch = false) and disabling
+  /// "buffer-safe" marks every function unsafe — so ablation benches and
+  /// tools toggle whole stages without bespoke per-stage option plumbing.
+  /// A name matching no pass is an InvalidArgument error, not a no-op.
+  std::vector<std::string> DisabledPasses;
 
   CostModel Costs;
 };

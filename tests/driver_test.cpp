@@ -13,6 +13,8 @@
 #include "link/Layout.h"
 #include "ir/Builder.h"
 #include "squash/Driver.h"
+#include "squash/Observability.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -299,4 +301,53 @@ TEST(Driver, RunSquashedIsIdempotentOnIdentityImages) {
   SquashedRun R = runSquashed(SR.SP, {});
   EXPECT_EQ(R.Run.Status, RunStatus::Halted);
   EXPECT_EQ(R.Runtime.Decompressions, 0u);
+}
+
+TEST(Driver, IdentityResultRecordsEveryPass) {
+  // The monolithic driver returned early on identity results, skipping the
+  // buffer-safe stage and its stats; the pass manager records every pass
+  // uniformly, so an identity run still carries a full trace, real
+  // buffer-safety stats, and every squash.time.* metric.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(1, 5);
+    F.label("loop");
+    F.subi(1, 1, 1);
+    F.bne(1, "loop");
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.setEntry("main");
+  Program Prog = PB.build();
+  Image Baseline = layoutProgram(Prog);
+  Profile Prof = profileImage(Baseline, {}).take();
+  SquashResult SR = squashProgram(Prog, Prof, Options()).take();
+  ASSERT_TRUE(SR.Identity);
+
+  // All seven passes appear in the trace, none skipped.
+  ASSERT_EQ(SR.PassTrace.size(), 7u);
+  EXPECT_EQ(SR.PassTrace.front().Name, "cold-code");
+  EXPECT_EQ(SR.PassTrace.back().Name, "rewrite");
+  for (const auto &E : SR.PassTrace) {
+    EXPECT_TRUE(E.Ok) << E.Name;
+    EXPECT_FALSE(E.Disabled) << E.Name;
+  }
+
+  // The buffer-safe analysis really ran (the old early exit left this 0).
+  EXPECT_GT(SR.BufferSafe.Functions, 0u);
+
+  // The metrics export carries the complete squash.time.* family.
+  vea::MetricsRegistry Reg;
+  collectSquashMetrics(Reg, SR);
+  for (const char *Name :
+       {"squash.time.cold_seconds", "squash.time.unswitch_seconds",
+        "squash.time.region_seconds", "squash.time.buffersafe_seconds",
+        "squash.time.rewrite_seconds", "squash.time.total_seconds"})
+    EXPECT_TRUE(Reg.has(Name)) << Name;
+  EXPECT_EQ(Reg.counter("squash.identity"), 1u);
+
+  // And the identity image still executes end to end.
+  SquashedRun R = runSquashed(SR.SP, {});
+  EXPECT_EQ(R.Run.Status, RunStatus::Halted);
 }

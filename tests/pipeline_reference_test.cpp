@@ -1,0 +1,263 @@
+//===- tests/pipeline_reference_test.cpp - Pipeline refactor goldens ------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The pass-manager pipeline must be BYTE-IDENTICAL to the monolithic
+// driver it replaced. referenceSquash below is a frozen copy of that
+// driver's body (pre-pass-manager squashProgram, stats bookkeeping elided);
+// every random program (the differential suite's 64 seeds, across the
+// option matrix) and every workload is squashed through both and the
+// resulting images compared byte for byte. This pins the refactor without
+// relying on platform-dependent embedded checksums.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgramGen.h"
+
+#include "compact/Compact.h"
+#include "link/Layout.h"
+#include "sim/Machine.h"
+#include "squash/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace vea;
+using namespace squash;
+using testgen::randomProgram;
+
+namespace {
+
+/// The squash pipeline exactly as the monolithic driver ran it, minus
+/// timing. Any behavioural change to the passes or their ordering shows up
+/// as an image mismatch against this copy.
+Expected<SquashResult> referenceSquash(Program Prog, const Profile &Prof,
+                                       const Options &Opts) {
+  if (std::string Err = Prog.verify(); !Err.empty())
+    return Status::error(StatusCode::MalformedProgram,
+                         "squash: input does not verify: " + Err);
+
+  SquashResult R;
+  const uint32_t OriginalCodeBytes =
+      static_cast<uint32_t>(4 * Prog.instructionCount());
+
+  // Section 5: cold code.
+  {
+    Cfg G0(Prog);
+    Expected<ColdCodeResult> Cold =
+        identifyColdCode(G0, Prof, Opts.Theta, Opts.ColdCutoffCap);
+    if (!Cold)
+      return Cold.status();
+    R.Cold = std::move(Cold.get());
+  }
+
+  // Section 6.2: unswitch cold jump tables.
+  std::vector<uint8_t> Candidate = R.Cold.IsCold;
+  Expected<UnswitchStats> US =
+      unswitchJumpTables(Prog, Candidate, Opts.Unswitch);
+  if (!US)
+    return US.status();
+  R.Unswitch = US.get();
+
+  Cfg G(Prog);
+
+  // Remaining candidacy filters.
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    if (!Candidate[Id])
+      continue;
+    if (G.functionCallsSetjmp(G.functionOf(Id))) {
+      Candidate[Id] = 0;
+      continue;
+    }
+    if (G.hasIndirectCall(Id)) {
+      Candidate[Id] = 0;
+      continue;
+    }
+  }
+  // A computed jump with unknown targets poisons its whole function (the
+  // original quadratic form, deliberately).
+  for (unsigned Id = 0; Id != G.numBlocks(); ++Id) {
+    const BasicBlock &B = G.block(Id);
+    if (B.Insts.back().Op == Opcode::Jmp && !B.Switch) {
+      unsigned F = G.functionOf(Id);
+      for (unsigned J = 0; J != G.numBlocks(); ++J)
+        if (G.functionOf(J) == F)
+          Candidate[J] = 0;
+    }
+  }
+
+  // Section 4: regions.
+  Expected<Partition> PartOr = formRegions(G, Candidate, Opts, &R.Regions);
+  if (!PartOr)
+    return PartOr.status();
+  Partition Part = std::move(PartOr.get());
+
+  if (Part.Regions.empty()) {
+    R.Identity = true;
+    Expected<Image> Img = layoutProgramOrError(Prog);
+    if (!Img)
+      return Img.status();
+    R.SP.Img = std::move(Img.get());
+    R.SP.Opts = Opts;
+    R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
+    R.SP.Footprint.NeverCompressedWords =
+        static_cast<uint32_t>(Prog.instructionCount());
+    R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+    return R;
+  }
+
+  // Section 6.1: buffer safety.
+  std::vector<uint8_t> Safe = analyzeBufferSafe(G, Part, &R.BufferSafe);
+
+  // Section 2: rewrite.
+  Expected<SquashedProgram> SPOr = rewriteProgram(Prog, G, Part, Safe, Opts);
+  if (!SPOr)
+    return SPOr.status();
+  R.SP = std::move(SPOr.get());
+  R.SP.Footprint.OriginalCodeBytes = OriginalCodeBytes;
+  R.SP.ProfileBlockCount = static_cast<uint32_t>(Prof.BlockCounts.size());
+  return R;
+}
+
+/// Squashes through both pipelines and compares everything a consumer of
+/// the image could observe.
+void expectPipelinesAgree(const Program &Prog, const Profile &Prof,
+                          const Options &Opts, const std::string &Tag) {
+  SquashResult Ref = referenceSquash(Prog, Prof, Opts).take();
+  SquashResult New = squashProgram(Prog, Prof, Opts).take();
+
+  ASSERT_EQ(Ref.Identity, New.Identity) << Tag;
+  EXPECT_EQ(Ref.SP.Img.Base, New.SP.Img.Base) << Tag;
+  ASSERT_EQ(Ref.SP.Img.Bytes, New.SP.Img.Bytes)
+      << Tag << ": pass-manager image diverged from the monolithic driver";
+  EXPECT_EQ(Ref.SP.Layout.BlobBytes, New.SP.Layout.BlobBytes) << Tag;
+  EXPECT_EQ(Ref.SP.Footprint.totalCodeBytes(),
+            New.SP.Footprint.totalCodeBytes())
+      << Tag;
+  EXPECT_EQ(Ref.Cold.FrequencyCutoff, New.Cold.FrequencyCutoff) << Tag;
+  EXPECT_EQ(Ref.Regions.PackedRegions, New.Regions.PackedRegions) << Tag;
+  EXPECT_EQ(Ref.Unswitch.Unswitched, New.Unswitch.Unswitched) << Tag;
+}
+
+class PipelineReference : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(PipelineReference, ByteIdenticalOnRandomPrograms) {
+  const uint64_t Seed = static_cast<uint64_t>(GetParam()) * 2477 + 13;
+  const std::string SeedTag = "seed " + std::to_string(Seed);
+
+  Program Prog = randomProgram(Seed);
+  compactProgram(Prog).take();
+  Image Compacted = layoutProgram(Prog);
+
+  Profile Prof;
+  {
+    Machine::Config PC;
+    PC.MaxInstructions = 20'000'000;
+    PC.CollectBlockProfile = true;
+    Machine MP(Compacted, PC);
+    ASSERT_EQ(MP.run().Status, RunStatus::Halted) << SeedTag;
+    Prof = MP.takeProfile();
+  }
+
+  // The differential suite's configuration matrix: maximum candidate
+  // coverage, small buffer bound (multiple regions), MTF on odd seeds —
+  // plus the per-stage ablation toggles and their DisabledPasses twins.
+  Options Common;
+  Common.Theta = 1.0;
+  Common.BufferBoundBytes = 256;
+  Common.MoveToFront = (GetParam() % 2) == 1;
+  expectPipelinesAgree(Prog, Prof, Common, SeedTag + " base");
+
+  {
+    Options O = Common;
+    O.Unswitch = false;
+    expectPipelinesAgree(Prog, Prof, O, SeedTag + " no-unswitch");
+  }
+  {
+    Options O = Common;
+    O.BufferSafeCalls = false;
+    expectPipelinesAgree(Prog, Prof, O, SeedTag + " no-buffer-safe");
+  }
+  {
+    Options O = Common;
+    O.Theta = 0.0;
+    expectPipelinesAgree(Prog, Prof, O, SeedTag + " theta-zero");
+  }
+  {
+    Options O = Common;
+    O.CacheSlots = 4;
+    O.ReuseBufferedRegion = true;
+    expectPipelinesAgree(Prog, Prof, O, SeedTag + " cache-4");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineReference, ::testing::Range(0, 64));
+
+namespace {
+
+class PipelineReferenceWorkloads : public ::testing::TestWithParam<int> {};
+
+constexpr double WorkloadScale = 0.05;
+
+workloads::Workload buildWorkload(int Index) {
+  using namespace workloads;
+  switch (Index) {
+  case 0:
+    return buildAdpcm(WorkloadScale);
+  case 1:
+    return buildEpic(WorkloadScale);
+  case 2:
+    return buildG721Dec(WorkloadScale);
+  case 3:
+    return buildG721Enc(WorkloadScale);
+  case 4:
+    return buildGsm(WorkloadScale);
+  case 5:
+    return buildJpegDec(WorkloadScale);
+  case 6:
+    return buildJpegEnc(WorkloadScale);
+  case 7:
+    return buildMpeg2Dec(WorkloadScale);
+  case 8:
+    return buildMpeg2Enc(WorkloadScale);
+  case 9:
+    return buildPgp(WorkloadScale);
+  default:
+    return buildRasta(WorkloadScale);
+  }
+}
+
+const char *workloadName(int Index) {
+  static const char *Names[] = {"adpcm",    "epic",     "g721_dec",
+                                "g721_enc", "gsm",      "jpeg_dec",
+                                "jpeg_enc", "mpeg2dec", "mpeg2enc",
+                                "pgp",      "rasta"};
+  return Names[Index];
+}
+
+} // namespace
+
+TEST_P(PipelineReferenceWorkloads, ByteIdenticalOnWorkloads) {
+  workloads::Workload W = buildWorkload(GetParam());
+  compactProgram(W.Prog).take();
+  Image Baseline = layoutProgram(W.Prog);
+  Profile Prof = profileImage(Baseline, W.ProfilingInput).take();
+
+  Options Opts;
+  Opts.Theta = 1e-2;
+  expectPipelinesAgree(W.Prog, Prof, Opts, W.Name);
+
+  Options Mtf = Opts;
+  Mtf.MoveToFront = true;
+  Mtf.BufferBoundBytes = 256;
+  expectPipelinesAgree(W.Prog, Prof, Mtf, W.Name + " mtf256");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PipelineReferenceWorkloads,
+                         ::testing::Range(0, 11),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return workloadName(Info.param);
+                         });
