@@ -1,0 +1,155 @@
+//===- bench/stat_online_resquash.cpp - Online vs offline re-squash -------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// Closes the loop that bench/stat_drift leaves open: stat_drift shows an
+// *offline* merged-profile re-squash recovers the trap cycles that
+// profile drift (train on A, run on B) induces; this bench shows the
+// ResquashController achieves the same recovery *online* — drift
+// triggers a background re-squash, the new version hot-swaps in behind
+// an epoch pin, survives probation, and the drifted input's trap cycles
+// drop — while also reporting what the swap costs (publication pause,
+// re-squash wall time, first-run decode warmup).
+//
+// The offline arm below uses the controller's exact merge recipe
+// (unit-weight live profile scaled through the hardened scaleProfile,
+// absolute θ budget, pinned cold cutoff), so the two arms build
+// byte-identical images and online recovery must meet offline recovery
+// on every workload. One metrics row per workload goes to
+// BENCH_online_resquash.json; any violated criterion exits nonzero.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "sim/ProfileIO.h"
+#include "squash/Adaptive.h"
+
+using namespace bench;
+using namespace squash;
+using namespace vea;
+
+int main() {
+  std::printf("== Online re-squash: drift-triggered hot-swap vs offline ==\n\n");
+  auto Suite = prepareSuite();
+  std::printf("%-10s %12s %12s %12s %11s %11s %10s %9s\n", "program",
+              "trapBefore", "offAfter", "onAfter", "offRecov", "onRecov",
+              "swapNs", "resqSec");
+
+  std::vector<BenchRow> Rows;
+  bool CriteriaOk = true;
+  for (auto &P : Suite) {
+    Options Opts;
+    Opts.Theta = ThetaMid;
+
+    //--- Offline arm: squash, monitored cross run, merge, re-squash. ---//
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
+    DriftMonitor CrossMon(SR.SP, P.Prof);
+    SquashedRun Before =
+        runSquashed(SR.SP, P.W.TimingInput, 2'000'000'000ull, 0, &CrossMon);
+    const uint64_t TrapBefore = Before.Runtime.TrapCycles.sum();
+
+    // The controller's recipe, verbatim (squash/Adaptive.cpp
+    // buildCandidate): unit live profile, weight to the training total,
+    // hardened scale+merge, absolute θ budget, pinned cutoff.
+    const Profile LiveUnit = CrossMon.liveProfile(1.0);
+    Profile Merged = P.Prof;
+    Options Opts2 = Opts;
+    if (LiveUnit.TotalInstructions > 0) {
+      const double Weight =
+          static_cast<double>(
+              std::max<uint64_t>(P.Prof.TotalInstructions, 1)) /
+          static_cast<double>(LiveUnit.TotalInstructions);
+      Profile Scaled = scaleProfile(LiveUnit, Weight).take();
+      Merged = mergeProfiles({P.Prof, Scaled}).take();
+      Opts2.Theta =
+          (Opts.Theta *
+           static_cast<double>(
+               std::max<uint64_t>(P.Prof.TotalInstructions, 1))) /
+          static_cast<double>(
+              std::max<uint64_t>(Merged.TotalInstructions, 1));
+      Opts2.ColdCutoffCap = SR.Cold.FrequencyCutoff;
+    }
+    SquashResult SR2 = squashProgram(P.W.Prog, Merged, Opts2).take();
+    SquashedRun OfflineAfter = runSquashed(SR2.SP, P.W.TimingInput);
+    const uint64_t TrapOffline = OfflineAfter.Runtime.TrapCycles.sum();
+    const int64_t OfflineRecovered = static_cast<int64_t>(TrapBefore) -
+                                     static_cast<int64_t>(TrapOffline);
+
+    //--- Online arm: the controller closes the same loop by itself. ---//
+    AdaptiveConfig Cfg;
+    Cfg.DriftThreshold = 0.0; // Trigger on the first evidence of drift.
+    Cfg.MinEntriesForTrigger = 1;
+    Cfg.MaxAttempts = 1;
+    Cfg.ProbationRuns = 1;
+    Cfg.ProbationTraps = UINT32_MAX;
+    Cfg.RegressionTolerance = 1e9; // Measure recovery, not the verdict.
+    std::unique_ptr<ResquashController> C =
+        ResquashController::create(P.W.Prog, P.Prof, Opts, Cfg).take();
+
+    SquashedRun OnlineBefore = C->serve(P.W.TimingInput); // Triggers.
+    C->drain(120.0).check();
+    SquashedRun OnlineProbation = C->serve(P.W.TimingInput);
+    SquashedRun OnlineAfter = C->serve(P.W.TimingInput);
+    const uint64_t TrapOnline = OnlineAfter.Runtime.TrapCycles.sum();
+    const int64_t OnlineRecovered = static_cast<int64_t>(TrapBefore) -
+                                    static_cast<int64_t>(TrapOnline);
+    const AdaptiveStats St = C->stats();
+
+    //--- Criteria. ---//
+    auto Fail = [&](const char *What) {
+      std::fprintf(stderr, "stat_online_resquash: %s: %s\n",
+                   P.W.Name.c_str(), What);
+      CriteriaOk = false;
+    };
+    for (const SquashedRun *Run :
+         {&Before, &OfflineAfter, &OnlineBefore, &OnlineProbation,
+          &OnlineAfter})
+      if (Run->Run.Status != RunStatus::Halted)
+        Fail("a run did not halt cleanly");
+    for (const SquashedRun *Run :
+         {&OfflineAfter, &OnlineBefore, &OnlineProbation, &OnlineAfter})
+      if (Run->Output != Before.Output ||
+          Run->Run.ExitCode != Before.Run.ExitCode)
+        Fail("output diverged across versions");
+    if (OnlineBefore.Runtime.TrapCycles.sum() != TrapBefore)
+      Fail("online version 0 disagrees with the offline squash");
+    if (OnlineRecovered < OfflineRecovered)
+      Fail("online recovery fell short of offline recovery");
+    if (OfflineRecovered > 0 && St.Publications == 0)
+      Fail("drift was recoverable but nothing was published");
+
+    MetricsRegistry Reg;
+    Reg.setCounter("online_resquash.trap_cycles_before", TrapBefore);
+    Reg.setCounter("online_resquash.trap_cycles_after_offline", TrapOffline);
+    Reg.setCounter("online_resquash.trap_cycles_after_online", TrapOnline);
+    Reg.setGauge("online_resquash.recovered_offline",
+                 static_cast<double>(OfflineRecovered));
+    Reg.setGauge("online_resquash.recovered_online",
+                 static_cast<double>(OnlineRecovered));
+    Reg.setGauge("online_resquash.warmup_decode_cycles",
+                 static_cast<double>(
+                     C->versionCount() > 1 ? C->versionWarmupDecodeCycles(1)
+                                           : 0));
+    C->exportMetrics(Reg);
+    Rows.emplace_back(P.W.Name, Reg.toJson());
+
+    std::printf("%-10s %12llu %12llu %12llu %11lld %11lld %10llu %9.3f\n",
+                P.W.Name.c_str(), (unsigned long long)TrapBefore,
+                (unsigned long long)TrapOffline,
+                (unsigned long long)TrapOnline, (long long)OfflineRecovered,
+                (long long)OnlineRecovered,
+                (unsigned long long)St.SwapPauseNsTotal,
+                St.LastResquashSeconds);
+  }
+
+  std::string Path = writeBenchJson("online_resquash", Rows);
+  std::printf("\nwrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
+  if (!CriteriaOk) {
+    std::fprintf(stderr,
+                 "stat_online_resquash: acceptance criteria violated\n");
+    return 1;
+  }
+  return 0;
+}

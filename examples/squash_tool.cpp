@@ -11,6 +11,7 @@
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--trace-capacity N]
 //               [--drift-report FILE] [--live-profile-out FILE]
+//               [--adapt N] [--drift-threshold X] [--probation-traps N]
 //               [--print-pipeline] [--stop-after=PASS] [--disable-pass=PASS]...
 //
 // Assembles the program (or a built-in demo), compacts it, profiles it on
@@ -33,6 +34,14 @@
 // pass via Options::DisabledPasses — each disabled pass substitutes its
 // conservative fallback, so the result still runs.
 //
+// --adapt N serves N requests of the long verification input through the
+// multiversion ResquashController instead of the one-shot flow: drift
+// past --drift-threshold (default 0.25) triggers a background re-squash
+// that hot-swaps in, runs probation (--probation-traps), and rolls back
+// on regression. Per-request version/trap lines, the version-transition
+// event log, and the resquash.* counters are printed; --metrics-json /
+// --metrics-prom include them.
+//
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
@@ -41,6 +50,7 @@
 #include "link/Layout.h"
 #include "sim/Machine.h"
 #include "sim/ProfileIO.h"
+#include "squash/Adaptive.h"
 #include "squash/DriftMonitor.h"
 #include "squash/Driver.h"
 #include "squash/Inspect.h"
@@ -128,6 +138,9 @@ struct Args {
   bool PrintPipeline = false;
   std::string StopAfter;
   std::vector<std::string> DisabledPasses; ///< Repeatable.
+  uint32_t AdaptRuns = 0; ///< --adapt N: serve N requests adaptively.
+  double DriftThreshold = 0.25;
+  uint32_t ProbationTraps = 64;
 };
 
 /// Matches "--flag=value" or "--flag value"; fills \p Value on a hit.
@@ -177,6 +190,12 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.DriftReportPath = Argv[++I];
     } else if (S == "--live-profile-out" && I + 1 < Argc) {
       A.LiveProfileOut = Argv[++I];
+    } else if (S == "--adapt" && I + 1 < Argc) {
+      A.AdaptRuns = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (S == "--drift-threshold" && I + 1 < Argc) {
+      A.DriftThreshold = std::atof(Argv[++I]);
+    } else if (S == "--probation-traps" && I + 1 < Argc) {
+      A.ProbationTraps = static_cast<uint32_t>(std::atoi(Argv[++I]));
     } else if (S == "--trace-out" && I + 1 < Argc) {
       A.TraceOut = Argv[++I];
     } else if (S == "--trace-capacity" && I + 1 < Argc) {
@@ -333,6 +352,78 @@ int main(int Argc, char **Argv) {
         return 1;
     }
     return 0;
+  }
+
+  if (A.AdaptRuns > 0) {
+    // Adaptive serving: the controller owns the image. Each request runs
+    // against the pinned active version; drift past the threshold kicks
+    // off a background re-squash that hot-swaps in behind the epoch pin.
+    AdaptiveConfig Cfg;
+    Cfg.DriftThreshold = A.DriftThreshold;
+    Cfg.ProbationTraps = A.ProbationTraps;
+    // Demo programs trap a handful of times per request; let the drift
+    // threshold be the sole trigger gate rather than the entry-count one.
+    Cfg.MinEntriesForTrigger = 1;
+    Expected<std::unique_ptr<ResquashController>> COr =
+        ResquashController::create(Prog, Prof, Opts, Cfg);
+    if (!COr) {
+      std::fprintf(stderr, "%s\n", COr.status().toString().c_str());
+      return 1;
+    }
+    std::unique_ptr<ResquashController> C = COr.take();
+
+    // Serve the long input the one-shot path uses for verification: it
+    // exercises the cold path, so it drifts away from the training input.
+    std::vector<uint8_t> LongInput;
+    for (int I = 0; I != 400; ++I)
+      LongInput.push_back(static_cast<uint8_t>('A' + I % 23));
+    Machine M1(Baseline);
+    M1.setInput(LongInput);
+    RunResult R1 = M1.run();
+
+    bool Ok = R1.Status == RunStatus::Halted;
+    std::printf("serving %u request(s), drift threshold %g, probation %u "
+                "trap(s)\n",
+                A.AdaptRuns, Cfg.DriftThreshold, Cfg.ProbationTraps);
+    for (uint32_t I = 0; I != A.AdaptRuns; ++I) {
+      uint32_t V = C->activeVersion();
+      SquashedRun R = C->serve(LongInput);
+      Ok = Ok && R.Run.Status == RunStatus::Halted &&
+           R.Run.ExitCode == R1.ExitCode;
+      std::printf("  request %2u: version %u (%s), exit %u, %llu trap "
+                  "cycle(s), %llu decompression(s)\n",
+                  I, V, versionStateName(C->versionState(V)), R.Run.ExitCode,
+                  (unsigned long long)R.Runtime.TrapCycles.sum(),
+                  (unsigned long long)R.Runtime.Decompressions);
+    }
+    if (Status St = C->drain(120.0); !St.ok())
+      std::fprintf(stderr, "%s\n", St.toString().c_str());
+
+    std::printf("\nversion transitions:\n");
+    for (const AdaptiveEvent &E : C->events())
+      std::printf("  #%llu %s v%u\n", (unsigned long long)E.Seq,
+                  adaptiveEventKindName(E.K), E.Version);
+    const AdaptiveStats St = C->stats();
+    std::printf("\nresquash: %llu attempt(s), %llu publication(s), %llu "
+                "rollback(s), %llu failure(s); active version %u of %u -> "
+                "%s\n",
+                (unsigned long long)St.Attempts,
+                (unsigned long long)St.Publications,
+                (unsigned long long)St.Rollbacks,
+                (unsigned long long)St.Failures, C->activeVersion(),
+                C->versionCount(), Ok ? "OK" : "MISMATCH");
+
+    if (!A.MetricsJson.empty() || !A.MetricsProm.empty()) {
+      MetricsRegistry Reg;
+      C->exportMetrics(Reg);
+      if (!A.MetricsJson.empty() &&
+          !writeTextFile(A.MetricsJson, Reg.toJson() + "\n"))
+        return 1;
+      if (!A.MetricsProm.empty() &&
+          !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
+        return 1;
+    }
+    return Ok ? 0 : 1;
   }
 
   Expected<SquashResult> SROr = squashProgram(Prog, Prof, Opts);

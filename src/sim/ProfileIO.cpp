@@ -7,6 +7,7 @@
 
 #include "sim/ProfileIO.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -154,9 +155,45 @@ Expected<Profile> vea::mergeProfiles(const std::vector<Profile> &Profiles) {
           "mergeProfiles: block count mismatch (" +
               std::to_string(P.BlockCounts.size()) + " vs " +
               std::to_string(Merged.BlockCounts.size()) + ")");
-    for (size_t I = 0; I != P.BlockCounts.size(); ++I)
+    for (size_t I = 0; I != P.BlockCounts.size(); ++I) {
+      if (P.BlockCounts[I] > UINT64_MAX - Merged.BlockCounts[I])
+        return Status::error(StatusCode::InvalidArgument,
+                             "mergeProfiles: count overflow at block " +
+                                 std::to_string(I));
       Merged.BlockCounts[I] += P.BlockCounts[I];
+    }
+    if (P.TotalInstructions > UINT64_MAX - Merged.TotalInstructions)
+      return Status::error(StatusCode::InvalidArgument,
+                           "mergeProfiles: total instruction count overflow");
     Merged.TotalInstructions += P.TotalInstructions;
   }
   return Merged;
+}
+
+Expected<Profile> vea::scaleProfile(const Profile &Prof, double Weight) {
+  if (!std::isfinite(Weight) || Weight < 0.0)
+    return Status::error(StatusCode::InvalidArgument,
+                         "scaleProfile: weight must be finite and "
+                         "non-negative (got " +
+                             std::to_string(Weight) + ")");
+  // llround saturates into UB past int64; stay well inside it.
+  const double Limit = 9.0e18;
+  auto Scale = [&](uint64_t Count, uint64_t &Out) -> bool {
+    double S = static_cast<double>(Count) * Weight;
+    if (S > Limit)
+      return false;
+    Out = static_cast<uint64_t>(std::llround(S));
+    return true;
+  };
+  Profile Scaled;
+  Scaled.BlockCounts.assign(Prof.BlockCounts.size(), 0);
+  for (size_t I = 0; I != Prof.BlockCounts.size(); ++I)
+    if (!Scale(Prof.BlockCounts[I], Scaled.BlockCounts[I]))
+      return Status::error(StatusCode::InvalidArgument,
+                           "scaleProfile: scaled count overflows at block " +
+                               std::to_string(I));
+  if (!Scale(Prof.TotalInstructions, Scaled.TotalInstructions))
+    return Status::error(StatusCode::InvalidArgument,
+                         "scaleProfile: scaled instruction total overflows");
+  return Scaled;
 }

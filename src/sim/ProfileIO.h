@@ -56,8 +56,18 @@ Expected<Profile> loadProfileFile(const std::string &Path);
 
 /// Merges same-program profiles by summing per-block counts and total
 /// instruction counts (multi-input training). Fails with InvalidArgument
-/// when \p Profiles is empty or the block counts disagree.
+/// when \p Profiles is empty, the block universes (block counts) disagree,
+/// or any summed count would overflow uint64 — a hostile or corrupted
+/// profile must be rejected here with a descriptive status, never
+/// propagated as garbage heat into the pipeline.
 Expected<Profile> mergeProfiles(const std::vector<Profile> &Profiles);
+
+/// Scales every block count (and the instruction total) of \p Prof by
+/// \p Weight, rounding to nearest — the validated path for weighting a
+/// short monitored run against a heavyweight training profile before a
+/// merge. Fails with InvalidArgument when \p Weight is NaN, infinite, or
+/// negative, or when a scaled count would overflow the 64-bit count space.
+Expected<Profile> scaleProfile(const Profile &Prof, double Weight);
 
 } // namespace vea
 

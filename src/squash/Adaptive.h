@@ -1,0 +1,340 @@
+//===- squash/Adaptive.h - Online re-squash with hot-swap ------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the paper's profile-guided loop at runtime. The DriftMonitor
+/// (§13) measures when the training profile stops predicting production
+/// behaviour; bench/stat_drift shows an offline merged-profile re-squash
+/// recovers the drift-induced trap cycles. This subsystem performs that
+/// re-squash *online*, as a multiversion hot-swap (DESIGN.md §15):
+///
+///   ResquashController owns a pristine (compacted) program and a list of
+///   image *versions*, each a complete SquashedProgram with its guiding
+///   profile and accumulated live heat. Requests are served against the
+///   active version under an **epoch pin**: a version's memory (image
+///   bytes, compressed streams, decode-cache recovery copies) is never
+///   touched while any request holds a pin on it, so a trap mid-swap
+///   always completes against a coherent version.
+///
+/// When the active version's drift score crosses the configured
+/// threshold, a background worker (support/ThreadPool) merges the live
+/// profile into the guiding profile via the hardened sim/ProfileIO path,
+/// re-runs the standard pass pipeline, **CRC-validates the staged image**,
+/// and hands it to an atomic publication step (a mutex-scoped registry
+/// swap whose wall time is the reported swap pause, plus a semantic
+/// cross-check of the offset table against the region metadata). The new
+/// version then runs a probation window; if its trap-cycle rate regresses
+/// past the prior version's, the controller **rolls back automatically**.
+/// Retired versions are freed only when their pins drain (epoch-based
+/// retirement); a leaked pin wedges retirement, which is reported via
+/// vea::Status rather than risked as a use-after-free. A watchdog
+/// invalidates background attempts that overrun their deadline
+/// (generation counter — late results are discarded), so a wedged
+/// re-squash degrades the system to its current version, never to a
+/// broken one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_ADAPTIVE_H
+#define SQUASH_SQUASH_ADAPTIVE_H
+
+#include "squash/DriftMonitor.h"
+#include "squash/Driver.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace squash {
+
+/// Lifecycle of one image version (DESIGN.md §15). Forward transitions
+/// only; the terminal states are Freed and Failed.
+enum class VersionState : uint8_t {
+  Probation, ///< Active, under post-swap comparison against the prior.
+  Committed, ///< Active (or previously active) and accepted.
+  Standby,   ///< The prior version while its successor is on probation —
+             ///< the rollback target, never freed.
+  Retired,   ///< Superseded; freed once its epoch pins drain.
+  RolledBack,///< Regressed on probation; freed once its pins drain.
+  Freed,     ///< Memory released (image, streams, recovery copies).
+};
+
+const char *versionStateName(VersionState S);
+
+/// One version-transition event in the controller's bounded ring.
+struct AdaptiveEvent {
+  enum class Kind : uint8_t {
+    Trigger,         ///< Drift crossed the threshold; attempt launched.
+    Staged,          ///< Background re-squash validated and staged.
+    StagingRejected, ///< Staged image failed CRC validation; discarded.
+    Converged,       ///< Staged image identical to the active one; no-op.
+    Published,       ///< Staged version swapped in (probation begins).
+    PublishRejected, ///< Publication cross-check failed; staged discarded.
+    Committed,       ///< Probation passed; prior version retires.
+    RolledBack,      ///< Probation regressed; prior version reinstated.
+    Retired,         ///< A drained version's memory was freed.
+    TimedOut,        ///< Watchdog invalidated an overrunning attempt.
+    Failed,          ///< Merge or pipeline failed; version unchanged.
+    PinLeaked,       ///< A serve leaked its epoch pin (fault injection).
+    Wedged,          ///< Retirement stuck behind leaked pins; reported.
+  };
+  Kind K;
+  uint32_t Version = 0; ///< Version the transition concerns.
+  uint64_t Seq = 0;     ///< Monotonic event number (gap-free before drops).
+};
+
+const char *adaptiveEventKindName(AdaptiveEvent::Kind K);
+
+struct AdaptiveConfig {
+  /// Re-squash triggers when DriftReport::DriftScore reaches this value
+  /// (and MinEntriesForTrigger is met). 0 triggers on any live evidence.
+  double DriftThreshold = 0.25;
+  /// Minimum live region entries before the drift score is actionable.
+  uint64_t MinEntriesForTrigger = 16;
+  /// Probation verdict after this many traps on the new version...
+  uint32_t ProbationTraps = 64;
+  /// ...or this many full requests, whichever comes first (a fully
+  /// recovered version may trap rarely or never).
+  uint32_t ProbationRuns = 4;
+  /// Rollback when the new version's trap cycles per instruction exceed
+  /// the prior version's lifetime rate by this factor.
+  double RegressionTolerance = 1.10;
+  /// Watchdog deadline for one background re-squash attempt.
+  double ResquashTimeoutSeconds = 120.0;
+  /// How long a retired version may sit pinned before retirement is
+  /// reported wedged (the memory is still never freed under a pin).
+  double RetireTimeoutSeconds = 30.0;
+  /// Attempts a single active version may launch (re-arming requires a
+  /// successful swap; prevents a persistent drift signal from spinning
+  /// the pipeline).
+  uint32_t MaxAttemptsPerVersion = 1;
+  /// Global attempt budget; 0 means unlimited.
+  uint64_t MaxAttempts = 0;
+  /// When true (the default), poll() publishes a staged version as soon
+  /// as no probation is pending. Tests and tools that must control the
+  /// exact swap point disable this and call publishStaged() themselves.
+  bool AutoPublish = true;
+  /// Capacity of the version-transition event ring.
+  uint32_t EventCapacity = 1024;
+  /// Workers for the background re-squash pool.
+  unsigned WorkerThreads = 1;
+  /// Test hook: replaces squashProgram for the re-squash (forced
+  /// regressions, wedged-worker simulation). Receives the pristine
+  /// program, the merged profile, and the derived options.
+  std::function<vea::Expected<SquashResult>(
+      const vea::Program &, const vea::Profile &, const Options &)>
+      PipelineOverride;
+  /// Test hook: mutates the staged image after the pipeline and before
+  /// staging validation (FaultInjector swap-path faults plug in here).
+  std::function<void(SquashedProgram &)> StageHook;
+};
+
+/// Counter snapshot of the adaptation loop (exported as resquash.*).
+struct AdaptiveStats {
+  uint64_t Attempts = 0;        ///< Re-squash attempts launched.
+  uint64_t Successes = 0;       ///< Versions committed after probation.
+  uint64_t Rollbacks = 0;       ///< Automatic probation rollbacks.
+  uint64_t Failures = 0;        ///< Merge/pipeline errors (no new version).
+  uint64_t StagingRejects = 0;  ///< Staged images failing CRC validation.
+  uint64_t PublishRejects = 0;  ///< Publications failing the cross-check.
+  uint64_t ConvergedAttempts = 0; ///< Staged image identical to active.
+  uint64_t Timeouts = 0;        ///< Watchdog-invalidated attempts.
+  uint64_t Publications = 0;    ///< Successful atomic swaps.
+  uint64_t RetiredVersions = 0; ///< Versions freed after pin drain.
+  uint64_t WedgedRetirements = 0; ///< Retirements stuck behind pins.
+  uint64_t PinLeaks = 0;        ///< Injected epoch-pin leaks observed.
+  uint64_t ServedRuns = 0;      ///< Requests served.
+  uint64_t ServedDuringResquash = 0; ///< ...while an attempt was in flight.
+  uint64_t SwapPauseNsTotal = 0; ///< Publication critical-section time.
+  uint64_t SwapPauseNsMax = 0;
+  double LastResquashSeconds = 0.0; ///< Last attempt's build wall time.
+  double LastDriftScore = 0.0;      ///< Most recent trigger evaluation.
+  uint32_t ActiveVersion = 0;
+  uint32_t VersionsCreated = 1;
+  bool ProbationPending = false;
+
+  /// Registers every scalar under \p Prefix (JSON + Prometheus via
+  /// MetricsRegistry).
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "resquash.") const;
+};
+
+/// The multiversion runtime: serves requests, watches drift, re-squashes
+/// in the background, and swaps/retires versions. All shared state is
+/// guarded by one mutex; requests run pinned and lock-free for their
+/// whole duration, so concurrent serve() calls and a concurrent
+/// publication are safe (the ThreadSanitizer suite drives exactly that).
+class ResquashController {
+public:
+  /// Squashes \p Prog (post-compaction) under \p Training as version 0.
+  /// Fails with squashProgram's errors; on success the controller is
+  /// immediately serviceable.
+  static vea::Expected<std::unique_ptr<ResquashController>>
+  create(vea::Program Prog, vea::Profile Training, Options Opts,
+         AdaptiveConfig Cfg = {});
+
+  ~ResquashController();
+
+  ResquashController(const ResquashController &) = delete;
+  ResquashController &operator=(const ResquashController &) = delete;
+
+  /// Serves one request against the active version: pins it, runs to
+  /// completion on that coherent version, absorbs the run's live heat and
+  /// latency histograms, then advances the adaptation state machine
+  /// (probation verdict or drift trigger). \p Extra, when non-null, also
+  /// observes every trap — the concurrency stress test uses it to force a
+  /// publication at an exact trap index.
+  SquashedRun serve(const std::vector<uint8_t> &Input,
+                    uint64_t MaxInstructions = 2'000'000'000ull,
+                    TrapObserver *Extra = nullptr);
+
+  /// Advances the state machine without serving: watchdog check, staged
+  /// publication, probation-free retirement reaping. serve() calls this
+  /// on entry and exit; callers with idle periods call it directly.
+  void poll();
+
+  /// Waits for the background worker to settle (at most \p TimeoutSeconds;
+  /// negative means the configured watchdog deadline), then polls.
+  /// DeadlineExceeded when the worker is still busy — the attempt will be
+  /// invalidated by the watchdog, not waited on forever.
+  vea::Status drain(double TimeoutSeconds = -1.0);
+
+  /// Runs one full re-squash attempt synchronously on the caller's thread
+  /// (merge, pipeline, staging validation) regardless of drift, leaving
+  /// the result staged for publication. For deterministic tests and
+  /// tools. Fails if an attempt is already in flight or staged.
+  vea::Status resquashNow();
+
+  /// Publishes the staged version now (normally poll() does this).
+  /// Callable from a TrapObserver mid-run: the serving request keeps its
+  /// pinned version; only *future* requests see the new one. Fails when
+  /// nothing is staged or the publication cross-check rejects the image.
+  vea::Status publishStaged();
+
+  /// True when a validated image is staged and awaiting publication.
+  bool hasStaged() const;
+
+  /// Fault injection (FaultKind::EpochPinLeak): the next serve() skips
+  /// its unpin, simulating a request that died holding its epoch — the
+  /// version it pinned can then never drain.
+  void armEpochPinLeak();
+
+  uint32_t activeVersion() const;
+  uint32_t versionCount() const;
+  VersionState versionState(uint32_t Id) const;
+  /// The squash result behind \p Id (empty SquashResult once freed).
+  const SquashResult &versionResult(uint32_t Id) const;
+  /// First-run decode-cycle cost of \p Id: the cold-cache warmup a fresh
+  /// version pays (0 until it has served).
+  uint64_t versionWarmupDecodeCycles(uint32_t Id) const;
+
+  AdaptiveStats stats() const;
+  /// Most recent failure surfaced by the adaptation loop (staging
+  /// rejection, watchdog timeout, wedged retirement...). Success when the
+  /// loop has never failed.
+  vea::Status lastError() const;
+
+  /// Version-transition events, oldest first (bounded ring — see
+  /// AdaptiveConfig::EventCapacity).
+  std::vector<AdaptiveEvent> events() const;
+  uint64_t droppedEvents() const;
+
+  void exportMetrics(vea::MetricsRegistry &R,
+                     const std::string &Prefix = "resquash.") const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Version {
+    uint32_t Id = 0;
+    VersionState State = VersionState::Committed;
+    SquashResult Result;
+    vea::Profile Guiding; ///< Profile this version was squashed under.
+    std::unique_ptr<DriftMonitor> Monitor; ///< Accumulated live heat.
+    vea::Histogram TrapCycles; ///< Accumulated across this version's runs.
+    uint64_t Instructions = 0; ///< Guest instructions retired on it.
+    uint64_t Runs = 0;
+    uint32_t Pins = 0;     ///< In-flight requests (epoch pins).
+    uint32_t Attempts = 0; ///< Re-squash attempts launched from it.
+    uint64_t WarmupDecodeCycles = 0;
+    bool WarmupSet = false;
+    Clock::time_point RetiredAt{};
+    bool WedgeReported = false;
+  };
+
+  /// Everything one background attempt needs, snapshotted under the lock
+  /// at trigger time so the worker never touches shared state.
+  struct AttemptInput {
+    vea::Profile Guiding;
+    vea::Profile LiveUnit; ///< Monitor heat at weight 1.0.
+    uint64_t ColdCutoff = 0;
+    uint32_t FromVersion = 0;
+    uint64_t Gen = 0;
+  };
+
+  struct StagedImage {
+    SquashResult Result;
+    vea::Profile Guiding; ///< The merged profile.
+    uint32_t FromVersion = 0;
+  };
+
+  ResquashController() = default;
+
+  /// Merge + pipeline + stage hook + CRC validation; no lock held.
+  vea::Expected<StagedImage> buildCandidate(const AttemptInput &In) const;
+  /// Runs one attempt to completion and records its outcome. Returns the
+  /// outcome for resquashNow; the pool wrapper ignores it.
+  vea::Status runAttempt(AttemptInput In);
+
+  void startAttemptLocked(Version &V);
+  void maybeTriggerLocked(Version &V);
+  vea::Status publishStagedLocked();
+  void probationVerdictLocked(Version &V);
+  void reapRetiredLocked();
+  void watchdogLocked();
+  void recordEventLocked(AdaptiveEvent::Kind K, uint32_t VersionId);
+  double rateOfLocked(const Version &V) const;
+
+  mutable std::mutex Mu;
+  vea::Program Pristine; ///< Compacted program; immutable after create().
+  Options BaseOpts;
+  AdaptiveConfig Cfg;
+  double AbsColdBudget = 0.0; ///< θ·(initial training total), preserved
+                              ///< across merges so the cold budget never
+                              ///< inflates with the profile volume.
+  std::vector<std::unique_ptr<Version>> Versions;
+  uint32_t Active = 0;
+  uint32_t ProbationPrior = 0;
+  bool InProbation = false;
+  std::optional<StagedImage> Staged;
+  std::unique_ptr<vea::ThreadPool> Pool;
+  bool InFlight = false;
+  uint32_t InFlightFrom = 0; ///< Version the in-flight attempt came from.
+  uint64_t Generation = 0; ///< Bumped by the watchdog; a completing
+                           ///< attempt whose generation is stale discards
+                           ///< its result.
+  Clock::time_point AttemptStart{};
+  bool PinLeakArmed = false;
+  AdaptiveStats St;
+  vea::Status LastError;
+
+  std::vector<AdaptiveEvent> Events;
+  uint32_t EventCap = 1024;
+  size_t EventNext = 0;
+  uint64_t EventDropped = 0;
+  uint64_t EventSeq = 0;
+};
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_ADAPTIVE_H

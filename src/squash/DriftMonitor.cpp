@@ -68,6 +68,20 @@ void DriftMonitor::onRegionEntry(uint32_t Region, bool Filled,
   TotalCycles += ChargedCycles;
 }
 
+void DriftMonitor::absorb(const DriftMonitor &Other) {
+  if (Other.Entries.size() != Entries.size())
+    return;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    Entries[I] += Other.Entries[I];
+    Fills[I] += Other.Fills[I];
+    Cycles[I] += Other.Cycles[I];
+  }
+  TotalEntries += Other.TotalEntries;
+  TotalRestores += Other.TotalRestores;
+  TotalFills += Other.TotalFills;
+  TotalCycles += Other.TotalCycles;
+}
+
 void DriftMonitor::reset() {
   std::fill(Entries.begin(), Entries.end(), 0);
   std::fill(Fills.begin(), Fills.end(), 0);

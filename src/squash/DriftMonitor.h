@@ -109,6 +109,14 @@ public:
   /// Forgets all accumulated live heat (training heat is kept).
   void reset();
 
+  /// Folds \p Other's accumulated live heat into this monitor. The two
+  /// must observe the same squashed program (same region count); a
+  /// mismatch is ignored rather than corrupting the accumulation. This is
+  /// how squash/Adaptive aggregates per-request scratch monitors into one
+  /// per-version monitor under its own lock, keeping onRegionEntry free of
+  /// cross-thread traffic.
+  void absorb(const DriftMonitor &Other);
+
   DriftReport report() const;
 
   /// The report as one deterministic JSON object: identical inputs produce

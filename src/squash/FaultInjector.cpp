@@ -7,6 +7,8 @@
 
 #include "squash/FaultInjector.h"
 
+#include "support/Checksum.h"
+
 #include <algorithm>
 
 using namespace squash;
@@ -32,6 +34,12 @@ const char *squash::faultKindName(FaultKind K) {
     return "nc-code-bit-flip";
   case FaultKind::SlotMapEntry:
     return "slot-map-entry";
+  case FaultKind::StagingCorrupt:
+    return "staging-corrupt";
+  case FaultKind::PublishOffsetSkew:
+    return "publish-offset-skew";
+  case FaultKind::EpochPinLeak:
+    return "epoch-pin-leak";
   }
   return "unknown";
 }
@@ -183,6 +191,55 @@ std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
                   "slot map entry " + std::to_string(Slot) + ": " +
                       std::to_string(Old) + " -> " + std::to_string(New));
   }
+
+  case FaultKind::StagingCorrupt: {
+    // One bit anywhere in the checksummed content: the immutable prefix
+    // [Base, StubAreaBase) covered by ImageCrc32, or the blob covered by
+    // BlobCrc32. CRC-validated staging must reject the image either way.
+    uint64_t PrefixBits = 8ull * (L.StubAreaBase - Img.Base);
+    uint64_t TotalBits = PrefixBits + 8ull * L.BlobBytes;
+    if (TotalBits == 0)
+      return std::nullopt;
+    uint64_t Bit = R.nextBelow(TotalBits);
+    uint32_t Addr = Bit < PrefixBits
+                        ? Img.Base + static_cast<uint32_t>(Bit / 8)
+                        : L.BlobBase +
+                              static_cast<uint32_t>((Bit - PrefixBits) / 8);
+    Img.Bytes[Addr - Img.Base] ^= static_cast<uint8_t>(1u << (Bit % 8));
+    return report(K, Addr,
+                  "flipped checksummed bit " + std::to_string(Bit) +
+                      " (byte " + std::to_string(Addr) + ")");
+  }
+
+  case FaultKind::PublishOffsetSkew: {
+    if (SP.Regions.empty())
+      return std::nullopt;
+    uint32_t Region = static_cast<uint32_t>(R.nextBelow(SP.Regions.size()));
+    uint32_t Addr = L.OffsetTableBase + 4 * Region;
+    uint32_t Old = Img.word(Addr);
+    uint32_t New;
+    do {
+      New = static_cast<uint32_t>(R.next());
+    } while (New == Old);
+    Img.setWord(Addr, New);
+    // Refresh the prefix checksum: the offset table lies inside the
+    // CRC-covered prefix, so without this the fault would collapse into
+    // StagingCorrupt. With it, only the table-vs-metadata cross-check
+    // (publication gate, attach validation, or the lazy fill check) sees
+    // the skew.
+    L.ImageCrc32 =
+        vea::crc32(Img.Bytes.data(), L.StubAreaBase - Img.Base);
+    return report(K, Addr,
+                  "offset table entry " + std::to_string(Region) +
+                      " skewed (" + std::to_string(Old) + " -> " +
+                      std::to_string(New) + ") with image CRC refreshed");
+  }
+
+  case FaultKind::EpochPinLeak:
+    // A retirement fault, not an image fault: armed on the controller
+    // (ResquashController::armEpochPinLeak), which then "forgets" to
+    // unpin a served version.
+    return std::nullopt;
   }
   return std::nullopt;
 }

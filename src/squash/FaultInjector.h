@@ -42,6 +42,19 @@ enum class FaultKind : uint8_t {
   BlobTruncate,     ///< Cut the blob (and the image) short.
   NCCodeBitFlip,    ///< Flip one bit of never-compressed code / stubs.
   SlotMapEntry,     ///< Corrupt one decode-cache slot-map word.
+  StagingCorrupt,   ///< Flip one bit of CRC-covered content (image prefix
+                    ///< or blob) without fixing the checksums: the model
+                    ///< of a staged re-squash image damaged in flight,
+                    ///< caught by CRC-validated staging.
+  PublishOffsetSkew,///< Skew one offset-table word and *refresh* the image
+                    ///< CRC so integrity checks pass; only the
+                    ///< publication-time cross-check of the table against
+                    ///< the region metadata (or the lazy fill check) can
+                    ///< catch it.
+  EpochPinLeak,     ///< Leak an epoch pin so a retired version can never
+                    ///< drain. Not an image mutation — inject() reports it
+                    ///< inapplicable; the adaptive sweep arms it through
+                    ///< ResquashController::armEpochPinLeak().
 };
 
 const char *faultKindName(FaultKind K);

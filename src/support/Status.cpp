@@ -29,6 +29,8 @@ const char *vea::statusCodeName(StatusCode Code) {
     return "encoding error";
   case StatusCode::ResourceExhausted:
     return "resource exhausted";
+  case StatusCode::DeadlineExceeded:
+    return "deadline exceeded";
   case StatusCode::RuntimeFault:
     return "runtime fault";
   case StatusCode::InternalError:

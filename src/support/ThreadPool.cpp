@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 using namespace vea;
 
@@ -41,6 +42,13 @@ void ThreadPool::enqueue(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Tasks.empty() && Running == 0; });
+}
+
+bool ThreadPool::waitFor(double Seconds) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return AllDone.wait_for(
+      Lock, std::chrono::duration<double>(std::max(Seconds, 0.0)),
+      [this] { return Tasks.empty() && Running == 0; });
 }
 
 void ThreadPool::parallelFor(size_t NumTasks,

@@ -45,6 +45,12 @@ public:
   /// Blocks until every enqueued task has finished.
   void wait();
 
+  /// Blocks until every enqueued task has finished or \p Seconds elapse.
+  /// Returns true when the pool drained, false on timeout (tasks keep
+  /// running; callers that must not use their results anymore invalidate
+  /// them on their side — see squash/Adaptive's generation counter).
+  bool waitFor(double Seconds);
+
   /// Runs Body(0..NumTasks-1) across the pool's workers and waits for all
   /// of them. Indices are claimed atomically, so tasks may complete in any
   /// order — callers that need determinism index into pre-sized output

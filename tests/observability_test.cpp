@@ -23,7 +23,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 using namespace vea;
@@ -459,6 +461,77 @@ TEST(ProfileIO, MergeSumsAndValidates) {
   Profile C;
   C.BlockCounts = {1};
   EXPECT_FALSE(mergeProfiles({A, C}).ok()) << "block count mismatch";
+}
+
+// The merge feeds the online re-squash path, so hostile or damaged
+// profiles must die with a descriptive Status, never wrap around.
+TEST(ProfileIO, MergeRejectsCountOverflow) {
+  Profile A, B;
+  A.BlockCounts = {UINT64_MAX - 1, 5};
+  A.TotalInstructions = 10;
+  B.BlockCounts = {2, 0};
+  B.TotalInstructions = 2;
+  Expected<Profile> M = mergeProfiles({A, B});
+  ASSERT_FALSE(M.ok());
+  EXPECT_EQ(M.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(M.status().message().find("overflow"), std::string::npos)
+      << M.status().toString();
+}
+
+TEST(ProfileIO, MergeRejectsInstructionTotalOverflow) {
+  Profile A, B;
+  A.BlockCounts = {1};
+  A.TotalInstructions = UINT64_MAX - 1;
+  B.BlockCounts = {1};
+  B.TotalInstructions = 2;
+  Expected<Profile> M = mergeProfiles({A, B});
+  ASSERT_FALSE(M.ok());
+  EXPECT_EQ(M.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(M.status().message().find("overflow"), std::string::npos)
+      << M.status().toString();
+}
+
+TEST(ProfileIO, ScaleRejectsHostileWeights) {
+  Profile P;
+  P.BlockCounts = {1, 2};
+  P.TotalInstructions = 3;
+  for (double W : {std::nan(""), std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(), -1.0, -0.25}) {
+    Expected<Profile> S = scaleProfile(P, W);
+    ASSERT_FALSE(S.ok()) << "weight " << W;
+    EXPECT_EQ(S.status().code(), StatusCode::InvalidArgument);
+  }
+}
+
+TEST(ProfileIO, ScaleRejectsOverflowingCounts) {
+  Profile P;
+  P.BlockCounts = {UINT64_MAX / 2};
+  P.TotalInstructions = 10;
+  Expected<Profile> S = scaleProfile(P, 4.0);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(S.status().message().find("overflow"), std::string::npos)
+      << S.status().toString();
+
+  Profile Q;
+  Q.BlockCounts = {1};
+  Q.TotalInstructions = UINT64_MAX / 2;
+  Expected<Profile> S2 = scaleProfile(Q, 4.0);
+  ASSERT_FALSE(S2.ok());
+  EXPECT_EQ(S2.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(ProfileIO, ScaleRoundsHalfAwayLikeTheDriftRecipe) {
+  Profile P;
+  P.BlockCounts = {2, 3, 0};
+  P.TotalInstructions = 10;
+  Profile S = scaleProfile(P, 2.5).take();
+  EXPECT_EQ(S.BlockCounts, (std::vector<uint64_t>{5, 8, 0}));
+  EXPECT_EQ(S.TotalInstructions, 25u);
+  // Weight 0 is legal (an empty contribution), unlike negative weights.
+  Profile Z = scaleProfile(P, 0.0).take();
+  EXPECT_EQ(Z.BlockCounts, (std::vector<uint64_t>{0, 0, 0}));
+  EXPECT_EQ(Z.TotalInstructions, 0u);
 }
 
 TEST(ProfileIO, SaveLoadFileRoundTrip) {
