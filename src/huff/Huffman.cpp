@@ -147,7 +147,26 @@ uint32_t CanonicalCode::decode(vea::BitReader &R) const {
     J += N[I];
     ++I;
   } while (V >= B + N[I]);
-  return D[J + (V - B)];
+  size_t Idx = J + (V - B);
+  if (Idx >= D.size())
+    return Invalid; // Truncated value list (see valid()).
+  return D[Idx];
+}
+
+bool CanonicalCode::valid() const {
+  if (N.empty())
+    return D.empty();
+  if (N[0] != 0)
+    return false;
+  uint64_t Total = 0, B = 0;
+  for (unsigned Len = 1; Len < N.size(); ++Len) {
+    if (Len > 1)
+      B = 2 * (B + N[Len - 1]);
+    if (B + N[Len] > (1ull << std::min(Len, 63u)))
+      return false; // More codewords of this length than Len bits can hold.
+    Total += N[Len];
+  }
+  return Total == D.size();
 }
 
 size_t CanonicalCode::representationBits(unsigned ValueBits) const {

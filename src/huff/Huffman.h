@@ -65,6 +65,23 @@ public:
   /// The D[j] array: symbol values ordered by codeword value.
   const std::vector<uint32_t> &values() const { return D; }
 
+  /// Structural consistency of the stored representation: N[0] == 0, the
+  /// canonical codeword space never overflows (b_i + N[i] <= 2^i), and the
+  /// value list length matches the length counts. build() and a successful
+  /// deserialize() always satisfy this; a truncated or tampered table does
+  /// not, and decode() on such a table returns Invalid rather than reading
+  /// out of bounds.
+  bool valid() const;
+
+  /// Fault-injection hook (FaultKind::DecodeTableTruncated): drops the last
+  /// value-list entry without fixing the length counts, modeling a stored
+  /// code table cut short. valid() fails afterwards; never call on a code
+  /// in real use.
+  void truncateValueListForFault() {
+    if (!D.empty())
+      D.pop_back();
+  }
+
   /// Size in bits of the stored code representation (the N and D arrays)
   /// when each value is stored in \p ValueBits bits. This is the
   /// "code representation" + "value list" cost the paper counts against the

@@ -48,29 +48,6 @@ static int64_t mtfStep(std::vector<uint32_t> &List, uint32_t Value) {
   return -1;
 }
 
-/// True for the streams the delta transform applies to.
-static bool isDeltaKind(FieldKind Kind) {
-  return Kind == FieldKind::Disp16 || Kind == FieldKind::Disp21;
-}
-
-/// Forward delta step: returns (Value - Prev) within the field's width and
-/// updates Prev. fieldMask (not a raw shift) keeps this defined if a
-/// full-width delta stream is ever added.
-static uint32_t deltaStep(FieldKind Kind, uint32_t Value, uint32_t &Prev) {
-  uint32_t Mask = vea::fieldMask(Kind);
-  uint32_t Out = (Value - Prev) & Mask;
-  Prev = Value;
-  return Out;
-}
-
-/// Inverse delta step.
-static uint32_t undeltaStep(FieldKind Kind, uint32_t Coded, uint32_t &Prev) {
-  uint32_t Mask = vea::fieldMask(Kind);
-  uint32_t Value = (Prev + Coded) & Mask;
-  Prev = Value;
-  return Value;
-}
-
 StreamCodecs
 StreamCodecs::build(const std::vector<std::vector<MInst>> &Corpus,
                     Options Opts) {
@@ -193,6 +170,27 @@ vea::Status StreamCodecs::encodeRegion(const std::vector<MInst> &Insts,
   }
   return EncodeValue(FieldKind::Opcode,
                      static_cast<uint32_t>(Opcode::Sentinel));
+}
+
+vea::Status StreamCodecs::validate() const {
+  for (unsigned K = 0; K != vea::NumFieldKinds; ++K) {
+    if (!Codes[K].valid())
+      return vea::Status::error(
+          vea::StatusCode::MalformedImage,
+          std::string("stream code for ") +
+              vea::fieldKindName(static_cast<FieldKind>(K)) +
+              " is truncated or inconsistent");
+    // MTF decoding indexes the recency list with decoded symbols; a
+    // dictionary shorter than the alphabet would make valid indices
+    // unreachable, a longer one is impossible from build().
+    if (Opts.MoveToFront && MtfInit[K].size() < Codes[K].numSymbols())
+      return vea::Status::error(
+          vea::StatusCode::MalformedImage,
+          std::string("mtf dictionary for ") +
+              vea::fieldKindName(static_cast<FieldKind>(K)) +
+              " is shorter than its alphabet");
+  }
+  return vea::Status::success();
 }
 
 uint64_t StreamCodecs::tableBits() const {

@@ -30,9 +30,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace squash {
+
+class FastTables;
 
 /// Per-stream accounting surfaced by the compression-ratio benchmark.
 struct StreamStats {
@@ -107,6 +110,58 @@ public:
   const std::vector<StreamStats> &stats() const { return Stats; }
 
   bool moveToFront() const { return Opts.MoveToFront; }
+  const Options &options() const { return Opts; }
+
+  /// The canonical code of one stream.
+  const CanonicalCode &code(vea::FieldKind Kind) const {
+    return Codes[static_cast<unsigned>(Kind)];
+  }
+  /// Initial MTF recency list of one stream (empty when MTF is off).
+  const std::vector<uint32_t> &mtfInit(vea::FieldKind Kind) const {
+    return MtfInit[static_cast<unsigned>(Kind)];
+  }
+
+  /// Structural validation of every stream's code (see
+  /// CanonicalCode::valid). The runtime calls this at attach so a
+  /// truncated or tampered host-mirror table is a clean MalformedImage
+  /// instead of a decode-time surprise.
+  vea::Status validate() const;
+
+  /// The table-driven decode acceleration structure (huff/FastDecoder.h)
+  /// for a \p Bits-wide probe window, built on first use and memoized —
+  /// repeat attaches of the same squashed program share one immutable
+  /// table set. Thread-safe; \p Bits is clamped to FastTables' supported
+  /// range.
+  std::shared_ptr<const FastTables> fastTables(unsigned Bits) const;
+
+  /// Fault-injection hook (FaultKind::DecodeTableTruncated): mutable
+  /// access to one stream's code. Drops the memoized fast tables so they
+  /// cannot mask the mutation.
+  CanonicalCode &codeForFault(vea::FieldKind Kind) {
+    FastMemo.reset();
+    return Codes[static_cast<unsigned>(Kind)];
+  }
+
+  /// The streams the delta-displacement transform applies to, and its
+  /// forward/inverse steps. Shared with FastDecoder so the two decode
+  /// paths can never drift apart.
+  static bool isDeltaKind(vea::FieldKind Kind) {
+    return Kind == vea::FieldKind::Disp16 || Kind == vea::FieldKind::Disp21;
+  }
+  static uint32_t deltaStep(vea::FieldKind Kind, uint32_t Value,
+                            uint32_t &Prev) {
+    uint32_t Mask = vea::fieldMask(Kind);
+    uint32_t Out = (Value - Prev) & Mask;
+    Prev = Value;
+    return Out;
+  }
+  static uint32_t undeltaStep(vea::FieldKind Kind, uint32_t Coded,
+                              uint32_t &Prev) {
+    uint32_t Mask = vea::fieldMask(Kind);
+    uint32_t Value = (Prev + Coded) & Mask;
+    Prev = Value;
+    return Value;
+  }
 
 private:
   Options Opts;
@@ -114,6 +169,9 @@ private:
   /// Initial MTF dictionaries (distinct values, most frequent first).
   std::array<std::vector<uint32_t>, vea::NumFieldKinds> MtfInit;
   std::vector<StreamStats> Stats;
+  /// Memoized fast-decode tables (immutable once built; copies of this
+  /// codec share them). Guarded by an internal mutex in fastTables().
+  mutable std::shared_ptr<const FastTables> FastMemo;
 };
 
 } // namespace squash

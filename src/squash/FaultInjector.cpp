@@ -40,6 +40,10 @@ const char *squash::faultKindName(FaultKind K) {
     return "publish-offset-skew";
   case FaultKind::EpochPinLeak:
     return "epoch-pin-leak";
+  case FaultKind::PrefetchSlotCorrupt:
+    return "prefetch-slot-corrupt";
+  case FaultKind::DecodeTableTruncated:
+    return "decode-table-truncated";
   }
   return "unknown";
 }
@@ -240,6 +244,38 @@ std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
     // (ResquashController::armEpochPinLeak), which then "forgets" to
     // unpin a served version.
     return std::nullopt;
+
+  case FaultKind::PrefetchSlotCorrupt: {
+    // Host-memory fault in the decode-ahead staging buffer. Armed rather
+    // than applied: the runtime flips a bit in the Nth prefetch it is
+    // about to consume, immediately before the CRC re-check that must
+    // catch it.
+    if (!SP.Opts.DecodeAhead || SP.Regions.empty())
+      return std::nullopt;
+    uint32_t Nth = 1 + static_cast<uint32_t>(R.nextBelow(3));
+    SP.ArmPrefetchCorrupt = Nth;
+    return report(K, 0,
+                  "armed corruption of consumed prefetch #" +
+                      std::to_string(Nth));
+  }
+
+  case FaultKind::DecodeTableTruncated: {
+    // Truncate a non-empty stream code's value list in the host mirror.
+    // StreamCodecs::validate() at attach must reject the image cleanly.
+    std::vector<unsigned> Candidates;
+    for (unsigned FK = 0; FK != vea::NumFieldKinds; ++FK)
+      if (!SP.Codecs.code(static_cast<vea::FieldKind>(FK)).empty())
+        Candidates.push_back(FK);
+    if (Candidates.empty())
+      return std::nullopt;
+    unsigned FK = Candidates[R.nextBelow(Candidates.size())];
+    SP.Codecs.codeForFault(static_cast<vea::FieldKind>(FK))
+        .truncateValueListForFault();
+    return report(K, 0,
+                  std::string("truncated the ") +
+                      vea::fieldKindName(static_cast<vea::FieldKind>(FK)) +
+                      " stream's value list");
+  }
   }
   return std::nullopt;
 }

@@ -55,6 +55,16 @@ enum class FaultKind : uint8_t {
                     ///< drain. Not an image mutation — inject() reports it
                     ///< inapplicable; the adaptive sweep arms it through
                     ///< ResquashController::armEpochPinLeak().
+  PrefetchSlotCorrupt, ///< Arm a bit flip in a decode-ahead staging buffer
+                       ///< (SquashedProgram::ArmPrefetchCorrupt): the Nth
+                       ///< consumed prefetch is corrupted before its CRC
+                       ///< re-check, which must discard it and fall back
+                       ///< to a demand decode. Applicable only when
+                       ///< Options::DecodeAhead is set.
+  DecodeTableTruncated, ///< Cut one stream's canonical-code value list
+                        ///< short in the host mirror, modeling a stored
+                        ///< code table damaged at rest; attach's
+                        ///< StreamCodecs::validate() must reject it.
 };
 
 const char *faultKindName(FaultKind K);

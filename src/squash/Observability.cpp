@@ -7,6 +7,8 @@
 
 #include "squash/Observability.h"
 
+#include "squash/DriftMonitor.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -35,6 +37,12 @@ const char *squash::eventKindName(RuntimeSystem::Event::Kind K) {
     return "evict";
   case RuntimeSystem::Event::Kind::SlotMapRepair:
     return "slot_map_repair";
+  case RuntimeSystem::Event::Kind::PrefetchLaunch:
+    return "prefetch_launch";
+  case RuntimeSystem::Event::Kind::PrefetchHit:
+    return "prefetch_hit";
+  case RuntimeSystem::Event::Kind::PrefetchDrop:
+    return "prefetch_drop";
   }
   return "unknown";
 }
@@ -76,9 +84,13 @@ std::vector<RegionHeat> squash::buildRegionHeatReport(
   for (const RuntimeSystem::Event &E : Events) {
     // Stub lifecycle events carry a stub address, not a region; they are
     // per-call-site bookkeeping and do not attribute to region heat.
+    // Prefetch events describe predictions about regions, not entries into
+    // them, so they do not attribute either.
     using Kind = RuntimeSystem::Event::Kind;
     if (E.K == Kind::StubCreate || E.K == Kind::StubReuse ||
-        E.K == Kind::StubRelease || E.K == Kind::SlotMapRepair)
+        E.K == Kind::StubRelease || E.K == Kind::SlotMapRepair ||
+        E.K == Kind::PrefetchLaunch || E.K == Kind::PrefetchHit ||
+        E.K == Kind::PrefetchDrop)
       continue;
     auto It = ByRegion.find(E.Region);
     if (It == ByRegion.end()) {
@@ -160,4 +172,31 @@ void squash::collectRunMetrics(vea::MetricsRegistry &Reg,
   Run.Runtime.exportMetrics(Reg);
   Reg.setCounter("runtime.trace_events", Run.Trace.size());
   Reg.setCounter("runtime.trace_dropped", Run.TraceDropped);
+}
+
+//===----------------------------------------------------------------------===//
+// Predictor seeding
+//===----------------------------------------------------------------------===//
+
+void squash::seedPredictorFromEvents(
+    RegionPredictor &P, const std::vector<RuntimeSystem::Event> &Events) {
+  // Replaying the entry stream through observe() populates the pair and
+  // single contexts exactly as the prior run's runtime would have.
+  using Kind = RuntimeSystem::Event::Kind;
+  for (const RuntimeSystem::Event &E : Events)
+    if (E.K == Kind::EnterViaStub || E.K == Kind::EnterViaRestore)
+      P.observe(E.Region);
+}
+
+void squash::seedPredictorFromHeat(RegionPredictor &P,
+                                   const std::vector<RegionHeat> &Report) {
+  for (const RegionHeat &H : Report)
+    P.seedHeat(H.Region, H.Decompressions + H.BufferedHits);
+}
+
+void squash::seedPredictorFromDrift(RegionPredictor &P,
+                                    const DriftMonitor &Drift,
+                                    uint32_t NumRegions) {
+  for (uint32_t R = 0; R != NumRegions; ++R)
+    P.seedHeat(R, Drift.liveEntries(R));
 }

@@ -84,6 +84,28 @@ struct Options {
   /// re-decodes; this knob exists for the ablation benchmark.
   bool ReuseBufferedRegion = false;
 
+  /// Decode regions with the table-driven multi-symbol decoder
+  /// (huff/FastDecoder.h) instead of the bit-serial canonical walk. Output
+  /// and corruption verdicts are identical either way (pinned by the
+  /// fastdecode conformance suite); only host wall-clock time changes —
+  /// simulated cycle charges are the same.
+  bool FastDecode = true;
+
+  /// Probe-window width for the fast decoder's lookup tables, in bits;
+  /// clamped to FastTables' supported range [4, 14]. Wider windows resolve
+  /// more fields per probe but cost 2^Bits table entries per stream.
+  unsigned DecodeTableBits = 11;
+
+  /// Decode-ahead: after each decompressor trap, predict the next region
+  /// from the observed transition history and pre-decode it on a host
+  /// worker thread, so the predicted trap's fill only pays the setup and
+  /// icache-flush charges instead of the per-instruction decode charge.
+  /// Pure host-side staging: the worker reads only the immutable compressed
+  /// blob and writes nothing to guest memory, and every prefetched fill is
+  /// re-validated (offset-table word and expanded-words CRC) before use, so
+  /// prefetch on/off never changes program output or fault behaviour.
+  bool DecodeAhead = false;
+
   /// Number of slots the runtime buffer area is carved into. Each slot is
   /// large enough for the largest region (jump slot + expanded words), so
   /// the simulated buffer footprint scales linearly with this. With more

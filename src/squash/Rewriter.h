@@ -194,6 +194,11 @@ struct SquashedProgram {
   uint32_t ProfileBlockCount = 0;
   /// Timing of the per-region encode pass that produced the blob.
   EncodeTiming Encode;
+  /// Fault-injection arming (FaultKind::PrefetchSlotCorrupt): when nonzero,
+  /// the runtime flips a bit in the Nth prefetched staging buffer before it
+  /// is consumed, then disarms. The consume-time CRC check must catch it
+  /// and fall back to a demand decode.
+  uint32_t ArmPrefetchCorrupt = 0;
 };
 
 /// Expands one stored instruction into the word(s) it occupies in the

@@ -7,12 +7,22 @@
 
 #include "squash/Runtime.h"
 
+#include "huff/FastDecoder.h"
 #include "support/Checksum.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace squash;
 using namespace vea;
+
+/// Elapsed host nanoseconds since \p T0.
+static uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+}
 
 TrapObserver::~TrapObserver() = default;
 
@@ -20,6 +30,11 @@ RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
   Slots.resize(SP.Layout.StubSlots);
   Cache.resize(std::max(1u, SP.Layout.CacheSlots));
   SlotOfRegion.assign(SP.Regions.size(), -1);
+}
+
+RuntimeSystem::~RuntimeSystem() {
+  if (PFPool)
+    PFPool->wait();
 }
 
 std::vector<RuntimeSystem::Event> RuntimeSystem::events() const {
@@ -49,6 +64,14 @@ void RuntimeSystem::Stats::exportMetrics(vea::MetricsRegistry &R,
   R.setCounter(Prefix + "corrupt_region_recoveries", CorruptRegionRecoveries);
   R.setCounter(Prefix + "max_live_stubs", MaxLiveStubs);
   R.setCounter(Prefix + "live_stubs", LiveStubs);
+  R.setCounter(Prefix + "prefetch_launches", PrefetchLaunches);
+  R.setCounter(Prefix + "prefetch_hits", PrefetchHits);
+  R.setCounter(Prefix + "prefetch_misses", PrefetchMisses);
+  R.setCounter(Prefix + "prefetch_wasted", PrefetchWasted);
+  R.setCounter(Prefix + "prefetch_late", PrefetchLate);
+  R.setCounter(Prefix + "prefetch_corrupt_discards", PrefetchCorruptDiscards);
+  R.setCounter(Prefix + "fast_table_build_ns", FastTableBuildNanos);
+  R.setCounter(Prefix + "host_decode_ns", HostDecodeNanos);
   R.setGauge(Prefix + "thrash_ratio", thrashRatio());
   R.setHistogram(Prefix + "trap_cycles", TrapCycles);
   R.setHistogram(Prefix + "decode_cycles", DecodeCycles);
@@ -126,6 +149,21 @@ Status RuntimeSystem::attach(Machine &M) {
       return Bad("region bit offsets are not strictly increasing");
     PrevOffset = RI.BitOffset;
   }
+
+  // The host mirror of the stream-code tables. A truncated or inconsistent
+  // table would otherwise surface as a puzzling per-region decode failure
+  // at trap time (and, with recovery copies retained, be silently masked).
+  if (Status CS = SP.Codecs.validate(); !CS.ok())
+    return CS;
+
+  // Build (or reuse) the fast-decode tables while we are off the trap
+  // path; fastTables() memoizes per codec, so repeat attaches of the same
+  // squashed program share one immutable table set.
+  if (SP.Opts.FastDecode || SP.Opts.DecodeAhead) {
+    Tables = SP.Codecs.fastTables(SP.Opts.DecodeTableBits);
+    St.FastTableBuildNanos = Tables->buildNanos();
+  }
+  ArmPrefetchCorrupt = SP.ArmPrefetchCorrupt;
 
   // Full-content scans of guest memory (optional; the offset table and
   // each region are re-checked lazily on every fill regardless).
@@ -235,6 +273,130 @@ bool RuntimeSystem::restoreEntryStubs(Machine &M, uint32_t Region) {
   return true;
 }
 
+RuntimeSystem::DecodeOutcome
+RuntimeSystem::decodeRegionWords(uint32_t Region, const uint8_t *Mem,
+                                 std::vector<uint32_t> &Words,
+                                 uint64_t &Decoded) const {
+  const RuntimeLayout &L = SP.Layout;
+  const RegionImageInfo &RI = SP.Regions[Region];
+  Words.clear();
+  Words.reserve(RI.ExpandedWords);
+  Decoded = 0;
+  bool Overrun = false;
+  MInst I;
+  auto Expand = [&](const MInst &Inst) {
+    expandStoredInst(
+        L, Inst, L.BufferBase + 4 + 4 * static_cast<uint32_t>(Words.size()),
+        Words);
+    if (Words.size() > RI.ExpandedWords)
+      Overrun = true; // Longer than this region can be: corrupt stream.
+  };
+  bool DecOk;
+  if (SP.Opts.FastDecode && Tables) {
+    FastDecoder Dec(SP.Codecs, Tables, Mem + L.BlobBase, L.BlobBytes,
+                    RI.BitOffset);
+    // Chunked batch decode: the decoder's bit cursor stays in registers
+    // across each run instead of round-tripping through members per
+    // instruction.
+    std::array<MInst, 64> Chunk;
+    while (!Overrun) {
+      const size_t Got = Dec.decodeRun(Chunk.data(), Chunk.size());
+      if (!Got)
+        break;
+      for (size_t K = 0; K != Got && !Overrun; ++K) {
+        ++Decoded;
+        Expand(Chunk[K]);
+      }
+    }
+    DecOk = Dec.ok();
+  } else {
+    BitReader Reader(Mem + L.BlobBase, L.BlobBytes);
+    Reader.seekBit(RI.BitOffset);
+    StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+    while (!Overrun && Dec.next(I)) {
+      ++Decoded;
+      Expand(I);
+    }
+    DecOk = Dec.ok();
+  }
+  if (!DecOk || Overrun || Words.size() != RI.ExpandedWords)
+    return DecodeOutcome::BadStream;
+  if (expandedWordsCrc(Words) != RI.Crc32)
+    return DecodeOutcome::BadCrc;
+  return DecodeOutcome::Ok;
+}
+
+bool RuntimeSystem::consumePrefetch(Machine &M, uint32_t Region,
+                                    std::vector<uint32_t> &Words,
+                                    uint64_t &Decoded) {
+  if (PF.Region < 0)
+    return false;
+  if (!PF.Ready.load(std::memory_order_acquire)) {
+    // The predicted trap arrived before the worker finished. Join rather
+    // than race ahead: the staged decode is consumed (or discarded) at the
+    // next fill either way, so simulated behaviour stays deterministic and
+    // only this host-timing counter varies run to run.
+    ++St.PrefetchLate;
+    PFPool->wait();
+  }
+  const uint32_t Staged = static_cast<uint32_t>(PF.Region);
+  PF.Region = -1;
+  PF.Ready.store(false, std::memory_order_relaxed);
+  St.HostDecodeNanos += PF.Nanos;
+  if (Staged != Region || !PF.Ok) {
+    ++St.PrefetchWasted;
+    record(M, Event::Kind::PrefetchDrop, Staged);
+    return false;
+  }
+  if (ArmPrefetchCorrupt && --ArmPrefetchCorrupt == 0 && !PF.Words.empty())
+    PF.Words[PF.Words.size() / 2] ^= 0x80u; // Armed fault injection.
+  const RegionImageInfo &RI = SP.Regions[Region];
+  if (PF.Words.size() != RI.ExpandedWords ||
+      expandedWordsCrc(PF.Words) != RI.Crc32) {
+    // The staging buffer no longer matches the region's CRC (host memory
+    // corruption, or the armed fault above): discard and demand-decode, so
+    // a bad prefetch can never reach guest memory.
+    ++St.PrefetchCorruptDiscards;
+    record(M, Event::Kind::PrefetchDrop, Staged);
+    return false;
+  }
+  Words = std::move(PF.Words);
+  Decoded = PF.Decoded;
+  ++St.PrefetchHits;
+  record(M, Event::Kind::PrefetchHit, Staged);
+  return true;
+}
+
+void RuntimeSystem::launchPrefetch(Machine &M) {
+  if (!SP.Opts.DecodeAhead || PF.Region >= 0)
+    return;
+  int32_t P = Predictor.predict();
+  if (P < 0 || static_cast<size_t>(P) >= SP.Regions.size())
+    return;
+  if (cacheActive() && SlotOfRegion[P] >= 0)
+    return; // Already resident: the fill would be a cache hit anyway.
+  if (!PFPool)
+    PFPool = std::make_unique<vea::ThreadPool>(1);
+  PF.Region = P;
+  PF.Ok = false;
+  PF.Decoded = 0;
+  PF.Nanos = 0;
+  PF.Ready.store(false, std::memory_order_relaxed);
+  ++St.PrefetchLaunches;
+  record(M, Event::Kind::PrefetchLaunch, static_cast<uint32_t>(P));
+  // The worker reads only the compressed blob (guest code never writes
+  // it), the immutable codec tables, and the PrefetchState fields it owns
+  // until the release-store of Ready. It writes nothing to guest memory.
+  const uint8_t *Mem = M.memData();
+  PFPool->enqueue([this, Mem, P] {
+    const auto T0 = std::chrono::steady_clock::now();
+    PF.Ok = decodeRegionWords(static_cast<uint32_t>(P), Mem, PF.Words,
+                              PF.Decoded) == DecodeOutcome::Ok;
+    PF.Nanos = nanosSince(T0);
+    PF.Ready.store(true, std::memory_order_release);
+  });
+}
+
 bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
                                uint32_t &SlotOut) {
   const RuntimeLayout &L = SP.Layout;
@@ -308,34 +470,29 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
 
   // Decode into a host-side staging vector so a corrupt stream never
   // leaves a partially-overwritten buffer; the guest sees either the full
-  // region or (on recovery) the retained copy.
+  // region or (on recovery) the retained copy. A staged decode-ahead
+  // result stands in for the demand decode only after the offset-table
+  // word above and the expanded-words CRC both re-validate.
   std::string Corrupt;
   std::vector<uint32_t> Words;
   uint64_t Decoded = 0;
+  bool Prefetched = false;
   if (BitOff != RI.BitOffset || BitOff >= 8ull * L.BlobBytes) {
     Corrupt = "corrupt function offset table entry";
   } else {
-    BitReader Reader(M.memData() + L.BlobBase, L.BlobBytes);
-    Reader.seekBit(BitOff);
-    StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
-    Words.reserve(RI.ExpandedWords);
-    MInst I;
-    bool Overrun = false;
-    while (Dec.next(I)) {
-      ++Decoded;
-      expandStoredInst(
-          L, I,
-          L.BufferBase + 4 + 4 * static_cast<uint32_t>(Words.size()), Words);
-      if (Words.size() > RI.ExpandedWords) {
-        Overrun = true; // Longer than this region can be: corrupt stream.
-        break;
-      }
+    Prefetched = consumePrefetch(M, Region, Words, Decoded);
+    if (!Prefetched) {
+      if (SP.Opts.DecodeAhead)
+        ++St.PrefetchMisses;
+      const auto T0 = std::chrono::steady_clock::now();
+      DecodeOutcome O = decodeRegionWords(Region, M.memData(), Words, Decoded);
+      St.HostDecodeNanos += nanosSince(T0);
+      if (O == DecodeOutcome::BadStream)
+        Corrupt = "corrupt compressed region " + std::to_string(Region);
+      else if (O == DecodeOutcome::BadCrc)
+        Corrupt = "compressed region " + std::to_string(Region) +
+                  " failed checksum";
     }
-    if (!Dec.ok() || Overrun || Words.size() != RI.ExpandedWords)
-      Corrupt = "corrupt compressed region " + std::to_string(Region);
-    else if (expandedWordsCrc(Words) != RI.Crc32)
-      Corrupt =
-          "compressed region " + std::to_string(Region) + " failed checksum";
   }
 
   if (!Corrupt.empty()) {
@@ -393,9 +550,14 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
   HitStreak = 0;
   record(M, Event::Kind::Decompress, Region, Slot);
   const CostModel &C = SP.Opts.Costs;
-  const uint64_t DecodeCharge = C.DecompSetupCycles +
-                                C.CyclesPerDecodedInstr * Decoded +
-                                C.IcacheFlushCycles;
+  // A fill served from a staged decode skips the per-instruction decode
+  // charge — the decode happened off the trap's critical path — but still
+  // pays the setup and icache-flush charges: the words must be copied into
+  // the slot and made fetchable either way.
+  const uint64_t DecodeCharge =
+      C.DecompSetupCycles +
+      (Prefetched ? 0 : C.CyclesPerDecodedInstr * Decoded) +
+      C.IcacheFlushCycles;
   St.DecodeCycles.record(DecodeCharge);
   M.addCycles(DecodeCharge);
   CurrentRegion = static_cast<int32_t>(Region);
@@ -495,6 +657,11 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
     M.setReg(Reg, StubBase);
 
   M.setPC(L.slotBase(CacheSlotIdx));
+
+  // Feed the predictor and, when decode-ahead is on, stage the predicted
+  // next region on the worker before its trap arrives.
+  Predictor.observe(Region);
+  launchPrefetch(M);
   return true;
 }
 

@@ -31,12 +31,93 @@
 #include "support/Histogram.h"
 #include "support/Metrics.h"
 #include "support/Status.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace squash {
+
+/// Online region-transition predictor feeding the decode-ahead prefetcher
+/// (Options::DecodeAhead, DESIGN.md §16). Second-order Markov model over
+/// the decompressor's trap stream: the pair context (prev2, prev1) is
+/// consulted first — it disambiguates hub-and-spoke patterns like the
+/// thrash workload's M→{f0,f1,f2} rotation, where first-order counts tie —
+/// then the first-order context, then global heat. All counts are
+/// maintained with an incremental argmax (ties break toward the lowest
+/// region id), so predict() is O(1) and fully deterministic.
+///
+/// The maps can be pre-seeded before any trap fires: from a prior run's
+/// trace or heat report, or from a DriftMonitor's live counts
+/// (squash/Observability.h's seedPredictor* helpers).
+class RegionPredictor {
+public:
+  /// Feeds one observed decompressor entry into every context.
+  void observe(uint32_t Region) {
+    Heat.add(Region, 1);
+    if (Prev1 >= 0)
+      Single[static_cast<uint32_t>(Prev1)].add(Region, 1);
+    if (Prev2 >= 0)
+      Pair[pairKey(static_cast<uint32_t>(Prev2),
+                   static_cast<uint32_t>(Prev1))]
+          .add(Region, 1);
+    Prev2 = Prev1;
+    Prev1 = static_cast<int32_t>(Region);
+  }
+
+  /// Most likely next region given the current context, or -1 when no
+  /// context has any counts yet.
+  int32_t predict() const {
+    if (Prev2 >= 0) {
+      auto It = Pair.find(pairKey(static_cast<uint32_t>(Prev2),
+                                  static_cast<uint32_t>(Prev1)));
+      if (It != Pair.end() && It->second.Best >= 0)
+        return It->second.Best;
+    }
+    if (Prev1 >= 0) {
+      auto It = Single.find(static_cast<uint32_t>(Prev1));
+      if (It != Single.end() && It->second.Best >= 0)
+        return It->second.Best;
+    }
+    return Heat.Best;
+  }
+
+  /// Seeds the first-order context (e.g. from a prior run's trace).
+  void seedTransition(uint32_t From, uint32_t To, uint64_t Weight = 1) {
+    if (Weight)
+      Single[From].add(To, Weight);
+  }
+  /// Seeds the global-heat fallback (e.g. from a heat report or a
+  /// DriftMonitor's live entry counts).
+  void seedHeat(uint32_t Region, uint64_t Weight) {
+    if (Weight)
+      Heat.add(Region, Weight);
+  }
+
+private:
+  struct Context {
+    std::unordered_map<uint32_t, uint64_t> Counts;
+    int32_t Best = -1;
+    uint64_t BestCount = 0;
+    void add(uint32_t To, uint64_t Weight) {
+      uint64_t C = Counts[To] += Weight;
+      if (C > BestCount ||
+          (C == BestCount && To < static_cast<uint32_t>(Best)))
+        Best = static_cast<int32_t>(To), BestCount = C;
+    }
+  };
+  static uint64_t pairKey(uint32_t A, uint32_t B) {
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+  std::unordered_map<uint64_t, Context> Pair;
+  std::unordered_map<uint32_t, Context> Single;
+  Context Heat;
+  int32_t Prev1 = -1, Prev2 = -1;
+};
 
 /// Observer of the runtime's Decompress traps, invoked synchronously from
 /// the trap path (so implementations must stay allocation-free and cheap).
@@ -84,6 +165,25 @@ public:
     uint32_t MaxLiveStubs = 0;
     uint32_t LiveStubs = 0;
 
+    /// Decode-ahead accounting (Options::DecodeAhead; all zero when off).
+    uint64_t PrefetchLaunches = 0; ///< Predictions staged on the worker.
+    uint64_t PrefetchHits = 0;     ///< Fills served from a staged decode.
+    uint64_t PrefetchMisses = 0;   ///< Fills that had to demand-decode.
+    uint64_t PrefetchWasted = 0;   ///< Staged decodes for the wrong region
+                                   ///< (or that failed in-flight).
+    uint64_t PrefetchLate = 0;     ///< Fills that had to wait for the
+                                   ///< in-flight worker (host timing only;
+                                   ///< never asserted by tests).
+    uint64_t PrefetchCorruptDiscards = 0; ///< Staged decodes discarded by
+                                          ///< the consume-time CRC check.
+
+    /// Host wall-clock spent building the fast-decode tables at attach
+    /// (one-time, memoized across attaches of the same program).
+    uint64_t FastTableBuildNanos = 0;
+    /// Host wall-clock spent decoding regions (demand fills plus consumed
+    /// prefetch work) — the measured-time companion of DecodeCycles.
+    uint64_t HostDecodeNanos = 0;
+
     /// Latency distributions (DESIGN.md §13). Histograms are fixed-size
     /// members — preallocated with the Stats object when the runtime is
     /// constructed — so hot-path recording is a couple of arithmetic ops
@@ -125,6 +225,11 @@ public:
                     ///< slot (decode cache active only).
       SlotMapRepair, ///< Guest slot-map word contradicted the host table;
                      ///< the slot was invalidated and refilled.
+      PrefetchLaunch, ///< Decode-ahead staged a predicted region.
+      PrefetchHit,    ///< A fill consumed the staged decode.
+      PrefetchDrop,   ///< The staged decode was discarded (mispredicted,
+                      ///< failed in-flight, or failed the consume-time
+                      ///< CRC check).
     };
     Kind K;
     uint32_t Region = 0; ///< Region involved (Decompress/Enter kinds).
@@ -138,6 +243,12 @@ public:
   static constexpr uint32_t DefaultTraceCapacity = 1u << 16;
 
   explicit RuntimeSystem(const SquashedProgram &SP);
+
+  /// Joins any in-flight decode-ahead work before the members it reads
+  /// (the machine's memory is captured by pointer at launch) can go away.
+  /// Callers keep the usual order — runtime declared after the machine —
+  /// so this drain always precedes the machine's destruction.
+  ~RuntimeSystem() override;
 
   /// Starts recording events into a bounded ring of \p Capacity events.
   /// When the ring is full the oldest event is overwritten (the newest
@@ -179,6 +290,13 @@ public:
 
   const Stats &stats() const { return St; }
 
+  /// The decode-ahead region predictor. Exposed for pre-seeding (see
+  /// squash/Observability.h's seedPredictor* helpers) and for tests that
+  /// steer the prediction deliberately; the runtime feeds it every
+  /// decompressor entry whether or not DecodeAhead is on.
+  RegionPredictor &predictor() { return Predictor; }
+  const RegionPredictor &predictor() const { return Predictor; }
+
   /// Region most recently entered through the decompressor (-1 before the
   /// first decompression). With a multi-slot cache this is the MRU
   /// resident region, not the only one.
@@ -199,6 +317,25 @@ private:
   bool rewriteEntryStubs(vea::Machine &M, uint32_t Region, uint32_t Slot);
   bool restoreEntryStubs(vea::Machine &M, uint32_t Region);
 
+  /// Decodes region \p Region from the blob in \p Mem into \p Words
+  /// (slot-0-relative expanded words), using the fast decoder when enabled.
+  /// Shared by the demand fill path and the decode-ahead worker.
+  enum class DecodeOutcome { Ok, BadStream, BadCrc };
+  DecodeOutcome decodeRegionWords(uint32_t Region, const uint8_t *Mem,
+                                  std::vector<uint32_t> &Words,
+                                  uint64_t &Decoded) const;
+  /// Hands the staged decode-ahead result to a fill of \p Region. Returns
+  /// true only when the staged region matches and re-passes the
+  /// expanded-words CRC check; any failure consumes (discards) the staging
+  /// so the caller demand-decodes — prefetch can therefore never change
+  /// what the guest observes.
+  bool consumePrefetch(vea::Machine &M, uint32_t Region,
+                       std::vector<uint32_t> &Words, uint64_t &Decoded);
+  /// Predicts the next region and stages its decode on the worker thread
+  /// (no-op when DecodeAhead is off, the worker is busy, or the prediction
+  /// is already resident).
+  void launchPrefetch(vea::Machine &M);
+
   /// The decode cache serves resident regions without re-decoding only in
   /// these configurations; at the defaults (one slot, no reuse) every
   /// request re-decodes, reproducing the paper's protocol exactly.
@@ -211,6 +348,32 @@ private:
   int32_t CurrentRegion = -1;
   TrapObserver *Observer = nullptr;
   uint64_t HitStreak = 0; ///< Resident hits since the last fill.
+
+  /// Memoized fast-decode tables (built once at attach when FastDecode or
+  /// DecodeAhead is on; immutable, shared with the prefetch worker).
+  std::shared_ptr<const FastTables> Tables;
+
+  RegionPredictor Predictor;
+  /// Decode-ahead staging. The worker thread owns every field except Ready
+  /// from launch until it stores Ready with release order; the trap thread
+  /// reads them only after acquiring Ready (or after ThreadPool::wait(),
+  /// which also synchronizes), so there is no lock on the fill path.
+  struct PrefetchState {
+    int32_t Region = -1; ///< Staged region; -1 when idle (trap thread's
+                         ///< view — set at launch, cleared at consume).
+    std::vector<uint32_t> Words;
+    uint64_t Decoded = 0;
+    uint64_t Nanos = 0; ///< Host wall-clock the staged decode took.
+    bool Ok = false;    ///< Decode succeeded and passed the words CRC.
+    std::atomic<bool> Ready{false};
+  };
+  PrefetchState PF;
+  /// Single-threaded pool running the staged decodes; created lazily on
+  /// the first launch so runs without DecodeAhead never spawn a thread.
+  std::unique_ptr<vea::ThreadPool> PFPool;
+  /// Countdown to the armed prefetch corruption (copied from
+  /// SquashedProgram::ArmPrefetchCorrupt at attach).
+  uint32_t ArmPrefetchCorrupt = 0;
 
   /// Host mirror of the decode cache: per slot, the resident region, an
   /// LRU tick, and the CRC of the slot-relocated words written at fill

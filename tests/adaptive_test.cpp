@@ -221,6 +221,52 @@ TEST(Adaptive, SwapAtEveryTrapIndexIsInvisibleToTheServingRun) {
 }
 
 //===----------------------------------------------------------------------===//
+// Decode-ahead + hot-swap interleaving: with Options::DecodeAhead the
+// serving runtime stages decodes on a worker thread. A publication landing
+// at any trap index must still be invisible — the pinned run prefetches
+// against its own version's codec and blob, and the runtime joins its
+// worker before the version can retire. (TSan preset target: the worker
+// thread, the serving thread, and the publication all overlap here.)
+//===----------------------------------------------------------------------===//
+
+TEST(Adaptive, SwapDuringPrefetchIsInvisibleToTheServingRun) {
+  Fixture Fx;
+  AdaptiveConfig Cfg = eagerConfig();
+  Cfg.MaxAttemptsPerVersion = 0; // serve() never self-triggers.
+  Cfg.AutoPublish = false;       // The observer controls the swap point.
+
+  Options Opts = Fixture::options();
+  Opts.DecodeAhead = true;
+
+  const uint64_t Traps = Fx.Base.Runtime.TrapCycles.count();
+  ASSERT_GT(Traps, 0u);
+  const uint64_t Indices = std::min<uint64_t>(Traps, 12);
+
+  for (uint64_t K = 0; K != Indices; ++K) {
+    SCOPED_TRACE("publish at trap " + std::to_string(K));
+    std::unique_ptr<ResquashController> C =
+        ResquashController::create(Fx.W.Prog, Fx.Training, Opts, Cfg).take();
+    // Gather live heat (prefetching all the while), stage synchronously.
+    Fx.expectReferenceRun(C->serve(Fx.W.TimingInput));
+    ASSERT_TRUE(C->resquashNow().ok()) << C->lastError().toString();
+    ASSERT_TRUE(C->hasStaged());
+
+    PublishAtTrap Obs;
+    Obs.C = C.get();
+    Obs.K = K;
+    SquashedRun Run = C->serve(Fx.W.TimingInput, 2'000'000'000ull, &Obs);
+    ASSERT_TRUE(Obs.Published) << "observer never reached trap " +
+                                      std::to_string(K);
+    // The swap landed while a prefetch may have been in flight, yet the
+    // pinned run is byte-identical — and so is the next run, prefetching
+    // on the new version.
+    Fx.expectReferenceRun(Run);
+    EXPECT_EQ(C->activeVersion(), 1u);
+    Fx.expectReferenceRun(C->serve(Fx.W.TimingInput));
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Genuine concurrency: multiple threads serve continuously while the
 // controller triggers, stages, publishes, and retires in the background.
 // Every run must be byte-identical to the reference. (TSan preset target.)

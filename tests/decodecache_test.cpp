@@ -6,9 +6,11 @@
 // Regression tests for the N-slot decode cache: exact fill/eviction/hit
 // counts under LRU for a thrash workload with one more region than the
 // cache has slots, the no-re-decode guarantee for resident re-entries,
-// direct resident stubs (rewrite on fill, restore on eviction), and the
+// direct resident stubs (rewrite on fill, restore on eviction), the
 // per-slot revalidation paths (guest slot-map disagreement, resident CRC
-// mismatch) driven one trap at a time.
+// mismatch) driven one trap at a time, and the decode-ahead prefetcher's
+// guest-invisibility contract (hits, mispredictions, trace accounting,
+// predictor pre-seeding).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,8 +18,11 @@
 #include "ir/Builder.h"
 #include "sim/Machine.h"
 #include "squash/Driver.h"
+#include "squash/Observability.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace vea;
 using namespace squash;
@@ -335,6 +340,168 @@ TEST(DecodeCache, LayoutSizesBufferForAllSlots) {
     EXPECT_LE(L.slotBase(Slot) + 4 * L.SlotWords,
               L.BufferBase + 4 * L.BufferWords);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Decode-ahead prefetch (Options::DecodeAhead, DESIGN.md §16): a pure
+// host-side staging optimization. Everything the guest observes — output,
+// fill/hit/eviction counts, final memory image — must be identical with
+// prefetch on, off, or mispredicting; the only legitimate differences are
+// the prefetch counters and the cycles a prefetched fill no longer pays.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a squashed thrash image with decode-ahead toggled (a runtime-only
+/// knob: the image bytes are unchanged) and checks guest equivalence.
+SquashedRun runThrashDecodeAhead(const Squashed &S, bool DecodeAhead) {
+  SquashedProgram SP = S.SR.SP;
+  SP.Opts.DecodeAhead = DecodeAhead;
+  SquashedRun R = runSquashed(SP, {1});
+  EXPECT_EQ(R.Run.Status, RunStatus::Halted) << R.Run.FaultMessage;
+  EXPECT_EQ(R.Run.ExitCode, S.Base.ExitCode);
+  EXPECT_EQ(R.Output, S.BaseOut);
+  return R;
+}
+
+} // namespace
+
+TEST(DecodeAhead, PrefetchIsInvisibleToTheGuestAndMostlyHits) {
+  // Long thrash run: the second-order predictor sees the deterministic
+  // M f0 M f1 M f2 M rotation, so after the first iteration every fill
+  // should be served from a staged decode.
+  Squashed S = squashThrash(1, /*DirectStubs=*/false, /*Iterations=*/50);
+  SquashedRun Off = runThrashDecodeAhead(S, false);
+  SquashedRun On = runThrashDecodeAhead(S, true);
+
+  // Guest-visible behaviour is identical fill for fill.
+  EXPECT_EQ(On.Runtime.Decompressions, Off.Runtime.Decompressions);
+  EXPECT_EQ(On.Runtime.BufferedHits, Off.Runtime.BufferedHits);
+  EXPECT_EQ(On.Runtime.Evictions, Off.Runtime.Evictions);
+  EXPECT_EQ(On.Runtime.DecodedInstructions, Off.Runtime.DecodedInstructions);
+
+  // Off: the machinery never engages.
+  EXPECT_EQ(Off.Runtime.PrefetchLaunches, 0u);
+  EXPECT_EQ(Off.Runtime.PrefetchHits, 0u);
+  EXPECT_EQ(Off.Runtime.PrefetchMisses, 0u);
+
+  // On: every fill either consumed a staged decode or demand-decoded, and
+  // the predictor converges — the overwhelming majority of fills hit.
+  EXPECT_EQ(On.Runtime.PrefetchHits + On.Runtime.PrefetchMisses,
+            On.Runtime.Decompressions);
+  EXPECT_GT(On.Runtime.PrefetchHits, On.Runtime.Decompressions / 2);
+  EXPECT_EQ(On.Runtime.PrefetchCorruptDiscards, 0u);
+  // Every launch is eventually consumed, wasted, or (at most one) still
+  // staged when the program halts.
+  EXPECT_GE(On.Runtime.PrefetchLaunches,
+            On.Runtime.PrefetchHits + On.Runtime.PrefetchWasted);
+  EXPECT_LE(On.Runtime.PrefetchLaunches,
+            On.Runtime.PrefetchHits + On.Runtime.PrefetchWasted + 1);
+
+  // A prefetched fill is charged setup + icache flush but not the decode
+  // proper, so the trap-cycle distribution shifts down. With 50 iterations
+  // the handful of warm-up demand fills sit far above the 90th percentile.
+  EXPECT_LT(On.Runtime.TrapCycles.sum(), Off.Runtime.TrapCycles.sum());
+  EXPECT_LT(On.Runtime.TrapCycles.percentile(99.0),
+            Off.Runtime.TrapCycles.percentile(99.0));
+}
+
+TEST(DecodeAhead, MispredictionsAreWastedNeverObservable) {
+  // Poison the first-order context toward one fixed region so the early
+  // predictions are mostly wrong: wasted stagings must accrue while the
+  // guest-visible run — output, fills, hits, evictions, and the final
+  // memory image — stays byte-identical to the prefetch-off run.
+  Squashed S = squashThrash(2, /*DirectStubs=*/false, /*Iterations=*/10);
+  const uint32_t NumRegions =
+      static_cast<uint32_t>(S.SR.SP.Regions.size());
+  ASSERT_EQ(NumRegions, 4u);
+
+  SquashedProgram OffSP = S.SR.SP;
+  Machine OffM(OffSP.Img);
+  RuntimeSystem OffRT(OffSP);
+  ASSERT_TRUE(OffRT.attach(OffM).ok());
+  OffM.setInput({1});
+  ASSERT_EQ(OffM.run().Status, RunStatus::Halted);
+
+  SquashedProgram OnSP = S.SR.SP;
+  OnSP.Opts.DecodeAhead = true;
+  Machine OnM(OnSP.Img);
+  RuntimeSystem OnRT(OnSP);
+  ASSERT_TRUE(OnRT.attach(OnM).ok());
+  for (uint32_t From = 0; From != NumRegions; ++From)
+    OnRT.predictor().seedTransition(From, NumRegions - 1, 1'000'000);
+  OnM.setInput({1});
+  ASSERT_EQ(OnM.run().Status, RunStatus::Halted);
+
+  EXPECT_GT(OnRT.stats().PrefetchWasted, 0u);
+  EXPECT_EQ(OnRT.stats().PrefetchHits + OnRT.stats().PrefetchMisses,
+            OnRT.stats().Decompressions);
+
+  // Nothing the guest can see changed — not even one byte of memory.
+  EXPECT_EQ(OnM.output(), OffM.output());
+  EXPECT_EQ(OnRT.stats().Decompressions, OffRT.stats().Decompressions);
+  EXPECT_EQ(OnRT.stats().BufferedHits, OffRT.stats().BufferedHits);
+  EXPECT_EQ(OnRT.stats().Evictions, OffRT.stats().Evictions);
+  ASSERT_EQ(OnM.memBytes(), OffM.memBytes());
+  EXPECT_EQ(std::memcmp(OnM.memData(), OffM.memData(), OnM.memBytes()), 0)
+      << "a mispredicted prefetch leaked into guest memory";
+}
+
+TEST(DecodeAhead, TraceEventsAccountForEveryLaunch) {
+  Squashed S = squashThrash(1, /*DirectStubs=*/false, /*Iterations=*/12);
+  SquashedProgram SP = S.SR.SP;
+  SP.Opts.DecodeAhead = true;
+  SquashedRun Run = runSquashed(SP, {1}, 2'000'000'000ull,
+                                RuntimeSystem::DefaultTraceCapacity);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  EXPECT_EQ(Run.Output, S.BaseOut);
+
+  uint64_t Launches = 0, Hits = 0, Drops = 0;
+  for (const auto &E : Run.Trace) {
+    switch (E.K) {
+    case RuntimeSystem::Event::Kind::PrefetchLaunch:
+      ++Launches;
+      EXPECT_LT(E.Region, S.SR.SP.Regions.size());
+      break;
+    case RuntimeSystem::Event::Kind::PrefetchHit:
+      ++Hits;
+      break;
+    case RuntimeSystem::Event::Kind::PrefetchDrop:
+      ++Drops;
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_EQ(Launches, Run.Runtime.PrefetchLaunches);
+  EXPECT_EQ(Hits, Run.Runtime.PrefetchHits);
+  EXPECT_EQ(Drops,
+            Run.Runtime.PrefetchWasted + Run.Runtime.PrefetchCorruptDiscards);
+}
+
+TEST(DecodeAhead, SeededPredictorHitsFromTheFirstIteration) {
+  // Replaying a prior run's trace into a fresh predictor
+  // (seedPredictorFromEvents) removes the warm-up misses: the seeded run
+  // must demand-decode strictly less than the cold one.
+  Squashed S = squashThrash(1, /*DirectStubs=*/false, /*Iterations=*/10);
+  SquashedProgram SP = S.SR.SP;
+  SP.Opts.DecodeAhead = true;
+
+  SquashedRun Cold = runSquashed(SP, {1}, 2'000'000'000ull,
+                                 RuntimeSystem::DefaultTraceCapacity);
+  ASSERT_EQ(Cold.Run.Status, RunStatus::Halted) << Cold.Run.FaultMessage;
+  ASSERT_GT(Cold.Runtime.PrefetchMisses, 0u);
+
+  Machine M(SP.Img);
+  RuntimeSystem RT(SP);
+  ASSERT_TRUE(RT.attach(M).ok());
+  seedPredictorFromEvents(RT.predictor(), Cold.Trace);
+  seedPredictorFromHeat(RT.predictor(), buildRegionHeatReport(Cold.Trace));
+  M.setInput({1});
+  ASSERT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.output(), S.BaseOut);
+  EXPECT_LT(RT.stats().PrefetchMisses, Cold.Runtime.PrefetchMisses);
+  EXPECT_GT(RT.stats().PrefetchHits, Cold.Runtime.PrefetchHits);
 }
 
 TEST(DecodeCache, ZeroSlotsIsRejected) {

@@ -319,6 +319,100 @@ TEST(FaultInjection, SlotMapCorruptionAlwaysMasked) {
 }
 
 //===----------------------------------------------------------------------===//
+// Decode-ahead sweep: the same detect-or-mask contract with the prefetcher
+// active. A corrupted staging buffer must be discarded by the consume-time
+// CRC re-check and served by a demand decode instead (masked); a truncated
+// host-mirror code table must be refused at attach (detected); the blob
+// faults behave exactly as they do without prefetch.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, DecodeAheadFaultsDetectedOrMasked) {
+  Reference Ref = prepare(0);
+  const std::vector<FaultKind> Kinds = {
+      FaultKind::PrefetchSlotCorrupt, FaultKind::DecodeTableTruncated,
+      FaultKind::BlobBitFlip, FaultKind::BlobTruncate};
+
+  constexpr uint64_t Seeds = 40;
+  uint64_t Detected = 0, Masked = 0, TableFaults = 0;
+  for (uint64_t Seed = 0; Seed != Seeds; ++Seed) {
+    SquashedProgram SP = Ref.SR.SP;
+    SP.Opts.DecodeAhead = true;
+    FaultInjector FI(401 + Seed * 2654435761ull);
+    std::optional<FaultReport> FR = FI.injectAny(SP, Kinds);
+    ASSERT_TRUE(FR.has_value());
+    SCOPED_TRACE(std::string(faultKindName(FR->Kind)) + " seed " +
+                 std::to_string(Seed) + ": " + FR->Description);
+    if (FR->Kind == FaultKind::DecodeTableTruncated)
+      ++TableFaults;
+
+    SquashedRun Run = runSquashed(SP, Ref.W.TimingInput, Ref.MaxInstructions);
+    if (Run.Run.Status == RunStatus::Fault) {
+      EXPECT_FALSE(Run.Run.FaultMessage.empty());
+      // A truncated table must never survive to decode time.
+      if (FR->Kind == FaultKind::DecodeTableTruncated) {
+        EXPECT_EQ(Run.Runtime.Decompressions, 0u)
+            << "truncated table was detected only after a fill";
+      }
+      ++Detected;
+      continue;
+    }
+    ASSERT_EQ(Run.Run.Status, RunStatus::Halted)
+        << "corrupted decode-ahead image hung (instruction limit)";
+    EXPECT_EQ(Run.Run.ExitCode, Ref.Base.Run.ExitCode)
+        << "silently wrong exit code";
+    EXPECT_EQ(Run.Output, Ref.Base.Output) << "silently wrong output";
+    ++Masked;
+  }
+  EXPECT_EQ(Detected + Masked, Seeds);
+  EXPECT_GT(Detected, 0u);
+  EXPECT_GT(Masked, 0u);
+  EXPECT_GT(TableFaults, 0u) << "the sweep never drew DecodeTableTruncated";
+  RecordProperty("detected", static_cast<int>(Detected));
+  RecordProperty("masked", static_cast<int>(Masked));
+}
+
+// Arming the very first consumed prefetch for corruption pins the discard
+// path directly: the CRC re-check must reject the tampered staging buffer,
+// demand-decode in its place, and leave the run byte-identical.
+TEST(FaultInjection, ArmedPrefetchCorruptionIsDiscardedAtConsume) {
+  Reference Ref = prepare(0);
+  SquashedProgram SP = Ref.SR.SP;
+  SP.Opts.DecodeAhead = true;
+
+  // The clean decode-ahead run consumes prefetches and matches the
+  // prefetch-off reference exactly.
+  SquashedRun Clean = runSquashed(SP, Ref.W.TimingInput, Ref.MaxInstructions);
+  ASSERT_EQ(Clean.Run.Status, RunStatus::Halted) << Clean.Run.FaultMessage;
+  EXPECT_EQ(Clean.Output, Ref.Base.Output);
+  ASSERT_GT(Clean.Runtime.PrefetchHits, 0u)
+      << "workload never consumed a prefetch; the armed fault cannot fire";
+
+  SquashedProgram Armed = SP;
+  Armed.ArmPrefetchCorrupt = 1; // Corrupt the first consumed staging.
+  SquashedRun Run =
+      runSquashed(Armed, Ref.W.TimingInput, Ref.MaxInstructions);
+  ASSERT_EQ(Run.Run.Status, RunStatus::Halted) << Run.Run.FaultMessage;
+  EXPECT_EQ(Run.Run.ExitCode, Ref.Base.Run.ExitCode);
+  EXPECT_EQ(Run.Output, Ref.Base.Output)
+      << "a corrupted prefetch escaped into the guest";
+  EXPECT_EQ(Run.Runtime.PrefetchCorruptDiscards, 1u);
+  // The discarded fill demand-decoded instead; nothing else changed.
+  EXPECT_EQ(Run.Runtime.Decompressions, Clean.Runtime.Decompressions);
+  EXPECT_EQ(Run.Runtime.PrefetchHits + 1, Clean.Runtime.PrefetchHits);
+}
+
+// PrefetchSlotCorrupt is inapplicable without decode-ahead: inject() must
+// refuse rather than arm a fault that can never fire.
+TEST(FaultInjection, PrefetchCorruptRequiresDecodeAhead) {
+  Reference Ref = prepare(0);
+  SquashedProgram SP = Ref.SR.SP;
+  ASSERT_FALSE(SP.Opts.DecodeAhead);
+  FaultInjector FI(7);
+  EXPECT_FALSE(FI.inject(SP, FaultKind::PrefetchSlotCorrupt).has_value());
+  EXPECT_EQ(SP.ArmPrefetchCorrupt, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Adaptive swap-path sweep: the same never-crash contract for the online
 // re-squash pipeline. A fault injected into a *staged* image must die at
 // the staging CRC gate; one that forges consistent checksums must die at
