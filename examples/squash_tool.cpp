@@ -7,6 +7,7 @@
 // assembly source:
 //
 //   squash_tool [file.s] [--theta X] [--k BYTES] [--mtf] [--delta]
+//               [--codec NAME] [--print-codec-choices]
 //               [--input BYTES...] [--profile-out FILE] [--profile-in FILE]...
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--trace-capacity N]
@@ -26,6 +27,11 @@
 // monitor's live heat as a loadable profile (merge it with the training
 // profile via --profile-in to re-squash against observed behaviour).
 // FILE may be "-" for stdout.
+//
+// --codec forces every region through one coder ("huffman", "pattern",
+// "context") or lets the codec-select pass pick per region ("auto");
+// --print-codec-choices prints the per-region choice table after the
+// squash.
 //
 // The pipeline surface (squash/Pipeline.h): --print-pipeline lists the
 // standard passes in order and exits; --stop-after=PASS runs only the
@@ -126,6 +132,8 @@ struct Args {
   bool Mtf = false;
   bool Delta = false;
   bool Disasm = false;
+  std::string Codec = "huffman";
+  bool PrintCodecChoices = false;
   std::vector<uint8_t> Input;
   std::string ProfileOut;
   std::vector<std::string> ProfileIn; ///< Repeatable; merged when several.
@@ -176,6 +184,17 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.Mtf = true;
     } else if (S == "--delta") {
       A.Delta = true;
+    } else if (flagWithValue(S, "--codec", Argc, Argv, I, V)) {
+      CodecKind Parsed;
+      if (V != "auto" && !codecKindByName(V, Parsed)) {
+        std::fprintf(stderr,
+                     "unknown codec '%s' (huffman, pattern, context, auto)\n",
+                     V.c_str());
+        return false;
+      }
+      A.Codec = V;
+    } else if (S == "--print-codec-choices") {
+      A.PrintCodecChoices = true;
     } else if (S == "--disasm") {
       A.Disasm = true;
     } else if (S == "--profile-out" && I + 1 < Argc) {
@@ -312,6 +331,7 @@ int main(int Argc, char **Argv) {
   Opts.BufferBoundBytes = A.K;
   Opts.MoveToFront = A.Mtf;
   Opts.DeltaDisplacements = A.Delta;
+  Opts.Codec = A.Codec;
   Opts.DisabledPasses = A.DisabledPasses;
 
   if (!A.StopAfter.empty()) {
@@ -467,6 +487,13 @@ int main(int Argc, char **Argv) {
   std::printf("\n");
   std::fputs(formatRegionTable(SR.SP).c_str(), stdout);
   std::printf("\n");
+  if (A.PrintCodecChoices) {
+    std::printf("codec choices (--codec %s):\n", A.Codec.c_str());
+    for (unsigned R = 0; R != SR.SP.Regions.size(); ++R)
+      std::printf("  region %-4u %s\n", R,
+                  codecKindName(SR.SP.regionCodec(R)));
+    std::printf("\n");
+  }
   std::fputs(formatEntryStubs(SR.SP).c_str(), stdout);
   std::printf("\nregion 0 stored code:\n");
   std::fputs(formatRegion(SR.SP, 0).c_str(), stdout);

@@ -1,0 +1,202 @@
+//===- huff/ContextCodec.cpp - Order-1 opcode-context coder ---------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "huff/ContextCodec.h"
+
+#include <map>
+
+using namespace vea;
+
+namespace squash {
+
+ContextCodec
+ContextCodec::build(const std::vector<std::vector<MInst>> &Corpus) {
+  ContextCodec C;
+  C.Present = true;
+
+  // Transition histogram: context (previous opcode; sentinel = region
+  // start) -> next opcode, the terminator counting as a sentinel symbol.
+  std::array<std::array<uint64_t, NumOpcodes>, NumOpcodes> Hist = {};
+  std::array<std::map<uint32_t, uint64_t>, NumFieldKinds> FieldFreq;
+  for (const auto &Insts : Corpus) {
+    uint32_t Prev = 0;
+    for (const MInst &I : Insts) {
+      uint32_t Op = static_cast<uint32_t>(I.Op);
+      ++Hist[Prev][Op];
+      Prev = Op;
+      const FormatLayout &L = formatLayout(formatOf(I.Op));
+      for (unsigned S = 1; S != L.Count; ++S) {
+        FieldKind K = L.Slots[S].Kind;
+        ++FieldFreq[static_cast<unsigned>(K)][I.get(K)];
+      }
+    }
+    ++Hist[Prev][0]; // Terminator.
+  }
+
+  // Contexts with enough evidence get their own table; the rest share the
+  // merged fallback (table 0). Opcode order keeps the split deterministic.
+  std::array<uint64_t, NumOpcodes> Fallback = {};
+  std::vector<uint32_t> Dedicated;
+  for (uint32_t Ctx = 0; Ctx != NumOpcodes; ++Ctx) {
+    uint64_t Total = 0;
+    for (uint32_t Op = 0; Op != NumOpcodes; ++Op)
+      Total += Hist[Ctx][Op];
+    if (Total >= MinContextCount) {
+      Dedicated.push_back(Ctx);
+    } else {
+      for (uint32_t Op = 0; Op != NumOpcodes; ++Op)
+        Fallback[Op] += Hist[Ctx][Op];
+    }
+  }
+
+  auto BuildTable = [](const std::array<uint64_t, NumOpcodes> &Freqs) {
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs;
+    for (uint32_t Op = 0; Op != NumOpcodes; ++Op)
+      if (Freqs[Op])
+        Pairs.emplace_back(Op, Freqs[Op]);
+    return CanonicalCode::build(std::move(Pairs));
+  };
+
+  C.OpTables.clear();
+  C.OpTables.push_back(BuildTable(Fallback));
+  C.TableOf.fill(0);
+  for (uint32_t Ctx : Dedicated) {
+    C.TableOf[Ctx] = static_cast<uint8_t>(C.OpTables.size());
+    C.OpTables.push_back(BuildTable(Hist[Ctx]));
+  }
+
+  for (unsigned K = 1; K != NumFieldKinds; ++K) {
+    std::vector<std::pair<uint32_t, uint64_t>> Pairs(FieldFreq[K].begin(),
+                                                     FieldFreq[K].end());
+    C.FieldCodes[K] = CanonicalCode::build(std::move(Pairs));
+  }
+
+  BitWriter Scratch;
+  C.serializeTables(Scratch);
+  C.TableBitsCache = Scratch.bitSize();
+  return C;
+}
+
+Status ContextCodec::measureRegion(const std::vector<MInst> &Insts,
+                                   uint64_t &Bits, DecodeWork &Work) const {
+  BitWriter Scratch;
+  if (Status St = encodeRegion(Insts, Scratch); !St.ok())
+    return St;
+  Bits = Scratch.bitSize();
+  Work = DecodeWork();
+  Work.Instructions = Insts.size();
+  return Status::success();
+}
+
+Status ContextCodec::encodeRegion(const std::vector<MInst> &Insts,
+                                  BitWriter &W) const {
+  if (!Present)
+    return Status::error(vea::StatusCode::InternalError,
+                         "context codec was never built");
+  auto Fail = [](const char *What) {
+    return Status::error(vea::StatusCode::EncodingError,
+                         std::string("context: ") + What +
+                             " outside the corpus alphabet");
+  };
+  uint32_t Ctx = 0;
+  for (const MInst &I : Insts) {
+    uint32_t Op = static_cast<uint32_t>(I.Op);
+    if (Op == 0 || Op >= NumOpcodes)
+      return Fail("opcode");
+    if (!OpTables[TableOf[Ctx]].encode(Op, W))
+      return Fail("opcode");
+    Ctx = Op;
+    const FormatLayout &L = formatLayout(formatOf(I.Op));
+    for (unsigned S = 1; S != L.Count; ++S) {
+      FieldKind K = L.Slots[S].Kind;
+      if (!FieldCodes[static_cast<unsigned>(K)].encode(I.get(K), W))
+        return Fail(fieldKindName(K));
+    }
+  }
+  if (!OpTables[TableOf[Ctx]].encode(0, W)) // Terminator.
+    return Fail("terminator");
+  return Status::success();
+}
+
+bool ContextCodec::Decoder::next(MInst &Inst) {
+  if (Corrupt || Done)
+    return false;
+  uint32_t Op = Codec.OpTables[Codec.TableOf[Context]].decode(Reader);
+  if (Op == CanonicalCode::Invalid || Reader.overran() || Op >= NumOpcodes) {
+    Corrupt = true;
+    return false;
+  }
+  if (Op == 0) {
+    Done = true;
+    return false;
+  }
+  Inst = MInst(static_cast<Opcode>(Op));
+  const FormatLayout &L = formatLayout(formatOf(Inst.Op));
+  for (unsigned S = 1; S != L.Count; ++S) {
+    FieldKind K = L.Slots[S].Kind;
+    uint32_t V = Codec.FieldCodes[static_cast<unsigned>(K)].decode(Reader);
+    if (V == CanonicalCode::Invalid || Reader.overran() ||
+        V > fieldMask(K)) {
+      Corrupt = true;
+      return false;
+    }
+    Inst.set(K, V);
+  }
+  Context = Op;
+  ++Work.Instructions;
+  return true;
+}
+
+std::unique_ptr<RegionCursor>
+ContextCodec::makeDecoder(const uint8_t *Blob, size_t BlobBytes,
+                          size_t StartBit) const {
+  BitReader Reader(Blob, BlobBytes);
+  Reader.seekBit(StartBit);
+  return std::make_unique<Decoder>(*this, std::move(Reader));
+}
+
+void ContextCodec::serializeTables(BitWriter &W) const {
+  W.writeBits(static_cast<uint32_t>(OpTables.size()), 8);
+  for (unsigned Ctx = 0; Ctx != NumOpcodes; ++Ctx)
+    W.writeBits(TableOf[Ctx], 8);
+  const unsigned OpBits = fieldWidth(FieldKind::Opcode);
+  for (const CanonicalCode &T : OpTables)
+    T.serialize(W, OpBits);
+  for (unsigned K = 1; K != NumFieldKinds; ++K)
+    FieldCodes[K].serialize(W, fieldWidth(static_cast<FieldKind>(K)));
+}
+
+Status ContextCodec::validate() const {
+  auto Bad = [](const char *What) {
+    return Status::error(vea::StatusCode::MalformedImage,
+                         std::string("context codec: ") + What);
+  };
+  if (!Present)
+    return Bad("tables missing");
+  if (OpTables.empty() || OpTables.size() > NumOpcodes + 1)
+    return Bad("table count out of range");
+  for (unsigned Ctx = 0; Ctx != NumOpcodes; ++Ctx)
+    if (TableOf[Ctx] >= OpTables.size())
+      return Bad("context maps to a missing table");
+  for (const CanonicalCode &T : OpTables) {
+    if (!T.valid())
+      return Bad("opcode table is invalid");
+    for (uint32_t V : T.values())
+      if (V >= NumOpcodes)
+        return Bad("opcode table value out of range");
+  }
+  for (unsigned K = 1; K != NumFieldKinds; ++K) {
+    if (!FieldCodes[K].valid())
+      return Bad("field code is invalid");
+    for (uint32_t V : FieldCodes[K].values())
+      if (V > fieldMask(static_cast<FieldKind>(K)))
+        return Bad("field value exceeds its field width");
+  }
+  return Status::success();
+}
+
+} // namespace squash

@@ -1,0 +1,104 @@
+//===- huff/ContextCodec.h - Order-1 opcode-context coder ------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A context-model region coder exploiting instruction-sequence structure
+/// (in the spirit of the MIPS code-compression line of work): the previous
+/// opcode is the context, and each context selects its own canonical
+/// Huffman code over the next opcode — after an `addi` the opcode
+/// distribution is far more peaked than the global one. Contexts too rare
+/// to earn a table share one merged fallback table. Region start uses the
+/// sentinel context (the sentinel never appears mid-region), and the
+/// region terminator is the sentinel symbol in whatever context the region
+/// ends in, so regions stay independently decodable.
+///
+/// Non-opcode fields use per-stream order-0 codes (no MTF/delta — the
+/// context machinery is the whole point of this coder; keeping the field
+/// side simple keeps its decode cost model honest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_HUFF_CONTEXTCODEC_H
+#define SQUASH_HUFF_CONTEXTCODEC_H
+
+#include "huff/Codec.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace squash {
+
+class ContextCodec final : public Codec {
+public:
+  /// A context earns a dedicated opcode table once the corpus shows at
+  /// least this many transitions out of it; rarer contexts share the
+  /// merged fallback table (index 0).
+  static constexpr uint64_t MinContextCount = 8;
+
+  ContextCodec() = default;
+
+  /// Builds all tables from the corpus (one instruction sequence per
+  /// region). Deterministic.
+  static ContextCodec build(const std::vector<std::vector<vea::MInst>> &Corpus);
+
+  bool present() const { return Present; }
+  size_t numOpcodeTables() const { return OpTables.size(); }
+
+  CodecKind kind() const override { return CodecKind::Context; }
+  [[nodiscard]] vea::Status
+  encodeRegion(const std::vector<vea::MInst> &Insts,
+               vea::BitWriter &W) const override;
+  std::unique_ptr<RegionCursor> makeDecoder(const uint8_t *Blob,
+                                            size_t BlobBytes,
+                                            size_t StartBit) const override;
+  uint64_t tableBits() const override { return TableBitsCache; }
+  void serializeTables(vea::BitWriter &W) const override;
+  [[nodiscard]] vea::Status validate() const override;
+
+  /// Trial encode for codec selection: exact payload bits and decode work.
+  [[nodiscard]] vea::Status measureRegion(const std::vector<vea::MInst> &Insts,
+                                          uint64_t &Bits,
+                                          DecodeWork &Work) const;
+
+  /// Fault-injection hook (FaultKind::CodecTableCorrupt): mutable access
+  /// to one per-context opcode table.
+  CanonicalCode &opcodeTableForFault(size_t Index) { return OpTables[Index]; }
+
+  class Decoder final : public RegionCursor {
+  public:
+    Decoder(const ContextCodec &Codec, vea::BitReader Reader)
+        : Codec(Codec), Reader(std::move(Reader)) {}
+
+    bool next(vea::MInst &Inst) override;
+    bool ok() const override { return !Corrupt; }
+    size_t bitPosition() const override { return Reader.bitPosition(); }
+    const DecodeWork &work() const override { return Work; }
+
+  private:
+    const ContextCodec &Codec;
+    vea::BitReader Reader;
+    DecodeWork Work;
+    bool Corrupt = false;
+    bool Done = false;
+    uint32_t Context = 0; ///< Previous opcode; sentinel at region start.
+  };
+
+private:
+  bool Present = false;
+  /// Per-context table index; 0 is the merged fallback.
+  std::array<uint8_t, vea::NumOpcodes> TableOf = {};
+  /// Opcode codes (symbols include the sentinel terminator).
+  std::vector<CanonicalCode> OpTables;
+  /// Order-0 codes for the non-opcode streams ([Opcode] stays empty).
+  std::array<CanonicalCode, vea::NumFieldKinds> FieldCodes;
+  uint64_t TableBitsCache = 0;
+};
+
+} // namespace squash
+
+#endif // SQUASH_HUFF_CONTEXTCODEC_H

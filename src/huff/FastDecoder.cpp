@@ -171,17 +171,63 @@ size_t FastTables::tableBytes() const {
          SymVal.size() * sizeof(uint32_t);
 }
 
+// One global lock: builds are rare (first attach per program) and the
+// memo must stay copyable with the codec, which rules out a member
+// mutex. Concurrent attaches of the same pinned program (Adaptive's
+// serve threads) synchronize here, as do the codec's copy/move special
+// members below.
+static std::mutex MemoMutex;
+
 std::shared_ptr<const FastTables> StreamCodecs::fastTables(unsigned Bits) const {
   Bits = std::clamp(Bits, FastTables::MinBits, FastTables::MaxBits);
-  // One global lock: builds are rare (first attach per program) and the
-  // memo must stay copyable with the codec, which rules out a member
-  // mutex. Concurrent attaches of the same pinned program (Adaptive's
-  // serve threads) synchronize here.
-  static std::mutex MemoMutex;
   std::lock_guard<std::mutex> Lock(MemoMutex);
   if (!FastMemo || FastMemo->bits() != Bits)
     FastMemo = FastTables::build(*this, Bits);
   return FastMemo;
+}
+
+// A copied codec never inherits the source's decoder tables: the copy is
+// the staging ground for mutation (adaptive re-squash, fault injection),
+// and tables reused by pointer would go stale the moment the codes
+// diverge. Starting from an empty memo forces a rebuild on first use.
+StreamCodecs::StreamCodecs(const StreamCodecs &Other)
+    : Opts(Other.Opts), Codes(Other.Codes), MtfInit(Other.MtfInit),
+      Stats(Other.Stats) {}
+
+StreamCodecs &StreamCodecs::operator=(const StreamCodecs &Other) {
+  if (this == &Other)
+    return *this;
+  Opts = Other.Opts;
+  Codes = Other.Codes;
+  MtfInit = Other.MtfInit;
+  Stats = Other.Stats;
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  FastMemo.reset();
+  return *this;
+}
+
+// Moves transfer the memo: the source is being retired, so the tables
+// keep matching the one live owner. The lock covers the transfer against
+// a concurrent fastTables() build on the source.
+StreamCodecs::StreamCodecs(StreamCodecs &&Other) noexcept
+    : Opts(std::move(Other.Opts)), Codes(std::move(Other.Codes)),
+      MtfInit(std::move(Other.MtfInit)), Stats(std::move(Other.Stats)) {
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  FastMemo = std::move(Other.FastMemo);
+  Other.FastMemo.reset();
+}
+
+StreamCodecs &StreamCodecs::operator=(StreamCodecs &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  Opts = std::move(Other.Opts);
+  Codes = std::move(Other.Codes);
+  MtfInit = std::move(Other.MtfInit);
+  Stats = std::move(Other.Stats);
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  FastMemo = std::move(Other.FastMemo);
+  Other.FastMemo.reset();
+  return *this;
 }
 
 //===----------------------------------------------------------------------===//

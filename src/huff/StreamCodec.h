@@ -61,6 +61,20 @@ public:
 
   StreamCodecs() = default;
 
+  /// The memoized fast-table pointer is mutable shared state guarded by
+  /// the module-wide memo mutex (huff/FastDecoder.cpp). The
+  /// compiler-generated copy would read it without the lock (a race
+  /// against a concurrent fastTables() build) and would alias the
+  /// published tables between two codecs whose codes can then diverge —
+  /// exactly the stale-table hazard of an adaptive hot-swap mutating a
+  /// copied codec. A copy therefore starts with an empty memo and builds
+  /// fresh tables on first use; a move hands the memo over under the lock.
+  StreamCodecs(const StreamCodecs &Other);
+  StreamCodecs &operator=(const StreamCodecs &Other);
+  StreamCodecs(StreamCodecs &&Other) noexcept;
+  StreamCodecs &operator=(StreamCodecs &&Other) noexcept;
+  ~StreamCodecs() = default;
+
   /// Builds codes from the corpus: one instruction sequence per region.
   static StreamCodecs build(const std::vector<std::vector<vea::MInst>> &Corpus,
                             Options Opts);
@@ -169,8 +183,9 @@ private:
   /// Initial MTF dictionaries (distinct values, most frequent first).
   std::array<std::vector<uint32_t>, vea::NumFieldKinds> MtfInit;
   std::vector<StreamStats> Stats;
-  /// Memoized fast-decode tables (immutable once built; copies of this
-  /// codec share them). Guarded by an internal mutex in fastTables().
+  /// Memoized fast-decode tables (immutable once built; never shared
+  /// across copies — see the special members above). Guarded by the
+  /// module-wide memo mutex in FastDecoder.cpp.
   mutable std::shared_ptr<const FastTables> FastMemo;
 };
 

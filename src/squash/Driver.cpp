@@ -65,6 +65,7 @@ void SquashStats::exportMetrics(vea::MetricsRegistry &R,
   R.setGauge(Prefix + "unswitch_seconds", UnswitchSeconds);
   R.setGauge(Prefix + "region_seconds", RegionSeconds);
   R.setGauge(Prefix + "buffersafe_seconds", BufferSafeSeconds);
+  R.setGauge(Prefix + "codec_select_seconds", CodecSelectSeconds);
   R.setGauge(Prefix + "rewrite_seconds", RewriteSeconds);
   R.setGauge(Prefix + "encode_seconds", EncodeSeconds);
   R.setGauge(Prefix + "total_seconds", TotalSeconds);

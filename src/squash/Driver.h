@@ -15,7 +15,8 @@
 ///
 ///   cold-code (Sec. 5) -> unswitch (Sec. 6.2, invalidates the CFG cache)
 ///   -> filter-setjmp-indirect (Sec. 2.2) -> filter-computed-jump
-///   -> regions (Sec. 4) -> buffer-safe (Sec. 6.1) -> rewrite (Sec. 2)
+///   -> regions (Sec. 4) -> buffer-safe (Sec. 6.1) -> codec-select
+///   -> rewrite (Sec. 2)
 ///
 /// then the caller attaches the decompressor runtime via runSquashed.
 /// Tools that need a prefix, a skip, or per-pass hooks drive a
@@ -48,6 +49,7 @@ struct SquashStats {
   double UnswitchSeconds = 0.0;   ///< Jump-table unswitching + filters.
   double RegionSeconds = 0.0;     ///< Region formation + packing.
   double BufferSafeSeconds = 0.0; ///< Buffer-safety analysis.
+  double CodecSelectSeconds = 0.0; ///< Per-region codec trial + selection.
   double RewriteSeconds = 0.0;    ///< Lowering, layout, image emission
                                   ///< (includes EncodeSeconds).
   double EncodeSeconds = 0.0;     ///< Per-region compression only.

@@ -44,6 +44,8 @@ const char *squash::faultKindName(FaultKind K) {
     return "prefetch-slot-corrupt";
   case FaultKind::DecodeTableTruncated:
     return "decode-table-truncated";
+  case FaultKind::CodecTableCorrupt:
+    return "codec-table-corrupt";
   }
   return "unknown";
 }
@@ -262,6 +264,13 @@ std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
   case FaultKind::DecodeTableTruncated: {
     // Truncate a non-empty stream code's value list in the host mirror.
     // StreamCodecs::validate() at attach must reject the image cleanly.
+    // Attach only validates codecs some region references, so a mirror
+    // with no Huffman region would mask the corruption — inapplicable.
+    bool AnyHuffman = false;
+    for (const RegionImageInfo &RI : SP.Regions)
+      AnyHuffman |= RI.Codec == static_cast<uint8_t>(CodecKind::Huffman);
+    if (!AnyHuffman)
+      return std::nullopt;
     std::vector<unsigned> Candidates;
     for (unsigned FK = 0; FK != vea::NumFieldKinds; ++FK)
       if (!SP.Codecs.code(static_cast<vea::FieldKind>(FK)).empty())
@@ -275,6 +284,30 @@ std::optional<FaultReport> FaultInjector::inject(SquashedProgram &SP,
                   std::string("truncated the ") +
                       vea::fieldKindName(static_cast<vea::FieldKind>(FK)) +
                       " stream's value list");
+  }
+
+  case FaultKind::CodecTableCorrupt: {
+    // Damage a non-Huffman codec's host-mirror table: the pattern coder's
+    // selector code or the context coder's merged-fallback opcode table.
+    // Attach's per-codec validate() must reject the image before any trap
+    // could decode through the broken table.
+    bool AnyPattern = false, AnyContext = false;
+    for (const RegionImageInfo &RI : SP.Regions) {
+      AnyPattern |= RI.Codec == static_cast<uint8_t>(CodecKind::Pattern);
+      AnyContext |= RI.Codec == static_cast<uint8_t>(CodecKind::Context);
+    }
+    if (!AnyPattern && !AnyContext)
+      return std::nullopt;
+    bool HitPattern =
+        AnyPattern && (!AnyContext || R.nextBelow(2) == 0);
+    if (HitPattern) {
+      SP.Pattern.selectorCodeForFault().truncateValueListForFault();
+      return report(K, 0,
+                    "truncated the pattern codec's selector value list");
+    }
+    SP.Context.opcodeTableForFault(0).truncateValueListForFault();
+    return report(K, 0,
+                  "truncated the context codec's fallback opcode table");
   }
   }
   return std::nullopt;

@@ -65,6 +65,14 @@ enum class FaultKind : uint8_t {
                         ///< short in the host mirror, modeling a stored
                         ///< code table damaged at rest; attach's
                         ///< StreamCodecs::validate() must reject it.
+                        ///< Applicable only when some region decodes
+                        ///< through the Huffman stream codes.
+  CodecTableCorrupt,    ///< Truncate a pattern-selector or context-opcode
+                        ///< code's value list in the host mirror: a stored
+                        ///< non-Huffman codec table damaged at rest.
+                        ///< Attach's per-codec validate() must reject it.
+                        ///< Applicable only when some region uses the
+                        ///< pattern or context coder.
 };
 
 const char *faultKindName(FaultKind K);

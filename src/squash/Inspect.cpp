@@ -74,20 +74,21 @@ std::string squash::formatRegion(const SquashedProgram &SP, unsigned Index) {
     return "no such region\n";
   const RegionImageInfo &RI = SP.Regions[Index];
   std::string Out = line("region %u: %u stored instructions, expands to %u "
-                         "buffer words (bit offset %u)\n",
+                         "buffer words (bit offset %u, codec %s)\n",
                          Index, RI.StoredInstructions, RI.ExpandedWords,
-                         RI.BitOffset);
+                         RI.BitOffset,
+                         codecKindName(SP.regionCodec(Index)));
 
-  // Decode straight from the in-image blob, as the runtime does.
+  // Decode straight from the in-image blob through the region's own codec,
+  // as the runtime does.
   const uint8_t *Blob =
       SP.Img.Bytes.data() + (SP.Layout.BlobBase - SP.Img.Base);
-  BitReader Reader(Blob, SP.Layout.BlobBytes);
-  Reader.seekBit(RI.BitOffset);
-  StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
+  std::unique_ptr<RegionCursor> Dec =
+      SP.makeRegionCursor(Index, Blob, SP.Layout.BlobBytes);
 
   uint32_t BufAddr = SP.Layout.BufferBase + 4;
   MInst I;
-  while (Dec.next(I)) {
+  while (Dec->next(I)) {
     if (I.Op == Opcode::Bsrx) {
       Out += line("  [buf+%4u] bsrx r%u, %+d   ; expands to: bsr "
                   "r%u,CreateStub ; br <callee>\n",
@@ -100,19 +101,20 @@ std::string squash::formatRegion(const SquashedProgram &SP, unsigned Index) {
                 disassemble(I, BufAddr).c_str());
     BufAddr += 4;
   }
-  if (!Dec.ok())
+  if (!Dec->ok())
     Out += "  <corrupt stream>\n";
   return Out;
 }
 
 std::string squash::formatRegionTable(const SquashedProgram &SP) {
-  std::string Out = line("%-8s %8s %9s %7s %7s %10s\n", "region", "stored",
-                         "expanded", "stubs", "calls", "bit offset");
+  std::string Out = line("%-8s %8s %9s %7s %7s %10s %8s\n", "region",
+                         "stored", "expanded", "stubs", "calls",
+                         "bit offset", "codec");
   for (unsigned R = 0; R != SP.Regions.size(); ++R) {
     const RegionImageInfo &RI = SP.Regions[R];
-    Out += line("%-8u %8u %9u %7u %7u %10u\n", R, RI.StoredInstructions,
+    Out += line("%-8u %8u %9u %7u %7u %10u %8s\n", R, RI.StoredInstructions,
                 RI.ExpandedWords, RI.NumEntryStubs, RI.ExternalCalls,
-                RI.BitOffset);
+                RI.BitOffset, codecKindName(SP.regionCodec(R)));
   }
   return Out;
 }

@@ -164,6 +164,14 @@ void squash::collectSquashMetrics(vea::MetricsRegistry &Reg,
   R.SP.Footprint.exportMetrics(Reg);
   Reg.setCounter("squash.identity", R.Identity ? 1 : 0);
   Reg.setCounter("squash.cache_slots", R.SP.Layout.CacheSlots);
+  uint64_t ByCodec[NumCodecKinds] = {};
+  for (const RegionImageInfo &RI : R.SP.Regions)
+    if (RI.Codec < NumCodecKinds)
+      ++ByCodec[RI.Codec];
+  for (unsigned K = 0; K != NumCodecKinds; ++K)
+    Reg.setCounter("squash.regions.codec_" +
+                       std::string(codecKindName(static_cast<CodecKind>(K))),
+                   ByCodec[K]);
 }
 
 void squash::collectRunMetrics(vea::MetricsRegistry &Reg,

@@ -28,6 +28,13 @@ struct CostModel {
   uint64_t CyclesPerDecodedInstr = 24; ///< Canonical Huffman decode work.
   uint64_t IcacheFlushCycles = 32;    ///< Post-decompression flush.
   uint64_t CreateStubCycles = 16;     ///< Restore-stub create/reuse.
+  /// Pattern-codec charge per instruction materialized from a dictionary
+  /// pattern (a table copy, far cheaper than a canonical decode); escaped
+  /// instructions pay CyclesPerDecodedInstr.
+  uint64_t PatternCyclesPerCoveredInstr = 6;
+  /// Context-codec charge per decoded instruction (an extra indirection
+  /// per opcode to pick the context table).
+  uint64_t ContextCyclesPerDecodedInstr = 28;
 };
 
 struct Options {
@@ -78,6 +85,14 @@ struct Options {
   /// coding — one of the "other algorithms for compression" the paper's
   /// future work contemplates. Resets at region boundaries.
   bool DeltaDisplacements = false;
+
+  /// Region coder selection: "huffman" (the paper's splitting-streams
+  /// coder, the default), "pattern" (dictionary of frequent instruction
+  /// n-grams with a Huffman escape), "context" (order-1 opcode-context
+  /// code tables), or "auto" (the codec-select pass picks the best coder
+  /// per region by modeled size x decode-cost). Any other name is an
+  /// InvalidArgument error from the pipeline.
+  std::string Codec = "huffman";
 
   /// If true, a decompression request for the region already in the buffer
   /// is satisfied without re-decoding. The paper's decompressor always

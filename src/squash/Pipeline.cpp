@@ -8,6 +8,7 @@
 #include "squash/Pipeline.h"
 
 #include "link/Layout.h"
+#include "squash/CodecSelect.h"
 
 #include <algorithm>
 #include <chrono>
@@ -222,7 +223,8 @@ public:
       return emitIdentity(Ctx);
     Expected<SquashedProgram> SPOr =
         rewriteProgram(Ctx.program(), Ctx.cfg(), Ctx.Part,
-                       Ctx.BufferSafeFuncs, Ctx.options());
+                       Ctx.BufferSafeFuncs, Ctx.options(),
+                       std::move(Ctx.Plan));
     if (!SPOr)
       return SPOr.status();
     R.SP = std::move(SPOr.get());
@@ -355,6 +357,7 @@ void squash::buildStandardPipeline(PassManager &PM) {
   PM.addPass(std::make_unique<ComputedJumpFilterPass>());
   PM.addPass(std::make_unique<RegionsPass>());
   PM.addPass(std::make_unique<BufferSafePass>());
+  PM.addPass(std::make_unique<CodecSelectPass>());
   PM.addPass(std::make_unique<RewritePass>());
 }
 

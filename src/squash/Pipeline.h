@@ -80,6 +80,10 @@ public:
   /// Per-function buffer-safety flags produced by the buffer-safe pass.
   std::vector<uint8_t> BufferSafeFuncs;
 
+  /// Per-region coder choices produced by the codec-select pass and
+  /// consumed (moved out) by the rewrite pass. Empty = all Huffman.
+  CodecPlan Plan;
+
   /// 4 * instruction count of the *input* program (before unswitching
   /// grows it), recorded into FootprintBreakdown::OriginalCodeBytes.
   uint32_t OriginalCodeBytes = 0;
@@ -173,7 +177,7 @@ private:
 /// used to inline:
 ///
 ///   cold-code, unswitch, filter-setjmp-indirect, filter-computed-jump,
-///   regions, buffer-safe, rewrite
+///   regions, buffer-safe, codec-select, rewrite
 void buildStandardPipeline(PassManager &PM);
 
 /// Names of the standard passes, in order (squash_tool --print-pipeline).

@@ -82,10 +82,14 @@ namespace {
 class Rewriter {
 public:
   Rewriter(const Program &Prog, const Cfg &G, const Partition &Part,
-           const std::vector<uint8_t> &Safe, const Options &Opts)
-      : Prog(Prog), G(G), Part(Part), Safe(Safe), Opts(Opts) {}
+           const std::vector<uint8_t> &Safe, const Options &Opts,
+           CodecPlan Plan = CodecPlan())
+      : Prog(Prog), G(G), Part(Part), Safe(Safe), Opts(Opts),
+        Plan(std::move(Plan)) {}
 
   Expected<SquashedProgram> run();
+  /// Lowering phases only; returns the stored-region corpus.
+  Expected<std::vector<std::vector<MInst>>> preview();
 
 private:
   /// Block id of the fallthrough successor, or -1.
@@ -167,6 +171,7 @@ private:
   const Partition &Part;
   const std::vector<uint8_t> &Safe;
   const Options &Opts;
+  CodecPlan Plan;
 
   SquashedProgram Out;
   RuntimeLayout L;
@@ -400,27 +405,96 @@ Status Rewriter::lowerRegions() {
 }
 
 Status Rewriter::emit() {
-  // Encode the regions.
+  // Per-region coder assignment. An empty plan is the legacy all-Huffman
+  // encode and reproduces the pre-plan blob byte-for-byte.
+  const size_t NumRegions = Part.Regions.size();
+  std::vector<CodecKind> Kind(NumRegions, CodecKind::Huffman);
+  if (!Plan.RegionCodec.empty()) {
+    if (Plan.RegionCodec.size() != NumRegions)
+      return Status::error(StatusCode::InvalidArgument,
+                           "rewriter: codec plan does not match the region "
+                           "partition");
+    Kind = Plan.RegionCodec;
+  }
+  bool UseHuff = false, UsePattern = false, UseContext = false;
+  for (CodecKind K : Kind) {
+    UseHuff |= K == CodecKind::Huffman;
+    UsePattern |= K == CodecKind::Pattern;
+    UseContext |= K == CodecKind::Context;
+  }
+  if (UsePattern && !Plan.Pattern.present())
+    return Status::error(StatusCode::InvalidArgument,
+                         "rewriter: plan selects the pattern codec but "
+                         "carries no pattern tables");
+  if (UseContext && !Plan.Context.present())
+    return Status::error(StatusCode::InvalidArgument,
+                         "rewriter: plan selects the context codec but "
+                         "carries no context tables");
+  for (size_t R = 0; R != NumRegions; ++R)
+    Out.Regions[R].Codec = static_cast<uint8_t>(Kind[R]);
+
+  // The Huffman codes are built over exactly the regions they will encode
+  // so reassigned regions cannot skew the streams' distributions.
   StreamCodecs::Options CO;
   CO.MoveToFront = Opts.MoveToFront;
   CO.DeltaDisplacements = Opts.DeltaDisplacements;
-  Out.Codecs = StreamCodecs::build(Stored, CO);
+  if (UseHuff) {
+    if (UsePattern || UseContext) {
+      std::vector<std::vector<MInst>> HuffCorpus;
+      for (size_t R = 0; R != NumRegions; ++R)
+        if (Kind[R] == CodecKind::Huffman)
+          HuffCorpus.push_back(Stored[R]);
+      Out.Codecs = StreamCodecs::build(HuffCorpus, CO);
+    } else {
+      Out.Codecs = StreamCodecs::build(Stored, CO);
+    }
+  }
+
+  // Side tables first, in fixed codec order; their measured bit spans feed
+  // the footprint so every table is charged to the compressed size.
   vea::BitWriter W;
-  Out.Codecs.serializeTables(W);
-  const size_t NumRegions = Part.Regions.size();
+  FootprintBreakdown &F = Out.Footprint;
+  if (UseHuff) {
+    Out.Codecs.serializeTables(W);
+    F.HuffmanTableBits = W.bitSize();
+  }
+  if (UsePattern) {
+    const uint64_t Before = W.bitSize();
+    Plan.Pattern.serializeTables(W);
+    F.PatternTableBits = W.bitSize() - Before;
+  }
+  if (UseContext) {
+    const uint64_t Before = W.bitSize();
+    Plan.Context.serializeTables(W);
+    F.ContextTableBits = W.bitSize() - Before;
+  }
+  const uint64_t TableBits = W.bitSize();
+
+  auto EncodeOne = [&](size_t R, vea::BitWriter &WR) -> Status {
+    switch (Kind[R]) {
+    case CodecKind::Huffman:
+      return Out.Codecs.encodeRegion(Stored[R], WR);
+    case CodecKind::Pattern:
+      return Plan.Pattern.encodeRegion(Stored[R], WR);
+    case CodecKind::Context:
+      return Plan.Context.encodeRegion(Stored[R], WR);
+    }
+    return Status::error(StatusCode::InternalError,
+                         "rewriter: unknown codec kind");
+  };
   unsigned Threads =
       ThreadPool::effectiveThreads(Opts.SquashThreads, NumRegions);
   auto EncodeStart = std::chrono::steady_clock::now();
   if (Threads > 1 && NumRegions > 1) {
     // Encode each region into its own bitstream concurrently, then append
-    // in region order. Regions are encoded independently (encodeRegion
-    // keeps its MTF/delta state per region), so the concatenation is
+    // in region order. Regions are encoded independently (every codec
+    // keeps any transform state per region), so the concatenation is
     // byte-identical to the serial path.
     std::vector<vea::BitWriter> Pieces(NumRegions);
     std::vector<Status> Results(NumRegions);
     ThreadPool Pool(Threads);
     Pool.parallelFor(NumRegions, [&](size_t R) {
-      Results[R] = Out.Codecs.encodeRegion(Stored[R], Pieces[R]);
+      Results[R] = EncodeOne(R, Pieces[R]);
     });
     for (size_t R = 0; R != NumRegions; ++R) {
       if (!Results[R].ok())
@@ -432,11 +506,14 @@ Status Rewriter::emit() {
     Threads = 1;
     for (size_t R = 0; R != NumRegions; ++R) {
       Out.Regions[R].BitOffset = static_cast<uint32_t>(W.bitSize());
-      Status St = Out.Codecs.encodeRegion(Stored[R], W);
+      Status St = EncodeOne(R, W);
       if (!St.ok())
         return St.context("rewriter: region " + std::to_string(R));
     }
   }
+  F.PayloadBits = W.bitSize() - TableBits;
+  Out.Pattern = std::move(Plan.Pattern);
+  Out.Context = std::move(Plan.Context);
   Out.Encode.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     EncodeStart)
@@ -557,7 +634,6 @@ Status Rewriter::emit() {
                       L.BlobBytes);
 
   // Footprint.
-  FootprintBreakdown &F = Out.Footprint;
   F.NeverCompressedWords = NCWords;
   F.EntryStubWords = 2 * static_cast<uint32_t>(StubBlocks.size());
   F.DecompressorWords = Opts.DecompressorCodeWords;
@@ -584,17 +660,56 @@ Expected<SquashedProgram> Rewriter::run() {
   return std::move(Out);
 }
 
+Expected<std::vector<std::vector<MInst>>> Rewriter::preview() {
+  computeEntries();
+  if (Status St = computeExpandedOffsets(); !St.ok())
+    return St;
+  if (Status St = layout(); !St.ok())
+    return St;
+  if (Status St = lowerRegions(); !St.ok())
+    return St;
+  return std::move(Stored);
+}
+
 Expected<SquashedProgram>
 squash::rewriteProgram(const Program &Prog, const Cfg &G,
                        const Partition &Part,
                        const std::vector<uint8_t> &Safe,
-                       const Options &Opts) {
+                       const Options &Opts, CodecPlan Plan) {
+  if (Safe.size() != G.numFunctions())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        "rewriter: buffer-safe vector does not match program");
+  Rewriter RW(Prog, G, Part, Safe, Opts, std::move(Plan));
+  return RW.run();
+}
+
+Expected<std::vector<std::vector<MInst>>>
+squash::lowerStoredRegions(const Program &Prog, const Cfg &G,
+                           const Partition &Part,
+                           const std::vector<uint8_t> &Safe,
+                           const Options &Opts) {
   if (Safe.size() != G.numFunctions())
     return Status::error(
         StatusCode::InvalidArgument,
         "rewriter: buffer-safe vector does not match program");
   Rewriter RW(Prog, G, Part, Safe, Opts);
-  return RW.run();
+  return RW.preview();
+}
+
+std::unique_ptr<RegionCursor>
+SquashedProgram::makeRegionCursor(size_t R, const uint8_t *Blob,
+                                  size_t BlobBytes) const {
+  const size_t StartBit = Regions[R].BitOffset;
+  switch (regionCodec(R)) {
+  case CodecKind::Huffman:
+    return HuffmanCodecView(Codecs).makeDecoder(Blob, BlobBytes, StartBit);
+  case CodecKind::Pattern:
+    return Pattern.makeDecoder(Blob, BlobBytes, StartBit);
+  case CodecKind::Context:
+    return Context.makeDecoder(Blob, BlobBytes, StartBit);
+  }
+  return nullptr;
 }
 
 void FootprintBreakdown::exportMetrics(vea::MetricsRegistry &R,
@@ -607,6 +722,10 @@ void FootprintBreakdown::exportMetrics(vea::MetricsRegistry &R,
   R.setCounter(Prefix + "slot_map_words", SlotMapWords);
   R.setCounter(Prefix + "buffer_words", BufferWords);
   R.setCounter(Prefix + "compressed_bytes", CompressedBytes);
+  R.setCounter(Prefix + "huffman_table_bits", HuffmanTableBits);
+  R.setCounter(Prefix + "pattern_table_bits", PatternTableBits);
+  R.setCounter(Prefix + "context_table_bits", ContextTableBits);
+  R.setCounter(Prefix + "payload_bits", PayloadBits);
   R.setCounter(Prefix + "original_code_bytes", OriginalCodeBytes);
   R.setCounter(Prefix + "total_code_bytes", totalCodeBytes());
   R.setGauge(Prefix + "reduction", reduction());

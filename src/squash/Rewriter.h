@@ -28,6 +28,9 @@
 #ifndef SQUASH_SQUASH_REWRITER_H
 #define SQUASH_SQUASH_REWRITER_H
 
+#include "huff/Codec.h"
+#include "huff/ContextCodec.h"
+#include "huff/PatternCodec.h"
 #include "huff/StreamCodec.h"
 #include "link/Layout.h"
 #include "squash/Options.h"
@@ -35,6 +38,7 @@
 #include "support/Metrics.h"
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -43,6 +47,13 @@ namespace squash {
 
 /// Addresses of the runtime structures inside the squashed image.
 struct RuntimeLayout {
+  /// Image format version stamped by the rewriter and checked at attach.
+  /// Version 2 added per-region codec selection (RegionImageInfo::Codec
+  /// plus pattern/context side tables in the blob); an image claiming any
+  /// other version is rejected as MalformedImage instead of being decoded
+  /// with the wrong table layout.
+  static constexpr uint32_t CurrentFormatVersion = 2;
+
   /// One Decompress entry point per possible return-address register, then
   /// one CreateStub entry point per register (Sections 2.2/2.3):
   ///   Decompress entry r is DecompBase + 4r
@@ -71,6 +82,7 @@ struct RuntimeLayout {
   uint32_t DataBase = 0;     ///< First data byte (end of runtime machinery).
   uint32_t BlobBase = 0;     ///< Serialized stream tables + region payloads.
   uint32_t BlobBytes = 0;
+  uint32_t FormatVersion = CurrentFormatVersion;
 
   /// CRC32 of the image's immutable prefix [Base, StubAreaBase): code,
   /// entry stubs, decompressor region, offset table. Everything after is
@@ -103,8 +115,18 @@ struct FootprintBreakdown {
   uint32_t StubAreaWords = 0;
   uint32_t SlotMapWords = 0; ///< One word per decode-cache slot.
   uint32_t BufferWords = 0;  ///< All cache slots.
-  uint32_t CompressedBytes = 0; ///< Stream tables + region payloads.
+  uint32_t CompressedBytes = 0; ///< Codec side tables + region payloads.
   uint32_t OriginalCodeBytes = 0;
+
+  /// Exact bit accounting of the blob, measured while it is serialized:
+  /// CompressedBytes must equal the byte ceiling of the sum of all four,
+  /// so no codec side table (Huffman code representations and MTF
+  /// dictionaries, pattern dictionary, context tables) can silently
+  /// escape the compressed-size charge.
+  uint64_t HuffmanTableBits = 0;
+  uint64_t PatternTableBits = 0;
+  uint64_t ContextTableBits = 0;
+  uint64_t PayloadBits = 0; ///< Region codeword bits, all codecs.
 
   uint32_t totalCodeBytes() const {
     return 4 * (NeverCompressedWords + EntryStubWords + DecompressorWords +
@@ -136,6 +158,19 @@ struct RegionImageInfo {
   /// CRC32 of the expanded buffer words (little-endian byte order) this
   /// region must decompress to; checked after every fill.
   uint32_t Crc32 = 0;
+  /// The coder this region's payload was encoded with (a CodecKind value);
+  /// validated against the image's present codecs at attach.
+  uint8_t Codec = 0;
+};
+
+/// The codec-select pass's verdict, consumed by rewriteProgram: one
+/// CodecKind per region plus the built non-Huffman coders those choices
+/// reference. An empty RegionCodec means "all Huffman" and reproduces the
+/// legacy blob byte-for-byte.
+struct CodecPlan {
+  std::vector<CodecKind> RegionCodec;
+  PatternCodec Pattern;
+  ContextCodec Context;
 };
 
 /// One entry stub of a compressed region: where it lives and the tag its
@@ -169,7 +204,12 @@ struct EncodeTiming {
 struct SquashedProgram {
   vea::Image Img;
   RuntimeLayout Layout;
-  StreamCodecs Codecs; ///< Host mirror of the tables stored in the blob.
+  /// Host mirrors of the tables stored in the blob. Codecs is empty when
+  /// no region uses the Huffman coder; Pattern/Context are absent
+  /// (present() false) when no region uses them.
+  StreamCodecs Codecs;
+  PatternCodec Pattern;
+  ContextCodec Context;
   std::vector<RegionImageInfo> Regions;
   FootprintBreakdown Footprint;
   Options Opts;
@@ -199,6 +239,17 @@ struct SquashedProgram {
   /// is consumed, then disarms. The consume-time CRC check must catch it
   /// and fall back to a demand decode.
   uint32_t ArmPrefetchCorrupt = 0;
+
+  /// The coder region \p R was encoded with.
+  CodecKind regionCodec(size_t R) const {
+    return static_cast<CodecKind>(Regions[R].Codec);
+  }
+  /// Streaming cursor over region \p R's payload in \p Blob, dispatched
+  /// through the region's recorded codec. The single decode entry point
+  /// shared by the runtime's slow path, the inspector, and the benches.
+  std::unique_ptr<RegionCursor> makeRegionCursor(size_t R,
+                                                 const uint8_t *Blob,
+                                                 size_t BlobBytes) const;
 };
 
 /// Expands one stored instruction into the word(s) it occupies in the
@@ -227,11 +278,24 @@ vea::Status relocateRegionWords(std::vector<uint32_t> &Words,
 /// analyzeBufferSafe (pass all-zeros to disable the optimization). Fails
 /// with InvalidArgument on mismatched inputs, LayoutError when a branch or
 /// region does not fit its encoding, or EncodingError from the compressor.
+/// \p Plan carries the codec-select pass's per-region coder choices; the
+/// default (empty) plan encodes every region with the Huffman coder.
 vea::Expected<SquashedProgram>
 rewriteProgram(const vea::Program &Prog, const vea::Cfg &G,
                const Partition &Part,
                const std::vector<uint8_t> &BufferSafeFuncs,
-               const Options &Opts);
+               const Options &Opts, CodecPlan Plan = CodecPlan());
+
+/// Runs the rewriter's lowering phases only (entries, expanded offsets,
+/// layout, region lowering) and returns each region's stored instruction
+/// sequence — exactly what rewriteProgram will hand the region coder. The
+/// codec-select pass trial-encodes this corpus to choose per-region
+/// coders without building the image twice.
+vea::Expected<std::vector<std::vector<vea::MInst>>>
+lowerStoredRegions(const vea::Program &Prog, const vea::Cfg &G,
+                   const Partition &Part,
+                   const std::vector<uint8_t> &BufferSafeFuncs,
+                   const Options &Opts);
 
 } // namespace squash
 

@@ -8,6 +8,7 @@
 #include "squash/Runtime.h"
 
 #include "huff/FastDecoder.h"
+#include "squash/CodecSelect.h"
 #include "support/Checksum.h"
 
 #include <algorithm>
@@ -70,6 +71,11 @@ void RuntimeSystem::Stats::exportMetrics(vea::MetricsRegistry &R,
   R.setCounter(Prefix + "prefetch_wasted", PrefetchWasted);
   R.setCounter(Prefix + "prefetch_late", PrefetchLate);
   R.setCounter(Prefix + "prefetch_corrupt_discards", PrefetchCorruptDiscards);
+  for (unsigned K = 0; K != NumCodecKinds; ++K) {
+    const std::string Name = codecKindName(static_cast<CodecKind>(K));
+    R.setCounter(Prefix + "fills_" + Name, FillsByCodec[K]);
+    R.setCounter(Prefix + "decode_cycles_" + Name, DecodeCyclesByCodec[K]);
+  }
   R.setCounter(Prefix + "fast_table_build_ns", FastTableBuildNanos);
   R.setCounter(Prefix + "host_decode_ns", HostDecodeNanos);
   R.setGauge(Prefix + "thrash_ratio", thrashRatio());
@@ -94,6 +100,13 @@ Status RuntimeSystem::attach(Machine &M) {
   auto Bad = [](const std::string &What) {
     return Status::error(StatusCode::MalformedImage, "attach: " + What);
   };
+
+  // An image from a different format generation would be decoded with the
+  // wrong table layout; refuse it outright.
+  if (L.FormatVersion != RuntimeLayout::CurrentFormatVersion)
+    return Bad("image format version " + std::to_string(L.FormatVersion) +
+               " (runtime speaks " +
+               std::to_string(RuntimeLayout::CurrentFormatVersion) + ")");
 
   // Segment ordering and bounds. These checks are cheap and always on.
   const uint32_t Base = SP.Img.Base;
@@ -138,6 +151,7 @@ Status RuntimeSystem::attach(Machine &M) {
 
   // Per-region host-side metadata. Cheap and always on.
   uint32_t PrevOffset = 0;
+  bool UsesCodec[NumCodecKinds] = {};
   for (size_t R = 0; R != SP.Regions.size(); ++R) {
     const RegionImageInfo &RI = SP.Regions[R];
     if (RI.ExpandedWords + 1 > L.SlotWords)
@@ -148,18 +162,34 @@ Status RuntimeSystem::attach(Machine &M) {
     if (R != 0 && RI.BitOffset <= PrevOffset)
       return Bad("region bit offsets are not strictly increasing");
     PrevOffset = RI.BitOffset;
+    if (RI.Codec >= NumCodecKinds)
+      return Bad("region " + std::to_string(R) +
+                 " names an unknown codec");
+    UsesCodec[RI.Codec] = true;
   }
 
-  // The host mirror of the stream-code tables. A truncated or inconsistent
-  // table would otherwise surface as a puzzling per-region decode failure
-  // at trap time (and, with recovery copies retained, be silently masked).
-  if (Status CS = SP.Codecs.validate(); !CS.ok())
-    return CS;
+  // The host mirrors of every referenced codec's tables. A truncated or
+  // inconsistent table would otherwise surface as a puzzling per-region
+  // decode failure at trap time (and, with recovery copies retained, be
+  // silently masked). Codecs no region references are not required to be
+  // present.
+  if (UsesCodec[static_cast<unsigned>(CodecKind::Huffman)])
+    if (Status CS = SP.Codecs.validate(); !CS.ok())
+      return CS;
+  if (UsesCodec[static_cast<unsigned>(CodecKind::Pattern)])
+    if (Status CS = SP.Pattern.validate(); !CS.ok())
+      return CS;
+  if (UsesCodec[static_cast<unsigned>(CodecKind::Context)])
+    if (Status CS = SP.Context.validate(); !CS.ok())
+      return CS;
 
   // Build (or reuse) the fast-decode tables while we are off the trap
   // path; fastTables() memoizes per codec, so repeat attaches of the same
-  // squashed program share one immutable table set.
-  if (SP.Opts.FastDecode || SP.Opts.DecodeAhead) {
+  // squashed program share one immutable table set. Only Huffman regions
+  // have a table-driven path; the other coders decode through their own
+  // cursors.
+  if (UsesCodec[static_cast<unsigned>(CodecKind::Huffman)] &&
+      (SP.Opts.FastDecode || SP.Opts.DecodeAhead)) {
     Tables = SP.Codecs.fastTables(SP.Opts.DecodeTableBits);
     St.FastTableBuildNanos = Tables->buildNanos();
   }
@@ -276,7 +306,8 @@ bool RuntimeSystem::restoreEntryStubs(Machine &M, uint32_t Region) {
 RuntimeSystem::DecodeOutcome
 RuntimeSystem::decodeRegionWords(uint32_t Region, const uint8_t *Mem,
                                  std::vector<uint32_t> &Words,
-                                 uint64_t &Decoded) const {
+                                 uint64_t &Decoded,
+                                 DecodeWork *WorkOut) const {
   const RuntimeLayout &L = SP.Layout;
   const RegionImageInfo &RI = SP.Regions[Region];
   Words.clear();
@@ -292,7 +323,9 @@ RuntimeSystem::decodeRegionWords(uint32_t Region, const uint8_t *Mem,
       Overrun = true; // Longer than this region can be: corrupt stream.
   };
   bool DecOk;
-  if (SP.Opts.FastDecode && Tables) {
+  DecodeWork Work;
+  const CodecKind Kind = SP.regionCodec(Region);
+  if (Kind == CodecKind::Huffman && SP.Opts.FastDecode && Tables) {
     FastDecoder Dec(SP.Codecs, Tables, Mem + L.BlobBase, L.BlobBytes,
                     RI.BitOffset);
     // Chunked batch decode: the decoder's bit cursor stays in registers
@@ -309,16 +342,22 @@ RuntimeSystem::decodeRegionWords(uint32_t Region, const uint8_t *Mem,
       }
     }
     DecOk = Dec.ok();
+    Work.Instructions = Decoded;
   } else {
-    BitReader Reader(Mem + L.BlobBase, L.BlobBytes);
-    Reader.seekBit(RI.BitOffset);
-    StreamCodecs::RegionDecoder Dec(SP.Codecs, Reader);
-    while (!Overrun && Dec.next(I)) {
+    // The codec-dispatched slow path: the region's coder hands out a
+    // cursor over the shared blob (Huffman regions land here too when
+    // fast tables are off).
+    std::unique_ptr<RegionCursor> Cur =
+        SP.makeRegionCursor(Region, Mem + L.BlobBase, L.BlobBytes);
+    while (!Overrun && Cur->next(I)) {
       ++Decoded;
       Expand(I);
     }
-    DecOk = Dec.ok();
+    DecOk = Cur->ok();
+    Work = Cur->work();
   }
+  if (WorkOut)
+    *WorkOut = Work;
   if (!DecOk || Overrun || Words.size() != RI.ExpandedWords)
     return DecodeOutcome::BadStream;
   if (expandedWordsCrc(Words) != RI.Crc32)
@@ -477,6 +516,8 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
   std::vector<uint32_t> Words;
   uint64_t Decoded = 0;
   bool Prefetched = false;
+  bool Recovered = false;
+  DecodeWork Work;
   if (BitOff != RI.BitOffset || BitOff >= 8ull * L.BlobBytes) {
     Corrupt = "corrupt function offset table entry";
   } else {
@@ -485,7 +526,8 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       if (SP.Opts.DecodeAhead)
         ++St.PrefetchMisses;
       const auto T0 = std::chrono::steady_clock::now();
-      DecodeOutcome O = decodeRegionWords(Region, M.memData(), Words, Decoded);
+      DecodeOutcome O =
+          decodeRegionWords(Region, M.memData(), Words, Decoded, &Work);
       St.HostDecodeNanos += nanosSince(T0);
       if (O == DecodeOutcome::BadStream)
         Corrupt = "corrupt compressed region " + std::to_string(Region);
@@ -503,6 +545,7 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
         RI.ExpandedWords != 0) {
       Words = SP.RecoveryWords[Region];
       Decoded = RI.StoredInstructions;
+      Recovered = true;
       ++St.CorruptRegionRecoveries;
       record(M, Event::Kind::RecoverFill, Region, Slot);
     } else {
@@ -553,13 +596,22 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
   // A fill served from a staged decode skips the per-instruction decode
   // charge — the decode happened off the trap's critical path — but still
   // pays the setup and icache-flush charges: the words must be copied into
-  // the slot and made fetchable either way.
+  // the slot and made fetchable either way. A recovery fill replays the
+  // retained copy at the baseline per-instruction rate (the codec never
+  // ran); a demand fill is charged by the region's codec from its measured
+  // decode work.
+  const CodecKind ChargeKind = SP.regionCodec(Region);
+  const uint64_t DecodePart =
+      Prefetched ? 0
+      : Recovered
+          ? C.CyclesPerDecodedInstr * Decoded
+          : codecDecodeCycles(C, ChargeKind, Work);
   const uint64_t DecodeCharge =
-      C.DecompSetupCycles +
-      (Prefetched ? 0 : C.CyclesPerDecodedInstr * Decoded) +
-      C.IcacheFlushCycles;
+      C.DecompSetupCycles + DecodePart + C.IcacheFlushCycles;
   St.DecodeCycles.record(DecodeCharge);
   M.addCycles(DecodeCharge);
+  ++St.FillsByCodec[static_cast<unsigned>(ChargeKind)];
+  St.DecodeCyclesByCodec[static_cast<unsigned>(ChargeKind)] += DecodeCharge;
   CurrentRegion = static_cast<int32_t>(Region);
 
   // A freshly resident region's entry stubs can branch straight to the

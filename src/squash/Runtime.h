@@ -177,6 +177,12 @@ public:
     uint64_t PrefetchCorruptDiscards = 0; ///< Staged decodes discarded by
                                           ///< the consume-time CRC check.
 
+    /// Per-codec fill accounting (indexed by CodecKind): how many region
+    /// fills each coder served and the total decode cycles charged for
+    /// them. With the default all-Huffman image only index 0 moves.
+    std::array<uint64_t, NumCodecKinds> FillsByCodec = {};
+    std::array<uint64_t, NumCodecKinds> DecodeCyclesByCodec = {};
+
     /// Host wall-clock spent building the fast-decode tables at attach
     /// (one-time, memoized across attaches of the same program).
     uint64_t FastTableBuildNanos = 0;
@@ -318,12 +324,16 @@ private:
   bool restoreEntryStubs(vea::Machine &M, uint32_t Region);
 
   /// Decodes region \p Region from the blob in \p Mem into \p Words
-  /// (slot-0-relative expanded words), using the fast decoder when enabled.
-  /// Shared by the demand fill path and the decode-ahead worker.
+  /// (slot-0-relative expanded words), dispatching through the region's
+  /// recorded codec — the table-driven fast decoder for Huffman regions
+  /// when enabled, the codec's streaming cursor otherwise. Shared by the
+  /// demand fill path and the decode-ahead worker. \p WorkOut, when
+  /// non-null, receives the decode-work breakdown the cost model prices.
   enum class DecodeOutcome { Ok, BadStream, BadCrc };
   DecodeOutcome decodeRegionWords(uint32_t Region, const uint8_t *Mem,
                                   std::vector<uint32_t> &Words,
-                                  uint64_t &Decoded) const;
+                                  uint64_t &Decoded,
+                                  DecodeWork *WorkOut = nullptr) const;
   /// Hands the staged decode-ahead result to a fill of \p Region. Returns
   /// true only when the staged region matches and re-passes the
   /// expanded-words CRC check; any failure consumes (discards) the staging

@@ -14,9 +14,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "compact/Compact.h"
+#include "huff/FastDecoder.h"
 #include "ir/Builder.h"
 #include "link/Layout.h"
 #include "squash/Adaptive.h"
+#include "support/Random.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -456,4 +458,98 @@ TEST(Adaptive, ResquashNowRequiresLiveHeatAndRefusesDoubleStaging) {
   ASSERT_TRUE(C->publishStaged().ok()) << C->lastError().toString();
   EXPECT_EQ(C->activeVersion(), 1u);
   Fx.expectReferenceRun(C->serve(Fx.W.TimingInput));
+}
+
+//===----------------------------------------------------------------------===//
+// Fast-decode tables across versions. The memoized FastTables are keyed to
+// one StreamCodecs instance; a copied codec (a freshly published version's
+// host mirror) must rebuild its own tables instead of aliasing the
+// source's — a stale shared table set would decode the new version's blob
+// with the old version's codes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+MInst legalInst(Rng &R) {
+  Opcode Op;
+  do {
+    Op = static_cast<Opcode>(1 + R.nextBelow(NumOpcodes - 1));
+  } while (!opcodeInfo(Op).IsLegal && Op != Opcode::Bsrx);
+  const FormatLayout &Layout = formatLayout(formatOf(Op));
+  MInst I(Op);
+  for (unsigned S = 1; S != Layout.Count; ++S) {
+    uint32_t Max = (1u << Layout.Slots[S].Width) - 1;
+    I.set(Layout.Slots[S].Kind, R.next() & Max);
+  }
+  return I;
+}
+
+} // namespace
+
+TEST(Adaptive, CopiedCodecsRebuildFastTablesInsteadOfSharing) {
+  Rng R(4242);
+  std::vector<std::vector<MInst>> Corpus(8);
+  for (auto &Region : Corpus)
+    for (size_t I = 0; I != 60; ++I)
+      Region.push_back(legalInst(R));
+  StreamCodecs SC = StreamCodecs::build(Corpus);
+
+  std::shared_ptr<const FastTables> Orig = SC.fastTables(11);
+  ASSERT_NE(Orig, nullptr);
+  // Repeat lookups on the same instance share the memo.
+  EXPECT_EQ(SC.fastTables(11).get(), Orig.get());
+
+  // A copy starts with an empty memo: its tables are its own.
+  StreamCodecs Copy(SC);
+  std::shared_ptr<const FastTables> CopyTables = Copy.fastTables(11);
+  ASSERT_NE(CopyTables, nullptr);
+  EXPECT_NE(CopyTables.get(), Orig.get())
+      << "copied codec aliased the source's fast tables";
+
+  // Copy-assignment over an instance with a populated memo drops it too.
+  StreamCodecs Assigned = StreamCodecs::build(Corpus);
+  (void)Assigned.fastTables(11);
+  Assigned = SC;
+  EXPECT_NE(Assigned.fastTables(11).get(), Orig.get())
+      << "copy-assigned codec kept a stale memo";
+
+  // A move transfers the memo with the identity: no rebuild.
+  StreamCodecs Moved(std::move(Copy));
+  EXPECT_EQ(Moved.fastTables(11).get(), CopyTables.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Swap-then-decode with the table-driven decoder: every post-swap fill of
+// the new version must decode through tables built for *its* codec. Before
+// per-instance memo isolation a published version could inherit the old
+// version's tables by pointer and mis-decode its blob.
+//===----------------------------------------------------------------------===//
+
+TEST(Adaptive, SwapThenDecodeWithFastTablesStaysCorrect) {
+  Fixture Fx;
+  AdaptiveConfig Cfg = eagerConfig();
+  Cfg.MaxAttemptsPerVersion = 0; // Manual control only.
+  Cfg.AutoPublish = false;
+
+  for (const bool DecodeAhead : {false, true}) {
+    SCOPED_TRACE(DecodeAhead ? "fast-decode + decode-ahead" : "fast-decode");
+    Options Opts = Fixture::options();
+    Opts.FastDecode = true;
+    Opts.DecodeAhead = DecodeAhead;
+    std::unique_ptr<ResquashController> C =
+        ResquashController::create(Fx.W.Prog, Fx.Training, Opts, Cfg).take();
+
+    // Gather live heat on version 0 (filling through its fast tables),
+    // stage a re-squash, and publish.
+    Fx.expectReferenceRun(C->serve(Fx.W.TimingInput));
+    ASSERT_TRUE(C->resquashNow().ok()) << C->lastError().toString();
+    ASSERT_TRUE(C->publishStaged().ok()) << C->lastError().toString();
+    EXPECT_EQ(C->activeVersion(), 1u);
+
+    // Decodes on the published version must run on freshly built tables;
+    // a stale table set from version 0 would corrupt every fill here.
+    for (int I = 0; I != 3; ++I)
+      Fx.expectReferenceRun(C->serve(Fx.W.TimingInput));
+    ASSERT_TRUE(C->drain(120.0).ok());
+  }
 }

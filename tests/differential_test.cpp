@@ -146,6 +146,25 @@ TEST_P(Differential, AllConfigurationsAgree) {
     expectSame(runSquashed(SR), Base,
                SeedTag + " cache-slots=" + std::to_string(Slots));
   }
+
+  // Configurations 9..14: every non-default coder, forced and
+  // auto-selected (huffman is Common's default, covered above). Each
+  // combines with the seed's MTF setting. The serial and parallel encoders
+  // must stay byte-identical under every codec, and each image must agree
+  // with the plain baseline.
+  for (const char *Codec : {"pattern", "context", "auto"}) {
+    Options CodecOpts = Common;
+    CodecOpts.Codec = Codec;
+    CodecOpts.SquashThreads = 1;
+    SquashResult CSerial = squashProgram(Prog, Prof, CodecOpts).take();
+    CodecOpts.SquashThreads = 4;
+    SquashResult CParallel = squashProgram(Prog, Prof, CodecOpts).take();
+    ASSERT_EQ(CSerial.SP.Img.Bytes, CParallel.SP.Img.Bytes)
+        << SeedTag << " codec=" << Codec
+        << ": parallel encode not byte-identical to serial";
+    expectSame(runSquashed(CSerial), Base,
+               SeedTag + " codec=" + std::string(Codec));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(0, 64));

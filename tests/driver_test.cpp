@@ -325,8 +325,8 @@ TEST(Driver, IdentityResultRecordsEveryPass) {
   SquashResult SR = squashProgram(Prog, Prof, Options()).take();
   ASSERT_TRUE(SR.Identity);
 
-  // All seven passes appear in the trace, none skipped.
-  ASSERT_EQ(SR.PassTrace.size(), 7u);
+  // All eight passes appear in the trace, none skipped.
+  ASSERT_EQ(SR.PassTrace.size(), 8u);
   EXPECT_EQ(SR.PassTrace.front().Name, "cold-code");
   EXPECT_EQ(SR.PassTrace.back().Name, "rewrite");
   for (const auto &E : SR.PassTrace) {
@@ -343,7 +343,8 @@ TEST(Driver, IdentityResultRecordsEveryPass) {
   for (const char *Name :
        {"squash.time.cold_seconds", "squash.time.unswitch_seconds",
         "squash.time.region_seconds", "squash.time.buffersafe_seconds",
-        "squash.time.rewrite_seconds", "squash.time.total_seconds"})
+        "squash.time.codec_select_seconds", "squash.time.rewrite_seconds",
+        "squash.time.total_seconds"})
     EXPECT_TRUE(Reg.has(Name)) << Name;
   EXPECT_EQ(Reg.counter("squash.identity"), 1u);
 

@@ -100,9 +100,9 @@ TEST(Pipeline, StandardPassOrderIsStable) {
   // The names are API: Options::DisabledPasses, --stop-after, and the
   // ablation bench all address passes by these strings.
   const std::vector<std::string> Expected = {
-      "cold-code",           "unswitch", "filter-setjmp-indirect",
-      "filter-computed-jump", "regions",  "buffer-safe",
-      "rewrite"};
+      "cold-code",           "unswitch",    "filter-setjmp-indirect",
+      "filter-computed-jump", "regions",    "buffer-safe",
+      "codec-select",         "rewrite"};
   EXPECT_EQ(standardPassNames(), Expected);
 
   PassManager PM;
@@ -126,7 +126,7 @@ TEST(Pipeline, CfgBuiltExactlyTwice) {
   SquashResult R = runStandard(Prog, Prof, Opts, &Builds);
   EXPECT_EQ(Builds, 2u);
 
-  ASSERT_EQ(R.PassTrace.size(), 7u);
+  ASSERT_EQ(R.PassTrace.size(), 8u);
   for (const PassTraceEntry &E : R.PassTrace) {
     EXPECT_TRUE(E.Ok) << E.Name;
     EXPECT_FALSE(E.Disabled) << E.Name;
@@ -234,7 +234,7 @@ TEST(Pipeline, DisabledRewriteYieldsRunnableIdentity) {
 
   SquashResult R = squashProgram(Prog, Prof, Opts).take();
   EXPECT_TRUE(R.Identity);
-  ASSERT_EQ(R.PassTrace.size(), 7u);
+  ASSERT_EQ(R.PassTrace.size(), 8u);
   EXPECT_TRUE(R.PassTrace.back().Disabled);
 
   SquashedRun Run = runSquashed(R.SP, {0});
@@ -262,7 +262,7 @@ TEST(Pipeline, DisabledPassesMarkedInTrace) {
   Opts.DisabledPasses = {"buffer-safe"};
 
   SquashResult R = squashProgram(Prog, Prof, Opts).take();
-  ASSERT_EQ(R.PassTrace.size(), 7u);
+  ASSERT_EQ(R.PassTrace.size(), 8u);
   for (const PassTraceEntry &E : R.PassTrace)
     EXPECT_EQ(E.Disabled, E.Name == "buffer-safe") << E.Name;
 
