@@ -1,0 +1,161 @@
+//===- bench/stat_attribution.cpp - Cycle-attribution conservation gate ---===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The acceptance bench for the cycle-attribution ledger (DESIGN.md §18):
+// squashes every workload at ThetaMid, runs it, and derives the ledger
+//
+//   GuestExecute + TrapSetup + sum(DecodeByCodec) + IcacheFlush
+//     + RestoreStub  ==  Machine total cycles
+//
+// The identity must hold exactly — an unattributed or double-charged cycle
+// exits nonzero, so CI can gate on it. Conservation is checked on three run
+// outcomes per workload: the clean halt, an instruction-limit stop partway
+// through (the run ends mid-trap-sequence, the hardest case for adjacent
+// counters), and a tiny-limit stop that typically dies inside the first
+// trap.
+//
+// The bench also validates the tracing side of the telemetry PR:
+//
+//  1. Guest behaviour is byte-identical with span tracing enabled — same
+//     exit code, same output bytes, same cycle count (tracing is host-side
+//     only and must never perturb the simulation).
+//  2. Tracing-enabled wall time is reported next to the untraced wall time
+//     so regressions in the instrumented hot path are visible. (The hard
+//     ≤2% disabled-spans bound is enforced by stat_fastdecode's hot loop;
+//     this bench reports the enabled-cost ratio for the full runtime.)
+//
+// Attribution tables print per workload, and every ledger category lands
+// in BENCH_attribution.json via exportLedgerMetrics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "squash/Telemetry.h"
+#include "support/Span.h"
+
+#include <chrono>
+
+using namespace bench;
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Builds the ledger for \p Run and dies loudly if it does not conserve.
+CycleLedger checkedLedger(const SquashedRun &Run, const char *Workload,
+                          const char *Outcome) {
+  CycleLedger L = buildCycleLedger(Run);
+  if (!L.conserves()) {
+    std::fprintf(stderr,
+                 "%s (%s): ledger does NOT conserve: attributed %llu of "
+                 "%llu total cycles\n",
+                 Workload, Outcome,
+                 static_cast<unsigned long long>(L.attributed()),
+                 static_cast<unsigned long long>(L.Total));
+    std::exit(1);
+  }
+  return L;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Cycle attribution: conservation gate over the suite ==\n\n");
+  auto Suite = prepareSuite();
+  const double Theta = ThetaMid;
+
+  std::vector<BenchRow> JsonRows;
+  unsigned Conserved = 0, Checked = 0;
+  std::vector<double> OverheadRatios;
+
+  for (auto &P : Suite) {
+    RunResult Base = runBaseline(P, P.W.TimingInput);
+
+    Options Opts;
+    Opts.Theta = Theta;
+    SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
+
+    // Untraced reference run: behaviour check + ledger + wall time.
+    const double T0 = nowSeconds();
+    SquashedRun Run = runSquashed(SR.SP, P.W.TimingInput);
+    const double UntracedSeconds = nowSeconds() - T0;
+    if (Run.Run.Status != RunStatus::Halted ||
+        Run.Run.ExitCode != Base.ExitCode) {
+      std::fprintf(stderr, "%s: squashed run diverged (%s)\n",
+                   P.W.Name.c_str(), Run.Run.FaultMessage.c_str());
+      return 1;
+    }
+    CycleLedger L = checkedLedger(Run, P.W.Name.c_str(), "halt");
+    ++Checked;
+    ++Conserved;
+
+    // Limit-stop outcomes: the run ends wherever the budget lands, often
+    // between a trap's setup charge and its decode charge. The identity
+    // must hold there too.
+    for (uint64_t Limit :
+         {Run.Run.Instructions / 2 + 1, static_cast<uint64_t>(64)}) {
+      SquashedRun Partial = runSquashed(SR.SP, P.W.TimingInput, Limit);
+      checkedLedger(Partial, P.W.Name.c_str(), "limit-stop");
+      ++Checked;
+      ++Conserved;
+    }
+
+    // Traced run: identical guest behaviour, wall-time ratio.
+    SpanTracer::instance().reset();
+    SpanTracer::instance().setEnabled(true);
+    const double T1 = nowSeconds();
+    SquashedRun Traced = runSquashed(SR.SP, P.W.TimingInput);
+    const double TracedSeconds = nowSeconds() - T1;
+    SpanTracer::instance().setEnabled(false);
+    if (Traced.Run.Status != Run.Run.Status ||
+        Traced.Run.ExitCode != Run.Run.ExitCode ||
+        Traced.Run.Cycles != Run.Run.Cycles ||
+        Traced.Output != Run.Output) {
+      std::fprintf(stderr, "%s: tracing perturbed the guest run\n",
+                   P.W.Name.c_str());
+      return 1;
+    }
+    const uint64_t Spans = SpanTracer::instance().totalEmitted();
+    const double Ratio =
+        UntracedSeconds > 0 ? TracedSeconds / UntracedSeconds : 1.0;
+    OverheadRatios.push_back(Ratio > 0 ? Ratio : 1.0);
+
+    std::printf("%s\n", renderAttributionReport(L, P.W.Name).c_str());
+    std::printf("  traced run: %llu spans, wall %.4fs vs %.4fs untraced "
+                "(x%.3f)\n\n",
+                static_cast<unsigned long long>(Spans), TracedSeconds,
+                UntracedSeconds, Ratio);
+
+    MetricsRegistry Reg;
+    exportLedgerMetrics(Reg, L);
+    Reg.setCounter("trace.spans", Spans);
+    Reg.setGauge("trace.overhead_ratio", Ratio);
+    Reg.setGauge("trace.untraced_seconds", UntracedSeconds);
+    Reg.setGauge("trace.traced_seconds", TracedSeconds);
+    JsonRows.emplace_back(P.W.Name, Reg.toJson());
+  }
+
+  {
+    MetricsRegistry Reg;
+    Reg.setCounter("attrib.runs_checked", Checked);
+    Reg.setCounter("attrib.runs_conserved", Conserved);
+    Reg.setGauge("trace.overhead_geomean", geomean(OverheadRatios));
+    JsonRows.emplace_back("suite/summary", Reg.toJson());
+  }
+  std::string Path = writeBenchJson("attribution", JsonRows);
+  std::printf("wrote %zu row(s) to %s\n", JsonRows.size(), Path.c_str());
+
+  std::printf("\nconservation: %u/%u run outcomes conserved; traced-run "
+              "overhead geomean x%.3f. PASS\n",
+              Conserved, Checked, geomean(OverheadRatios));
+  return 0;
+}

@@ -11,6 +11,8 @@
 //               [--input BYTES...] [--profile-out FILE] [--profile-in FILE]...
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--trace-capacity N]
+//               [--span-trace-out FILE] [--flight-record-out FILE]
+//               [--attrib-report]
 //               [--drift-report FILE] [--live-profile-out FILE]
 //               [--adapt N] [--drift-threshold X] [--probation-traps N]
 //               [--print-pipeline] [--stop-after=PASS] [--disable-pass=PASS]...
@@ -27,6 +29,14 @@
 // monitor's live heat as a loadable profile (merge it with the training
 // profile via --profile-in to re-squash against observed behaviour).
 // FILE may be "-" for stdout.
+//
+// Telemetry (DESIGN.md §18): --span-trace-out enables causal span tracing
+// for the whole invocation (pipeline passes, runtime traps, prefetch and
+// re-squash flows) and writes the snapshot as Chrome trace JSON with flow
+// arrows; --flight-record-out arms the crash flight recorder and writes
+// its postmortem dump (triggers + recent events + span snapshot) at exit;
+// --attrib-report prints the cycle-attribution ledger of the verification
+// run.
 //
 // --codec forces every region through one coder ("huffman", "pattern",
 // "context") or lets the codec-select pass pick per region ("auto");
@@ -62,6 +72,8 @@
 #include "squash/Inspect.h"
 #include "squash/Observability.h"
 #include "squash/Pipeline.h"
+#include "squash/Telemetry.h"
+#include "support/Span.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -141,6 +153,9 @@ struct Args {
   std::string MetricsProm;
   std::string TraceOut;
   uint32_t TraceCapacity = RuntimeSystem::DefaultTraceCapacity;
+  std::string SpanTraceOut;
+  std::string FlightRecordOut;
+  bool AttribReport = false;
   std::string DriftReportPath;
   std::string LiveProfileOut;
   bool PrintPipeline = false;
@@ -219,6 +234,12 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.TraceOut = Argv[++I];
     } else if (S == "--trace-capacity" && I + 1 < Argc) {
       A.TraceCapacity = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (S == "--span-trace-out" && I + 1 < Argc) {
+      A.SpanTraceOut = Argv[++I];
+    } else if (S == "--flight-record-out" && I + 1 < Argc) {
+      A.FlightRecordOut = Argv[++I];
+    } else if (S == "--attrib-report") {
+      A.AttribReport = true;
     } else if (S == "--input") {
       while (I + 1 < Argc && std::isdigit(Argv[I + 1][0]))
         A.Input.push_back(static_cast<uint8_t>(std::atoi(Argv[++I])));
@@ -231,6 +252,11 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
   }
   return true;
 }
+
+/// Writes the span trace and flight-recorder dump that --span-trace-out /
+/// --flight-record-out asked for. Called once per exit path, after every
+/// run of interest has executed.
+bool writeTelemetry(const Args &A);
 
 /// Writes \p Text to \p Path, or to stdout when Path is "-".
 bool writeTextFile(const std::string &Path, const std::string &Text) {
@@ -247,12 +273,40 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   return true;
 }
 
+bool writeTelemetry(const Args &A) {
+  if (!A.SpanTraceOut.empty()) {
+    std::vector<Span> Spans = SpanTracer::instance().snapshot();
+    if (!writeTextFile(A.SpanTraceOut, exportSpansChromeTrace(Spans) + "\n"))
+      return false;
+    std::printf("span trace: %zu span(s) retained, %llu dropped -> %s\n",
+                Spans.size(),
+                (unsigned long long)SpanTracer::instance().totalDropped(),
+                A.SpanTraceOut.c_str());
+  }
+  if (!A.FlightRecordOut.empty()) {
+    if (!writeTextFile(A.FlightRecordOut,
+                       FlightRecorder::instance().dumpJson() + "\n"))
+      return false;
+    std::printf("flight record: %llu trigger(s) -> %s\n",
+                (unsigned long long)FlightRecorder::instance().triggerCount(),
+                A.FlightRecordOut.c_str());
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Args A;
   if (!parseArgs(Argc, Argv, A))
     return 2;
+
+  // Telemetry switches flip on before any pipeline or runtime work so the
+  // span trace covers the squash itself, not just the verification run.
+  if (!A.SpanTraceOut.empty())
+    SpanTracer::instance().setEnabled(true);
+  if (!A.FlightRecordOut.empty())
+    FlightRecorder::instance().arm();
 
   if (A.PrintPipeline) {
     std::printf("standard squash pipeline (in order):\n");
@@ -371,7 +425,7 @@ int main(int Argc, char **Argv) {
           !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
         return 1;
     }
-    return 0;
+    return writeTelemetry(A) ? 0 : 1;
   }
 
   if (A.AdaptRuns > 0) {
@@ -443,6 +497,8 @@ int main(int Argc, char **Argv) {
           !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
         return 1;
     }
+    if (!writeTelemetry(A))
+      return 1;
     return Ok ? 0 : 1;
   }
 
@@ -480,7 +536,7 @@ int main(int Argc, char **Argv) {
         }
       }
     }
-    return 0;
+    return writeTelemetry(A) ? 0 : 1;
   }
 
   std::fputs(formatSegmentMap(SR.SP).c_str(), stdout);
@@ -531,6 +587,11 @@ int main(int Argc, char **Argv) {
                 renderRegionHeatReport(buildRegionHeatReport(R2.Trace))
                     .c_str());
   }
+  if (A.AttribReport)
+    std::printf("\n%s",
+                renderAttributionReport(buildCycleLedger(R2),
+                                        "verification run")
+                    .c_str());
   if (WantDrift) {
     DriftReport Rep = Mon.report();
     std::printf("\ndrift: score %.3f, top-%u overlap %.3f, %u/%u regions "
@@ -563,5 +624,7 @@ int main(int Argc, char **Argv) {
         !writeTextFile(A.MetricsProm, Reg.toPrometheus()))
       return 1;
   }
+  if (!writeTelemetry(A))
+    return 1;
   return Ok ? 0 : 1;
 }

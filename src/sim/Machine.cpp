@@ -7,6 +7,8 @@
 
 #include "sim/Machine.h"
 
+#include "support/Span.h"
+
 #include <cstdio>
 
 using namespace vea;
@@ -64,6 +66,8 @@ void Machine::fault(const std::string &Message) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), " (pc=0x%x)", PC);
   FaultMessage = Message + Buf;
+  if (FlightRecorder::armed())
+    FlightRecorder::instance().noteFault("machine", FaultMessage);
 }
 
 bool Machine::loadWord(uint32_t Addr, uint32_t &Value) {

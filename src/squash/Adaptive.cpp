@@ -9,6 +9,7 @@
 
 #include "sim/ProfileIO.h"
 #include "support/Checksum.h"
+#include "support/Span.h"
 
 #include <algorithm>
 #include <cmath>
@@ -243,8 +244,11 @@ SquashedRun ResquashController::serve(const std::vector<uint8_t> &Input,
   FanoutObserver Obs;
   Obs.A = &RunMon;
   Obs.B = Extra;
-  SquashedRun Run =
-      runSquashed(V->Result.SP, Input, MaxInstructions, 0, &Obs);
+  SpanScope Serve("resquash.serve", "adaptive");
+  SquashedRun Run = runSquashed(V->Result.SP, Input, MaxInstructions,
+                                Cfg.TraceCapacity, &Obs);
+  Serve.setEndCycles(Run.Run.Cycles);
+  Serve.setArgs(V->Id, Run.Runtime.Decompressions);
 
   {
     std::lock_guard<std::mutex> L(Mu);
@@ -316,10 +320,14 @@ Status ResquashController::resquashNow() {
     In.ColdCutoff = V.Result.Cold.FrequencyCutoff;
     In.FromVersion = V.Id;
     In.Gen = Generation;
+    In.Flow = SpanTracer::enabled() ? SpanTracer::instance().nextId() : 0;
     InFlight = true;
     InFlightFrom = V.Id;
     AttemptStart = Clock::now();
     recordEventLocked(AdaptiveEvent::Kind::Trigger, V.Id);
+    SpanScope Trigger("resquash.trigger", "adaptive");
+    Trigger.setFlow(0, In.Flow);
+    Trigger.setArgs(V.Id, St.Attempts);
   }
   return runAttempt(std::move(In));
 }
@@ -454,6 +462,11 @@ ResquashController::buildCandidate(const AttemptInput &In) const {
 }
 
 Status ResquashController::runAttempt(AttemptInput In) {
+  // The build span runs on whichever thread executes the attempt (the
+  // pool worker in the background case), flow-linked from the trigger.
+  SpanScope Build("resquash.build", "adaptive");
+  Build.setFlow(In.Flow, In.Flow);
+  Build.setArgs(In.FromVersion, 0);
   const auto T0 = Clock::now();
   Expected<StagedImage> CandOr = buildCandidate(In);
   const double Seconds = secondsSince(T0);
@@ -485,6 +498,7 @@ Status ResquashController::runAttempt(AttemptInput In) {
   }
 
   StagedImage Cand = std::move(CandOr.get());
+  Cand.Flow = In.Flow;
   // Convergence: re-squashing under the merged profile reproduced the
   // active image byte for byte — nothing to swap, and no reason to keep
   // re-attempting while the (already predicted) drift signal persists.
@@ -508,10 +522,16 @@ void ResquashController::startAttemptLocked(Version &V) {
   In->ColdCutoff = V.Result.Cold.FrequencyCutoff;
   In->FromVersion = V.Id;
   In->Gen = Generation;
+  In->Flow = SpanTracer::enabled() ? SpanTracer::instance().nextId() : 0;
   InFlight = true;
   InFlightFrom = V.Id;
   AttemptStart = Clock::now();
   recordEventLocked(AdaptiveEvent::Kind::Trigger, V.Id);
+  {
+    SpanScope Trigger("resquash.trigger", "adaptive");
+    Trigger.setFlow(0, In->Flow);
+    Trigger.setArgs(V.Id, St.Attempts);
+  }
   Pool->enqueue([this, In] { (void)runAttempt(std::move(*In)); });
 }
 
@@ -550,12 +570,17 @@ Status ResquashController::publishStagedLocked() {
     return S;
   }
 
+  SpanScope Publish("resquash.publish", "adaptive");
+  Publish.setFlow(Staged->Flow, Staged->Flow);
+
   auto V = std::make_unique<Version>();
   V->Id = static_cast<uint32_t>(Versions.size());
   V->State = VersionState::Probation;
   V->Result = std::move(Staged->Result);
   V->Guiding = std::move(Staged->Guiding);
   V->Monitor = std::make_unique<DriftMonitor>(V->Result.SP, V->Guiding);
+  V->Flow = Staged->Flow;
+  Publish.setArgs(V->Id, Staged->FromVersion);
   Staged.reset();
 
   Version &Prior = *Versions[Active];
@@ -590,7 +615,12 @@ void ResquashController::probationVerdictLocked(Version &V) {
   Version &Prior = *Versions[ProbationPrior];
   const double NewRate = rateOfLocked(V);
   const double PriorRate = rateOfLocked(Prior);
-  if (NewRate > PriorRate * Cfg.RegressionTolerance + 1e-12) {
+  const bool Regressed = NewRate > PriorRate * Cfg.RegressionTolerance + 1e-12;
+  SpanScope Verdict(Regressed ? "resquash.rollback" : "resquash.commit",
+                    "adaptive");
+  Verdict.setFlow(V.Flow, 0);
+  Verdict.setArgs(V.Id, Prior.Id);
+  if (Regressed) {
     // Regression: reinstate the prior version atomically. The regressed
     // version drains its pins and is then freed like any retiree.
     Active = Prior.Id;

@@ -126,6 +126,11 @@ struct AdaptiveConfig {
   bool AutoPublish = true;
   /// Capacity of the version-transition event ring.
   uint32_t EventCapacity = 1024;
+  /// When nonzero, every serve() runs with the runtime trace ring enabled
+  /// at this capacity and the run's retained events (plus the exact
+  /// dropped-event count) come back in SquashedRun::Trace — the hot-swap
+  /// ring-drain test reconciles both rings against this.
+  uint32_t TraceCapacity = 0;
   /// Workers for the background re-squash pool.
   unsigned WorkerThreads = 1;
   /// Test hook: replaces squashProgram for the re-squash (forced
@@ -268,6 +273,8 @@ private:
     uint32_t Attempts = 0; ///< Re-squash attempts launched from it.
     uint64_t WarmupDecodeCycles = 0;
     bool WarmupSet = false;
+    uint64_t Flow = 0; ///< Span flow id of the attempt that built this
+                       ///< version (0 for the initial version).
     Clock::time_point RetiredAt{};
     bool WedgeReported = false;
   };
@@ -280,12 +287,14 @@ private:
     uint64_t ColdCutoff = 0;
     uint32_t FromVersion = 0;
     uint64_t Gen = 0;
+    uint64_t Flow = 0; ///< Span flow id linking trigger → build → publish.
   };
 
   struct StagedImage {
     SquashResult Result;
     vea::Profile Guiding; ///< The merged profile.
     uint32_t FromVersion = 0;
+    uint64_t Flow = 0; ///< Carried from the attempt that staged it.
   };
 
   ResquashController() = default;

@@ -8,12 +8,14 @@
 #include "squash/Driver.h"
 
 #include "squash/Pipeline.h"
+#include "support/Span.h"
 
 using namespace squash;
 using namespace vea;
 
 Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
                                              const Options &Opts) {
+  SpanScope Root("squash.program", "pipeline");
   // The pipeline's passes assume a well-formed program (the Cfg builder
   // aborts on dangling labels); reject bad input here, recoverably.
   if (std::string Err = Prog.verify(); !Err.empty())
@@ -26,6 +28,7 @@ Expected<SquashResult> squash::squashProgram(Program Prog, const Profile &Prof,
   buildStandardPipeline(PM);
   if (Status St = PM.run(Ctx); !St.ok())
     return St;
+  Root.setArgs(R.SP.Regions.size(), R.SP.Img.Bytes.size());
   return R;
 }
 
@@ -34,6 +37,7 @@ SquashedRun squash::runSquashed(const SquashedProgram &SP,
                                 uint64_t MaxInstructions,
                                 uint32_t TraceCapacity,
                                 TrapObserver *Observer) {
+  SpanScope Root("run.squashed", "driver");
   Machine::Config Cfg;
   Cfg.MaxInstructions = MaxInstructions;
   Machine M(SP.Img, Cfg);
@@ -42,14 +46,23 @@ SquashedRun squash::runSquashed(const SquashedProgram &SP,
     RT.enableTrace(TraceCapacity);
   RT.setTrapObserver(Observer);
   SquashedRun Out;
-  if (Status St = RT.attach(M); !St.ok()) {
-    Out.Run.Status = RunStatus::Fault;
-    Out.Run.FaultMessage = St.toString();
-    Out.Runtime = RT.stats();
-    return Out;
+  {
+    SpanScope Attach("runtime.attach", "driver");
+    if (Status St = RT.attach(M); !St.ok()) {
+      Out.Run.Status = RunStatus::Fault;
+      Out.Run.FaultMessage = St.toString();
+      Out.Runtime = RT.stats();
+      return Out;
+    }
   }
   M.setInput(std::move(Input));
-  Out.Run = M.run();
+  {
+    SpanScope Exec("machine.run", "driver");
+    Out.Run = M.run();
+    Exec.setEndCycles(Out.Run.Cycles);
+    Exec.setArgs(Out.Run.Instructions, Out.Run.Cycles);
+  }
+  Root.setEndCycles(Out.Run.Cycles);
   Out.Runtime = RT.stats();
   Out.Output = M.output();
   if (TraceCapacity) {

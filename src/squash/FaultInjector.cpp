@@ -8,6 +8,7 @@
 #include "squash/FaultInjector.h"
 
 #include "support/Checksum.h"
+#include "support/Span.h"
 
 #include <algorithm>
 
@@ -55,6 +56,13 @@ static FaultReport report(FaultKind K, uint32_t Addr, std::string Desc) {
   FR.Kind = K;
   FR.Addr = Addr;
   FR.Description = std::move(Desc);
+  // Every successful injection funnels through here; give the flight
+  // recorder its trigger (with the live span stack) at the moment the
+  // image is mutated, not when the corruption is later detected.
+  SpanScope Sp("fault.inject", "fault");
+  Sp.setArgs(static_cast<uint64_t>(K), Addr);
+  if (FlightRecorder::armed())
+    FlightRecorder::instance().noteFault("fault-injector", FR.Description);
   return FR;
 }
 

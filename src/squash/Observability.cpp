@@ -78,6 +78,61 @@ squash::exportChromeTrace(const std::vector<RuntimeSystem::Event> &Events,
   return Out;
 }
 
+std::string squash::exportSpansChromeTrace(const std::vector<vea::Span> &Spans) {
+  // Complete-event ("X") flavor: ts/dur in microseconds of host wall
+  // clock, rebased to the earliest span so the numbers stay small. Flow
+  // events ("s" at the producer's end, "f" at the consumer's start, bound
+  // by the flow id) give Perfetto its cross-thread arrows.
+  uint64_t Base = ~uint64_t{0};
+  for (const vea::Span &S : Spans)
+    Base = std::min(Base, S.StartNanos);
+  if (Spans.empty())
+    Base = 0;
+  auto Us = [Base](uint64_t Nanos) {
+    return (Nanos - Base) / 1000.0;
+  };
+  std::string Out = "{\"traceEvents\":[";
+  char Buf[512];
+  bool First = true;
+  auto Emit = [&](const char *Fmt, auto... Args) {
+    if (!First)
+      Out += ',';
+    First = false;
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+  };
+  for (const vea::Span &S : Spans) {
+    const uint64_t End = std::max(S.EndNanos, S.StartNanos);
+    Emit("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+         "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"id\":%llu,"
+         "\"parent\":%llu,\"start_cycles\":%llu,\"end_cycles\":%llu,"
+         "\"arg_a\":%llu,\"arg_b\":%llu}}",
+         S.Name ? S.Name : "", S.Category ? S.Category : "", Us(S.StartNanos),
+         (End - S.StartNanos) / 1000.0, S.ThreadId,
+         static_cast<unsigned long long>(S.Id),
+         static_cast<unsigned long long>(S.Parent),
+         static_cast<unsigned long long>(S.StartCycles),
+         static_cast<unsigned long long>(S.EndCycles),
+         static_cast<unsigned long long>(S.ArgA),
+         static_cast<unsigned long long>(S.ArgB));
+    if (S.FlowOut)
+      Emit("{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%llu,"
+           "\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+           static_cast<unsigned long long>(S.FlowOut), Us(End), S.ThreadId);
+    if (S.FlowIn)
+      Emit("{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+           "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+           static_cast<unsigned long long>(S.FlowIn), Us(S.StartNanos),
+           S.ThreadId);
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"spans\":"
+                "\"%zu\"}}",
+                Spans.size());
+  Out += Buf;
+  return Out;
+}
+
 std::vector<RegionHeat> squash::buildRegionHeatReport(
     const std::vector<RuntimeSystem::Event> &Events) {
   std::map<uint32_t, RegionHeat> ByRegion;

@@ -26,6 +26,7 @@
 
 #include "squash/Driver.h"
 #include "support/Metrics.h"
+#include "support/Span.h"
 
 #include <string>
 #include <vector>
@@ -43,6 +44,15 @@ const char *eventKindName(RuntimeSystem::Event::Kind K);
 /// metadata so a truncated trace is recognizable.
 std::string exportChromeTrace(const std::vector<RuntimeSystem::Event> &Events,
                               uint64_t Dropped = 0);
+
+/// Renders a SpanTracer snapshot as Chrome trace format JSON: one complete
+/// ("X") duration event per span — ts/dur in microseconds of wall clock,
+/// start/end simulated cycles and the span args in the args payload — plus
+/// flow ("s"/"f") events binding cross-thread producer/consumer pairs
+/// (prefetch launch → worker → consuming fill; re-squash trigger → build →
+/// publish → verdict) so Perfetto draws the arrows. Timestamps are
+/// rebased to the earliest span.
+std::string exportSpansChromeTrace(const std::vector<vea::Span> &Spans);
 
 /// Per-region activity aggregated from a trace.
 struct RegionHeat {

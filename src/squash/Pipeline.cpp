@@ -9,10 +9,12 @@
 
 #include "link/Layout.h"
 #include "squash/CodecSelect.h"
+#include "support/Span.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 using namespace squash;
 using namespace vea;
@@ -321,7 +323,21 @@ Status PassManager::runPrefix(PipelineContext &Ctx, size_t End) {
     }
 
     const auto T0 = std::chrono::steady_clock::now();
-    St = IsDisabled ? P.runDisabled(Ctx) : P.run(Ctx);
+    {
+      // One span per pass, emitted natively here (not through the Pre/Post
+      // hooks, which belong to callers). The codec-select decision is the
+      // one pass verdict worth span args: how many regions it planned and
+      // how many got a non-Huffman coder — read immediately, because the
+      // rewrite pass later moves the plan out of the context.
+      vea::SpanScope Sp(P.name(), "pass");
+      St = IsDisabled ? P.runDisabled(Ctx) : P.run(Ctx);
+      if (Sp.active() && std::strcmp(P.name(), "codec-select") == 0) {
+        uint64_t NonHuffman = 0;
+        for (CodecKind K : Ctx.Plan.RegionCodec)
+          NonHuffman += K != CodecKind::Huffman;
+        Sp.setArgs(Ctx.Plan.RegionCodec.size(), NonHuffman);
+      }
+    }
     double Seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - T0)
                          .count();

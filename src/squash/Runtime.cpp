@@ -9,7 +9,9 @@
 
 #include "huff/FastDecoder.h"
 #include "squash/CodecSelect.h"
+#include "squash/Observability.h"
 #include "support/Checksum.h"
+#include "support/Span.h"
 
 #include <algorithm>
 #include <chrono>
@@ -36,6 +38,25 @@ RuntimeSystem::RuntimeSystem(const SquashedProgram &SP) : SP(SP) {
 RuntimeSystem::~RuntimeSystem() {
   if (PFPool)
     PFPool->wait();
+}
+
+void RuntimeSystem::record(const Machine &M, Event::Kind K, uint32_t Region,
+                           uint32_t Addr, uint32_t Count) {
+  // An armed flight recorder gets the event feed even with tracing off, so
+  // a postmortem dump always has the protocol tail leading to the fault.
+  if (FlightRecorder::armed())
+    FlightRecorder::instance().noteEvent(eventKindName(K), Region, Addr,
+                                         M.cycles());
+  if (!Tracing)
+    return;
+  Event E{K, Region, Addr, Count, M.cycles()};
+  if (Trace.size() < TraceCap) {
+    Trace.push_back(E);
+  } else {
+    Trace[TraceNext] = E;
+    TraceNext = (TraceNext + 1) % TraceCap;
+    ++TraceDropped;
+  }
 }
 
 std::vector<RuntimeSystem::Event> RuntimeSystem::events() const {
@@ -76,6 +97,13 @@ void RuntimeSystem::Stats::exportMetrics(vea::MetricsRegistry &R,
     R.setCounter(Prefix + "fills_" + Name, FillsByCodec[K]);
     R.setCounter(Prefix + "decode_cycles_" + Name, DecodeCyclesByCodec[K]);
   }
+  R.setCounter(Prefix + "trap_setup_cycles", TrapSetupCyclesTotal);
+  for (unsigned K = 0; K != NumCodecKinds; ++K)
+    R.setCounter(Prefix + "decode_only_cycles_" +
+                     codecKindName(static_cast<CodecKind>(K)),
+                 DecodeOnlyCyclesByCodec[K]);
+  R.setCounter(Prefix + "icache_flush_cycles", IcacheFlushCyclesTotal);
+  R.setCounter(Prefix + "create_stub_cycles", CreateStubCyclesTotal);
   R.setCounter(Prefix + "fast_table_build_ns", FastTableBuildNanos);
   R.setCounter(Prefix + "host_decode_ns", HostDecodeNanos);
   R.setGauge(Prefix + "thrash_ratio", thrashRatio());
@@ -232,9 +260,15 @@ bool RuntimeSystem::handleTrap(Machine &M, uint32_t PC) {
   uint32_t Index = (PC - SP.Layout.DecompBase) / 4;
   bool Ok;
   if (Index < RuntimeLayout::NumDecompressEntries) {
+    SpanScope Sp("trap.decompress", "runtime", Before);
     Ok = decompress(M, Index);
+    Sp.setEndCycles(M.cycles());
+    Sp.setArgs(CurrentRegion < 0 ? 0 : static_cast<uint64_t>(CurrentRegion),
+               Ok);
   } else if (Index < RuntimeLayout::NumEntryPoints) {
+    SpanScope Sp("trap.create_stub", "runtime", Before);
     Ok = createStub(M, Index - RuntimeLayout::NumDecompressEntries);
+    Sp.setEndCycles(M.cycles());
   } else {
     M.fault("jump into the middle of the decompressor");
     return false;
@@ -370,6 +404,9 @@ bool RuntimeSystem::consumePrefetch(Machine &M, uint32_t Region,
                                     uint64_t &Decoded) {
   if (PF.Region < 0)
     return false;
+  SpanScope Sp("prefetch.consume", "prefetch", M.cycles());
+  Sp.setFlow(PF.FlowId, 0);
+  Sp.setArgs(static_cast<uint32_t>(PF.Region), 0);
   if (!PF.Ready.load(std::memory_order_acquire)) {
     // The predicted trap arrived before the worker finished. Join rather
     // than race ahead: the staged decode is consumed (or discarded) at the
@@ -403,6 +440,7 @@ bool RuntimeSystem::consumePrefetch(Machine &M, uint32_t Region,
   Decoded = PF.Decoded;
   ++St.PrefetchHits;
   record(M, Event::Kind::PrefetchHit, Staged);
+  Sp.setArgs(Staged, 1);
   return true;
 }
 
@@ -420,18 +458,28 @@ void RuntimeSystem::launchPrefetch(Machine &M) {
   PF.Ok = false;
   PF.Decoded = 0;
   PF.Nanos = 0;
+  PF.FlowId = SpanTracer::enabled() ? SpanTracer::instance().nextId() : 0;
   PF.Ready.store(false, std::memory_order_relaxed);
   ++St.PrefetchLaunches;
   record(M, Event::Kind::PrefetchLaunch, static_cast<uint32_t>(P));
+  {
+    SpanScope Launch("prefetch.launch", "prefetch", M.cycles());
+    Launch.setFlow(0, PF.FlowId);
+    Launch.setArgs(static_cast<uint32_t>(P), 0);
+  }
   // The worker reads only the compressed blob (guest code never writes
   // it), the immutable codec tables, and the PrefetchState fields it owns
   // until the release-store of Ready. It writes nothing to guest memory.
   const uint8_t *Mem = M.memData();
-  PFPool->enqueue([this, Mem, P] {
+  const uint64_t Flow = PF.FlowId;
+  PFPool->enqueue([this, Mem, P, Flow] {
+    SpanScope Work("prefetch.decode", "prefetch");
+    Work.setFlow(Flow, Flow);
     const auto T0 = std::chrono::steady_clock::now();
     PF.Ok = decodeRegionWords(static_cast<uint32_t>(P), Mem, PF.Words,
                               PF.Decoded) == DecodeOutcome::Ok;
     PF.Nanos = nanosSince(T0);
+    Work.setArgs(static_cast<uint32_t>(P), PF.Decoded);
     PF.Ready.store(true, std::memory_order_release);
   });
 }
@@ -457,11 +505,15 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       Preferred = static_cast<int32_t>(Slot);
     } else if (crc32(M.memData() + L.slotDataBase(Slot),
                      4 * RI.ExpandedWords) == Cache[Slot].Crc) {
+      SpanScope Hit("cache.hit", "runtime", M.cycles());
       Cache[Slot].LastUse = ++UseTick;
       ++St.BufferedHits;
       ++HitStreak;
       record(M, Event::Kind::BufferedHit, Region, Slot);
       M.addCycles(SP.Opts.Costs.DecompSetupCycles);
+      St.TrapSetupCyclesTotal += SP.Opts.Costs.DecompSetupCycles;
+      Hit.setEndCycles(M.cycles());
+      Hit.setArgs(Region, Slot);
       CurrentRegion = static_cast<int32_t>(Region);
       SlotOut = Slot;
       return true;
@@ -475,6 +527,7 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
 
   // Pick the slot to fill: the region's own (revalidation failure), a free
   // one, or the least recently used.
+  SpanScope Fill("region.fill", "runtime", M.cycles());
   uint32_t Slot = 0;
   if (Preferred >= 0) {
     Slot = static_cast<uint32_t>(Preferred);
@@ -526,8 +579,14 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       if (SP.Opts.DecodeAhead)
         ++St.PrefetchMisses;
       const auto T0 = std::chrono::steady_clock::now();
-      DecodeOutcome O =
-          decodeRegionWords(Region, M.memData(), Words, Decoded, &Work);
+      DecodeOutcome O;
+      {
+        // The per-codec decode child span; its name is the codec's.
+        SpanScope Dec(codecKindName(SP.regionCodec(Region)), "decode",
+                      M.cycles());
+        O = decodeRegionWords(Region, M.memData(), Words, Decoded, &Work);
+        Dec.setArgs(Region, Decoded);
+      }
       St.HostDecodeNanos += nanosSince(T0);
       if (O == DecodeOutcome::BadStream)
         Corrupt = "corrupt compressed region " + std::to_string(Region);
@@ -610,9 +669,16 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       C.DecompSetupCycles + DecodePart + C.IcacheFlushCycles;
   St.DecodeCycles.record(DecodeCharge);
   M.addCycles(DecodeCharge);
+  // Ledger mirrors of this charge: setup + per-codec decode + flush sum
+  // exactly to DecodeCharge (squash/Telemetry.h's conservation identity).
+  St.TrapSetupCyclesTotal += C.DecompSetupCycles;
+  St.DecodeOnlyCyclesByCodec[static_cast<unsigned>(ChargeKind)] += DecodePart;
+  St.IcacheFlushCyclesTotal += C.IcacheFlushCycles;
   ++St.FillsByCodec[static_cast<unsigned>(ChargeKind)];
   St.DecodeCyclesByCodec[static_cast<unsigned>(ChargeKind)] += DecodeCharge;
   CurrentRegion = static_cast<int32_t>(Region);
+  Fill.setEndCycles(M.cycles());
+  Fill.setArgs(Region, Slot);
 
   // A freshly resident region's entry stubs can branch straight to the
   // slot until it is evicted.
@@ -796,6 +862,7 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
 
   M.setReg(Reg, StubAddr);
   M.addCycles(SP.Opts.Costs.CreateStubCycles);
+  St.CreateStubCyclesTotal += SP.Opts.Costs.CreateStubCycles;
   M.setPC(BrAddr);
   return true;
 }

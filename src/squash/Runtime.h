@@ -183,6 +183,23 @@ public:
     std::array<uint64_t, NumCodecKinds> FillsByCodec = {};
     std::array<uint64_t, NumCodecKinds> DecodeCyclesByCodec = {};
 
+    /// Cycle-attribution ledger counters (squash/Telemetry.h). Each counter
+    /// is incremented adjacent to the M.addCycles() call it mirrors, so the
+    /// conservation identity
+    ///   Machine cycles == retired instructions
+    ///                     + TrapSetupCyclesTotal
+    ///                     + sum(DecodeOnlyCyclesByCodec)
+    ///                     + IcacheFlushCyclesTotal
+    ///                     + CreateStubCyclesTotal
+    /// holds for every run outcome, faults included.
+    uint64_t TrapSetupCyclesTotal = 0; ///< DecompSetupCycles per entry (hit
+                                       ///< or fill alike).
+    std::array<uint64_t, NumCodecKinds> DecodeOnlyCyclesByCodec = {};
+                                       ///< Pure decode work, net of setup
+                                       ///< and flush (0 on prefetch hits).
+    uint64_t IcacheFlushCyclesTotal = 0; ///< Post-fill flush charges.
+    uint64_t CreateStubCyclesTotal = 0;  ///< CreateStub trap charges.
+
     /// Host wall-clock spent building the fast-decode tables at attach
     /// (one-time, memoized across attaches of the same program).
     uint64_t FastTableBuildNanos = 0;
@@ -374,6 +391,9 @@ private:
     std::vector<uint32_t> Words;
     uint64_t Decoded = 0;
     uint64_t Nanos = 0; ///< Host wall-clock the staged decode took.
+    uint64_t FlowId = 0; ///< Span flow id linking launch → worker →
+                         ///< consume (written by the trap thread before
+                         ///< the worker is enqueued).
     bool Ok = false;    ///< Decode succeeded and passed the words CRC.
     std::atomic<bool> Ready{false};
   };
@@ -409,20 +429,10 @@ private:
 
   /// Appends to the trace ring, stamping the machine's cycle counter.
   /// Overwrites the oldest event (counting the drop) once the ring holds
-  /// traceCapacity() events.
+  /// traceCapacity() events. Out of line because it also feeds an armed
+  /// flight recorder (which wants events even with tracing off).
   void record(const vea::Machine &M, Event::Kind K, uint32_t Region,
-              uint32_t Addr = 0, uint32_t Count = 0) {
-    if (!Tracing)
-      return;
-    Event E{K, Region, Addr, Count, M.cycles()};
-    if (Trace.size() < TraceCap) {
-      Trace.push_back(E);
-    } else {
-      Trace[TraceNext] = E;
-      TraceNext = (TraceNext + 1) % TraceCap;
-      ++TraceDropped;
-    }
-  }
+              uint32_t Addr = 0, uint32_t Count = 0);
   bool Tracing = false;
   uint32_t TraceCap = DefaultTraceCapacity;
   size_t TraceNext = 0;      ///< Oldest element once the ring wrapped.

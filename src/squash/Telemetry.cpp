@@ -1,0 +1,82 @@
+//===- squash/Telemetry.cpp - Cycle-attribution ledger --------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/Telemetry.h"
+
+#include "huff/Codec.h"
+
+#include <cstdio>
+
+using namespace squash;
+
+CycleLedger squash::buildCycleLedger(const SquashedRun &R) {
+  CycleLedger L;
+  L.Total = R.Run.Cycles;
+  L.GuestExecute = R.Run.Instructions;
+  L.TrapSetup = R.Runtime.TrapSetupCyclesTotal;
+  L.DecodeByCodec = R.Runtime.DecodeOnlyCyclesByCodec;
+  L.IcacheFlush = R.Runtime.IcacheFlushCyclesTotal;
+  L.RestoreStub = R.Runtime.CreateStubCyclesTotal;
+  L.HostDecodeNanos = R.Runtime.HostDecodeNanos;
+  L.WastedPrefetches = R.Runtime.PrefetchWasted +
+                       R.Runtime.PrefetchCorruptDiscards;
+  return L;
+}
+
+std::string squash::renderAttributionReport(const CycleLedger &L,
+                                            const std::string &Label) {
+  std::string Out = "cycle attribution: " + Label + "\n";
+  char Buf[160];
+  const double Total = L.Total ? static_cast<double>(L.Total) : 1.0;
+  auto Row = [&](const char *Name, uint64_t Cycles) {
+    std::snprintf(Buf, sizeof(Buf), "  %-24s %14llu  %6.2f%%\n", Name,
+                  (unsigned long long)Cycles, 100.0 * Cycles / Total);
+    Out += Buf;
+  };
+  Row("guest execute", L.GuestExecute);
+  Row("trap setup", L.TrapSetup);
+  for (unsigned K = 0; K != NumCodecKinds; ++K) {
+    std::string Name =
+        std::string("decode (") + codecKindName(static_cast<CodecKind>(K)) +
+        ")";
+    Row(Name.c_str(), L.DecodeByCodec[K]);
+  }
+  Row("icache flush", L.IcacheFlush);
+  Row("restore stubs", L.RestoreStub);
+  Row("wasted prefetch", L.WastedPrefetchCycles);
+  std::snprintf(Buf, sizeof(Buf),
+                "  %-24s %14llu  %s (attributed %llu)\n", "total",
+                (unsigned long long)L.Total,
+                L.conserves() ? "conserved" : "NOT CONSERVED",
+                (unsigned long long)L.attributed());
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  (host decode %llu ns; %llu wasted prefetches, 0 simulated "
+                "cycles by design)\n",
+                (unsigned long long)L.HostDecodeNanos,
+                (unsigned long long)L.WastedPrefetches);
+  Out += Buf;
+  return Out;
+}
+
+void squash::exportLedgerMetrics(vea::MetricsRegistry &R,
+                                 const CycleLedger &L,
+                                 const std::string &Prefix) {
+  R.setCounter(Prefix + "total_cycles", L.Total);
+  R.setCounter(Prefix + "guest_execute_cycles", L.GuestExecute);
+  R.setCounter(Prefix + "trap_setup_cycles", L.TrapSetup);
+  for (unsigned K = 0; K != NumCodecKinds; ++K)
+    R.setCounter(Prefix + "decode_cycles_" +
+                     codecKindName(static_cast<CodecKind>(K)),
+                 L.DecodeByCodec[K]);
+  R.setCounter(Prefix + "icache_flush_cycles", L.IcacheFlush);
+  R.setCounter(Prefix + "restore_stub_cycles", L.RestoreStub);
+  R.setCounter(Prefix + "wasted_prefetch_cycles", L.WastedPrefetchCycles);
+  R.setCounter(Prefix + "wasted_prefetches", L.WastedPrefetches);
+  R.setCounter(Prefix + "host_decode_ns", L.HostDecodeNanos);
+  R.setCounter(Prefix + "conserved", L.conserves() ? 1 : 0);
+}

@@ -1,0 +1,87 @@
+//===- squash/Telemetry.h - Cycle-attribution ledger -----------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cycle-attribution ledger: every simulated cycle of a squashed run
+/// charged to exactly one category, with a conservation identity
+///
+///   GuestExecute + TrapSetup + sum(DecodeByCodec) + IcacheFlush
+///     + RestoreStub  ==  Machine total cycles
+///
+/// that tests and bench/stat_attribution enforce on every workload. The
+/// ledger is derived, not sampled: the runtime increments a Stats counter
+/// adjacent to each M.addCycles() call (Runtime.cpp), and the Machine's
+/// only other charge is one cycle per retired instruction, so the identity
+/// holds for every run outcome — clean halt, instruction-limit stop, or
+/// fault.
+///
+/// Wasted prefetch is structurally zero *simulated* cycles — decode-ahead
+/// runs on a host worker thread off the guest's critical path and a
+/// discarded staging never reaches guest memory — so the ledger reports
+/// the wasted work in host nanoseconds alongside the cycle categories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SQUASH_TELEMETRY_H
+#define SQUASH_SQUASH_TELEMETRY_H
+
+#include "squash/Driver.h"
+#include "support/Metrics.h"
+
+#include <array>
+#include <string>
+
+namespace squash {
+
+/// Where every simulated cycle of one run went. Built from a SquashedRun
+/// by buildCycleLedger.
+struct CycleLedger {
+  uint64_t Total = 0;        ///< Machine cycles for the whole run.
+  uint64_t GuestExecute = 0; ///< One cycle per retired guest instruction.
+  uint64_t TrapSetup = 0;    ///< Decompressor entry setup (hit or fill).
+  std::array<uint64_t, NumCodecKinds> DecodeByCodec = {};
+                             ///< Pure decode work, per region coder.
+  uint64_t IcacheFlush = 0;  ///< Post-fill icache flush charges.
+  uint64_t RestoreStub = 0;  ///< CreateStub trap charges.
+
+  /// Host-side costs with no simulated-cycle footprint, reported so the
+  /// "wasted prefetch" category is visibly zero by design rather than
+  /// silently absent.
+  uint64_t WastedPrefetchCycles = 0; ///< Always 0; see file comment.
+  uint64_t HostDecodeNanos = 0;      ///< Demand + consumed prefetch decode.
+  uint64_t WastedPrefetches = 0;     ///< Staged decodes discarded.
+
+  /// Sum of every cycle category (everything but the host-nanos fields).
+  uint64_t attributed() const {
+    uint64_t N = GuestExecute + TrapSetup + IcacheFlush + RestoreStub +
+                 WastedPrefetchCycles;
+    for (uint64_t D : DecodeByCodec)
+      N += D;
+    return N;
+  }
+
+  /// The conservation identity: no unattributed and no double-charged
+  /// cycles.
+  bool conserves() const { return attributed() == Total; }
+};
+
+/// Derives the ledger for \p R (any outcome: halt, limit, fault).
+CycleLedger buildCycleLedger(const SquashedRun &R);
+
+/// Renders a one-run text attribution report (category, cycles, percent),
+/// with \p Label naming the run.
+std::string renderAttributionReport(const CycleLedger &L,
+                                    const std::string &Label);
+
+/// Registers every ledger category under \p Prefix, plus
+/// `<Prefix>conserved` (1/0).
+void exportLedgerMetrics(vea::MetricsRegistry &R, const CycleLedger &L,
+                         const std::string &Prefix = "ledger.");
+
+} // namespace squash
+
+#endif // SQUASH_SQUASH_TELEMETRY_H

@@ -13,8 +13,27 @@
 
 using namespace vea;
 
+bool vea::validMetricName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name) {
+    const unsigned char U = static_cast<unsigned char>(C);
+    // Control characters would corrupt both exposition formats (newlines
+    // split samples, \0 truncates); quotes and backslashes would need
+    // escaping the Prometheus *name* grammar does not allow at all.
+    if (U < 0x20 || U == 0x7f || C == '"' || C == '\\')
+      return false;
+  }
+  return true;
+}
+
 MetricsRegistry::Entry *MetricsRegistry::entry(const std::string &Name,
                                                Kind K) {
+  // Reject rather than sanitize: a sanitized name would silently collide
+  // with a legitimate one ("a\nb" and "a_b" must not share storage). The
+  // setters return false, the same contract as a kind conflict.
+  if (!validMetricName(Name))
+    return nullptr;
   auto It = Index.find(Name);
   if (It != Index.end()) {
     Entry &E = Entries[It->second];
@@ -187,11 +206,31 @@ std::string MetricsRegistry::toJson() const {
   return Out;
 }
 
+/// Escapes a HELP docstring per the exposition format: backslash and
+/// newline are the only characters the format requires escaping.
+static std::string helpEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
 std::string MetricsRegistry::toPrometheus() const {
   std::string Out;
   char Buf[96];
   for (const Entry &E : Entries) {
     const std::string N = prometheusName(E.Name);
+    // Every metric gets a HELP line before its TYPE line; the registry
+    // name (dots intact) is the docstring, so the mangled Prometheus name
+    // stays traceable to its JSON twin.
+    Out += "# HELP " + N + " squash metric " + helpEscape(E.Name) + "\n";
     switch (E.K) {
     case Kind::Counter:
       std::snprintf(Buf, sizeof(Buf), " %llu\n",

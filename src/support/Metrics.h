@@ -108,6 +108,12 @@ private:
 /// Escapes \p S for inclusion in a JSON string literal (quotes excluded).
 std::string jsonEscape(const std::string &S);
 
+/// True when \p Name is registrable: nonempty and free of control
+/// characters, quotes, and backslashes. The registry rejects (setters
+/// return false) rather than sanitizing, so distinct invalid names can
+/// never alias a legitimate one.
+bool validMetricName(const std::string &Name);
+
 /// Formats \p V at round-trip precision (%.17g); non-finite values degrade
 /// to "0" so both the JSON and Prometheus surfaces stay parseable. Shared
 /// by MetricsRegistry::toJson and toPrometheus.

@@ -1,0 +1,418 @@
+//===- support/Span.cpp - Causal span tracing + flight recorder -----------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace vea;
+
+uint64_t vea::monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// SpanRing
+//===----------------------------------------------------------------------===//
+
+static size_t roundUpPow2(size_t N) {
+  size_t P = 16;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+detail::SpanRing::SpanRing(size_t Capacity)
+    : Cap(roundUpPow2(Capacity)), Mask(Cap - 1), Slots(new SpanSlot[Cap]) {}
+
+// Pack the span into 13 words. Name/Category are static-lifetime literals,
+// so storing the pointer bits is safe across threads.
+static void packSpan(const Span &S, uint64_t W[detail::SpanWords]) {
+  W[0] = S.Id;
+  W[1] = S.Parent;
+  W[2] = S.FlowIn;
+  W[3] = S.FlowOut;
+  W[4] = reinterpret_cast<uint64_t>(S.Name);
+  W[5] = reinterpret_cast<uint64_t>(S.Category);
+  W[6] = S.ThreadId;
+  W[7] = S.StartNanos;
+  W[8] = S.EndNanos;
+  W[9] = S.StartCycles;
+  W[10] = S.EndCycles;
+  W[11] = S.ArgA;
+  W[12] = S.ArgB;
+}
+
+static void unpackSpan(const uint64_t W[detail::SpanWords], Span &S) {
+  S.Id = W[0];
+  S.Parent = W[1];
+  S.FlowIn = W[2];
+  S.FlowOut = W[3];
+  S.Name = reinterpret_cast<const char *>(W[4]);
+  S.Category = reinterpret_cast<const char *>(W[5]);
+  S.ThreadId = static_cast<uint32_t>(W[6]);
+  S.StartNanos = W[7];
+  S.EndNanos = W[8];
+  S.StartCycles = W[9];
+  S.EndCycles = W[10];
+  S.ArgA = W[11];
+  S.ArgB = W[12];
+}
+
+void detail::SpanRing::push(const Span &S) {
+  uint64_t Words[SpanWords];
+  packSpan(S, Words);
+  uint64_t Index = Pushed.load(std::memory_order_relaxed);
+  SpanSlot &T = Slots[Index & Mask];
+  // Seqlock writer (single producer): mark in-progress (odd), fence so the
+  // mark is visible before any payload word, fill, then publish (even).
+  uint64_t Seq = T.Seq.load(std::memory_order_relaxed);
+  T.Seq.store(Seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t I = 0; I < SpanWords; ++I)
+    T.Words[I].store(Words[I], std::memory_order_relaxed);
+  T.Seq.store(Seq + 2, std::memory_order_release);
+  Pushed.store(Index + 1, std::memory_order_release);
+}
+
+bool detail::SpanRing::readSlot(size_t Index, Span &Out) const {
+  const SpanSlot &T = Slots[Index & Mask];
+  uint64_t S1 = T.Seq.load(std::memory_order_acquire);
+  if (S1 == 0 || (S1 & 1))
+    return false;
+  uint64_t Words[SpanWords];
+  for (size_t I = 0; I < SpanWords; ++I)
+    Words[I] = T.Words[I].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (T.Seq.load(std::memory_order_relaxed) != S1)
+    return false; // Torn: the producer lapped us mid-read. Caller skips.
+  unpackSpan(Words, Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SpanTracer
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> SpanTracer::Enabled{false};
+
+struct SpanTracer::ThreadState {
+  detail::SpanRing *Ring = nullptr;
+  uint64_t Epoch = ~uint64_t{0};
+  uint32_t Tid = 0;
+  std::vector<std::pair<uint64_t, const char *>> Open;
+};
+
+SpanTracer &SpanTracer::instance() {
+  static SpanTracer T;
+  return T;
+}
+
+SpanTracer::ThreadState &SpanTracer::threadState() {
+  static thread_local ThreadState TS;
+  return TS;
+}
+
+void SpanTracer::setRingCapacity(size_t Capacity) {
+  RingCapacity.store(Capacity < 16 ? 16 : Capacity, std::memory_order_relaxed);
+}
+
+uint64_t SpanTracer::currentSpan() const {
+  const ThreadState &TS = const_cast<SpanTracer *>(this)->threadState();
+  return TS.Open.empty() ? 0 : TS.Open.back().first;
+}
+
+std::vector<std::pair<uint64_t, const char *>> SpanTracer::liveStack() const {
+  return const_cast<SpanTracer *>(this)->threadState().Open;
+}
+
+void SpanTracer::pushOpen(uint64_t Id, const char *Name) {
+  threadState().Open.emplace_back(Id, Name);
+}
+
+void SpanTracer::popOpen() {
+  ThreadState &TS = threadState();
+  if (!TS.Open.empty())
+    TS.Open.pop_back();
+}
+
+void SpanTracer::emit(const Span &S) {
+  ThreadState &TS = threadState();
+  uint64_t Epoch = RegistryEpoch.load(std::memory_order_acquire);
+  if (!TS.Ring || TS.Epoch != Epoch) {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    if (TS.Tid == 0)
+      TS.Tid = NextThreadId.fetch_add(1, std::memory_order_relaxed) + 1;
+    Rings.push_back(std::make_unique<detail::SpanRing>(
+        RingCapacity.load(std::memory_order_relaxed)));
+    Rings.back()->ThreadId = TS.Tid;
+    TS.Ring = Rings.back().get();
+    TS.Epoch = RegistryEpoch.load(std::memory_order_relaxed);
+  }
+  Span Copy = S;
+  Copy.ThreadId = TS.Tid;
+  TS.Ring->push(Copy);
+}
+
+std::vector<Span> SpanTracer::snapshot() const {
+  std::vector<Span> Out;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &R : Rings) {
+    uint64_t P = R->pushed();
+    uint64_t First = P > R->capacity() ? P - R->capacity() : 0;
+    for (uint64_t I = First; I < P; ++I) {
+      Span S;
+      if (R->readSlot(I, S))
+        Out.push_back(S);
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const Span &A, const Span &B) {
+    return A.StartNanos < B.StartNanos;
+  });
+  return Out;
+}
+
+uint64_t SpanTracer::totalEmitted() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  uint64_t N = 0;
+  for (const auto &R : Rings)
+    N += R->pushed();
+  return N;
+}
+
+uint64_t SpanTracer::totalDropped() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  uint64_t N = 0;
+  for (const auto &R : Rings)
+    N += R->dropped();
+  return N;
+}
+
+void SpanTracer::reset() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Rings.clear();
+  RegistryEpoch.fetch_add(1, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// SpanScope
+//===----------------------------------------------------------------------===//
+
+SpanScope::SpanScope(const char *Name, const char *Category,
+                     uint64_t StartCycles) {
+  if (!SpanTracer::enabled())
+    return;
+  SpanTracer &T = SpanTracer::instance();
+  S.Id = T.nextId();
+  S.Parent = T.currentSpan();
+  S.Name = Name;
+  S.Category = Category;
+  S.StartNanos = monotonicNanos();
+  S.StartCycles = StartCycles;
+  S.EndCycles = StartCycles;
+  T.pushOpen(S.Id, Name);
+  Active = true;
+}
+
+SpanScope::~SpanScope() {
+  if (!Active)
+    return;
+  S.EndNanos = monotonicNanos();
+  if (S.EndCycles < S.StartCycles)
+    S.EndCycles = S.StartCycles;
+  SpanTracer &T = SpanTracer::instance();
+  T.popOpen();
+  T.emit(S);
+}
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> FlightRecorder::Armed{false};
+
+FlightRecorder &FlightRecorder::instance() {
+  static FlightRecorder R;
+  return R;
+}
+
+void FlightRecorder::arm(size_t Triggers, size_t Events) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MaxTriggers = Triggers < 1 ? 1 : Triggers;
+  MaxEvents = Events < 1 ? 1 : Events;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disarm() { Armed.store(false, std::memory_order_relaxed); }
+
+void FlightRecorder::record(const char *Source, std::string Detail) {
+  FlightTrigger T;
+  T.Nanos = monotonicNanos();
+  T.Source = Source;
+  T.Detail = std::move(Detail);
+  for (const auto &Open : SpanTracer::instance().liveStack())
+    T.LiveSpans.emplace_back(Open.first, std::string(Open.second));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  T.Seq = NextSeq++;
+  if (Triggers.size() >= MaxTriggers) {
+    Triggers.erase(Triggers.begin());
+    ++DroppedTriggers;
+  }
+  Triggers.push_back(std::move(T));
+}
+
+void FlightRecorder::noteStatus(const char *CodeName,
+                                const std::string &Message) {
+  if (!armed())
+    return;
+  record("status", std::string(CodeName) + ": " + Message);
+}
+
+void FlightRecorder::noteFault(const char *Source,
+                               const std::string &Description) {
+  if (!armed())
+    return;
+  record(Source, Description);
+}
+
+void FlightRecorder::noteEvent(const char *Kind, uint64_t Region,
+                               uint64_t Addr, uint64_t Cycle) {
+  if (!armed())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Events.size() >= MaxEvents)
+    Events.erase(Events.begin());
+  Events.push_back(RecordedEvent{Kind, Region, Addr, Cycle});
+}
+
+uint64_t FlightRecorder::triggerCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NextSeq;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Triggers.clear();
+  Events.clear();
+  NextSeq = 0;
+  DroppedTriggers = 0;
+}
+
+static void jsonEscapeTo(std::string &Out, const std::string &In) {
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+std::string FlightRecorder::dumpJson() const {
+  // Copy state under the lock, render outside it (snapshot() takes the
+  // tracer registry mutex; keep lock scopes disjoint).
+  std::vector<FlightTrigger> Trig;
+  std::vector<RecordedEvent> Evs;
+  uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Trig = Triggers;
+    Evs = Events;
+    Dropped = DroppedTriggers;
+  }
+  std::vector<Span> Spans = SpanTracer::instance().snapshot();
+
+  std::string J = "{\"triggers\":[";
+  char Buf[256];
+  for (size_t I = 0; I < Trig.size(); ++I) {
+    const FlightTrigger &T = Trig[I];
+    if (I)
+      J += ',';
+    std::snprintf(Buf, sizeof(Buf), "{\"seq\":%llu,\"nanos\":%llu,\"source\":\"",
+                  (unsigned long long)T.Seq, (unsigned long long)T.Nanos);
+    J += Buf;
+    jsonEscapeTo(J, T.Source);
+    J += "\",\"detail\":\"";
+    jsonEscapeTo(J, T.Detail);
+    J += "\",\"live_spans\":[";
+    for (size_t K = 0; K < T.LiveSpans.size(); ++K) {
+      if (K)
+        J += ',';
+      std::snprintf(Buf, sizeof(Buf), "{\"id\":%llu,\"name\":\"",
+                    (unsigned long long)T.LiveSpans[K].first);
+      J += Buf;
+      jsonEscapeTo(J, T.LiveSpans[K].second);
+      J += "\"}";
+    }
+    J += "]}";
+  }
+  J += "],\"events\":[";
+  for (size_t I = 0; I < Evs.size(); ++I) {
+    if (I)
+      J += ',';
+    J += "{\"kind\":\"";
+    jsonEscapeTo(J, Evs[I].Kind);
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"region\":%llu,\"addr\":%llu,\"cycle\":%llu}",
+                  (unsigned long long)Evs[I].Region,
+                  (unsigned long long)Evs[I].Addr,
+                  (unsigned long long)Evs[I].Cycle);
+    J += Buf;
+  }
+  J += "],\"spans\":[";
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    const Span &S = Spans[I];
+    if (I)
+      J += ',';
+    J += "{\"id\":";
+    std::snprintf(Buf, sizeof(Buf),
+                  "%llu,\"parent\":%llu,\"name\":\"", (unsigned long long)S.Id,
+                  (unsigned long long)S.Parent);
+    J += Buf;
+    jsonEscapeTo(J, S.Name ? S.Name : "");
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"tid\":%u,\"start_ns\":%llu,\"end_ns\":%llu,"
+                  "\"start_cycles\":%llu,\"end_cycles\":%llu,\"flow_in\":%llu,"
+                  "\"flow_out\":%llu,\"arg_a\":%llu,\"arg_b\":%llu}",
+                  S.ThreadId, (unsigned long long)S.StartNanos,
+                  (unsigned long long)S.EndNanos,
+                  (unsigned long long)S.StartCycles,
+                  (unsigned long long)S.EndCycles,
+                  (unsigned long long)S.FlowIn, (unsigned long long)S.FlowOut,
+                  (unsigned long long)S.ArgA, (unsigned long long)S.ArgB);
+    J += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "],\"dropped_triggers\":%llu}",
+                (unsigned long long)Dropped);
+  J += Buf;
+  return J;
+}

@@ -7,7 +7,18 @@
 
 #include "support/Status.h"
 
+#include "support/Span.h"
+
 using namespace vea;
+
+Status Status::error(StatusCode Code, std::string Message) {
+  Status S;
+  S.Code = Code;
+  S.Message = std::move(Message);
+  if (FlightRecorder::armed())
+    FlightRecorder::instance().noteStatus(statusCodeName(Code), S.Message);
+  return S;
+}
 
 const char *vea::statusCodeName(StatusCode Code) {
   switch (Code) {

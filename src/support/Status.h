@@ -60,12 +60,10 @@ public:
   Status() = default; // Success.
 
   static Status success() { return Status(); }
-  static Status error(StatusCode Code, std::string Message) {
-    Status S;
-    S.Code = Code;
-    S.Message = std::move(Message);
-    return S;
-  }
+
+  /// Mints an error status. Out of line so the flight recorder (if armed)
+  /// can snapshot the live span stack at the moment of failure.
+  static Status error(StatusCode Code, std::string Message);
 
   bool ok() const { return Code == StatusCode::Ok; }
   StatusCode code() const { return Code; }

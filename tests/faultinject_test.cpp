@@ -24,6 +24,7 @@
 #include "ir/Builder.h"
 #include "squash/Driver.h"
 #include "squash/FaultInjector.h"
+#include "support/Span.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -81,6 +82,13 @@ class FaultSweep : public ::testing::TestWithParam<int> {};
 TEST_P(FaultSweep, EveryFaultDetectedOrMasked) {
   Reference Ref = prepare(GetParam());
 
+  // The sweep doubles as the flight recorder's acceptance harness: armed
+  // throughout, every injection must land a trigger, and every faulting
+  // run must leave a dump that names its injection (DESIGN.md §18).
+  FlightRecorder &Recorder = FlightRecorder::instance();
+  Recorder.clear();
+  Recorder.arm();
+
   const std::vector<FaultKind> AllKinds = {
       FaultKind::BlobBitFlip,    FaultKind::OffsetTableEntry,
       FaultKind::StubSlotWord,   FaultKind::EntryStubTag,
@@ -104,6 +112,7 @@ TEST_P(FaultSweep, EveryFaultDetectedOrMasked) {
     const std::vector<FaultKind> &Kinds =
         ChecksumAtAttach ? AllKinds : LazyKinds;
     for (uint64_t Seed = 0; Seed != SeedsPerConfig; ++Seed) {
+      Recorder.clear();
       SquashedProgram SP = Ref.SR.SP;
       SP.Opts.ChecksumAtAttach = ChecksumAtAttach;
       FaultInjector FI(1 + Seed * 2654435761ull + 97 * GetParam() + Config);
@@ -113,11 +122,21 @@ TEST_P(FaultSweep, EveryFaultDetectedOrMasked) {
                    std::to_string(Seed) + " config " +
                    (ChecksumAtAttach ? "checksum" : "lazy") + ": " +
                    FR->Description);
+      ASSERT_GE(Recorder.triggerCount(), 1u)
+          << "injection left no flight-recorder trigger";
 
       SquashedRun Run =
           runSquashed(SP, Ref.W.TimingInput, Ref.MaxInstructions);
       if (Run.Run.Status == RunStatus::Fault) {
         EXPECT_FALSE(Run.Run.FaultMessage.empty());
+        // Postmortem contract: the dump names the injection that caused
+        // this fault, and the detection itself triggered too (machine
+        // fault mid-run or non-OK Status at attach).
+        std::string Dump = Recorder.dumpJson();
+        EXPECT_NE(Dump.find("\"source\":\"fault-injector\""),
+                  std::string::npos);
+        EXPECT_GE(Recorder.triggerCount(), 2u)
+            << "detected fault left no trigger of its own";
         ++Detected;
         continue;
       }
@@ -131,6 +150,9 @@ TEST_P(FaultSweep, EveryFaultDetectedOrMasked) {
       Recovered += Run.Runtime.CorruptRegionRecoveries;
     }
   }
+
+  Recorder.disarm();
+  Recorder.clear();
 
   // The sweep must exercise both halves of the contract, and graceful
   // degradation must actually fire (not just trivial never-reached masks).
