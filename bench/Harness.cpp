@@ -41,6 +41,27 @@ RunResult bench::runBaseline(const Prepared &P,
   return R;
 }
 
+void bench::requireHalted(const squash::SquashedRun &Run,
+                          const RunResult &Base, const std::string &Workload,
+                          const std::string &Context) {
+  if (Run.Run.Status != RunStatus::Halted ||
+      Run.Run.ExitCode != Base.ExitCode)
+    reportFatalError("bench: " + Workload + " (" + Context +
+                     "): squashed run diverged from baseline: " +
+                     Run.Run.FaultMessage);
+}
+
+void bench::requireSameBehaviour(const squash::SquashedRun &Run,
+                                 const squash::SquashedRun &Reference,
+                                 const std::string &Workload,
+                                 const std::string &Context) {
+  if (Run.Run.Status != Reference.Run.Status ||
+      Run.Run.ExitCode != Reference.Run.ExitCode ||
+      Run.Output != Reference.Output)
+    reportFatalError("bench: " + Workload + " (" + Context +
+                     "): guest behaviour differs from reference run");
+}
+
 double bench::geomean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0.0;
@@ -76,4 +97,13 @@ std::string bench::writeBenchJson(const std::string &Name,
     reportFatalError("bench: cannot write " + Path);
   std::fclose(F);
   return Path;
+}
+
+int bench::finishBench(const std::string &Name,
+                       const std::vector<BenchRow> &Rows, bool Pass,
+                       const std::string &Verdict) {
+  std::string Path = writeBenchJson(Name, Rows);
+  std::printf("\nwrote %zu row(s) to %s\n", Rows.size(), Path.c_str());
+  std::printf("\n%s. %s\n", Verdict.c_str(), Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
 }

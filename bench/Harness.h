@@ -52,6 +52,22 @@ std::vector<Prepared> prepareSuite(double Scale = 1.0);
 vea::RunResult runBaseline(const Prepared &P,
                            const std::vector<uint8_t> &Input);
 
+/// Fatal unless \p Run halted with the baseline's exit code. \p Context
+/// names the configuration under test (codec, layout arm, ...) in the
+/// message. Every acceptance bench verifies behaviour before it scores
+/// anything; this is that check, hoisted.
+void requireHalted(const squash::SquashedRun &Run, const vea::RunResult &Base,
+                   const std::string &Workload, const std::string &Context);
+
+/// Fatal unless \p Run reproduced \p Reference's guest-visible behaviour
+/// exactly: status, exit code, and output bytes. Used to pin that a
+/// configuration change (tracing, layout, icache model, codec) cannot
+/// perturb what the guest computes.
+void requireSameBehaviour(const squash::SquashedRun &Run,
+                          const squash::SquashedRun &Reference,
+                          const std::string &Workload,
+                          const std::string &Context);
+
 /// Geometric mean of a vector of positive values.
 double geomean(const std::vector<double> &Values);
 
@@ -74,6 +90,13 @@ using BenchRow = std::pair<std::string, std::string>;
 /// cannot silently produce nothing.
 std::string writeBenchJson(const std::string &Name,
                            const std::vector<BenchRow> &Rows);
+
+/// The shared bench epilogue: writes BENCH_<Name>.json, prints the row
+/// count, the verdict line, and PASS/FAIL, and returns the process exit
+/// code (0 on pass). Every gating bench ends with `return finishBench(...)`
+/// so CI sees a uniform last line.
+int finishBench(const std::string &Name, const std::vector<BenchRow> &Rows,
+                bool Pass, const std::string &Verdict);
 
 } // namespace bench
 

@@ -128,7 +128,7 @@ int main() {
     std::array<double, 4> Obj = {};
     std::vector<RegionMeasure> Measures[4];
     SquashedProgram Images[4];
-    std::vector<uint8_t> ReferenceOutput;
+    SquashedRun Reference;
 
     for (size_t C = 0; C != Configs.size(); ++C) {
       Options Opts;
@@ -142,20 +142,11 @@ int main() {
       }
 
       SquashedRun Run = runSquashed(SR.SP, P.W.TimingInput);
-      if (Run.Run.Status != RunStatus::Halted ||
-          Run.Run.ExitCode != Base.ExitCode) {
-        std::fprintf(stderr, "%s codec=%s: run diverged (%s)\n",
-                     P.W.Name.c_str(), Configs[C],
-                     Run.Run.FaultMessage.c_str());
-        return 1;
-      }
+      requireHalted(Run, Base, P.W.Name, Configs[C]);
       if (C == 0)
-        ReferenceOutput = Run.Output;
-      else if (Run.Output != ReferenceOutput) {
-        std::fprintf(stderr, "%s codec=%s: output differs from huffman\n",
-                     P.W.Name.c_str(), Configs[C]);
-        return 1;
-      }
+        Reference = Run;
+      else
+        requireSameBehaviour(Run, Reference, P.W.Name, Configs[C]);
 
       Machine M(SR.SP.Img);
       Measures[C] = measureRegions(SR.SP, M.memData());
@@ -221,13 +212,12 @@ int main() {
     Reg.setCounter("codec.workloads_with_region_win", WorkloadsWithRegionWin);
     JsonRows.emplace_back("suite/summary", Reg.toJson());
   }
-  std::string Path = writeBenchJson("codec_matrix", JsonRows);
-  std::printf("\nwrote %zu row(s) to %s\n", JsonRows.size(), Path.c_str());
-
   const bool WinsOk = WorkloadsWithRegionWin >= 2;
-  std::printf("\nauto never worse than always-huffman: %s; workloads with a "
-              ">=5%% per-region non-huffman win: %u (floor: 2). %s\n",
-              AutoNeverWorse ? "yes" : "NO", WorkloadsWithRegionWin,
-              AutoNeverWorse && WinsOk ? "PASS" : "FAIL");
-  return (AutoNeverWorse && WinsOk) ? 0 : 1;
+  char Verdict[160];
+  std::snprintf(Verdict, sizeof(Verdict),
+                "auto never worse than always-huffman: %s; workloads with a "
+                ">=5%% per-region non-huffman win: %u (floor: 2)",
+                AutoNeverWorse ? "yes" : "NO", WorkloadsWithRegionWin);
+  return finishBench("codec_matrix", JsonRows, AutoNeverWorse && WinsOk,
+                     Verdict);
 }

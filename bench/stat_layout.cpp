@@ -1,0 +1,202 @@
+//===- bench/stat_layout.cpp - Profile-guided layout acceptance gate ------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+// The acceptance bench for the memory-aware fetch model and the layout
+// pass (DESIGN.md §19): every workload runs under a small simulated
+// I-cache in a layout x squash matrix —
+//
+//            layout off            layout on
+//   squash   program order         Pettis-Hansen order (link/Layout's
+//   off      (identity image)      explicit-order overload)
+//   squash   pipeline, layout      pipeline with ProfileLayout=true
+//   on       pass emits identity   (the layout pass reorders the hot half)
+//
+// and the bench reports miss-rate and cycle deltas per workload.
+//
+// Acceptance criteria (exit nonzero on failure, so CI can gate):
+//
+//  1. With squashing enabled, layout-on strictly reduces I-cache misses
+//     vs layout-off on at least 8 of the 11 workloads. Layout only moves
+//     whole functions, so this is purely a placement win.
+//  2. Guest behaviour (exit code + output bytes) is identical across every
+//     arm of the matrix, including both codec configurations (huffman and
+//     per-region auto) under layout-on — the cache is tag-only and layout
+//     preserves all control flow, so nothing the guest computes may change.
+//  3. The cycle-attribution ledger conserves on every squashed run, with
+//     the IcacheMiss term carrying the modeled penalties.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "ir/IR.h"
+#include "squash/LayoutPass.h"
+#include "squash/Telemetry.h"
+
+using namespace bench;
+using namespace vea;
+using namespace squash;
+
+namespace {
+
+/// The bench's cache: small (16 sets x 2 ways x 32 B = 1 KiB) so the hot
+/// half does not trivially fit and conflict misses — the thing function
+/// placement controls — are visible; 2-way so the fixed-address runtime
+/// areas (buffer, stubs) do not alias the hot code chaotically.
+IcacheConfig benchIcache() {
+  IcacheConfig C;
+  C.Enabled = true;
+  C.LineBytes = 32;
+  C.Sets = 16;
+  C.Ways = 2;
+  return C;
+}
+
+/// One arm's observables.
+struct ArmResult {
+  uint64_t Misses = 0;
+  uint64_t Fetches = 0;
+  uint64_t Cycles = 0;
+  std::vector<uint8_t> Output;
+  uint32_t ExitCode = 0;
+};
+
+/// Runs an uncompressed image under the bench cache.
+ArmResult runPlain(const Image &Img, const std::vector<uint8_t> &Input) {
+  Machine::Config MC;
+  MC.Icache = benchIcache();
+  Machine M(Img, MC);
+  M.setInput(Input);
+  RunResult R = M.run();
+  if (R.Status != RunStatus::Halted)
+    reportFatalError("stat_layout: uncompressed run did not halt: " +
+                     R.FaultMessage);
+  ArmResult A;
+  A.Misses = R.IcacheMisses;
+  A.Fetches = R.IcacheFetches;
+  A.Cycles = R.Cycles;
+  A.Output = M.output();
+  A.ExitCode = R.ExitCode;
+  return A;
+}
+
+double missRate(const ArmResult &A) {
+  return A.Fetches ? static_cast<double>(A.Misses) / A.Fetches : 0.0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Layout matrix: I-cache misses, layout x squash ==\n\n");
+  auto Suite = prepareSuite();
+  // ThetaMid compresses regions on every workload while leaving a hot
+  // half big enough that function placement is visible in the cache.
+  const double Theta = ThetaMid;
+
+  std::printf("cache: %u B lines x %u sets x %u way(s), %llu-cycle miss\n\n",
+              benchIcache().LineBytes, benchIcache().Sets, benchIcache().Ways,
+              (unsigned long long)benchIcache().MissCycles);
+  std::printf("%-10s %12s %12s %12s %12s %9s\n", "program", "plain/id",
+              "plain/ph", "squash/id", "squash/ph", "delta");
+
+  std::vector<BenchRow> JsonRows;
+  unsigned Improved = 0;
+  std::vector<double> CycleRatios;
+
+  for (auto &P : Suite) {
+    RunResult Base = runBaseline(P, P.W.TimingInput);
+
+    // Squash-off arms: the same compacted program, identity placement vs
+    // the Pettis-Hansen order, run uncompressed.
+    Cfg G(P.W.Prog);
+    std::vector<unsigned> Order = computeFunctionLayout(G, P.Prof);
+    Image PhImage =
+        layoutProgramOrError(P.W.Prog, DefaultBase, Order).take();
+    ArmResult PlainId = runPlain(P.Baseline, P.W.TimingInput);
+    ArmResult PlainPh = runPlain(PhImage, P.W.TimingInput);
+    if (PlainId.ExitCode != Base.ExitCode ||
+        PlainPh.ExitCode != Base.ExitCode || PlainPh.Output != PlainId.Output)
+      reportFatalError("stat_layout: " + P.W.Name +
+                       ": reordered uncompressed image diverged");
+
+    // Squash-on arms: the full pipeline with the layout pass off and on,
+    // plus the auto-codec variants for the behaviour matrix.
+    ArmResult Sq[2];
+    for (int Layout = 0; Layout != 2; ++Layout) {
+      for (const char *Codec : {"huffman", "auto"}) {
+        Options Opts;
+        Opts.Theta = Theta;
+        Opts.Codec = Codec;
+        Opts.ProfileLayout = Layout == 1;
+        Opts.Icache = benchIcache();
+        SquashResult SR = squashProgram(P.W.Prog, P.Prof, Opts).take();
+        SquashedRun Run = runSquashed(SR.SP, P.W.TimingInput);
+        std::string Arm = std::string(Layout ? "layout-on/" : "layout-off/") +
+                          Codec;
+        requireHalted(Run, Base, P.W.Name, Arm);
+        if (Run.Output != PlainId.Output)
+          reportFatalError("stat_layout: " + P.W.Name + " (" + Arm +
+                           "): output differs from the uncompressed run");
+        CycleLedger L = buildCycleLedger(Run);
+        if (!L.conserves() || L.IcacheMiss != Run.Run.IcacheMissCycles)
+          reportFatalError("stat_layout: " + P.W.Name + " (" + Arm +
+                           "): cycle ledger does not conserve");
+        if (std::string(Codec) == "huffman") {
+          Sq[Layout].Misses = Run.Run.IcacheMisses;
+          Sq[Layout].Fetches = Run.Run.IcacheFetches;
+          Sq[Layout].Cycles = Run.Run.Cycles;
+        }
+      }
+    }
+
+    const bool Win = Sq[1].Misses < Sq[0].Misses;
+    if (Win)
+      ++Improved;
+    const double Delta =
+        Sq[0].Misses ? 100.0 * (static_cast<double>(Sq[1].Misses) -
+                                static_cast<double>(Sq[0].Misses)) /
+                           static_cast<double>(Sq[0].Misses)
+                     : 0.0;
+    CycleRatios.push_back(Sq[0].Cycles
+                              ? static_cast<double>(Sq[1].Cycles) /
+                                    static_cast<double>(Sq[0].Cycles)
+                              : 1.0);
+
+    std::printf("%-10s %12llu %12llu %12llu %12llu %+8.2f%%%s\n",
+                P.W.Name.c_str(), (unsigned long long)PlainId.Misses,
+                (unsigned long long)PlainPh.Misses,
+                (unsigned long long)Sq[0].Misses,
+                (unsigned long long)Sq[1].Misses, Delta, Win ? "" : "  (no)");
+
+    MetricsRegistry Reg;
+    Reg.setCounter("layout.plain_identity_misses", PlainId.Misses);
+    Reg.setCounter("layout.plain_ph_misses", PlainPh.Misses);
+    Reg.setCounter("layout.squash_off_misses", Sq[0].Misses);
+    Reg.setCounter("layout.squash_on_misses", Sq[1].Misses);
+    Reg.setCounter("layout.squash_off_cycles", Sq[0].Cycles);
+    Reg.setCounter("layout.squash_on_cycles", Sq[1].Cycles);
+    Reg.setGauge("layout.squash_off_miss_rate", missRate(Sq[0]));
+    Reg.setGauge("layout.squash_on_miss_rate", missRate(Sq[1]));
+    Reg.setGauge("layout.miss_delta_pct", Delta);
+    Reg.setCounter("layout.improved", Win ? 1 : 0);
+    JsonRows.emplace_back(P.W.Name, Reg.toJson());
+  }
+
+  {
+    MetricsRegistry Reg;
+    Reg.setCounter("layout.workloads_improved", Improved);
+    Reg.setCounter("layout.workloads_total", (uint64_t)Suite.size());
+    Reg.setGauge("layout.cycle_ratio_geomean", geomean(CycleRatios));
+    JsonRows.emplace_back("suite/summary", Reg.toJson());
+  }
+
+  const bool Pass = Improved >= 8;
+  char Verdict[160];
+  std::snprintf(Verdict, sizeof(Verdict),
+                "layout-on reduced I-cache misses on %u/%zu workloads "
+                "(floor: 8); cycle ratio geomean x%.4f",
+                Improved, Suite.size(), geomean(CycleRatios));
+  return finishBench("layout", JsonRows, Pass, Verdict);
+}

@@ -8,6 +8,7 @@
 //
 //   squash_tool [file.s] [--theta X] [--k BYTES] [--mtf] [--delta]
 //               [--codec NAME] [--print-codec-choices]
+//               [--layout] [--icache=LINES,SETS,WAYS]
 //               [--input BYTES...] [--profile-out FILE] [--profile-in FILE]...
 //               [--metrics-json FILE] [--metrics-prom FILE]
 //               [--trace-out FILE] [--trace-capacity N]
@@ -42,6 +43,12 @@
 // "context") or lets the codec-select pass pick per region ("auto");
 // --print-codec-choices prints the per-region choice table after the
 // squash.
+//
+// Memory-aware fetch model (DESIGN.md §19): --layout turns on the
+// profile-guided function-placement pass and prints the placement table;
+// --icache=LINES,SETS,WAYS runs the verification under a simulated
+// LINES-byte-line, SETS-set, WAYS-way I-cache (the flat flush charge is
+// replaced by modeled fetch misses) and prints the miss counters.
 //
 // The pipeline surface (squash/Pipeline.h): --print-pipeline lists the
 // standard passes in order and exits; --stop-after=PASS runs only the
@@ -146,6 +153,8 @@ struct Args {
   bool Disasm = false;
   std::string Codec = "huffman";
   bool PrintCodecChoices = false;
+  bool ProfileLayout = false;
+  IcacheConfig Icache; ///< Enabled by --icache=LINES,SETS,WAYS.
   std::vector<uint8_t> Input;
   std::string ProfileOut;
   std::vector<std::string> ProfileIn; ///< Repeatable; merged when several.
@@ -210,6 +219,20 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       A.Codec = V;
     } else if (S == "--print-codec-choices") {
       A.PrintCodecChoices = true;
+    } else if (S == "--layout") {
+      A.ProfileLayout = true;
+    } else if (flagWithValue(S, "--icache", Argc, Argv, I, V)) {
+      unsigned Lines = 0, Sets = 0, Ways = 0;
+      if (std::sscanf(V.c_str(), "%u,%u,%u", &Lines, &Sets, &Ways) != 3 ||
+          !Lines || !Sets || !Ways) {
+        std::fprintf(stderr,
+                     "--icache expects LINES,SETS,WAYS (e.g. 32,16,2)\n");
+        return false;
+      }
+      A.Icache.Enabled = true;
+      A.Icache.LineBytes = Lines;
+      A.Icache.Sets = Sets;
+      A.Icache.Ways = Ways;
     } else if (S == "--disasm") {
       A.Disasm = true;
     } else if (S == "--profile-out" && I + 1 < Argc) {
@@ -386,6 +409,8 @@ int main(int Argc, char **Argv) {
   Opts.MoveToFront = A.Mtf;
   Opts.DeltaDisplacements = A.Delta;
   Opts.Codec = A.Codec;
+  Opts.ProfileLayout = A.ProfileLayout;
+  Opts.Icache = A.Icache;
   Opts.DisabledPasses = A.DisabledPasses;
 
   if (!A.StopAfter.empty()) {
@@ -550,6 +575,10 @@ int main(int Argc, char **Argv) {
                   codecKindName(SR.SP.regionCodec(R)));
     std::printf("\n");
   }
+  if (A.ProfileLayout) {
+    std::fputs(formatFunctionLayout(SR.SP).c_str(), stdout);
+    std::printf("\n");
+  }
   std::fputs(formatEntryStubs(SR.SP).c_str(), stdout);
   std::printf("\nregion 0 stored code:\n");
   std::fputs(formatRegion(SR.SP, 0).c_str(), stdout);
@@ -575,6 +604,17 @@ int main(int Argc, char **Argv) {
               R1.ExitCode, R2.Run.ExitCode,
               (unsigned long long)R2.Runtime.Decompressions,
               Ok ? "OK" : "MISMATCH");
+  if (A.Icache.Enabled)
+    std::printf("i-cache (%uB x %u sets x %u ways): %llu fetches, %llu "
+                "misses (%.2f%%), %llu miss cycles\n",
+                A.Icache.LineBytes, A.Icache.Sets, A.Icache.Ways,
+                (unsigned long long)R2.Run.IcacheFetches,
+                (unsigned long long)R2.Run.IcacheMisses,
+                R2.Run.IcacheFetches
+                    ? 100.0 * static_cast<double>(R2.Run.IcacheMisses) /
+                          static_cast<double>(R2.Run.IcacheFetches)
+                    : 0.0,
+                (unsigned long long)R2.Run.IcacheMissCycles);
 
   if (WantTrace) {
     if (!writeTextFile(A.TraceOut,

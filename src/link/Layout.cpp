@@ -112,35 +112,81 @@ uint32_t vea::encodeInst(
 
 Expected<Image> vea::layoutProgramOrError(const Program &Prog,
                                           uint32_t Base) {
+  return layoutProgramOrError(Prog, Base, {});
+}
+
+Expected<Image>
+vea::layoutProgramOrError(const Program &Prog, uint32_t Base,
+                          const std::vector<unsigned> &FuncOrder) {
   Image Img;
   Img.Base = Base;
 
-  // Pass 1: assign code addresses, block by block.
-  uint32_t Cursor = Base;
-  for (const auto &F : Prog.Functions) {
-    for (const auto &B : F.Blocks) {
-      Img.Symbols[B.Label] = Cursor;
-      Img.Blocks.push_back(
-          {Cursor, static_cast<uint32_t>(B.Insts.size())});
-      Cursor += static_cast<uint32_t>(B.Insts.size()) * WordBytes;
+  const size_t NumFuncs = Prog.Functions.size();
+  std::vector<unsigned> Order = FuncOrder;
+  if (Order.empty()) {
+    Order.resize(NumFuncs);
+    for (size_t F = 0; F != NumFuncs; ++F)
+      Order[F] = static_cast<unsigned>(F);
+  } else {
+    if (Order.size() != NumFuncs)
+      return layoutError("function order has " +
+                         std::to_string(Order.size()) + " entries for " +
+                         std::to_string(NumFuncs) + " functions");
+    std::vector<bool> Seen(NumFuncs, false);
+    for (unsigned F : Order) {
+      if (F >= NumFuncs || Seen[F])
+        return layoutError("function order is not a permutation (index " +
+                           std::to_string(F) + ")");
+      Seen[F] = true;
     }
   }
-  Img.CodeBytes = Cursor - Base;
+
+  // Block ids are function-then-block in program order; precompute each
+  // function's first id so placement order cannot change the id space.
+  std::vector<size_t> FirstBlockId(NumFuncs + 1, 0);
+  for (size_t F = 0; F != NumFuncs; ++F)
+    FirstBlockId[F + 1] = FirstBlockId[F] + Prog.Functions[F].Blocks.size();
+  Img.Blocks.assign(FirstBlockId[NumFuncs], BlockLayout());
+
+  // Pass 1: assign code addresses, walking functions in placement order.
+  uint64_t Cursor = Base;
+  for (unsigned F : Order) {
+    const auto &Blocks = Prog.Functions[F].Blocks;
+    for (size_t BI = 0; BI != Blocks.size(); ++BI) {
+      const auto &B = Blocks[BI];
+      uint32_t Addr = static_cast<uint32_t>(Cursor);
+      Img.Symbols[B.Label] = Addr;
+      Img.Blocks[FirstBlockId[F] + BI] = {
+          Addr, static_cast<uint32_t>(B.Insts.size())};
+      Cursor += static_cast<uint64_t>(B.Insts.size()) * WordBytes;
+    }
+  }
+  Img.CodeBytes = static_cast<uint32_t>(Cursor - Base);
+  if (Cursor - Base > MaxImageBytes)
+    return layoutError("image too large: code alone is " +
+                       std::to_string(Cursor - Base) + " bytes (limit " +
+                       std::to_string(MaxImageBytes) + ")");
 
   // Data addresses.
   for (const auto &D : Prog.Data) {
-    uint32_t Align = D.Align ? D.Align : 4;
+    uint64_t Align = D.Align ? D.Align : 4;
     Cursor = (Cursor + Align - 1) / Align * Align;
-    Img.Symbols[D.Name] = Cursor;
-    Cursor += static_cast<uint32_t>(D.Bytes.size());
+    Img.Symbols[D.Name] = static_cast<uint32_t>(Cursor);
+    Cursor += D.Bytes.size();
   }
+  // Check the total before allocating: a pathological alignment or data
+  // size must fail cleanly, not attempt a giant allocation.
+  if (Cursor - Base > MaxImageBytes)
+    return layoutError("image too large: " + std::to_string(Cursor - Base) +
+                       " bytes (limit " + std::to_string(MaxImageBytes) +
+                       ")");
 
-  Img.Bytes.assign(Cursor - Base, 0);
+  Img.Bytes.assign(static_cast<size_t>(Cursor - Base), 0);
 
-  // Pass 2: encode instructions.
+  // Pass 2: encode instructions, in the same placement order.
   uint32_t PC = Base;
-  for (const auto &F : Prog.Functions) {
-    for (const auto &B : F.Blocks) {
+  for (unsigned F : Order) {
+    for (const auto &B : Prog.Functions[F].Blocks) {
       for (const auto &I : B.Insts) {
         Expected<uint32_t> Word = encodeInstOrError(I, PC, Img.Symbols);
         if (!Word)

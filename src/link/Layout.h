@@ -70,11 +70,29 @@ struct Image {
 /// dereferences fault.
 inline constexpr uint32_t DefaultBase = 0x1000;
 
+/// Hard ceiling on the laid-out image size. Checked before the byte buffer
+/// is allocated, so a program whose data alignment or sheer size would
+/// produce a multi-gigabyte (or address-wrapping) image fails with a
+/// LayoutError instead of an allocation attempt.
+inline constexpr uint64_t MaxImageBytes = 1ull << 28; // 256 MiB
+
 /// Lays out \p Prog into an image. Fails with a LayoutError Status on
-/// unresolved symbols or out-of-range displacements; the squash pipeline
-/// propagates the error rather than dying.
+/// unresolved symbols, out-of-range displacements, or an image exceeding
+/// MaxImageBytes; the squash pipeline propagates the error rather than
+/// dying.
 Expected<Image> layoutProgramOrError(const Program &Prog,
                                      uint32_t Base = DefaultBase);
+
+/// As above, but places functions in the explicit order \p FuncOrder (a
+/// permutation of indices into Prog.Functions); blocks keep their in-
+/// function order. This is the seam the profile-guided layout pass drives:
+/// under the identity permutation the image is byte-identical to the
+/// two-argument overload, and Image::Blocks stays indexed by Cfg block id
+/// (function-then-block in *program* order) regardless of placement, so
+/// profile collection is order-independent. An empty \p FuncOrder means
+/// identity; anything else that is not a permutation is a LayoutError.
+Expected<Image> layoutProgramOrError(const Program &Prog, uint32_t Base,
+                                     const std::vector<unsigned> &FuncOrder);
 
 /// Convenience wrapper for tools and tests: as layoutProgramOrError, but a
 /// failure is fatal (reported and aborted).

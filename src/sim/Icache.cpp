@@ -1,0 +1,90 @@
+//===- sim/Icache.cpp - Simulated instruction cache -----------------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Icache.h"
+
+#include <cstddef>
+
+namespace vea {
+
+namespace {
+
+uint32_t roundUpPow2(uint32_t V, uint32_t Min) {
+  if (V < Min)
+    V = Min;
+  uint32_t P = Min;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+IcacheModel::IcacheModel(const IcacheConfig &C) : Cfg(C) {
+  Cfg.LineBytes = roundUpPow2(Cfg.LineBytes, 4);
+  Cfg.Sets = roundUpPow2(Cfg.Sets, 1);
+  if (Cfg.Ways == 0)
+    Cfg.Ways = 1;
+  LineShift = 0;
+  while ((1u << LineShift) < Cfg.LineBytes)
+    ++LineShift;
+  Lines.assign(static_cast<size_t>(Cfg.Sets) * Cfg.Ways, Line());
+}
+
+uint64_t IcacheModel::access(uint32_t Addr) {
+  ++Stats.Fetches;
+  const uint64_t LineAddr = lineOf(Addr);
+  Line *Set = setBase(LineAddr);
+  ++Tick;
+  for (uint32_t W = 0; W != Cfg.Ways; ++W) {
+    Line &L = Set[W];
+    if (L.Valid && L.Tag == LineAddr) {
+      L.LastUse = Tick;
+      return 0;
+    }
+  }
+  // Miss: fill an invalid way if one exists, else evict the LRU way.
+  Line *Victim = Set;
+  for (uint32_t W = 0; W != Cfg.Ways && Victim->Valid; ++W)
+    if (!Set[W].Valid || Set[W].LastUse < Victim->LastUse)
+      Victim = &Set[W];
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->LastUse = Tick;
+  ++Stats.Misses;
+  Stats.MissCycles += Cfg.MissCycles;
+  return Cfg.MissCycles;
+}
+
+void IcacheModel::flushRange(uint32_t Addr, uint32_t Bytes) {
+  ++Stats.RangeFlushes;
+  if (Bytes == 0)
+    return;
+  const uint64_t First = lineOf(Addr);
+  const uint64_t Last = lineOf(Addr + (Bytes - 1));
+  for (uint64_t LineAddr = First; LineAddr <= Last; ++LineAddr) {
+    Line *Set = setBase(LineAddr);
+    for (uint32_t W = 0; W != Cfg.Ways; ++W) {
+      Line &L = Set[W];
+      if (L.Valid && L.Tag == LineAddr) {
+        L.Valid = false;
+        ++Stats.LinesFlushed;
+      }
+    }
+  }
+}
+
+void IcacheModel::flushAll() {
+  ++Stats.RangeFlushes;
+  for (Line &L : Lines) {
+    if (L.Valid)
+      ++Stats.LinesFlushed;
+    L.Valid = false;
+  }
+}
+
+} // namespace vea

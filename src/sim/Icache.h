@@ -1,0 +1,99 @@
+//===- sim/Icache.h - Simulated instruction cache --------------*- C++ -*-===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tag-only set-associative instruction cache model for the VEA-32
+/// machine. The cache never holds data — only line tags — so enabling it
+/// cannot change guest-visible behaviour; it only adds a per-fetch miss
+/// penalty to the cycle count. This gives the cost model an honest memory
+/// dimension: code layout, which a flat cycles-per-instruction model is
+/// blind to, becomes visible as conflict and capacity misses.
+///
+/// The model is disabled by default (`IcacheConfig::Enabled == false`), in
+/// which case the runtime keeps charging the flat
+/// `CostModel::IcacheFlushCycles` constant on region fills and every
+/// existing cycle count stays bit-stable. When enabled, the runtime instead
+/// invalidates the written line range (`Machine::icacheFlushRange`) and the
+/// flush cost materializes as real fetch misses, attributed to the new
+/// `IcacheMiss` ledger term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SQUASH_SIM_ICACHE_H
+#define SQUASH_SIM_ICACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vea {
+
+/// Geometry and cost of the simulated I-cache. All counts must be powers
+/// of two (the model normalizes up if not); total capacity is
+/// `LineBytes * Sets * Ways`.
+struct IcacheConfig {
+  bool Enabled = false;
+  uint32_t LineBytes = 32; ///< Bytes per line (>= 4).
+  uint32_t Sets = 64;      ///< Number of sets.
+  uint32_t Ways = 2;       ///< Associativity.
+  uint64_t MissCycles = 20; ///< Penalty per miss, charged to the fetch.
+};
+
+/// Counters the model accumulates over a run.
+struct IcacheStats {
+  uint64_t Fetches = 0;
+  uint64_t Misses = 0;
+  uint64_t MissCycles = 0;    ///< Misses x configured penalty.
+  uint64_t LinesFlushed = 0;  ///< Valid lines invalidated by flushes.
+  uint64_t RangeFlushes = 0;  ///< flushRange / flushAll calls.
+
+  double missRate() const {
+    return Fetches ? static_cast<double>(Misses) / Fetches : 0.0;
+  }
+};
+
+/// Tag-only set-associative cache with LRU replacement. Addresses are
+/// guest-physical; the model knows nothing about the memory contents.
+class IcacheModel {
+public:
+  explicit IcacheModel(const IcacheConfig &Cfg);
+
+  /// Looks up the line containing \p Addr, filling it on a miss. Returns
+  /// the miss penalty in cycles (0 on a hit).
+  uint64_t access(uint32_t Addr);
+
+  /// Invalidates every line overlapping [Addr, Addr + Bytes). Models the
+  /// coherence cost of writing code: the next fetch from the range misses.
+  void flushRange(uint32_t Addr, uint32_t Bytes);
+
+  /// Invalidates the whole cache.
+  void flushAll();
+
+  const IcacheConfig &config() const { return Cfg; }
+  const IcacheStats &stats() const { return Stats; }
+
+private:
+  struct Line {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint64_t lineOf(uint32_t Addr) const { return Addr >> LineShift; }
+  Line *setBase(uint64_t LineAddr) {
+    return &Lines[(LineAddr & (Cfg.Sets - 1)) * Cfg.Ways];
+  }
+
+  IcacheConfig Cfg;
+  IcacheStats Stats;
+  std::vector<Line> Lines; ///< Sets x Ways, set-major.
+  uint32_t LineShift = 5;
+  uint64_t Tick = 0; ///< LRU clock.
+};
+
+} // namespace vea
+
+#endif // SQUASH_SIM_ICACHE_H

@@ -32,6 +32,9 @@ Machine::Machine(const Image &Img, Config Cfg)
   Regs.fill(0);
   Regs[RegSP] = Cfg.MemBytes - 16; // A little headroom at the very top.
 
+  if (Cfg.Icache.Enabled)
+    Icache = std::make_unique<IcacheModel>(Cfg.Icache);
+
   if (Cfg.CollectBlockProfile) {
     ProfileOn = true;
     CodeBase = Img.Base;
@@ -206,6 +209,12 @@ bool Machine::step() {
     fault("pc out of bounds");
     return false;
   }
+
+  // The fetch goes through the simulated I-cache when one is configured;
+  // a miss charges its penalty through the same cycle account the runtime
+  // services use, so the conservation ledger can attribute it exactly.
+  if (Icache)
+    Cycles += Icache->access(PC);
 
   uint32_t Word;
   if (!loadWord(PC, Word))
@@ -406,11 +415,19 @@ bool Machine::step() {
 
 RunResult Machine::run() {
   RunResult R;
+  auto FillCounters = [&] {
+    R.Instructions = Insts;
+    R.Cycles = Cycles;
+    if (Icache) {
+      R.IcacheFetches = Icache->stats().Fetches;
+      R.IcacheMisses = Icache->stats().Misses;
+      R.IcacheMissCycles = Icache->stats().MissCycles;
+    }
+  };
   while (!Halted && !Faulted) {
     if (Insts >= MaxInsts) {
       R.Status = RunStatus::InstLimit;
-      R.Instructions = Insts;
-      R.Cycles = Cycles;
+      FillCounters();
       return R;
     }
     if (!step())
@@ -419,8 +436,7 @@ RunResult Machine::run() {
   R.Status = Halted ? RunStatus::Halted : RunStatus::Fault;
   R.ExitCode = ExitCode;
   R.FaultMessage = FaultMessage;
-  R.Instructions = Insts;
-  R.Cycles = Cycles;
+  FillCounters();
   return R;
 }
 
@@ -437,4 +453,9 @@ void vea::exportRunMetrics(MetricsRegistry &R, const RunResult &Run,
   R.setCounter(Prefix + "cycles", Run.Cycles);
   R.setCounter(Prefix + "exit_code", Run.ExitCode);
   R.setCounter(Prefix + "halted", Run.Status == RunStatus::Halted ? 1 : 0);
+  if (Run.IcacheFetches) {
+    R.setCounter(Prefix + "icache_fetches", Run.IcacheFetches);
+    R.setCounter(Prefix + "icache_misses", Run.IcacheMisses);
+    R.setCounter(Prefix + "icache_miss_cycles", Run.IcacheMissCycles);
+  }
 }

@@ -21,10 +21,12 @@
 
 #include "isa/Isa.h"
 #include "link/Layout.h"
+#include "sim/Icache.h"
 #include "support/Metrics.h"
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,11 @@ struct RunResult {
   std::string FaultMessage;
   uint64_t Instructions = 0; ///< Program instructions retired.
   uint64_t Cycles = 0;       ///< Instructions + charged runtime-service work.
+
+  // Simulated I-cache counters; all zero when the model is disabled.
+  uint64_t IcacheFetches = 0;
+  uint64_t IcacheMisses = 0;
+  uint64_t IcacheMissCycles = 0; ///< Miss penalty included in Cycles.
 };
 
 /// Registers a run's machine counters (instructions retired, cycles, exit
@@ -75,6 +82,9 @@ public:
     uint32_t MemBytes = 8u << 20;
     uint64_t MaxInstructions = 2'000'000'000ull;
     bool CollectBlockProfile = false;
+    /// Simulated I-cache; disabled by default so cycle counts stay
+    /// bit-stable with the flat fetch model.
+    IcacheConfig Icache;
   };
 
   explicit Machine(const Image &Img, Config Cfg);
@@ -114,6 +124,23 @@ public:
   uint64_t cycles() const { return Cycles; }
   uint64_t instructions() const { return Insts; }
 
+  /// True when the simulated I-cache is modelled; fetch misses then add
+  /// their penalty to cycles() via the same charging discipline.
+  bool icacheEnabled() const { return Icache != nullptr; }
+
+  /// The model's counters, or nullptr when disabled.
+  const IcacheStats *icacheStats() const {
+    return Icache ? &Icache->stats() : nullptr;
+  }
+
+  /// Invalidates cached lines overlapping [Addr, Addr + Bytes). Runtime
+  /// services call this after writing code into guest memory (region
+  /// fills, stub rewrites); no-op when the model is disabled.
+  void icacheFlushRange(uint32_t Addr, uint32_t Bytes) {
+    if (Icache)
+      Icache->flushRange(Addr, Bytes);
+  }
+
   /// Records a fault; the run loop stops after the current step.
   void fault(const std::string &Message);
   bool faulted() const { return Faulted; }
@@ -150,6 +177,9 @@ private:
   // Trap dispatch.
   uint32_t TrapBegin = 0, TrapEnd = 0;
   TrapHandler *Trap = nullptr;
+
+  // Simulated I-cache (null when disabled).
+  std::unique_ptr<IcacheModel> Icache;
 
   // Profiling.
   bool ProfileOn = false;

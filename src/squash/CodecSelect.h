@@ -33,6 +33,7 @@
 #define SQUASH_SQUASH_CODECSELECT_H
 
 #include "huff/Codec.h"
+#include "squash/CostModel.h"
 #include "squash/Options.h"
 #include "squash/Pipeline.h"
 
@@ -40,24 +41,8 @@
 
 namespace squash {
 
-/// Modeled cycle charge for decoding one region fill with codec \p Kind,
-/// given the decode work the coder reported for the region. The same
-/// formula prices a fill in the runtime (RuntimeSystem::fillBuffer) and a
-/// candidate in the codec-select pass, so the selection objective and the
-/// simulated cost can never drift apart.
-inline uint64_t codecDecodeCycles(const CostModel &C, CodecKind Kind,
-                                  const DecodeWork &W) {
-  switch (Kind) {
-  case CodecKind::Huffman:
-    return C.CyclesPerDecodedInstr * W.Instructions;
-  case CodecKind::Pattern:
-    return C.PatternCyclesPerCoveredInstr * W.PatternCovered +
-           C.CyclesPerDecodedInstr * W.Escapes;
-  case CodecKind::Context:
-    return C.ContextCyclesPerDecodedInstr * W.Instructions;
-  }
-  return C.CyclesPerDecodedInstr * W.Instructions;
-}
+// codecDecodeCycles — the shared fill-pricing formula this pass optimizes
+// against — lives in squash/CostModel.h next to the constants it uses.
 
 /// The "codec-select" pass (between buffer-safe and rewrite). Writes its
 /// verdict into PipelineContext::Plan; RewritePass hands the plan to

@@ -40,6 +40,7 @@ SquashedRun squash::runSquashed(const SquashedProgram &SP,
   SpanScope Root("run.squashed", "driver");
   Machine::Config Cfg;
   Cfg.MaxInstructions = MaxInstructions;
+  Cfg.Icache = SP.Opts.Icache;
   Machine M(SP.Img, Cfg);
   RuntimeSystem RT(SP);
   if (TraceCapacity)
@@ -79,6 +80,7 @@ void SquashStats::exportMetrics(vea::MetricsRegistry &R,
   R.setGauge(Prefix + "region_seconds", RegionSeconds);
   R.setGauge(Prefix + "buffersafe_seconds", BufferSafeSeconds);
   R.setGauge(Prefix + "codec_select_seconds", CodecSelectSeconds);
+  R.setGauge(Prefix + "layout_seconds", LayoutSeconds);
   R.setGauge(Prefix + "rewrite_seconds", RewriteSeconds);
   R.setGauge(Prefix + "encode_seconds", EncodeSeconds);
   R.setGauge(Prefix + "total_seconds", TotalSeconds);

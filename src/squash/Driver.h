@@ -16,7 +16,7 @@
 ///   cold-code (Sec. 5) -> unswitch (Sec. 6.2, invalidates the CFG cache)
 ///   -> filter-setjmp-indirect (Sec. 2.2) -> filter-computed-jump
 ///   -> regions (Sec. 4) -> buffer-safe (Sec. 6.1) -> codec-select
-///   -> rewrite (Sec. 2)
+///   -> layout (profile-guided function placement) -> rewrite (Sec. 2)
 ///
 /// then the caller attaches the decompressor runtime via runSquashed.
 /// Tools that need a prefix, a skip, or per-pass hooks drive a
@@ -50,6 +50,7 @@ struct SquashStats {
   double RegionSeconds = 0.0;     ///< Region formation + packing.
   double BufferSafeSeconds = 0.0; ///< Buffer-safety analysis.
   double CodecSelectSeconds = 0.0; ///< Per-region codec trial + selection.
+  double LayoutSeconds = 0.0;     ///< Profile-guided function placement.
   double RewriteSeconds = 0.0;    ///< Lowering, layout, image emission
                                   ///< (includes EncodeSeconds).
   double EncodeSeconds = 0.0;     ///< Per-region compression only.

@@ -118,3 +118,20 @@ std::string squash::formatRegionTable(const SquashedProgram &SP) {
   }
   return Out;
 }
+
+std::string squash::formatFunctionLayout(const SquashedProgram &SP) {
+  if (SP.FuncLayout.empty())
+    return "function layout: identity (layout pass off or no reorder)\n";
+  std::string Out = line("function layout (%zu functions, image order):\n",
+                         SP.FuncLayout.size());
+  Out += line("  %-4s %-6s %-10s %-6s  %s\n", "pos", "func", "address",
+              "moved", "name");
+  for (size_t Pos = 0; Pos != SP.FuncLayout.size(); ++Pos) {
+    const FunctionPlacement &P = SP.FuncLayout[Pos];
+    const long Delta =
+        static_cast<long>(Pos) - static_cast<long>(P.FuncIdx);
+    Out += line("  %-4zu %-6u 0x%08x %+-6ld  %s\n", Pos, P.FuncIdx, P.Addr,
+                Delta, P.Name.c_str());
+  }
+  return Out;
+}

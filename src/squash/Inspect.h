@@ -40,6 +40,12 @@ std::string formatRegion(const SquashedProgram &SP, unsigned Index);
 /// call counts, bit offsets.
 std::string formatRegionTable(const SquashedProgram &SP);
 
+/// Renders the function placement the layout pass chose (SquashedProgram::
+/// FuncLayout): one row per function in image order with its original
+/// index, placed address, and how far it moved from program order. Reports
+/// identity placement when the pass was off or chose not to reorder.
+std::string formatFunctionLayout(const SquashedProgram &SP);
+
 } // namespace squash
 
 #endif // SQUASH_SQUASH_INSPECT_H

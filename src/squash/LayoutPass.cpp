@@ -1,0 +1,154 @@
+//===- squash/LayoutPass.cpp - Profile-guided function layout -------------===//
+//
+// Part of the squash project: a reproduction of "Profile-Guided Code
+// Compression" (Debray & Evans, PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "squash/LayoutPass.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+using namespace squash;
+using namespace vea;
+
+namespace {
+
+/// One directed call edge at function granularity.
+struct CallEdge {
+  unsigned Caller = 0;
+  unsigned Callee = 0;
+  uint64_t Weight = 0;
+};
+
+} // namespace
+
+std::vector<unsigned> squash::computeFunctionLayout(const Cfg &G,
+                                                    const Profile &Prof) {
+  const unsigned NumFuncs = G.numFunctions();
+  std::vector<unsigned> Order(NumFuncs);
+  for (unsigned F = 0; F != NumFuncs; ++F)
+    Order[F] = F;
+  if (NumFuncs <= 1)
+    return Order;
+
+  // 1. Function-level adjacency: weight(F, G) = sum over blocks B of F of
+  // count(B) per direct call B -> entry(G). A block's execution count is
+  // the best available proxy for how often its calls fire. Self-edges say
+  // nothing about placement. The map keys give a deterministic edge
+  // enumeration regardless of profile hash order.
+  std::map<std::pair<unsigned, unsigned>, uint64_t> W;
+  std::vector<uint64_t> Heat(NumFuncs, 0);
+  for (unsigned B = 0; B != G.numBlocks(); ++B) {
+    const uint64_t Count =
+        B < Prof.BlockCounts.size() ? Prof.BlockCounts[B] : 0;
+    if (Count == 0)
+      continue;
+    const unsigned Caller = G.functionOf(B);
+    Heat[Caller] += Count * G.block(B).size();
+    for (unsigned CalleeEntry : G.callees(B)) {
+      const unsigned Callee = G.functionOf(CalleeEntry);
+      if (Callee != Caller)
+        W[{Caller, Callee}] += Count;
+    }
+  }
+
+  std::vector<CallEdge> Edges;
+  Edges.reserve(W.size());
+  for (const auto &[Key, Weight] : W)
+    Edges.push_back({Key.first, Key.second, Weight});
+  // Heaviest first; ties in deterministic (caller, callee) order, which
+  // the map iteration already provides, so stable_sort pins the result.
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const CallEdge &A, const CallEdge &B) {
+                     return A.Weight > B.Weight;
+                   });
+
+  // 2. Greedy chain merge (Pettis-Hansen): each function starts as its own
+  // chain; the heaviest edge whose endpoints live in different chains
+  // joins them. The chains are joined at the endpoints that carry the
+  // edge, reversing a chain when that brings the hot caller/callee pair
+  // onto adjacent lines; an interior endpoint falls back to plain
+  // concatenation (the pair is already line-adjacent to an even hotter
+  // partner, or placement cannot help it).
+  std::vector<int32_t> ChainOf(NumFuncs);
+  std::vector<std::vector<unsigned>> Chains(NumFuncs);
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    ChainOf[F] = static_cast<int32_t>(F);
+    Chains[F] = {F};
+  }
+  for (const CallEdge &E : Edges) {
+    const int32_t A = ChainOf[E.Caller], B = ChainOf[E.Callee];
+    if (A == B)
+      continue;
+    std::vector<unsigned> &CA = Chains[A];
+    std::vector<unsigned> &CB = Chains[B];
+    const bool CallerAtHead = CA.front() == E.Caller;
+    const bool CallerAtTail = CA.back() == E.Caller;
+    const bool CalleeAtHead = CB.front() == E.Callee;
+    const bool CalleeAtTail = CB.back() == E.Callee;
+    if (CallerAtTail && CalleeAtHead) {
+      // caller | callee: already oriented.
+    } else if (CallerAtTail && CalleeAtTail) {
+      std::reverse(CB.begin(), CB.end());
+    } else if (CallerAtHead && CalleeAtHead) {
+      std::reverse(CA.begin(), CA.end());
+    } else if (CallerAtHead && CalleeAtTail) {
+      std::reverse(CA.begin(), CA.end());
+      std::reverse(CB.begin(), CB.end());
+    }
+    for (unsigned F : CB)
+      ChainOf[F] = A;
+    CA.insert(CA.end(), CB.begin(), CB.end());
+    CB.clear();
+  }
+
+  // 3. Chains by descending total heat; cold functions (and cold chains)
+  // retain program order — the seed chain index breaks ties.
+  struct ChainRank {
+    uint64_t Heat;
+    unsigned Seed;
+  };
+  std::vector<ChainRank> Ranks;
+  for (unsigned C = 0; C != NumFuncs; ++C) {
+    if (Chains[C].empty())
+      continue;
+    uint64_t H = 0;
+    for (unsigned F : Chains[C])
+      H += Heat[F];
+    Ranks.push_back({H, C});
+  }
+  std::stable_sort(Ranks.begin(), Ranks.end(),
+                   [](const ChainRank &A, const ChainRank &B) {
+                     if (A.Heat != B.Heat)
+                       return A.Heat > B.Heat;
+                     return A.Seed < B.Seed;
+                   });
+
+  Order.clear();
+  for (const ChainRank &R : Ranks)
+    for (unsigned F : Chains[R.Seed])
+      Order.push_back(F);
+  return Order;
+}
+
+Status LayoutPass::run(PipelineContext &Ctx) {
+  if (!Ctx.options().ProfileLayout)
+    return runDisabled(Ctx);
+  Ctx.FuncOrder = computeFunctionLayout(Ctx.cfg(), Ctx.profile());
+  // The identity permutation carries no information; normalize to "no
+  // explicit order" so downstream byte-stability short-circuits apply.
+  bool Identity = true;
+  for (unsigned F = 0; F != Ctx.FuncOrder.size() && Identity; ++F)
+    Identity = Ctx.FuncOrder[F] == F;
+  if (Identity)
+    Ctx.FuncOrder.clear();
+  return Status::success();
+}
+
+Status LayoutPass::runDisabled(PipelineContext &Ctx) {
+  Ctx.FuncOrder.clear();
+  return Status::success();
+}

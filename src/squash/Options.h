@@ -16,26 +16,14 @@
 #ifndef SQUASH_SQUASH_OPTIONS_H
 #define SQUASH_SQUASH_OPTIONS_H
 
+#include "sim/Icache.h"
+#include "squash/CostModel.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace squash {
-
-/// Cycle charges for the simulated runtime services (see DESIGN.md §6).
-struct CostModel {
-  uint64_t DecompSetupCycles = 64;    ///< Register save/restore + dispatch.
-  uint64_t CyclesPerDecodedInstr = 24; ///< Canonical Huffman decode work.
-  uint64_t IcacheFlushCycles = 32;    ///< Post-decompression flush.
-  uint64_t CreateStubCycles = 16;     ///< Restore-stub create/reuse.
-  /// Pattern-codec charge per instruction materialized from a dictionary
-  /// pattern (a table copy, far cheaper than a canonical decode); escaped
-  /// instructions pay CyclesPerDecodedInstr.
-  uint64_t PatternCyclesPerCoveredInstr = 6;
-  /// Context-codec charge per decoded instruction (an extra indirection
-  /// per opcode to pick the context table).
-  uint64_t ContextCyclesPerDecodedInstr = 28;
-};
 
 struct Options {
   /// The paper's θ: cold code may account for at most this fraction of the
@@ -160,6 +148,24 @@ struct Options {
   /// from the copy instead of faulting (graceful degradation). Costs host
   /// memory only; the simulated footprint is unchanged.
   bool RetainRecoveryCopies = true;
+
+  /// Profile-guided layout of the hot (never-compressed) half: the
+  /// "layout" pass builds a call-adjacency graph over the profile and
+  /// greedy-merges function chains (Pettis-Hansen / C3 style) so hot
+  /// callers and callees land on adjacent I-cache lines. Off by default:
+  /// the pass then emits the identity order and the image is byte-stable.
+  /// Layout only moves whole functions, so guest behaviour is identical
+  /// either way; with the simulated I-cache enabled the difference shows
+  /// up as conflict-miss cycles.
+  bool ProfileLayout = false;
+
+  /// Simulated I-cache for squashed runs (sim/Icache.h). Disabled by
+  /// default: fetches are then flat and region fills charge the
+  /// CostModel::IcacheFlushCycles constant, bit-stable with every prior
+  /// gate. Enabled, fetches go through the tag-only cache model, fills
+  /// invalidate the written lines instead of paying the flat constant, and
+  /// the ledger gains the IcacheMiss term.
+  vea::IcacheConfig Icache;
 
   /// Pipeline passes to skip, by name (see squash/Pipeline.h for the
   /// standard list). A disabled pass executes its conservative fallback

@@ -9,6 +9,7 @@
 
 #include "link/Layout.h"
 #include "squash/CodecSelect.h"
+#include "squash/LayoutPass.h"
 #include "support/Span.h"
 
 #include <algorithm>
@@ -226,7 +227,7 @@ public:
     Expected<SquashedProgram> SPOr =
         rewriteProgram(Ctx.program(), Ctx.cfg(), Ctx.Part,
                        Ctx.BufferSafeFuncs, Ctx.options(),
-                       std::move(Ctx.Plan));
+                       std::move(Ctx.Plan), Ctx.FuncOrder);
     if (!SPOr)
       return SPOr.status();
     R.SP = std::move(SPOr.get());
@@ -247,11 +248,15 @@ private:
   static Status emitIdentity(PipelineContext &Ctx) {
     SquashResult &R = Ctx.result();
     R.Identity = true;
-    Expected<Image> Img = layoutProgramOrError(Ctx.program());
+    // An identity image still honours the layout pass's placement — the
+    // link-layer explicit-order seam is exactly this call.
+    Expected<Image> Img =
+        layoutProgramOrError(Ctx.program(), DefaultBase, Ctx.FuncOrder);
     if (!Img)
       return Img.status();
     R.SP.Img = std::move(Img.get());
     R.SP.Opts = Ctx.options();
+    recordFunctionOrder(R.SP, Ctx.program(), Ctx.FuncOrder);
     R.SP.ProfileBlockCount =
         static_cast<uint32_t>(Ctx.profile().BlockCounts.size());
     R.SP.Footprint.NeverCompressedWords =
@@ -374,6 +379,7 @@ void squash::buildStandardPipeline(PassManager &PM) {
   PM.addPass(std::make_unique<RegionsPass>());
   PM.addPass(std::make_unique<BufferSafePass>());
   PM.addPass(std::make_unique<CodecSelectPass>());
+  PM.addPass(std::make_unique<LayoutPass>());
   PM.addPass(std::make_unique<RewritePass>());
 }
 

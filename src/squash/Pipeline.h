@@ -84,6 +84,11 @@ public:
   /// consumed (moved out) by the rewrite pass. Empty = all Huffman.
   CodecPlan Plan;
 
+  /// Hot-half function placement produced by the layout pass (a
+  /// permutation of function indices) and consumed by the rewrite pass.
+  /// Empty = identity order, the byte-stable default.
+  std::vector<unsigned> FuncOrder;
+
   /// 4 * instruction count of the *input* program (before unswitching
   /// grows it), recorded into FootprintBreakdown::OriginalCodeBytes.
   uint32_t OriginalCodeBytes = 0;
@@ -177,7 +182,7 @@ private:
 /// used to inline:
 ///
 ///   cold-code, unswitch, filter-setjmp-indirect, filter-computed-jump,
-///   regions, buffer-safe, codec-select, rewrite
+///   regions, buffer-safe, codec-select, layout, rewrite
 void buildStandardPipeline(PassManager &PM);
 
 /// Names of the standard passes, in order (squash_tool --print-pipeline).

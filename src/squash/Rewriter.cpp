@@ -83,9 +83,11 @@ class Rewriter {
 public:
   Rewriter(const Program &Prog, const Cfg &G, const Partition &Part,
            const std::vector<uint8_t> &Safe, const Options &Opts,
-           CodecPlan Plan = CodecPlan())
+           CodecPlan Plan = CodecPlan(),
+           std::vector<unsigned> FuncOrder = {})
       : Prog(Prog), G(G), Part(Part), Safe(Safe), Opts(Opts),
-        Plan(std::move(Plan)) {}
+        Plan(std::move(Plan)), FuncOrder(std::move(FuncOrder)),
+        HadExplicitOrder(!this->FuncOrder.empty()) {}
 
   Expected<SquashedProgram> run();
   /// Lowering phases only; returns the stored-region corpus.
@@ -172,9 +174,20 @@ private:
   const std::vector<uint8_t> &Safe;
   const Options &Opts;
   CodecPlan Plan;
+  std::vector<unsigned> FuncOrder; ///< Placement order; empty = program.
+  /// True when the caller supplied a placement order. layout() rewrites an
+  /// empty FuncOrder to the identity, so this is latched at construction.
+  bool HadExplicitOrder = false;
 
   SquashedProgram Out;
   RuntimeLayout L;
+
+  /// Never-compressed block ids in emission order: functions in FuncOrder
+  /// (program order when empty), blocks in function order. Built by
+  /// layout(), replayed verbatim by emit() — the two walks must match or
+  /// NCAddr lies. Under the identity order this equals the id-order walk
+  /// the rewriter always did, so the image is byte-identical.
+  std::vector<unsigned> EmitOrder;
 
   std::vector<int32_t> ExpOffset;   ///< Per block: offset in region layout.
   std::vector<uint32_t> NCAddr;     ///< Per block: never-compressed address.
@@ -231,11 +244,27 @@ Status Rewriter::computeExpandedOffsets() {
 Status Rewriter::layout() {
   uint32_t Cursor = DefaultBase;
 
-  // Never-compressed code, in original order.
+  // Never-compressed code, functions in placement order, blocks in
+  // function order. Whole-function placement keeps every in-function
+  // fallthrough chain intact (compressed blocks were never adjacent to
+  // their NC fallthrough anyway — ncNeedsBr covers those), so the
+  // reconnection-branch rule is order-independent.
+  if (FuncOrder.empty()) {
+    FuncOrder.resize(G.numFunctions());
+    for (unsigned F = 0; F != G.numFunctions(); ++F)
+      FuncOrder[F] = F;
+  }
+  std::vector<std::vector<unsigned>> FuncBlocks(G.numFunctions());
+  for (unsigned B = 0; B != G.numBlocks(); ++B)
+    FuncBlocks[G.functionOf(B)].push_back(B);
+  EmitOrder.clear();
+  for (unsigned F : FuncOrder)
+    for (unsigned B : FuncBlocks[F])
+      if (Part.RegionOf[B] < 0)
+        EmitOrder.push_back(B);
+
   NCAddr.assign(G.numBlocks(), 0);
-  for (unsigned B = 0; B != G.numBlocks(); ++B) {
-    if (Part.RegionOf[B] >= 0)
-      continue;
+  for (unsigned B : EmitOrder) {
     NCAddr[B] = Cursor;
     uint32_t Words = G.block(B).size() + (ncNeedsBr(B) ? 1 : 0);
     Cursor += 4 * Words;
@@ -430,6 +459,18 @@ Status Rewriter::emit() {
     return Status::error(StatusCode::InvalidArgument,
                          "rewriter: plan selects the context codec but "
                          "carries no context tables");
+  // The plan's side tables were trained on the corpus codec-select lowered,
+  // which assumed program-order placement. An explicit function order moves
+  // never-compressed targets, so the stored displacements differ; retrain
+  // the fixed-alphabet coders on the corpus actually being encoded. The
+  // per-region codec choice is kept — placement shifts displacements, not
+  // the relative compressibility the selection measured.
+  if (HadExplicitOrder) {
+    if (UsePattern)
+      Plan.Pattern = PatternCodec::build(Stored);
+    if (UseContext)
+      Plan.Context = ContextCodec::build(Stored);
+  }
   for (size_t R = 0; R != NumRegions; ++R)
     Out.Regions[R].Codec = static_cast<uint8_t>(Kind[R]);
 
@@ -528,10 +569,8 @@ Status Rewriter::emit() {
   Img.CodeBytes = DataBase - DefaultBase;
   Img.Symbols = Syms;
 
-  // Never-compressed code.
-  for (unsigned B = 0; B != G.numBlocks(); ++B) {
-    if (Part.RegionOf[B] >= 0)
-      continue;
+  // Never-compressed code, in the same emission order layout() priced.
+  for (unsigned B : EmitOrder) {
     uint32_t PC = NCAddr[B];
     for (const auto &I : G.block(B).Insts) {
       Expected<uint32_t> Word = encodeInstOrError(I, PC, Syms);
@@ -657,6 +696,8 @@ Expected<SquashedProgram> Rewriter::run() {
     return St;
   Out.Layout = L;
   Out.Opts = Opts;
+  if (HadExplicitOrder)
+    recordFunctionOrder(Out, Prog, FuncOrder);
   return std::move(Out);
 }
 
@@ -671,16 +712,44 @@ Expected<std::vector<std::vector<MInst>>> Rewriter::preview() {
   return std::move(Stored);
 }
 
+void squash::recordFunctionOrder(SquashedProgram &SP, const Program &Prog,
+                                 const std::vector<unsigned> &FuncOrder) {
+  SP.FuncLayout.clear();
+  for (unsigned F : FuncOrder) {
+    FunctionPlacement P;
+    P.FuncIdx = F;
+    P.Name = Prog.Functions[F].Name;
+    auto It = SP.Img.Symbols.find(P.Name);
+    P.Addr = It != SP.Img.Symbols.end() ? It->second : 0;
+    SP.FuncLayout.push_back(std::move(P));
+  }
+}
+
 Expected<SquashedProgram>
 squash::rewriteProgram(const Program &Prog, const Cfg &G,
                        const Partition &Part,
                        const std::vector<uint8_t> &Safe,
-                       const Options &Opts, CodecPlan Plan) {
+                       const Options &Opts, CodecPlan Plan,
+                       const std::vector<unsigned> &FuncOrder) {
   if (Safe.size() != G.numFunctions())
     return Status::error(
         StatusCode::InvalidArgument,
         "rewriter: buffer-safe vector does not match program");
-  Rewriter RW(Prog, G, Part, Safe, Opts, std::move(Plan));
+  if (!FuncOrder.empty()) {
+    if (FuncOrder.size() != G.numFunctions())
+      return Status::error(
+          StatusCode::InvalidArgument,
+          "rewriter: function order does not match program");
+    std::vector<uint8_t> Seen(G.numFunctions(), 0);
+    for (unsigned F : FuncOrder) {
+      if (F >= G.numFunctions() || Seen[F])
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "rewriter: function order is not a permutation");
+      Seen[F] = 1;
+    }
+  }
+  Rewriter RW(Prog, G, Part, Safe, Opts, std::move(Plan), FuncOrder);
   return RW.run();
 }
 

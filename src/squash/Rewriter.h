@@ -199,6 +199,14 @@ struct EncodeTiming {
   uint32_t ThreadsUsed = 1;   ///< 1 when the serial path ran.
 };
 
+/// One function's final placement in the squashed image, for the
+/// inspector's function-order view.
+struct FunctionPlacement {
+  unsigned FuncIdx = 0; ///< Index into the program's function list.
+  std::string Name;     ///< Function name (entry label).
+  uint32_t Addr = 0;    ///< Entry address in the image.
+};
+
 /// A runnable squashed program plus everything the runtime and the
 /// experiment harnesses need.
 struct SquashedProgram {
@@ -232,6 +240,9 @@ struct SquashedProgram {
   /// may append blocks, so RegionBlocks entries at or past this id have no
   /// profile slot and are skipped when a live profile is exported.
   uint32_t ProfileBlockCount = 0;
+  /// Final hot-half placement, in emission order (the layout pass's
+  /// verdict). Empty means the identity placement (program order).
+  std::vector<FunctionPlacement> FuncLayout;
   /// Timing of the per-region encode pass that produced the blob.
   EncodeTiming Encode;
   /// Fault-injection arming (FaultKind::PrefetchSlotCorrupt): when nonzero,
@@ -280,11 +291,24 @@ vea::Status relocateRegionWords(std::vector<uint32_t> &Words,
 /// region does not fit its encoding, or EncodingError from the compressor.
 /// \p Plan carries the codec-select pass's per-region coder choices; the
 /// default (empty) plan encodes every region with the Huffman coder.
+/// \p FuncOrder places never-compressed code in an explicit function order
+/// (the layout pass's verdict); empty means program order, and the image
+/// is then byte-identical to what the parameterless order produced before
+/// the layout pass existed. Placement is whole-function, so blocks keep
+/// their in-function order and fallthrough chains are never broken.
 vea::Expected<SquashedProgram>
 rewriteProgram(const vea::Program &Prog, const vea::Cfg &G,
                const Partition &Part,
                const std::vector<uint8_t> &BufferSafeFuncs,
-               const Options &Opts, CodecPlan Plan = CodecPlan());
+               const Options &Opts, CodecPlan Plan = CodecPlan(),
+               const std::vector<unsigned> &FuncOrder = {});
+
+/// Records the final function placement into \p SP (the inspector's
+/// function-order surface): one entry per function in emission order with
+/// its entry address in the built image. An empty \p FuncOrder (identity
+/// placement) records nothing.
+void recordFunctionOrder(SquashedProgram &SP, const vea::Program &Prog,
+                         const std::vector<unsigned> &FuncOrder);
 
 /// Runs the rewriter's lowering phases only (entries, expanded offsets,
 /// layout, region lowering) and returns each region's stored instruction

@@ -9,6 +9,7 @@
 
 #include "huff/FastDecoder.h"
 #include "squash/CodecSelect.h"
+#include "squash/CostModel.h"
 #include "squash/Observability.h"
 #include "support/Checksum.h"
 #include "support/Span.h"
@@ -316,6 +317,7 @@ bool RuntimeSystem::rewriteEntryStubs(Machine &M, uint32_t Region,
     if (!M.storeWord(S.Addr, encode(makeBranch(Opcode::Br, RegZero,
                                                static_cast<int32_t>(D)))))
       return false;
+    M.icacheFlushRange(S.Addr, 4);
     ++St.DirectStubRewrites;
     Any = true;
   }
@@ -332,6 +334,7 @@ bool RuntimeSystem::restoreEntryStubs(Machine &M, uint32_t Region) {
                             dispTo(S.Addr, L.decompressEntry(25)));
     if (!M.storeWord(S.Addr, encode(Call)))
       return false;
+    M.icacheFlushRange(S.Addr, 4);
     ++St.DirectStubRestores;
   }
   return true;
@@ -633,6 +636,11 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       return false;
     WriteAddr += 4;
   }
+  // With a modelled I-cache the freshly written code must be invalidated;
+  // the re-fetch misses then carry the flush cost the flat constant used
+  // to approximate.
+  M.icacheFlushRange(L.slotDataBase(Slot),
+                     4 * static_cast<uint32_t>(Words.size()));
 
   // Host resident table + guest slot map.
   if (Cache[Slot].Region >= 0 &&
@@ -665,17 +673,22 @@ bool RuntimeSystem::fillBuffer(Machine &M, uint32_t Region,
       : Recovered
           ? C.CyclesPerDecodedInstr * Decoded
           : codecDecodeCycles(C, ChargeKind, Work);
-  const uint64_t DecodeCharge =
-      C.DecompSetupCycles + DecodePart + C.IcacheFlushCycles;
-  St.DecodeCycles.record(DecodeCharge);
-  M.addCycles(DecodeCharge);
+  // regionFillCharge zeroes the flat flush charge when the machine models
+  // the I-cache itself (the invalidation above makes the cost real as
+  // fetch misses — charging the constant too would double-count).
+  const FillCharge Charge =
+      regionFillCharge(C, DecodePart, M.icacheEnabled());
+  St.DecodeCycles.record(Charge.total());
+  M.addCycles(Charge.total());
   // Ledger mirrors of this charge: setup + per-codec decode + flush sum
-  // exactly to DecodeCharge (squash/Telemetry.h's conservation identity).
-  St.TrapSetupCyclesTotal += C.DecompSetupCycles;
-  St.DecodeOnlyCyclesByCodec[static_cast<unsigned>(ChargeKind)] += DecodePart;
-  St.IcacheFlushCyclesTotal += C.IcacheFlushCycles;
+  // exactly to the charge (squash/Telemetry.h's conservation identity).
+  St.TrapSetupCyclesTotal += Charge.Setup;
+  St.DecodeOnlyCyclesByCodec[static_cast<unsigned>(ChargeKind)] +=
+      Charge.Decode;
+  St.IcacheFlushCyclesTotal += Charge.Flush;
   ++St.FillsByCodec[static_cast<unsigned>(ChargeKind)];
-  St.DecodeCyclesByCodec[static_cast<unsigned>(ChargeKind)] += DecodeCharge;
+  St.DecodeCyclesByCodec[static_cast<unsigned>(ChargeKind)] +=
+      Charge.total();
   CurrentRegion = static_cast<int32_t>(Region);
   Fill.setEndCycles(M.cycles());
   Fill.setArgs(Region, Slot);
@@ -768,6 +781,7 @@ bool RuntimeSystem::decompress(Machine &M, unsigned Reg) {
                           static_cast<int32_t>(Offset) - 1);
   if (!M.storeWord(L.slotBase(CacheSlotIdx), encode(Jump)))
     return false;
+  M.icacheFlushRange(L.slotBase(CacheSlotIdx), 4);
 
   // The paper's decompressor sets the return register to the restore
   // stub's address before entering the buffer (Section 2.3).
@@ -858,6 +872,7 @@ bool RuntimeSystem::createStub(Machine &M, unsigned Reg) {
         !M.storeWord(StubAddr + 8, Slot.Count) ||
         !M.storeWord(StubAddr + 12, Key))
       return false;
+    M.icacheFlushRange(StubAddr, 4 * RuntimeLayout::StubSlotWords);
   }
 
   M.setReg(Reg, StubAddr);

@@ -20,6 +20,7 @@ CycleLedger squash::buildCycleLedger(const SquashedRun &R) {
   L.TrapSetup = R.Runtime.TrapSetupCyclesTotal;
   L.DecodeByCodec = R.Runtime.DecodeOnlyCyclesByCodec;
   L.IcacheFlush = R.Runtime.IcacheFlushCyclesTotal;
+  L.IcacheMiss = R.Run.IcacheMissCycles;
   L.RestoreStub = R.Runtime.CreateStubCyclesTotal;
   L.HostDecodeNanos = R.Runtime.HostDecodeNanos;
   L.WastedPrefetches = R.Runtime.PrefetchWasted +
@@ -46,6 +47,7 @@ std::string squash::renderAttributionReport(const CycleLedger &L,
     Row(Name.c_str(), L.DecodeByCodec[K]);
   }
   Row("icache flush", L.IcacheFlush);
+  Row("icache miss", L.IcacheMiss);
   Row("restore stubs", L.RestoreStub);
   Row("wasted prefetch", L.WastedPrefetchCycles);
   std::snprintf(Buf, sizeof(Buf),
@@ -74,6 +76,7 @@ void squash::exportLedgerMetrics(vea::MetricsRegistry &R,
                      codecKindName(static_cast<CodecKind>(K)),
                  L.DecodeByCodec[K]);
   R.setCounter(Prefix + "icache_flush_cycles", L.IcacheFlush);
+  R.setCounter(Prefix + "icache_miss_cycles", L.IcacheMiss);
   R.setCounter(Prefix + "restore_stub_cycles", L.RestoreStub);
   R.setCounter(Prefix + "wasted_prefetch_cycles", L.WastedPrefetchCycles);
   R.setCounter(Prefix + "wasted_prefetches", L.WastedPrefetches);

@@ -10,7 +10,7 @@
 /// charged to exactly one category, with a conservation identity
 ///
 ///   GuestExecute + TrapSetup + sum(DecodeByCodec) + IcacheFlush
-///     + RestoreStub  ==  Machine total cycles
+///     + IcacheMiss + RestoreStub  ==  Machine total cycles
 ///
 /// that tests and bench/stat_attribution enforce on every workload. The
 /// ledger is derived, not sampled: the runtime increments a Stats counter
@@ -45,7 +45,10 @@ struct CycleLedger {
   uint64_t TrapSetup = 0;    ///< Decompressor entry setup (hit or fill).
   std::array<uint64_t, NumCodecKinds> DecodeByCodec = {};
                              ///< Pure decode work, per region coder.
-  uint64_t IcacheFlush = 0;  ///< Post-fill icache flush charges.
+  uint64_t IcacheFlush = 0;  ///< Post-fill flat icache flush charges
+                             ///< (zero when the fetch model is on).
+  uint64_t IcacheMiss = 0;   ///< Modeled fetch-miss penalties (zero when
+                             ///< the flat flush charge is in effect).
   uint64_t RestoreStub = 0;  ///< CreateStub trap charges.
 
   /// Host-side costs with no simulated-cycle footprint, reported so the
@@ -57,8 +60,8 @@ struct CycleLedger {
 
   /// Sum of every cycle category (everything but the host-nanos fields).
   uint64_t attributed() const {
-    uint64_t N = GuestExecute + TrapSetup + IcacheFlush + RestoreStub +
-                 WastedPrefetchCycles;
+    uint64_t N = GuestExecute + TrapSetup + IcacheFlush + IcacheMiss +
+                 RestoreStub + WastedPrefetchCycles;
     for (uint64_t D : DecodeByCodec)
       N += D;
     return N;

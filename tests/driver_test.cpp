@@ -325,8 +325,8 @@ TEST(Driver, IdentityResultRecordsEveryPass) {
   SquashResult SR = squashProgram(Prog, Prof, Options()).take();
   ASSERT_TRUE(SR.Identity);
 
-  // All eight passes appear in the trace, none skipped.
-  ASSERT_EQ(SR.PassTrace.size(), 8u);
+  // All nine passes appear in the trace, none skipped.
+  ASSERT_EQ(SR.PassTrace.size(), 9u);
   EXPECT_EQ(SR.PassTrace.front().Name, "cold-code");
   EXPECT_EQ(SR.PassTrace.back().Name, "rewrite");
   for (const auto &E : SR.PassTrace) {

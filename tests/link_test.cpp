@@ -142,6 +142,77 @@ TEST(Layout, SymbolWordsPatched) {
   EXPECT_EQ(Img.word(Tab + 4), Img.symbol("main"));
 }
 
+TEST(Layout, UnresolvedSymbolIsALayoutError) {
+  // ProgramBuilder::build() verifies call targets, so the dangling
+  // reference is created after the fact — the binary-rewriting situation
+  // where a symbol disappears between program construction and layout.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.call("victim");
+    F.li(16, 0);
+    F.halt();
+  }
+  {
+    FunctionBuilder F = PB.beginFunction("victim");
+    F.ret();
+  }
+  PB.setEntry("main");
+  Program P = PB.build();
+  ASSERT_EQ(P.Functions.back().Name, "victim");
+  P.Functions.pop_back();
+
+  Expected<Image> R = layoutProgramOrError(P, DefaultBase);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::LayoutError);
+  EXPECT_NE(R.status().toString().find("unresolved symbol 'victim'"),
+            std::string::npos)
+      << R.status().toString();
+}
+
+TEST(Layout, UnresolvedDataReferencePropagates) {
+  // The error surfaces from instruction encoding (la -> hi/lo reloc), deep
+  // inside layout, and still comes back as a LayoutError, not an abort.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.la(1, "blob", 0);
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.addBss("blob", 16);
+  PB.setEntry("main");
+  Program P = PB.build();
+  P.Data.clear(); // The referenced object vanishes.
+
+  Expected<Image> R = layoutProgramOrError(P, DefaultBase);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::LayoutError);
+  EXPECT_NE(R.status().toString().find("blob"), std::string::npos);
+}
+
+TEST(Layout, OversizedImageFailsCleanly) {
+  // A pathological data alignment pushes the image past MaxImageBytes; the
+  // layout must fail with a LayoutError before attempting the allocation.
+  ProgramBuilder PB("t");
+  {
+    FunctionBuilder F = PB.beginFunction("main");
+    F.li(16, 0);
+    F.halt();
+  }
+  PB.addBss("pad", 16);
+  PB.setEntry("main");
+  Program P = PB.build();
+  ASSERT_EQ(P.Data.size(), 1u);
+  P.Data[0].Align = 1u << 30;
+
+  Expected<Image> R = layoutProgramOrError(P, DefaultBase);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), StatusCode::LayoutError);
+  EXPECT_NE(R.status().toString().find("image too large"), std::string::npos)
+      << R.status().toString();
+}
+
 TEST(Layout, BlockRangesMatchCfgOrder) {
   ProgramBuilder PB("t");
   {

@@ -102,7 +102,7 @@ TEST(Pipeline, StandardPassOrderIsStable) {
   const std::vector<std::string> Expected = {
       "cold-code",           "unswitch",    "filter-setjmp-indirect",
       "filter-computed-jump", "regions",    "buffer-safe",
-      "codec-select",         "rewrite"};
+      "codec-select",         "layout",     "rewrite"};
   EXPECT_EQ(standardPassNames(), Expected);
 
   PassManager PM;
@@ -126,7 +126,7 @@ TEST(Pipeline, CfgBuiltExactlyTwice) {
   SquashResult R = runStandard(Prog, Prof, Opts, &Builds);
   EXPECT_EQ(Builds, 2u);
 
-  ASSERT_EQ(R.PassTrace.size(), 8u);
+  ASSERT_EQ(R.PassTrace.size(), 9u);
   for (const PassTraceEntry &E : R.PassTrace) {
     EXPECT_TRUE(E.Ok) << E.Name;
     EXPECT_FALSE(E.Disabled) << E.Name;
@@ -234,7 +234,7 @@ TEST(Pipeline, DisabledRewriteYieldsRunnableIdentity) {
 
   SquashResult R = squashProgram(Prog, Prof, Opts).take();
   EXPECT_TRUE(R.Identity);
-  ASSERT_EQ(R.PassTrace.size(), 8u);
+  ASSERT_EQ(R.PassTrace.size(), 9u);
   EXPECT_TRUE(R.PassTrace.back().Disabled);
 
   SquashedRun Run = runSquashed(R.SP, {0});
@@ -262,7 +262,7 @@ TEST(Pipeline, DisabledPassesMarkedInTrace) {
   Opts.DisabledPasses = {"buffer-safe"};
 
   SquashResult R = squashProgram(Prog, Prof, Opts).take();
-  ASSERT_EQ(R.PassTrace.size(), 8u);
+  ASSERT_EQ(R.PassTrace.size(), 9u);
   for (const PassTraceEntry &E : R.PassTrace)
     EXPECT_EQ(E.Disabled, E.Name == "buffer-safe") << E.Name;
 
